@@ -1,0 +1,87 @@
+// Ablation for paper §5.2.2: HLRC with migratory home vs the original fixed-
+// home HLRC, on the two page-traffic-heavy workloads (CG and Helmholtz).
+// Reports virtual execution time and the DSM page traffic counters that
+// explain it.
+#include "apps/cg.hpp"
+#include "apps/helmholtz.hpp"
+#include "bench/figure_common.hpp"
+#include "runtime/api.hpp"
+
+namespace parade {
+namespace {
+
+struct AblationRow {
+  double seconds = 0.0;
+  std::int64_t page_fetches = 0;
+  std::int64_t diff_bytes = 0;
+  std::int64_t migrations = 0;
+};
+
+template <typename Fn>
+AblationRow run_case(int nodes, bool migration, const Fn& workload) {
+  RuntimeConfig config =
+      bench::figure_config(nodes, vtime::NodeConfig::k2Thread2Cpu);
+  config.dsm.home_migration = migration;
+  AblationRow row;
+  VirtualCluster cluster(config);
+  row.seconds = cluster.exec(workload) / 1e6;
+  for (int r = 0; r < nodes; ++r) {
+    const auto stats = cluster.node(r).dsm().stats().snapshot();
+    row.page_fetches += stats.page_fetches;
+    row.diff_bytes += stats.diff_bytes_sent;
+    row.migrations += stats.home_migrations;
+  }
+  cluster.shutdown();
+  return row;
+}
+
+void print_row(const char* name, const AblationRow& on, const AblationRow& off) {
+  std::printf("%-12s  %10.3f  %10.3f  %10lld  %10lld  %12lld  %12lld  %8lld\n",
+              name, on.seconds, off.seconds,
+              static_cast<long long>(on.page_fetches),
+              static_cast<long long>(off.page_fetches),
+              static_cast<long long>(on.diff_bytes),
+              static_cast<long long>(off.diff_bytes),
+              static_cast<long long>(on.migrations));
+}
+
+}  // namespace
+}  // namespace parade
+
+int main(int argc, char** argv) {
+  using namespace parade;
+  const int nodes = static_cast<int>(bench::arg_long(argc, argv, "nodes", 4));
+
+  apps::CgParams cg = apps::CgParams::class_s();
+  cg.niter = static_cast<int>(bench::arg_long(argc, argv, "cg_niter", 5));
+  apps::HelmholtzParams hh;
+  hh.n = hh.m = 128;
+  hh.max_iters = 30;
+  hh.tol = 0.0;
+
+  std::printf(
+      "\n# Ablation (paper 5.2.2): migratory home vs fixed home, %d nodes "
+      "(virtual time)\n",
+      nodes);
+  std::printf("%-12s  %10s  %10s  %10s  %10s  %12s  %12s  %8s\n", "workload",
+              "mig[s]", "fixed[s]", "fetch-mig", "fetch-fix", "diffB-mig",
+              "diffB-fix", "moves");
+
+  {
+    apps::CgResult r;
+    const AblationRow on =
+        run_case(nodes, true, [&] { r = apps::cg_parade(cg); });
+    const AblationRow off =
+        run_case(nodes, false, [&] { r = apps::cg_parade(cg); });
+    print_row("CG", on, off);
+  }
+  {
+    apps::HelmholtzResult r;
+    const AblationRow on =
+        run_case(nodes, true, [&] { r = apps::helmholtz_parade(hh); });
+    const AblationRow off =
+        run_case(nodes, false, [&] { r = apps::helmholtz_parade(hh); });
+    print_row("Helmholtz", on, off);
+  }
+  return 0;
+}

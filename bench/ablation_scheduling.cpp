@@ -1,0 +1,60 @@
+// Ablation for paper §8 (future work): loop scheduling under load imbalance.
+// The paper ships static scheduling only and names imbalance at the `for`
+// barrier as a main cost; this bench runs a triangular-cost loop (iteration i
+// costs O(i) work) under static, static-chunked, dynamic, and hierarchical
+// guided scheduling and reports virtual execution time.
+#include <cmath>
+
+#include "bench/figure_common.hpp"
+#include "runtime/api.hpp"
+
+namespace parade {
+namespace {
+
+double run_schedule(int nodes, const Schedule& schedule, long n) {
+  RuntimeConfig config =
+      bench::figure_config(nodes, vtime::NodeConfig::k2Thread2Cpu, 8u << 20);
+  const double seconds = run_virtual_cluster_s(config, [&] {
+    double sink_replica = 0.0;
+    parallel([&] {
+      double local = 0.0;
+      parallel_for(0, n, schedule, [&](long lo, long hi) {
+        for (long i = lo; i < hi; ++i) {
+          // Triangular imbalance: later iterations cost more.
+          for (long k = 0; k < i; ++k) local += std::sqrt(double(k + 1));
+        }
+      });
+      team_update(&sink_replica, local, mp::Op::kSum);
+    });
+  });
+  return seconds;
+}
+
+}  // namespace
+}  // namespace parade
+
+int main(int argc, char** argv) {
+  using namespace parade;
+  const long n = bench::arg_long(argc, argv, "n", 2000);
+
+  const std::vector<std::pair<const char*, Schedule>> schedules = {
+      {"static", {ScheduleKind::kStatic, 0}},
+      {"static,16", {ScheduleKind::kStaticChunk, 16}},
+      {"dynamic,16", {ScheduleKind::kDynamic, 16}},
+      {"guided", {ScheduleKind::kGuided, 0}},
+  };
+
+  std::vector<bench::Series> series;
+  for (const auto& [name, schedule] : schedules) {
+    bench::Series s{name, {}};
+    for (const int nodes : bench::kNodeSweep) {
+      s.values.push_back(run_schedule(nodes, schedule, n));
+    }
+    series.push_back(std::move(s));
+  }
+  bench::print_figure(
+      "Ablation (paper 8): loop scheduling under triangular load imbalance "
+      "(virtual time)",
+      "s", bench::kNodeSweep, series);
+  return 0;
+}

@@ -1,0 +1,40 @@
+// EPCC-style synchronization overhead table (the paper's microbenchmark
+// substrate [19]) for every construct at every node count — a superset of
+// Figures 6 and 7 in one table.
+#include "apps/syncbench.hpp"
+#include "runtime/api.hpp"
+#include "bench/figure_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace parade;
+  const long iters = bench::arg_long(argc, argv, "iters", 25);
+
+  std::printf("\n# EPCC syncbench: construct overhead in virtual us/op "
+              "(2Thread-2CPU nodes, modeled cLAN)\n");
+  std::printf("%-18s", "construct");
+  for (const int nodes : bench::kNodeSweep) std::printf("  %8dn", nodes);
+  std::printf("\n");
+
+  std::vector<std::vector<apps::SyncbenchResult>> per_nodes;
+  for (const int nodes : bench::kNodeSweep) {
+    RuntimeConfig config =
+        bench::figure_config(nodes, vtime::NodeConfig::k2Thread2Cpu, 8u << 20);
+    std::vector<apps::SyncbenchResult> results;
+    run_virtual_cluster_s(config, [&] {
+      auto measured = apps::syncbench_all(iters);
+      if (parade::is_master()) results = measured;
+    });
+    per_nodes.push_back(std::move(results));
+  }
+
+  const std::size_t constructs = per_nodes.front().size();
+  for (std::size_t c = 0; c < constructs; ++c) {
+    std::printf("%-18s",
+                apps::to_string(per_nodes.front()[c].construct));
+    for (std::size_t n = 0; n < per_nodes.size(); ++n) {
+      std::printf("  %9.2f", per_nodes[n][c].overhead_us());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Figure 10: Helmholtz (Jacobi with over-relaxation) execution time, node
+// sweep 1-8 under the paper's three configurations. The per-iteration
+// residual check is the reduction ParADE's translator turns into one
+// collective, which the paper credits for near-linear scaling.
+#include "apps/helmholtz.hpp"
+#include "bench/figure_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace parade;
+  apps::HelmholtzParams params;
+  params.n = params.m = static_cast<int>(bench::arg_long(argc, argv, "n", 192));
+  params.max_iters =
+      static_cast<int>(bench::arg_long(argc, argv, "iters", 60));
+  params.tol = 0.0;  // run a fixed iteration count for comparable timing
+
+  std::vector<bench::Series> series;
+  for (const auto node_config : bench::kNodeConfigs) {
+    bench::Series s{vtime::to_string(node_config), {}};
+    for (const int nodes : bench::kNodeSweep) {
+      RuntimeConfig config = bench::figure_config(nodes, node_config);
+      apps::HelmholtzResult result;
+      const double seconds = run_virtual_cluster_s(
+          config, [&] { result = apps::helmholtz_parade(params); });
+      s.values.push_back(seconds);
+    }
+    series.push_back(std::move(s));
+  }
+  bench::print_figure(
+      "Figure 10: Helmholtz " + std::to_string(params.n) + "x" +
+          std::to_string(params.m) + " x" + std::to_string(params.max_iters) +
+          " iters on modeled cLAN (virtual time)",
+      "s", bench::kNodeSweep, series);
+  return 0;
+}

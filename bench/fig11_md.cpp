@@ -1,0 +1,33 @@
+// Figure 11: molecular dynamics execution time, node sweep 1-8 under the
+// paper's three configurations. Less shared memory and inter-node traffic
+// than Helmholtz, so it scales well in every configuration.
+#include "apps/md.hpp"
+#include "bench/figure_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace parade;
+  apps::MdParams params;
+  params.nparts =
+      static_cast<int>(bench::arg_long(argc, argv, "nparts", 1024));
+  params.nsteps = static_cast<int>(bench::arg_long(argc, argv, "steps", 5));
+
+  std::vector<bench::Series> series;
+  for (const auto node_config : bench::kNodeConfigs) {
+    bench::Series s{vtime::to_string(node_config), {}};
+    for (const int nodes : bench::kNodeSweep) {
+      RuntimeConfig config =
+          bench::figure_config(nodes, node_config, 16u << 20);
+      apps::MdResult result;
+      const double seconds = run_virtual_cluster_s(
+          config, [&] { result = apps::md_parade(params); });
+      s.values.push_back(seconds);
+    }
+    series.push_back(std::move(s));
+  }
+  bench::print_figure(
+      "Figure 11: MD " + std::to_string(params.nparts) + " particles x" +
+          std::to_string(params.nsteps) +
+          " steps on modeled cLAN (virtual time)",
+      "s", bench::kNodeSweep, series);
+  return 0;
+}

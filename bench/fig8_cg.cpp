@@ -1,0 +1,33 @@
+// Figure 8: NAS CG execution time on the modeled cLAN cluster, node sweep
+// 1-8 under the paper's three configurations (1Thread-1CPU, 1Thread-2CPU,
+// 2Thread-2CPU). Default is class S so the single-core host finishes
+// quickly; use --class=W or --class=A for the paper's size.
+#include "apps/cg.hpp"
+#include "bench/figure_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace parade;
+  const std::string cls = bench::arg_string(argc, argv, "class", "S");
+  apps::CgParams params = apps::CgParams::class_s();
+  if (cls == "W") params = apps::CgParams::class_w();
+  if (cls == "A") params = apps::CgParams::class_a();
+  params.niter = static_cast<int>(
+      bench::arg_long(argc, argv, "niter", params.niter));
+
+  std::vector<bench::Series> series;
+  for (const auto node_config : bench::kNodeConfigs) {
+    bench::Series s{vtime::to_string(node_config), {}};
+    for (const int nodes : bench::kNodeSweep) {
+      RuntimeConfig config = bench::figure_config(nodes, node_config);
+      apps::CgResult result;
+      const double seconds = run_virtual_cluster_s(
+          config, [&] { result = apps::cg_parade(params); });
+      s.values.push_back(seconds);
+    }
+    series.push_back(std::move(s));
+  }
+  bench::print_figure("Figure 8: NAS CG class " + cls +
+                          " execution time on modeled cLAN (virtual time)",
+                      "s", bench::kNodeSweep, series);
+  return 0;
+}

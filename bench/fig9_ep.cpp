@@ -1,0 +1,33 @@
+// Figure 9: NAS EP execution time, node sweep 1-8 under the paper's three
+// configurations. Default --m=20 (1M pairs) for the single-core host;
+// --class=S/W/A selects the paper sizes.
+#include "apps/ep.hpp"
+#include "bench/figure_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace parade;
+  const std::string cls = bench::arg_string(argc, argv, "class", "");
+  apps::EpParams params{static_cast<int>(bench::arg_long(argc, argv, "m", 21))};
+  if (cls == "S") params = apps::EpParams::class_s();
+  if (cls == "W") params = apps::EpParams::class_w();
+  if (cls == "A") params = apps::EpParams::class_a();
+
+  std::vector<bench::Series> series;
+  for (const auto node_config : bench::kNodeConfigs) {
+    bench::Series s{vtime::to_string(node_config), {}};
+    for (const int nodes : bench::kNodeSweep) {
+      RuntimeConfig config =
+          bench::figure_config(nodes, node_config, 8u << 20);
+      apps::EpResult result;
+      const double seconds = run_virtual_cluster_s(
+          config, [&] { result = apps::ep_parade(params); });
+      s.values.push_back(seconds);
+    }
+    series.push_back(std::move(s));
+  }
+  bench::print_figure(
+      "Figure 9: NAS EP (m=" + std::to_string(params.m) +
+          ") execution time on modeled cLAN (virtual time)",
+      "s", bench::kNodeSweep, series);
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Shared plumbing for the figure-reproduction benches: node sweeps, the
+// paper's three node configurations, and aligned table output.
+//
+// Every bench prints virtual-time results (direct-execution simulation; see
+// DESIGN.md) as a series table with one row per node count, matching the
+// x-axis of the paper's Figures 6-11.
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "runtime/cluster.hpp"
+#include "vtime/cost_model.hpp"
+
+namespace parade::bench {
+
+inline const std::vector<int> kNodeSweep = {1, 2, 4, 8};
+
+inline const std::vector<vtime::NodeConfig> kNodeConfigs = {
+    vtime::NodeConfig::k1Thread1Cpu,
+    vtime::NodeConfig::k1Thread2Cpu,
+    vtime::NodeConfig::k2Thread2Cpu,
+};
+
+/// Base runtime config for figure benches: env-tunable network model and CPU
+/// scale, modest pool.
+inline RuntimeConfig figure_config(int nodes, vtime::NodeConfig node_config,
+                                   std::size_t pool_bytes = 64u << 20) {
+  RuntimeConfig config;
+  config.nodes = nodes;
+  config.with_node_config(node_config);
+  config.cpu_scale = vtime::cpu_scale_from_env();
+  config.dsm.net = vtime::model_from_env();
+  config.dsm.pool_bytes = pool_bytes;
+  return config;
+}
+
+/// One data series (a line in the paper's figure).
+struct Series {
+  std::string name;
+  std::vector<double> values;  // indexed like the node sweep
+};
+
+inline void print_figure(const std::string& title, const std::string& unit,
+                         const std::vector<int>& nodes,
+                         const std::vector<Series>& series) {
+  std::printf("\n# %s\n", title.c_str());
+  std::printf("%-8s", "nodes");
+  for (const Series& s : series) std::printf("  %18s", s.name.c_str());
+  std::printf("   [%s]\n", unit.c_str());
+  for (std::size_t row = 0; row < nodes.size(); ++row) {
+    std::printf("%-8d", nodes[row]);
+    for (const Series& s : series) {
+      if (row < s.values.size()) {
+        std::printf("  %18.3f", s.values[row]);
+      } else {
+        std::printf("  %18s", "-");
+      }
+    }
+    std::printf("\n");
+  }
+  std::fflush(stdout);
+}
+
+/// --flag=value parsing for the bench binaries.
+inline std::string arg_string(int argc, char** argv, const char* name,
+                              const std::string& fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::string(argv[i] + prefix.size());
+    }
+  }
+  return fallback;
+}
+
+inline long arg_long(int argc, char** argv, const char* name, long fallback) {
+  const std::string text = arg_string(argc, argv, name, "");
+  if (text.empty()) return fallback;
+  return std::strtol(text.c_str(), nullptr, 10);
+}
+
+}  // namespace parade::bench

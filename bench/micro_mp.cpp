@@ -1,0 +1,102 @@
+// google-benchmark microbenchmarks for the message-passing library:
+// in-process ping-pong latency/bandwidth and collective operations at
+// several node counts. Wall-clock numbers for the implementation itself.
+#include <benchmark/benchmark.h>
+
+#include <thread>
+#include <vector>
+
+#include "mp/comm.hpp"
+#include "net/inproc.hpp"
+#include "vtime/cost_model.hpp"
+
+namespace parade::mp {
+namespace {
+
+void BM_PingPong(benchmark::State& state) {
+  const std::size_t bytes = static_cast<std::size_t>(state.range(0));
+  net::InProcFabric fabric(2);
+  Comm comm0(fabric.channel(0), vtime::ideal());
+  Comm comm1(fabric.channel(1), vtime::ideal());
+  std::vector<std::uint8_t> payload(bytes, 0xAB);
+
+  std::atomic<bool> stop{false};
+  std::thread echo([&] {
+    std::vector<std::uint8_t> buffer(bytes);
+    for (;;) {
+      RecvStatus status;
+      auto data = comm1.try_recv_bytes(0, 5, &status);
+      if (!data) {
+        if (stop.load(std::memory_order_relaxed)) return;
+        std::this_thread::yield();
+        continue;
+      }
+      comm1.send(0, 6, data->data(), data->size());
+    }
+  });
+
+  std::vector<std::uint8_t> buffer(bytes);
+  for (auto _ : state) {
+    comm0.send(1, 5, payload.data(), payload.size());
+    comm0.recv(1, 6, buffer.data(), buffer.size());
+  }
+  stop.store(true);
+  echo.join();
+  fabric.shutdown();
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * bytes));
+}
+BENCHMARK(BM_PingPong)->Arg(8)->Arg(4096)->Arg(65536);
+
+template <typename Body>
+void run_ranks(int n, const Body& body) {
+  net::InProcFabric fabric(n);
+  std::vector<std::unique_ptr<Comm>> comms;
+  comms.reserve(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    comms.push_back(std::make_unique<Comm>(fabric.channel(r), vtime::ideal()));
+  }
+  std::vector<std::thread> threads;
+  for (int r = 0; r < n; ++r) {
+    threads.emplace_back([&, r] { body(*comms[static_cast<std::size_t>(r)]); });
+  }
+  for (auto& t : threads) t.join();
+  fabric.shutdown();
+}
+
+void BM_Allreduce(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    run_ranks(n, [](Comm& comm) {
+      double value = static_cast<double>(comm.rank());
+      comm.allreduce(&value, 1, DType::kDouble, Op::kSum);
+      benchmark::DoNotOptimize(value);
+    });
+  }
+}
+BENCHMARK(BM_Allreduce)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_Bcast64k(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    run_ranks(n, [](Comm& comm) {
+      std::vector<std::uint8_t> data(65536, static_cast<std::uint8_t>(1));
+      comm.bcast(data.data(), data.size(), 0);
+      benchmark::DoNotOptimize(data);
+    });
+  }
+}
+BENCHMARK(BM_Bcast64k)->Arg(2)->Arg(8);
+
+void BM_Barrier(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    run_ranks(n, [](Comm& comm) { comm.barrier(); });
+  }
+}
+BENCHMARK(BM_Barrier)->Arg(2)->Arg(8);
+
+}  // namespace
+}  // namespace parade::mp
+
+BENCHMARK_MAIN();

@@ -1,0 +1,73 @@
+// Paper §8 future work, implemented: "more processors do not always give
+// better performance. For a given problem, we want to find the best
+// configuration." This example probes a workload on short runs across node
+// counts and CPU configurations, then reports the best full-run choice —
+// the measurement-driven adaptation the authors proposed.
+//
+//   ./adaptive_config [grid_n]
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+#include "apps/helmholtz.hpp"
+#include "runtime/cluster.hpp"
+#include "vtime/cost_model.hpp"
+
+namespace {
+
+double probe(int nodes, parade::vtime::NodeConfig node_config, int grid_n,
+             int iters) {
+  using namespace parade;
+  RuntimeConfig config;
+  config.nodes = nodes;
+  config.with_node_config(node_config);
+  config.cpu_scale = vtime::cpu_scale_from_env();
+  config.dsm.net = vtime::model_from_env();
+  config.dsm.pool_bytes = 32u << 20;
+
+  apps::HelmholtzParams params;
+  params.n = params.m = grid_n;
+  params.max_iters = iters;
+  params.tol = 0.0;
+  apps::HelmholtzResult result;
+  return run_virtual_cluster_s(config,
+                               [&] { result = apps::helmholtz_parade(params); });
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using parade::vtime::NodeConfig;
+  const int grid_n = argc > 1 ? std::atoi(argv[1]) : 128;
+  const int probe_iters = 8;
+
+  std::printf("Probing Helmholtz %dx%d (%d-iteration probes, virtual time)\n",
+              grid_n, grid_n, probe_iters);
+  std::printf("%-8s %-14s %10s\n", "nodes", "config", "probe[s]");
+
+  double best = std::numeric_limits<double>::infinity();
+  int best_nodes = 1;
+  NodeConfig best_config = NodeConfig::k1Thread1Cpu;
+  for (const int nodes : {1, 2, 4, 8}) {
+    for (const NodeConfig node_config :
+         {NodeConfig::k1Thread1Cpu, NodeConfig::k1Thread2Cpu,
+          NodeConfig::k2Thread2Cpu}) {
+      const double seconds = probe(nodes, node_config, grid_n, probe_iters);
+      std::printf("%-8d %-14s %10.4f\n", nodes,
+                  parade::vtime::to_string(node_config), seconds);
+      if (seconds < best) {
+        best = seconds;
+        best_nodes = nodes;
+        best_config = node_config;
+      }
+    }
+  }
+
+  std::printf("\nSelected configuration: %d nodes, %s\n", best_nodes,
+              parade::vtime::to_string(best_config));
+  const double full = probe(best_nodes, best_config, grid_n, 80);
+  std::printf("Full run (80 iterations) at the selected configuration: %.3f s "
+              "(virtual)\n",
+              full);
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Domain example: the paper's MD application (§6.2). Shows the three node
+// configurations of the evaluation side by side on the same workload, i.e. a
+// miniature of Figure 11.
+//
+//   ./molecular_dynamics [nparts] [steps]
+#include <cstdio>
+#include <cstdlib>
+
+#include "apps/md.hpp"
+#include "runtime/cluster.hpp"
+#include "vtime/cost_model.hpp"
+
+int main(int argc, char** argv) {
+  using namespace parade;
+
+  apps::MdParams params;
+  params.nparts = argc > 1 ? std::atoi(argv[1]) : 256;
+  params.nsteps = argc > 2 ? std::atoi(argv[2]) : 5;
+
+  std::printf("MD: %d particles, %d steps, 4 nodes, modeled cLAN\n",
+              params.nparts, params.nsteps);
+  for (const auto node_config :
+       {vtime::NodeConfig::k1Thread1Cpu, vtime::NodeConfig::k1Thread2Cpu,
+        vtime::NodeConfig::k2Thread2Cpu}) {
+    RuntimeConfig config;
+    config.nodes = 4;
+    config.with_node_config(node_config);
+    config.cpu_scale = vtime::cpu_scale_from_env();
+    config.dsm.net = vtime::model_from_env();
+    config.dsm.pool_bytes = 16u << 20;
+
+    apps::MdResult result;
+    const double seconds =
+        run_virtual_cluster_s(config, [&] { result = apps::md_parade(params); });
+    std::printf("  %-14s: %7.3f s   (pot %.4f, kin %.4f, drift %.2e)\n",
+                vtime::to_string(node_config), seconds, result.potential,
+                result.kinetic, result.energy_drift);
+  }
+  return 0;
+}

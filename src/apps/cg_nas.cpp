@@ -1,0 +1,238 @@
+// Faithful port of the NPB 2.3 CG matrix generator (makea/sparse/sprnvc/
+// vecset), bit-compatible with the reference implementation: the same NAS
+// LCG stream, the same assembly order, the same duplicate-summing sparse
+// pass. With this generator the benchmark's zeta matches the published NPB
+// verification values (class S: 8.5971775078648, W: 10.362595087124,
+// A: 17.130235054029), which the test suite checks for class S.
+//
+// Arrays follow the original's 1-based indexing internally and are converted
+// to the repository's 0-based CSR at the end.
+#include <cmath>
+#include <vector>
+
+#include "apps/cg.hpp"
+#include "common/nas_rng.hpp"
+#include "common/status.hpp"
+
+namespace parade::apps {
+namespace {
+
+constexpr double kAmult = 1220703125.0;
+
+struct NasRngState {
+  double tran = 314159265.0;
+  double next() { return nas::randlc(tran, kAmult); }
+};
+
+/// NPB icnvrt: scale x in (0,1) by a power of two and truncate.
+int icnvrt(double x, int ipwr2) { return static_cast<int>(ipwr2 * x); }
+
+/// NPB sprnvc: generate a sparse vector with `nz` distinct nonzero locations
+/// in [1, n]; v/iv are 1-based.
+void sprnvc(NasRngState& rng, int n, int nz, std::vector<double>& v,
+            std::vector<int>& iv, std::vector<int>& nzloc,
+            std::vector<int>& mark) {
+  int nzrow = 0;
+  int nzv = 0;
+  int nn1 = 1;
+  while (nn1 < n) nn1 *= 2;
+
+  while (nzv < nz) {
+    const double vecelt = rng.next();
+    const double vecloc = rng.next();
+    const int i = icnvrt(vecloc, nn1) + 1;
+    if (i > n) continue;
+    if (mark[static_cast<std::size_t>(i)] == 0) {
+      mark[static_cast<std::size_t>(i)] = 1;
+      ++nzrow;
+      nzloc[static_cast<std::size_t>(nzrow)] = i;
+      ++nzv;
+      v[static_cast<std::size_t>(nzv)] = vecelt;
+      iv[static_cast<std::size_t>(nzv)] = i;
+    }
+  }
+  for (int ii = 1; ii <= nzrow; ++ii) {
+    mark[static_cast<std::size_t>(nzloc[static_cast<std::size_t>(ii)])] = 0;
+  }
+}
+
+/// NPB vecset: set (or append) element i of the sparse vector to val.
+void vecset(std::vector<double>& v, std::vector<int>& iv, int* nzv, int i,
+            double val) {
+  bool set = false;
+  for (int k = 1; k <= *nzv; ++k) {
+    if (iv[static_cast<std::size_t>(k)] == i) {
+      v[static_cast<std::size_t>(k)] = val;
+      set = true;
+    }
+  }
+  if (!set) {
+    ++*nzv;
+    v[static_cast<std::size_t>(*nzv)] = val;
+    iv[static_cast<std::size_t>(*nzv)] = i;
+  }
+}
+
+/// NPB sparse: bucket-sort the (arow, acol, aelt) triples into CSR rows,
+/// summing duplicates. All arrays 1-based; outputs a (values), colidx,
+/// rowstr sized 1..n+1.
+void sparse(std::vector<double>& a, std::vector<int>& colidx,
+            std::vector<int>& rowstr, int n, std::vector<int>& arow,
+            std::vector<int>& acol, std::vector<double>& aelt, int nnza) {
+  const int nrows = n;
+
+  for (int j = 1; j <= n + 1; ++j) rowstr[static_cast<std::size_t>(j)] = 0;
+  for (int nza = 1; nza <= nnza; ++nza) {
+    const int j = arow[static_cast<std::size_t>(nza)] + 1;
+    rowstr[static_cast<std::size_t>(j)] += 1;
+  }
+  rowstr[1] = 1;
+  for (int j = 2; j <= nrows + 1; ++j) {
+    rowstr[static_cast<std::size_t>(j)] += rowstr[static_cast<std::size_t>(j) - 1];
+  }
+
+  // Bucket sort into (a, colidx) working storage.
+  for (int nza = 1; nza <= nnza; ++nza) {
+    const int j = arow[static_cast<std::size_t>(nza)];
+    const int k = rowstr[static_cast<std::size_t>(j)];
+    a[static_cast<std::size_t>(k)] = aelt[static_cast<std::size_t>(nza)];
+    colidx[static_cast<std::size_t>(k)] = acol[static_cast<std::size_t>(nza)];
+    rowstr[static_cast<std::size_t>(j)] += 1;
+  }
+  for (int j = nrows; j >= 1; --j) {
+    rowstr[static_cast<std::size_t>(j) + 1] = rowstr[static_cast<std::size_t>(j)];
+  }
+  rowstr[1] = 1;
+
+  // Merge duplicates per row, compacting in place.
+  std::vector<double> x(static_cast<std::size_t>(n) + 1, 0.0);
+  std::vector<int> mark(static_cast<std::size_t>(n) + 1, 0);
+  std::vector<int> nzloc(static_cast<std::size_t>(n) + 1, 0);
+
+  int nza = 0;
+  int jajp1 = rowstr[1];
+  for (int j = 1; j <= nrows; ++j) {
+    int nzrow = 0;
+    for (int k = jajp1; k < rowstr[static_cast<std::size_t>(j) + 1]; ++k) {
+      const int i = colidx[static_cast<std::size_t>(k)];
+      x[static_cast<std::size_t>(i)] += a[static_cast<std::size_t>(k)];
+      if (mark[static_cast<std::size_t>(i)] == 0 &&
+          x[static_cast<std::size_t>(i)] != 0.0) {
+        mark[static_cast<std::size_t>(i)] = 1;
+        ++nzrow;
+        nzloc[static_cast<std::size_t>(nzrow)] = i;
+      }
+    }
+    for (int k = 1; k <= nzrow; ++k) {
+      const int i = nzloc[static_cast<std::size_t>(k)];
+      mark[static_cast<std::size_t>(i)] = 0;
+      const double xi = x[static_cast<std::size_t>(i)];
+      x[static_cast<std::size_t>(i)] = 0.0;
+      if (xi != 0.0) {
+        ++nza;
+        a[static_cast<std::size_t>(nza)] = xi;
+        colidx[static_cast<std::size_t>(nza)] = i;
+      }
+    }
+    jajp1 = rowstr[static_cast<std::size_t>(j) + 1];
+    rowstr[static_cast<std::size_t>(j) + 1] = nza + rowstr[1];
+  }
+}
+
+}  // namespace
+
+SparseMatrix make_nas_cg_matrix(const CgParams& params) {
+  const int n = params.na;
+  const int nonzer = params.nonzer;
+  const double rcond = 0.1;  // NPB RCOND for every class
+  const double shift = params.shift;
+  // NPB NZ sizing: generous upper bound for the pre-merge triples.
+  const int nz = n * (nonzer + 1) * (nonzer + 1) + n * (nonzer + 2);
+
+  NasRngState rng;
+  // NPB main consumes one deviate for the initial zeta before makea.
+  (void)rng.next();
+
+  std::vector<int> arow(static_cast<std::size_t>(nz) + 1, 0);
+  std::vector<int> acol(static_cast<std::size_t>(nz) + 1, 0);
+  std::vector<double> aelt(static_cast<std::size_t>(nz) + 1, 0.0);
+  std::vector<double> v(static_cast<std::size_t>(n) + 2, 0.0);
+  std::vector<int> iv(static_cast<std::size_t>(n) + 2, 0);
+  std::vector<int> nzloc(static_cast<std::size_t>(n) + 2, 0);
+  std::vector<int> mark(static_cast<std::size_t>(n) + 2, 0);
+
+  const double ratio = std::pow(rcond, 1.0 / static_cast<double>(n));
+  double size = 1.0;
+  int nnza = 0;
+
+  for (int iouter = 1; iouter <= n; ++iouter) {
+    int nzv = nonzer;
+    sprnvc(rng, n, nzv, v, iv, nzloc, mark);
+    vecset(v, iv, &nzv, iouter, 0.5);
+    for (int ivelt = 1; ivelt <= nzv; ++ivelt) {
+      const int jcol = iv[static_cast<std::size_t>(ivelt)];
+      const double scale = size * v[static_cast<std::size_t>(ivelt)];
+      for (int ivelt1 = 1; ivelt1 <= nzv; ++ivelt1) {
+        const int irow = iv[static_cast<std::size_t>(ivelt1)];
+        ++nnza;
+        PARADE_CHECK_MSG(nnza <= nz, "NAS makea overflow");
+        acol[static_cast<std::size_t>(nnza)] = jcol;
+        arow[static_cast<std::size_t>(nnza)] = irow;
+        aelt[static_cast<std::size_t>(nnza)] =
+            v[static_cast<std::size_t>(ivelt1)] * scale;
+      }
+    }
+    size *= ratio;
+  }
+
+  // Add rcond*I - shift*I on the diagonal.
+  for (int i = 1; i <= n; ++i) {
+    ++nnza;
+    PARADE_CHECK_MSG(nnza <= nz, "NAS makea overflow (diagonal)");
+    acol[static_cast<std::size_t>(nnza)] = i;
+    arow[static_cast<std::size_t>(nnza)] = i;
+    aelt[static_cast<std::size_t>(nnza)] = rcond - shift;
+  }
+
+  std::vector<double> a(static_cast<std::size_t>(nz) + 1, 0.0);
+  std::vector<int> colidx(static_cast<std::size_t>(nz) + 1, 0);
+  std::vector<int> rowstr(static_cast<std::size_t>(n) + 2, 0);
+  sparse(a, colidx, rowstr, n, arow, acol, aelt, nnza);
+
+  // Convert 1-based CSR to the repository's 0-based SparseMatrix.
+  SparseMatrix m;
+  m.n = n;
+  m.rowstr.resize(static_cast<std::size_t>(n) + 1);
+  for (int j = 1; j <= n + 1; ++j) {
+    m.rowstr[static_cast<std::size_t>(j) - 1] =
+        rowstr[static_cast<std::size_t>(j)] - 1;
+  }
+  const int nnz = rowstr[static_cast<std::size_t>(n) + 1] - 1;
+  m.colidx.resize(static_cast<std::size_t>(nnz));
+  m.values.resize(static_cast<std::size_t>(nnz));
+  for (int k = 1; k <= nnz; ++k) {
+    m.colidx[static_cast<std::size_t>(k) - 1] =
+        colidx[static_cast<std::size_t>(k)] - 1;
+    m.values[static_cast<std::size_t>(k) - 1] = a[static_cast<std::size_t>(k)];
+  }
+  return m;
+}
+
+bool cg_reference_zeta(const CgParams& params, double* zeta) {
+  if (params.niter != 15) return false;
+  if (params.na == 1400 && params.nonzer == 7 && params.shift == 10.0) {
+    *zeta = 8.5971775078648;  // class S
+    return true;
+  }
+  if (params.na == 7000 && params.nonzer == 8 && params.shift == 12.0) {
+    *zeta = 10.362595087124;  // class W
+    return true;
+  }
+  if (params.na == 14000 && params.nonzer == 11 && params.shift == 20.0) {
+    *zeta = 17.130235054029;  // class A
+    return true;
+  }
+  return false;
+}
+
+}  // namespace parade::apps

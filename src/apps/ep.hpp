@@ -1,0 +1,44 @@
+// NAS EP (Embarrassingly Parallel) kernel, NPB 2.3 algorithm: generate 2^M
+// uniform pseudorandom pairs with the NAS LCG, apply the Marsaglia polar
+// method acceptance test, accumulate Gaussian-deviate sums and the
+// concentric-annulus counts q[0..9].
+//
+// Communication pattern (paper §6.2): zero shared memory during compute, one
+// reduction of (sx, sy, q[]) at the end — ParADE maps it to a single
+// collective.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace parade::apps {
+
+struct EpParams {
+  int m = 24;  // 2^m pairs; class S=24, W=25, A=28
+  static EpParams class_s() { return {24}; }
+  static EpParams class_w() { return {25}; }
+  static EpParams class_a() { return {28}; }
+};
+
+struct EpResult {
+  double sx = 0.0;
+  double sy = 0.0;
+  std::array<std::int64_t, 10> q{};
+  std::int64_t gaussian_pairs = 0;
+};
+
+/// Single-threaded reference.
+EpResult ep_serial(const EpParams& params);
+
+/// SPMD ParADE version; call from inside a cluster program on every node.
+/// All nodes return the identical reduced result.
+EpResult ep_parade(const EpParams& params);
+
+/// NPB 2.3 reference sums where known (class S/W/A); returns true and fills
+/// outputs when available.
+bool ep_reference(int m, double* sx, double* sy);
+
+/// |a-b| <= eps * |b| elementwise on (sx, sy).
+bool ep_verify(const EpResult& result, int m, double eps = 1e-8);
+
+}  // namespace parade::apps

@@ -1,0 +1,33 @@
+// Helmholtz solver (the paper's first "real application", from the
+// openmp.org sample jacobi.f by Joseph Robicheaux): solves
+//     -d2u/dx2 - d2u/dy2 + alpha*u = f   on [-1,1]^2, Dirichlet BCs,
+// with a relaxed Jacobi iteration; f is chosen so the exact solution is
+// u = (1-x^2)(1-y^2). Every iteration ends with a residual reduction — the
+// shared variable "updated competitively" that ParADE's translator turns
+// into one collective (paper §6.2).
+#pragma once
+
+namespace parade::apps {
+
+struct HelmholtzParams {
+  int n = 128;          // grid points per dimension (paper used ~mesh sizes)
+  int m = 128;
+  double alpha = 0.0543;
+  double relax = 1.0;
+  double tol = 1e-10;
+  int max_iters = 100;
+};
+
+struct HelmholtzResult {
+  int iterations = 0;
+  double residual = 0.0;  // final Jacobi residual
+  double error = 0.0;     // RMS error vs the exact solution
+};
+
+HelmholtzResult helmholtz_serial(const HelmholtzParams& params);
+
+/// SPMD ParADE version; rows are partitioned across the global team, so each
+/// node exchanges only halo pages with its neighbours.
+HelmholtzResult helmholtz_parade(const HelmholtzParams& params);
+
+}  // namespace parade::apps

@@ -1,0 +1,151 @@
+#include "apps/md.hpp"
+
+#include <cmath>
+
+#include "common/nas_rng.hpp"
+#include "runtime/api.hpp"
+
+namespace parade::apps {
+namespace {
+
+constexpr int kDims = 3;
+constexpr double kHalfPi = 1.57079632679489661923;
+
+/// Pair potential v(d) = sin(min(d, pi/2))^2 and its derivative, as in md.f.
+double potential_of(double d) {
+  const double t = std::sin(std::min(d, kHalfPi));
+  return t * t;
+}
+
+double dpotential_of(double d) {
+  if (d >= kHalfPi) return 0.0;
+  return 2.0 * std::sin(d) * std::cos(d);
+}
+
+/// Deterministic initial conditions (shared by serial and ParADE versions).
+void initialize(const MdParams& p, double* pos, double* vel, double* acc) {
+  nas::RandLc rng(314159265.0);
+  for (int i = 0; i < p.nparts; ++i) {
+    for (int d = 0; d < kDims; ++d) {
+      pos[i * kDims + d] = p.box * rng.next();
+      vel[i * kDims + d] = 0.5 * (rng.next() - 0.5);
+      acc[i * kDims + d] = 0.0;
+    }
+  }
+}
+
+/// Forces and potential for particles [lo, hi); returns the partial
+/// potential energy. `force` rows [lo, hi) are overwritten.
+double compute_forces(const MdParams& p, const double* pos, double* force,
+                      int lo, int hi) {
+  double pot = 0.0;
+  for (int i = lo; i < hi; ++i) {
+    double f[kDims] = {0.0, 0.0, 0.0};
+    for (int j = 0; j < p.nparts; ++j) {
+      if (j == i) continue;
+      double rij[kDims];
+      double d2 = 0.0;
+      for (int k = 0; k < kDims; ++k) {
+        rij[k] = pos[i * kDims + k] - pos[j * kDims + k];
+        d2 += rij[k] * rij[k];
+      }
+      const double d = std::sqrt(d2);
+      pot += 0.5 * potential_of(d);  // half: each pair counted twice
+      const double dv = dpotential_of(d) / d;
+      for (int k = 0; k < kDims; ++k) f[k] -= rij[k] * dv;
+    }
+    for (int k = 0; k < kDims; ++k) force[i * kDims + k] = f[k];
+  }
+  return pot;
+}
+
+/// Velocity-Verlet update for particles [lo, hi); returns partial kinetic
+/// energy (of the updated velocities).
+double update_particles(const MdParams& p, double* pos, double* vel,
+                        double* acc, const double* force, int lo, int hi) {
+  const double rmass = 1.0 / p.mass;
+  const double dt = p.dt;
+  double kin = 0.0;
+  for (int i = lo; i < hi; ++i) {
+    for (int k = 0; k < kDims; ++k) {
+      const int idx = i * kDims + k;
+      pos[idx] += vel[idx] * dt + 0.5 * dt * dt * acc[idx];
+      vel[idx] += 0.5 * dt * (force[idx] * rmass + acc[idx]);
+      acc[idx] = force[idx] * rmass;
+      kin += vel[idx] * vel[idx];
+    }
+  }
+  return 0.5 * p.mass * kin;
+}
+
+}  // namespace
+
+MdResult md_serial(const MdParams& params) {
+  const std::size_t n3 = static_cast<std::size_t>(params.nparts) * kDims;
+  std::vector<double> pos(n3), vel(n3), acc(n3), force(n3);
+  initialize(params, pos.data(), vel.data(), acc.data());
+
+  MdResult result;
+  double e0 = 0.0;
+  for (int step = 0; step < params.nsteps; ++step) {
+    const double pot =
+        compute_forces(params, pos.data(), force.data(), 0, params.nparts);
+    const double kin = update_particles(params, pos.data(), vel.data(),
+                                        acc.data(), force.data(), 0,
+                                        params.nparts);
+    if (step == 0) e0 = pot + kin;
+    result.potential = pot;
+    result.kinetic = kin;
+  }
+  result.energy_drift = std::fabs((result.potential + result.kinetic) - e0) /
+                        std::max(std::fabs(e0), 1e-30);
+  return result;
+}
+
+MdResult md_parade(const MdParams& params) {
+  const std::size_t n3 = static_cast<std::size_t>(params.nparts) * kDims;
+  auto* pos = shmalloc_array<double>(n3);
+  auto* vel = shmalloc_array<double>(n3);
+  auto* acc = shmalloc_array<double>(n3);
+  auto* force = shmalloc_array<double>(n3);
+
+  if (node_id() == 0) {
+    initialize(params, pos, vel, acc);
+    for (std::size_t i = 0; i < n3; ++i) force[i] = 0.0;
+  }
+  barrier();
+
+  MdResult result;
+  double e0 = 0.0;
+  for (int step = 0; step < params.nsteps; ++step) {
+    double pot_replica = 0.0;
+    double kin_replica = 0.0;
+    parallel([&] {
+      long lo, hi;
+      static_slice(0, params.nparts, &lo, &hi);
+
+      // Forces read all positions (remote pages) but write only own rows.
+      const double pot = compute_forces(params, pos, force,
+                                        static_cast<int>(lo),
+                                        static_cast<int>(hi));
+      // Reduction replaces the lock-guarded accumulations of the OpenMP
+      // original (paper §6.2).
+      team_update(&pot_replica, pot, mp::Op::kSum);
+      barrier();  // all forces written before positions move
+
+      const double kin = update_particles(params, pos, vel, acc, force,
+                                          static_cast<int>(lo),
+                                          static_cast<int>(hi));
+      team_update(&kin_replica, kin, mp::Op::kSum);
+    });
+    if (step == 0) e0 = pot_replica + kin_replica;
+    result.potential = pot_replica;
+    result.kinetic = kin_replica;
+  }
+  result.energy_drift = std::fabs((result.potential + result.kinetic) - e0) /
+                        std::max(std::fabs(e0), 1e-30);
+  barrier();
+  return result;
+}
+
+}  // namespace parade::apps

@@ -1,0 +1,32 @@
+// Molecular dynamics (the paper's second "real application", from the
+// openmp.org sample md.f by Bill Magro, KAI): N particles in a 3-D box,
+// O(N^2) pairwise forces from the potential v(d) = sin(min(d, pi/2))^2,
+// velocity-Verlet integration, with potential/kinetic-energy reductions
+// every step. Positions are shared; forces are computed in row partitions.
+#pragma once
+
+#include <vector>
+
+namespace parade::apps {
+
+struct MdParams {
+  int nparts = 256;
+  int nsteps = 10;
+  double dt = 1e-4;
+  double mass = 1.0;
+  double box = 10.0;  // box side length
+};
+
+struct MdResult {
+  double potential = 0.0;  // after the final step
+  double kinetic = 0.0;
+  /// |E - E0| / E0 drift of total energy over the run.
+  double energy_drift = 0.0;
+};
+
+MdResult md_serial(const MdParams& params);
+
+/// SPMD ParADE version (call inside a cluster program on every node).
+MdResult md_parade(const MdParams& params);
+
+}  // namespace parade::apps

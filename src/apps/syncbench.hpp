@@ -1,0 +1,48 @@
+// EPCC-style synchronization microbenchmark (J. M. Bull, "Measuring
+// Synchronization and Scheduling Overheads in OpenMP", EWOMP'99 — the
+// paper's reference [19] and the program behind its Figures 6 and 7).
+//
+// Methodology: the overhead of a construct is the time of a loop containing
+// the construct minus the time of the same loop without it (the reference
+// loop), divided by the iteration count. We report virtual time, so the
+// numbers reflect the modeled cluster.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace parade::apps {
+
+enum class SyncConstruct {
+  kParallel,        // enter/exit a parallel region
+  kBarrier,         // explicit barrier inside a region
+  kSingleParade,    // ParADE single (claim + bcast)
+  kSingleKdsm,      // conventional single (DSM lock + flag + barrier)
+  kCriticalParade,  // ParADE critical (pthread + allreduce)
+  kCriticalKdsm,    // conventional critical (DSM lock)
+  kAtomicParade,    // atomic via collective
+  kReduction,       // team reduction of one double
+};
+
+const char* to_string(SyncConstruct construct);
+
+struct SyncbenchResult {
+  SyncConstruct construct;
+  long iterations = 0;
+  double total_us = 0.0;      // virtual time of the measured loop
+  double reference_us = 0.0;  // virtual time of the reference loop
+  /// EPCC overhead: (total - reference) / iterations, clamped at 0.
+  double overhead_us() const {
+    const double delta = total_us - reference_us;
+    return delta > 0 ? delta / static_cast<double>(iterations) : 0.0;
+  }
+};
+
+/// Measures one construct. Call from inside a cluster program on every node;
+/// every node returns the same timing (max-combined at barriers).
+SyncbenchResult syncbench_measure(SyncConstruct construct, long iterations);
+
+/// All constructs, in declaration order.
+std::vector<SyncbenchResult> syncbench_all(long iterations);
+
+}  // namespace parade::apps

@@ -1,0 +1,62 @@
+#include "common/env.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace parade::env {
+
+std::optional<std::string> get_string(const char* name) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return std::nullopt;
+  return std::string(value);
+}
+
+std::optional<std::int64_t> get_int(const char* name) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return std::nullopt;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(value, &end, 10);
+  if (end == value || *end != '\0') return std::nullopt;
+  return static_cast<std::int64_t>(parsed);
+}
+
+std::optional<double> get_double(const char* name) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return std::nullopt;
+  char* end = nullptr;
+  const double parsed = std::strtod(value, &end);
+  if (end == value || *end != '\0') return std::nullopt;
+  return parsed;
+}
+
+std::optional<bool> get_bool(const char* name) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return std::nullopt;
+  if (std::strcmp(value, "1") == 0 || std::strcmp(value, "true") == 0 ||
+      std::strcmp(value, "yes") == 0 || std::strcmp(value, "on") == 0) {
+    return true;
+  }
+  if (std::strcmp(value, "0") == 0 || std::strcmp(value, "false") == 0 ||
+      std::strcmp(value, "no") == 0 || std::strcmp(value, "off") == 0) {
+    return false;
+  }
+  return std::nullopt;
+}
+
+std::string get_string_or(const char* name, const std::string& fallback) {
+  return get_string(name).value_or(fallback);
+}
+
+std::int64_t get_int_or(const char* name, std::int64_t fallback) {
+  return get_int(name).value_or(fallback);
+}
+
+double get_double_or(const char* name, double fallback) {
+  return get_double(name).value_or(fallback);
+}
+
+bool get_bool_or(const char* name, bool fallback) {
+  return get_bool(name).value_or(fallback);
+}
+
+}  // namespace parade::env

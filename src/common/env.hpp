@@ -1,0 +1,20 @@
+// Typed access to PARADE_* environment variables.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace parade::env {
+
+std::optional<std::string> get_string(const char* name);
+std::optional<std::int64_t> get_int(const char* name);
+std::optional<double> get_double(const char* name);
+std::optional<bool> get_bool(const char* name);
+
+std::string get_string_or(const char* name, const std::string& fallback);
+std::int64_t get_int_or(const char* name, std::int64_t fallback);
+double get_double_or(const char* name, double fallback);
+bool get_bool_or(const char* name, bool fallback);
+
+}  // namespace parade::env

@@ -1,0 +1,73 @@
+#include "common/log.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace parade::logging {
+namespace {
+
+LogLevel parse_level(const char* text) {
+  if (text == nullptr) return LogLevel::kWarn;
+  if (std::strcmp(text, "error") == 0) return LogLevel::kError;
+  if (std::strcmp(text, "warn") == 0) return LogLevel::kWarn;
+  if (std::strcmp(text, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(text, "debug") == 0) return LogLevel::kDebug;
+  if (std::strcmp(text, "trace") == 0) return LogLevel::kTrace;
+  return LogLevel::kWarn;
+}
+
+std::atomic<int>& threshold_storage() {
+  static std::atomic<int> value{
+      static_cast<int>(parse_level(std::getenv("PARADE_LOG_LEVEL")))};
+  return value;
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError: return "E";
+    case LogLevel::kWarn: return "W";
+    case LogLevel::kInfo: return "I";
+    case LogLevel::kDebug: return "D";
+    case LogLevel::kTrace: return "T";
+  }
+  return "?";
+}
+
+thread_local int t_node_tag = -1;
+
+std::mutex& io_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+}  // namespace
+
+LogLevel threshold() {
+  return static_cast<LogLevel>(threshold_storage().load(std::memory_order_relaxed));
+}
+
+void set_threshold(LogLevel level) {
+  threshold_storage().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void set_thread_node_tag(int node) { t_node_tag = node; }
+int thread_node_tag() { return t_node_tag; }
+
+bool enabled(LogLevel level) {
+  return static_cast<int>(level) <=
+         threshold_storage().load(std::memory_order_relaxed);
+}
+
+void write(LogLevel level, const std::string& message) {
+  std::lock_guard<std::mutex> lock(io_mutex());
+  if (t_node_tag >= 0) {
+    std::fprintf(stderr, "[parade %s n%d] %s\n", level_name(level), t_node_tag,
+                 message.c_str());
+  } else {
+    std::fprintf(stderr, "[parade %s] %s\n", level_name(level), message.c_str());
+  }
+}
+
+}  // namespace parade::logging

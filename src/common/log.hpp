@@ -1,0 +1,52 @@
+// Minimal leveled logger. Controlled by PARADE_LOG_LEVEL (error|warn|info|
+// debug|trace). Each line is prefixed with the current node id when a node
+// context is active (set by the runtime), which makes interleaved multi-node
+// logs readable.
+#pragma once
+
+#include <atomic>
+#include <sstream>
+#include <string>
+
+namespace parade {
+
+enum class LogLevel : int {
+  kError = 0,
+  kWarn = 1,
+  kInfo = 2,
+  kDebug = 3,
+  kTrace = 4,
+};
+
+namespace logging {
+
+/// Global threshold; messages above it are discarded. Initialized from the
+/// PARADE_LOG_LEVEL environment variable on first use.
+LogLevel threshold();
+void set_threshold(LogLevel level);
+
+/// Thread-local node tag, shown as "[n3]" in log lines. -1 means unset.
+void set_thread_node_tag(int node);
+int thread_node_tag();
+
+bool enabled(LogLevel level);
+void write(LogLevel level, const std::string& message);
+
+}  // namespace logging
+
+#define PARADE_LOG(level, expr)                                     \
+  do {                                                              \
+    if (::parade::logging::enabled(level)) {                        \
+      std::ostringstream parade_log_os_;                            \
+      parade_log_os_ << expr;                                       \
+      ::parade::logging::write(level, parade_log_os_.str());        \
+    }                                                               \
+  } while (false)
+
+#define PLOG_ERROR(expr) PARADE_LOG(::parade::LogLevel::kError, expr)
+#define PLOG_WARN(expr) PARADE_LOG(::parade::LogLevel::kWarn, expr)
+#define PLOG_INFO(expr) PARADE_LOG(::parade::LogLevel::kInfo, expr)
+#define PLOG_DEBUG(expr) PARADE_LOG(::parade::LogLevel::kDebug, expr)
+#define PLOG_TRACE(expr) PARADE_LOG(::parade::LogLevel::kTrace, expr)
+
+}  // namespace parade

@@ -1,0 +1,54 @@
+#include "common/nas_rng.hpp"
+
+namespace parade::nas {
+namespace {
+
+constexpr double r23 = 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 *
+                       0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 *
+                       0.5 * 0.5 * 0.5 * 0.5 * 0.5;
+constexpr double r46 = r23 * r23;
+constexpr double t23 = 1.0 / r23;
+constexpr double t46 = 1.0 / r46;
+
+}  // namespace
+
+double randlc(double& x, double a) {
+  // Break a and x into two 23-bit halves: a = 2^23*a1 + a2, x = 2^23*x1 + x2.
+  const double t1a = r23 * a;
+  const double a1 = static_cast<double>(static_cast<std::int64_t>(t1a));
+  const double a2 = a - t23 * a1;
+
+  const double t1x = r23 * x;
+  const double x1 = static_cast<double>(static_cast<std::int64_t>(t1x));
+  const double x2 = x - t23 * x1;
+
+  // z = a1*x2 + a2*x1 mod 2^23; lower 46 bits of a*x = 2^23*z + a2*x2.
+  const double t1 = a1 * x2 + a2 * x1;
+  const double t2 = static_cast<double>(static_cast<std::int64_t>(r23 * t1));
+  const double z = t1 - t23 * t2;
+  const double t3 = t23 * z + a2 * x2;
+  const double t4 = static_cast<double>(static_cast<std::int64_t>(r46 * t3));
+  x = t3 - t46 * t4;
+  return r46 * x;
+}
+
+void vranlc(std::int64_t n, double& x, double a, double* out) {
+  for (std::int64_t i = 0; i < n; ++i) out[i] = randlc(x, a);
+}
+
+double randlc_skip(double seed, double a, std::int64_t exponent) {
+  double t = a;
+  double x = seed;
+  // Binary exponentiation: multiply x by a^(2^i) for each set bit of exponent.
+  while (exponent != 0) {
+    if ((exponent & 1) != 0) randlc(x, t);
+    // Square the multiplier: t = t * t mod 2^46.
+    double t_copy = t;
+    randlc(t_copy, t);
+    t = t_copy;
+    exponent >>= 1;
+  }
+  return x;
+}
+
+}  // namespace parade::nas

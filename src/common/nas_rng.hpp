@@ -1,0 +1,49 @@
+// The NAS Parallel Benchmarks linear congruential generator (randlc /
+// vranlc), as specified in NPB 2.3. Both the CG matrix generator and the EP
+// kernel depend on bit-exact reproduction of this sequence, so verification
+// values from the NAS report remain valid.
+//
+//   x_{k+1} = a * x_k mod 2^46
+//
+// with a = 5^13 and default seed 314159265. The implementation uses the
+// classic double-double split so every intermediate stays below 2^46 and is
+// exactly representable in an IEEE double.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace parade::nas {
+
+inline constexpr double kDefaultSeed = 314159265.0;
+inline constexpr double kDefaultMult = 1220703125.0;  // 5^13
+
+/// Advances `x` one step and returns the uniform (0,1) deviate. Matches NPB's
+/// RANDLC exactly.
+double randlc(double& x, double a);
+
+/// Generates `n` deviates into `out` (NPB's VRANLC).
+void vranlc(std::int64_t n, double& x, double a, double* out);
+
+/// Computes a^exponent * seed mod 2^46 in O(log exponent) steps; used by EP to
+/// jump the generator to an arbitrary offset. Returns the new seed.
+double randlc_skip(double seed, double a, std::int64_t exponent);
+
+/// Convenience wrapper holding generator state.
+class RandLc {
+ public:
+  explicit RandLc(double seed = kDefaultSeed, double mult = kDefaultMult)
+      : x_(seed), a_(mult) {}
+
+  double next() { return randlc(x_, a_); }
+  void fill(std::vector<double>& out) {
+    vranlc(static_cast<std::int64_t>(out.size()), x_, a_, out.data());
+  }
+  double state() const { return x_; }
+
+ private:
+  double x_;
+  double a_;
+};
+
+}  // namespace parade::nas

@@ -1,0 +1,105 @@
+// WireBuffer: append-only encoder + cursor-based decoder for protocol
+// messages. All multi-byte integers are encoded little-endian (every target
+// we run on is little-endian; a static_assert guards the assumption for the
+// memcpy fast path).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace parade {
+
+static_assert(std::endian::native == std::endian::little,
+              "WireBuffer assumes a little-endian host");
+
+template <typename T>
+concept TriviallyWirable =
+    std::is_trivially_copyable_v<T> && !std::is_pointer_v<T>;
+
+class WireBuffer {
+ public:
+  WireBuffer() = default;
+  explicit WireBuffer(std::vector<std::uint8_t> bytes)
+      : bytes_(std::move(bytes)) {}
+
+  // ---- encoding ----
+
+  template <TriviallyWirable T>
+  void put(const T& value) {
+    const auto old_size = bytes_.size();
+    bytes_.resize(old_size + sizeof(T));
+    std::memcpy(bytes_.data() + old_size, &value, sizeof(T));
+  }
+
+  void put_bytes(const void* data, std::size_t size) {
+    const auto old_size = bytes_.size();
+    bytes_.resize(old_size + size);
+    if (size > 0) std::memcpy(bytes_.data() + old_size, data, size);
+  }
+
+  void put_string(const std::string& text) {
+    put<std::uint32_t>(static_cast<std::uint32_t>(text.size()));
+    put_bytes(text.data(), text.size());
+  }
+
+  template <TriviallyWirable T>
+  void put_vector(const std::vector<T>& values) {
+    put<std::uint32_t>(static_cast<std::uint32_t>(values.size()));
+    put_bytes(values.data(), values.size() * sizeof(T));
+  }
+
+  // ---- decoding ----
+
+  template <TriviallyWirable T>
+  T get() {
+    PARADE_CHECK_MSG(cursor_ + sizeof(T) <= bytes_.size(),
+                     "WireBuffer underrun");
+    T value;
+    std::memcpy(&value, bytes_.data() + cursor_, sizeof(T));
+    cursor_ += sizeof(T);
+    return value;
+  }
+
+  void get_bytes(void* out, std::size_t size) {
+    PARADE_CHECK_MSG(cursor_ + size <= bytes_.size(), "WireBuffer underrun");
+    if (size > 0) std::memcpy(out, bytes_.data() + cursor_, size);
+    cursor_ += size;
+  }
+
+  std::string get_string() {
+    const auto size = get<std::uint32_t>();
+    std::string text(size, '\0');
+    get_bytes(text.data(), size);
+    return text;
+  }
+
+  template <TriviallyWirable T>
+  std::vector<T> get_vector() {
+    const auto count = get<std::uint32_t>();
+    std::vector<T> values(count);
+    get_bytes(values.data(), count * sizeof(T));
+    return values;
+  }
+
+  // ---- access ----
+
+  std::size_t size() const { return bytes_.size(); }
+  std::size_t remaining() const { return bytes_.size() - cursor_; }
+  bool exhausted() const { return cursor_ == bytes_.size(); }
+  std::span<const std::uint8_t> bytes() const { return bytes_; }
+  std::vector<std::uint8_t> take() && { return std::move(bytes_); }
+  void rewind() { cursor_ = 0; }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace parade

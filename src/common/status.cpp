@@ -1,0 +1,56 @@
+#include "common/status.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace parade {
+
+std::string_view to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return "OK";
+    case ErrorCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case ErrorCode::kNotFound: return "NOT_FOUND";
+    case ErrorCode::kAlreadyExists: return "ALREADY_EXISTS";
+    case ErrorCode::kOutOfRange: return "OUT_OF_RANGE";
+    case ErrorCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case ErrorCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case ErrorCode::kUnavailable: return "UNAVAILABLE";
+    case ErrorCode::kInternal: return "INTERNAL";
+    case ErrorCode::kUnsupported: return "UNSUPPORTED";
+    case ErrorCode::kIoError: return "IO_ERROR";
+    case ErrorCode::kTimeout: return "TIMEOUT";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::to_string() const {
+  std::string out(parade::to_string(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+void die(std::string_view message) {
+  std::fprintf(stderr, "parade: fatal: %.*s\n",
+               static_cast<int>(message.size()), message.data());
+  std::abort();
+}
+
+namespace detail {
+
+void check_failed(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "parade: check failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+void check_failed_msg(const char* expr, std::string_view msg, const char* file,
+                      int line) {
+  std::fprintf(stderr, "parade: check failed: %s (%.*s) at %s:%d\n", expr,
+               static_cast<int>(msg.size()), msg.data(), file, line);
+  std::abort();
+}
+
+}  // namespace detail
+}  // namespace parade

@@ -1,0 +1,110 @@
+// Lightweight Status / Result<T> error handling (no exceptions across module
+// boundaries; exceptions are still used for programming errors via PARADE_CHECK).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace parade {
+
+enum class ErrorCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kResourceExhausted,
+  kFailedPrecondition,
+  kUnavailable,
+  kInternal,
+  kUnsupported,
+  kIoError,
+  kTimeout,
+};
+
+std::string_view to_string(ErrorCode code);
+
+/// A success-or-error value. Cheap to copy on success (empty message).
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return {}; }
+
+  bool is_ok() const { return code_ == ErrorCode::kOk; }
+  explicit operator bool() const { return is_ok(); }
+
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable "CODE: message" string.
+  std::string to_string() const;
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+inline Status make_error(ErrorCode code, std::string message) {
+  return Status(code, std::move(message));
+}
+
+/// Either a value or a Status error. Modeled on std::expected (not yet in
+/// libstdc++ 12) with the subset of operations we need.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}            // NOLINT(google-explicit-constructor)
+  Result(Status status) : data_(std::move(status)) {}     // NOLINT(google-explicit-constructor)
+
+  bool is_ok() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return is_ok(); }
+
+  const T& value() const& { return std::get<T>(data_); }
+  T& value() & { return std::get<T>(data_); }
+  T&& value() && { return std::get<T>(std::move(data_)); }
+
+  const Status& status() const { return std::get<Status>(data_); }
+
+  /// Returns the value or dies with the error message (for tests/tools).
+  T value_or_die() &&;
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+[[noreturn]] void die(std::string_view message);
+
+template <typename T>
+T Result<T>::value_or_die() && {
+  if (!is_ok()) die(status().to_string());
+  return std::get<T>(std::move(data_));
+}
+
+// Internal assertion machinery. PARADE_CHECK is for invariants that indicate
+// a bug in ParADE itself, not user error; it aborts with location info.
+#define PARADE_CHECK(cond)                                                 \
+  do {                                                                     \
+    if (!(cond)) [[unlikely]] {                                            \
+      ::parade::detail::check_failed(#cond, __FILE__, __LINE__);           \
+    }                                                                      \
+  } while (false)
+
+#define PARADE_CHECK_MSG(cond, msg)                                        \
+  do {                                                                     \
+    if (!(cond)) [[unlikely]] {                                            \
+      ::parade::detail::check_failed_msg(#cond, (msg), __FILE__, __LINE__);\
+    }                                                                      \
+  } while (false)
+
+namespace detail {
+[[noreturn]] void check_failed(const char* expr, const char* file, int line);
+[[noreturn]] void check_failed_msg(const char* expr, std::string_view msg,
+                                   const char* file, int line);
+}  // namespace detail
+
+}  // namespace parade

@@ -1,0 +1,18 @@
+#include "common/timing.hpp"
+
+namespace parade {
+namespace {
+
+std::int64_t read_clock(clockid_t clock) {
+  timespec ts{};
+  clock_gettime(clock, &ts);
+  return static_cast<std::int64_t>(ts.tv_sec) * 1'000'000'000 + ts.tv_nsec;
+}
+
+}  // namespace
+
+std::int64_t wall_ns() { return read_clock(CLOCK_MONOTONIC); }
+
+std::int64_t thread_cpu_ns() { return read_clock(CLOCK_THREAD_CPUTIME_ID); }
+
+}  // namespace parade

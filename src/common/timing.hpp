@@ -1,0 +1,51 @@
+// Wall-clock and per-thread CPU-clock timers. The CPU clock is the basis of
+// the direct-execution virtual-time model: it measures the work a thread did
+// independent of how the single host core time-shared it.
+#pragma once
+
+#include <cstdint>
+#include <ctime>
+
+namespace parade {
+
+/// Monotonic wall clock in nanoseconds.
+std::int64_t wall_ns();
+
+/// Calling thread's consumed CPU time in nanoseconds
+/// (CLOCK_THREAD_CPUTIME_ID).
+std::int64_t thread_cpu_ns();
+
+inline double ns_to_us(std::int64_t ns) { return static_cast<double>(ns) / 1e3; }
+inline double ns_to_ms(std::int64_t ns) { return static_cast<double>(ns) / 1e6; }
+inline double ns_to_s(std::int64_t ns) { return static_cast<double>(ns) / 1e9; }
+
+/// Stopwatch over the wall clock.
+class WallTimer {
+ public:
+  WallTimer() : start_(wall_ns()) {}
+  void reset() { start_ = wall_ns(); }
+  std::int64_t elapsed_ns() const { return wall_ns() - start_; }
+  double elapsed_s() const { return ns_to_s(elapsed_ns()); }
+
+ private:
+  std::int64_t start_;
+};
+
+/// Stopwatch over the calling thread's CPU clock. `lap()` returns the CPU
+/// nanoseconds consumed since the previous lap (or construction).
+class CpuLapTimer {
+ public:
+  CpuLapTimer() : last_(thread_cpu_ns()) {}
+
+  std::int64_t lap() {
+    const std::int64_t now = thread_cpu_ns();
+    const std::int64_t delta = now - last_;
+    last_ = now;
+    return delta;
+  }
+
+ private:
+  std::int64_t last_;
+};
+
+}  // namespace parade

@@ -1,0 +1,38 @@
+// Fundamental identifier and size types shared across all ParADE modules.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace parade {
+
+/// Cluster-wide node (process) identifier, 0-based. Node 0 is the master.
+using NodeId = std::int32_t;
+
+/// Node-local compute-thread identifier, 0-based.
+using LocalThreadId = std::int32_t;
+
+/// Cluster-wide thread identifier: node * threads_per_node + local id.
+using GlobalThreadId = std::int32_t;
+
+/// Index of a page within the shared-memory pool.
+using PageId = std::int32_t;
+
+/// Message tag (see net/message.hpp for the reserved tag classes).
+using Tag = std::int32_t;
+
+/// Monotonic barrier-epoch counter; each inter-node barrier opens a new
+/// interval in the HLRC protocol.
+using Epoch = std::int64_t;
+
+/// Virtual time in microseconds (see vtime/).
+using VirtualUs = double;
+
+inline constexpr NodeId kAnyNode = -1;
+inline constexpr Tag kAnyTag = -1;
+
+/// Default page size used by the DSM pool. Matches the host VM page size on
+/// all platforms we target; checked at runtime against sysconf.
+inline constexpr std::size_t kDefaultPageBytes = 4096;
+
+}  // namespace parade

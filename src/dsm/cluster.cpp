@@ -1,0 +1,40 @@
+#include "dsm/cluster.hpp"
+
+#include <thread>
+
+#include "common/log.hpp"
+
+namespace parade::dsm {
+
+DsmCluster::DsmCluster(int size, DsmConfig config) : fabric_(size) {
+  nodes_.reserve(static_cast<std::size_t>(size));
+  for (NodeId rank = 0; rank < size; ++rank) {
+    auto node = std::make_unique<DsmNode>(fabric_.channel(rank), config);
+    Status s = node->start();
+    PARADE_CHECK_MSG(s.is_ok(), s.message());
+    nodes_.push_back(std::move(node));
+  }
+}
+
+DsmCluster::~DsmCluster() { shutdown(); }
+
+void DsmCluster::run(const std::function<void(NodeId)>& fn) {
+  std::vector<std::thread> threads;
+  threads.reserve(nodes_.size());
+  for (NodeId rank = 0; rank < size(); ++rank) {
+    threads.emplace_back([&fn, rank] {
+      logging::set_thread_node_tag(rank);
+      fn(rank);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+}
+
+void DsmCluster::shutdown() {
+  for (auto& node : nodes_) {
+    if (node) node->shutdown();
+  }
+  fabric_.shutdown();
+}
+
+}  // namespace parade::dsm

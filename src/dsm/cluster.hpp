@@ -1,0 +1,38 @@
+// DsmCluster: the in-process virtual cluster — N DsmNodes over an
+// InProcFabric, each with its own protected pool view. This is the substrate
+// the tests and figure benches run on; the parade_run launcher provides the
+// equivalent multi-process deployment over SocketFabric.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "dsm/node.hpp"
+#include "net/inproc.hpp"
+
+namespace parade::dsm {
+
+class DsmCluster {
+ public:
+  /// Creates and starts `size` nodes with the given configuration.
+  explicit DsmCluster(int size, DsmConfig config = {});
+  ~DsmCluster();
+
+  int size() const { return static_cast<int>(nodes_.size()); }
+  DsmNode& node(NodeId rank) { return *nodes_[static_cast<std::size_t>(rank)]; }
+  net::Channel& channel(NodeId rank) { return fabric_.channel(rank); }
+
+  /// Runs `fn(rank)` on one fresh thread per node and joins them. Exceptions
+  /// escaping `fn` abort (the protocol cannot unwind mid-barrier).
+  void run(const std::function<void(NodeId)>& fn);
+
+  /// Orderly teardown: nodes first (their comm threads drain), then fabric.
+  void shutdown();
+
+ private:
+  net::InProcFabric fabric_;
+  std::vector<std::unique_ptr<DsmNode>> nodes_;
+};
+
+}  // namespace parade::dsm

@@ -1,0 +1,58 @@
+// DSM configuration knobs.
+#pragma once
+
+#include <cstddef>
+
+#include "common/types.hpp"
+#include "vtime/cost_model.hpp"
+
+namespace parade::dsm {
+
+/// How the pool's second (always-writable) mapping is created — the paper's
+/// §5.1 solutions to the atomic page update problem.
+enum class MapMethod {
+  /// Anonymous file via memfd_create mapped twice (the paper's conventional
+  /// "file mapping" method, minus an on-disk file).
+  kMemfd,
+  /// System V shared memory attached twice (paper's first alternative).
+  kSysV,
+  /// The paper's mdup() syscall — requires their kernel patch; create()
+  /// reports kUnsupported.
+  kMdup,
+  /// The paper's child-process page-table method — needs cross-process
+  /// coordination we do not reproduce; create() reports kUnsupported.
+  kChildProcess,
+};
+
+const char* to_string(MapMethod method);
+
+/// Inter-node synchronization personality (paper Figures 2/3).
+enum class SyncMode {
+  /// ParADE: collectives for analyzable critical/single/atomic/reduction.
+  kParade,
+  /// Conventional SDSM (KDSM-like): DSM locks + barriers everywhere.
+  kConventional,
+};
+
+struct DsmConfig {
+  std::size_t pool_bytes = std::size_t{64} << 20;  // paper: 64 MB for CG
+  std::size_t page_bytes = kDefaultPageBytes;
+  MapMethod map_method = MapMethod::kMemfd;
+  /// HLRC home migration at barrier time (paper §5.2.2). Off = fixed home,
+  /// i.e. original HLRC (the baseline in ablation benches).
+  bool home_migration = true;
+  /// Small-data threshold for switching from HLRC to message passing
+  /// (paper §5.2.1; 256 bytes on their cluster). Consumed by the runtime.
+  std::size_t mp_threshold_bytes = 256;
+  SyncMode sync_mode = SyncMode::kParade;
+
+  vtime::NetworkModel net{};
+  vtime::MachineModel machine{};
+
+  std::size_t num_pages() const { return pool_bytes / page_bytes; }
+};
+
+/// Maximum DSM lock ids (grant tags are lock-indexed, see protocol.hpp).
+inline constexpr int kMaxDsmLocks = 256;
+
+}  // namespace parade::dsm

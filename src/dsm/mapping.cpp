@@ -1,0 +1,137 @@
+#include "dsm/mapping.hpp"
+
+#define _GNU_SOURCE 1
+#include <sys/ipc.h>
+#include <sys/mman.h>
+#include <sys/shm.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace parade::dsm {
+
+const char* to_string(MapMethod method) {
+  switch (method) {
+    case MapMethod::kMemfd: return "memfd";
+    case MapMethod::kSysV: return "sysv";
+    case MapMethod::kMdup: return "mdup";
+    case MapMethod::kChildProcess: return "child-process";
+  }
+  return "?";
+}
+
+Result<std::unique_ptr<DoubleMapping>> DoubleMapping::create(
+    std::size_t bytes, MapMethod method) {
+  if (bytes == 0 || bytes % static_cast<std::size_t>(getpagesize()) != 0) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "pool size must be a positive multiple of the page size");
+  }
+
+  switch (method) {
+    case MapMethod::kMemfd: {
+      const int fd = memfd_create("parade-dsm-pool", 0);
+      if (fd < 0) {
+        return make_error(ErrorCode::kIoError,
+                          std::string("memfd_create: ") + std::strerror(errno));
+      }
+      if (ftruncate(fd, static_cast<off_t>(bytes)) != 0) {
+        close(fd);
+        return make_error(ErrorCode::kIoError,
+                          std::string("ftruncate: ") + std::strerror(errno));
+      }
+      void* sys = mmap(nullptr, bytes, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+      if (sys == MAP_FAILED) {
+        close(fd);
+        return make_error(ErrorCode::kIoError,
+                          std::string("mmap sys view: ") + std::strerror(errno));
+      }
+      void* app = mmap(nullptr, bytes, PROT_NONE, MAP_SHARED, fd, 0);
+      if (app == MAP_FAILED) {
+        munmap(sys, bytes);
+        close(fd);
+        return make_error(ErrorCode::kIoError,
+                          std::string("mmap app view: ") + std::strerror(errno));
+      }
+      return std::unique_ptr<DoubleMapping>(
+          new DoubleMapping(static_cast<std::byte*>(app),
+                            static_cast<std::byte*>(sys), bytes, method, fd, -1));
+    }
+
+    case MapMethod::kSysV: {
+      const int shmid =
+          shmget(IPC_PRIVATE, bytes, IPC_CREAT | IPC_EXCL | 0600);
+      if (shmid < 0) {
+        return make_error(ErrorCode::kIoError,
+                          std::string("shmget: ") + std::strerror(errno));
+      }
+      void* sys = shmat(shmid, nullptr, 0);
+      if (sys == reinterpret_cast<void*>(-1)) {
+        shmctl(shmid, IPC_RMID, nullptr);
+        return make_error(ErrorCode::kIoError,
+                          std::string("shmat sys view: ") + std::strerror(errno));
+      }
+      // Second attachment of the same segment at a different address. It
+      // must be attached writable (an SHM_RDONLY attachment can never be
+      // mprotect'ed to PROT_WRITE); protection is dropped to PROT_NONE below
+      // and managed per page afterwards.
+      void* app = shmat(shmid, nullptr, 0);
+      if (app == reinterpret_cast<void*>(-1)) {
+        shmdt(sys);
+        shmctl(shmid, IPC_RMID, nullptr);
+        return make_error(ErrorCode::kIoError,
+                          std::string("shmat app view: ") + std::strerror(errno));
+      }
+      // Mark the segment for removal now; it persists until both detach,
+      // so a crash cannot leak the segment.
+      shmctl(shmid, IPC_RMID, nullptr);
+      auto mapping = std::unique_ptr<DoubleMapping>(
+          new DoubleMapping(static_cast<std::byte*>(app),
+                            static_cast<std::byte*>(sys), bytes, method, -1,
+                            shmid));
+      if (Status s = mapping->protect_app(0, bytes, PROT_NONE); !s) return s;
+      return mapping;
+    }
+
+    case MapMethod::kMdup:
+      return make_error(ErrorCode::kUnsupported,
+                        "mdup() requires the authors' kernel patch (paper "
+                        "§5.1); use memfd or sysv");
+    case MapMethod::kChildProcess:
+      return make_error(ErrorCode::kUnsupported,
+                        "child-process page-table sharing is not reproduced; "
+                        "use memfd or sysv");
+  }
+  return make_error(ErrorCode::kInvalidArgument, "unknown map method");
+}
+
+Status DoubleMapping::protect_app(std::size_t offset, std::size_t length,
+                                  int prot) {
+  if (offset + length > bytes_) {
+    return make_error(ErrorCode::kOutOfRange, "protect_app out of range");
+  }
+  if (mprotect(app_view_ + offset, length, prot) != 0) {
+    return make_error(ErrorCode::kIoError,
+                      std::string("mprotect: ") + std::strerror(errno));
+  }
+  return Status::ok();
+}
+
+DoubleMapping::~DoubleMapping() {
+  switch (method_) {
+    case MapMethod::kMemfd:
+      munmap(app_view_, bytes_);
+      munmap(sys_view_, bytes_);
+      if (fd_ >= 0) close(fd_);
+      break;
+    case MapMethod::kSysV:
+      shmdt(app_view_);
+      shmdt(sys_view_);
+      break;
+    case MapMethod::kMdup:
+    case MapMethod::kChildProcess:
+      break;
+  }
+}
+
+}  // namespace parade::dsm

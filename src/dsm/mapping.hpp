@@ -1,0 +1,61 @@
+// DoubleMapping: two virtual mappings of the same physical memory — the
+// paper's §5.1 solution to the atomic page update problem.
+//
+// A multi-threaded SDSM cannot simply flip a page writable and copy the new
+// contents in: another application thread could slip through the window and
+// read a half-updated page without faulting. The fix is a second, private
+// "system view" of the same physical pages that is always writable. The
+// runtime updates pages through the system view and only then grants access
+// in the protection-managed "application view".
+//
+// Methods (paper §5.1): file/memfd mapping and System V shared memory are
+// fully implemented; mdup() (their custom syscall) and the child-process
+// page-table trick are represented by create() returning kUnsupported with an
+// explanation, so callers and tests can probe method availability uniformly.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "common/status.hpp"
+#include "dsm/config.hpp"
+
+namespace parade::dsm {
+
+class DoubleMapping {
+ public:
+  static Result<std::unique_ptr<DoubleMapping>> create(std::size_t bytes,
+                                                       MapMethod method);
+  ~DoubleMapping();
+
+  DoubleMapping(const DoubleMapping&) = delete;
+  DoubleMapping& operator=(const DoubleMapping&) = delete;
+
+  /// Protection-managed application view (initially PROT_NONE).
+  std::byte* app_view() const { return app_view_; }
+  /// Always-writable system view of the same physical memory.
+  std::byte* sys_view() const { return sys_view_; }
+  std::size_t bytes() const { return bytes_; }
+  MapMethod method() const { return method_; }
+
+  /// mprotect() on [offset, offset+length) of the application view.
+  /// `prot` is a PROT_* combination.
+  Status protect_app(std::size_t offset, std::size_t length, int prot);
+
+ private:
+  DoubleMapping(std::byte* app, std::byte* sys, std::size_t bytes,
+                MapMethod method, int fd, int shmid)
+      : app_view_(app), sys_view_(sys), bytes_(bytes), method_(method),
+        fd_(fd), shmid_(shmid) {}
+
+  std::byte* app_view_;
+  std::byte* sys_view_;
+  std::size_t bytes_;
+  MapMethod method_;
+  int fd_;     // memfd (kMemfd) or -1
+  int shmid_;  // SysV segment id (kSysV) or -1
+};
+
+const char* to_string(MapMethod method);
+
+}  // namespace parade::dsm

@@ -1,0 +1,603 @@
+#include "dsm/node.hpp"
+
+#include <sys/mman.h>
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/log.hpp"
+#include "dsm/diff.hpp"
+#include "dsm/sigsegv.hpp"
+
+namespace parade::dsm {
+
+// ---------------------------------------------------------------------------
+// Critical-section dirty tracking (thread-local; a thread belongs to exactly
+// one node, and page ids are node-relative).
+namespace cs_tracking {
+namespace {
+thread_local int t_depth = 0;
+thread_local std::vector<PageId> t_pages;
+}  // namespace
+
+void begin() { ++t_depth; }
+
+void note_page(PageId page) {
+  if (t_depth > 0) t_pages.push_back(page);
+}
+
+std::vector<PageId> end() {
+  if (t_depth > 0) --t_depth;
+  std::vector<PageId> pages;
+  pages.swap(t_pages);
+  return pages;
+}
+
+bool active() { return t_depth > 0; }
+}  // namespace cs_tracking
+
+// ---------------------------------------------------------------------------
+
+DsmNode::DsmNode(net::Channel& channel, DsmConfig config)
+    : channel_(channel), config_(config) {}
+
+DsmNode::~DsmNode() { shutdown(); }
+
+Status DsmNode::start() {
+  PARADE_CHECK_MSG(!started_, "DsmNode already started");
+  auto mapping = DoubleMapping::create(config_.pool_bytes, config_.map_method);
+  if (!mapping.is_ok()) return mapping.status();
+  mapping_ = std::move(mapping).value();
+
+  pages_ = std::make_unique<PageTable>(config_.num_pages(), /*initial_home=*/0);
+  if (rank() == 0) {
+    // The master starts as home of every page with a zero-filled, readable
+    // copy; everyone else faults pages in on first access.
+    if (Status s = mapping_->protect_app(0, config_.pool_bytes, PROT_READ); !s) {
+      return s;
+    }
+    for (std::size_t p = 0; p < config_.num_pages(); ++p) {
+      pages_->entry(static_cast<PageId>(p)).state = PageState::kReadOnly;
+    }
+  }
+
+  sigsegv::ensure_installed();
+  sigsegv::register_range(mapping_->app_view(), config_.pool_bytes, this);
+  comm_thread_ = std::thread([this] { comm_loop(); });
+  started_ = true;
+  return Status::ok();
+}
+
+void DsmNode::shutdown() {
+  if (!started_) return;
+  started_ = false;
+  channel_.send(rank(), kTagShutdown, {}, 0.0);
+  if (comm_thread_.joinable()) comm_thread_.join();
+  sigsegv::unregister_range(mapping_->app_view());
+}
+
+void* DsmNode::shmalloc(std::size_t bytes, std::size_t align) {
+  std::lock_guard lock(alloc_mutex_);
+  PARADE_CHECK_MSG(align > 0 && (align & (align - 1)) == 0,
+                   "alignment must be a power of two");
+  alloc_offset_ = (alloc_offset_ + align - 1) & ~(align - 1);
+  PARADE_CHECK_MSG(alloc_offset_ + bytes <= config_.pool_bytes,
+                   "shared pool exhausted");
+  void* p = mapping_->app_view() + alloc_offset_;
+  alloc_offset_ += bytes;
+  return p;
+}
+
+std::size_t DsmNode::offset_of(const void* p) const {
+  const auto* byte_ptr = static_cast<const std::byte*>(p);
+  PARADE_CHECK(byte_ptr >= mapping_->app_view() &&
+               byte_ptr < mapping_->app_view() + config_.pool_bytes);
+  return static_cast<std::size_t>(byte_ptr - mapping_->app_view());
+}
+
+std::byte* DsmNode::sys_page(PageId page) const {
+  return mapping_->sys_view() +
+         static_cast<std::size_t>(page) * config_.page_bytes;
+}
+
+void DsmNode::protect(PageId page, int prot) {
+  Status s = mapping_->protect_app(
+      static_cast<std::size_t>(page) * config_.page_bytes, config_.page_bytes,
+      prot);
+  PARADE_CHECK_MSG(s.is_ok(), s.message());
+}
+
+// ---------------------------------------------------------------------------
+// Fault path
+
+bool DsmNode::handle_fault(void* addr, bool is_write) {
+  const auto* byte_ptr = static_cast<const std::byte*>(addr);
+  if (byte_ptr < mapping_->app_view() ||
+      byte_ptr >= mapping_->app_view() + config_.pool_bytes) {
+    return false;
+  }
+  const PageId page = static_cast<PageId>(
+      static_cast<std::size_t>(byte_ptr - mapping_->app_view()) /
+      config_.page_bytes);
+  PageEntry& entry = pages_->entry(page);
+  std::unique_lock lock(entry.mutex);
+
+  if (is_write) {
+    stats_.inc_write_faults();
+  } else {
+    stats_.inc_read_faults();
+  }
+
+  for (;;) {
+    switch (entry.state) {
+      case PageState::kInvalid:
+        fetch_page(page, lock, entry);
+        continue;  // re-dispatch (a write fault still needs the upgrade)
+
+      case PageState::kTransient:
+        entry.state = PageState::kBlocked;
+        [[fallthrough]];
+      case PageState::kBlocked:
+        entry.cv.wait(lock, [&] {
+          return entry.state == PageState::kReadOnly ||
+                 entry.state == PageState::kDirty;
+        });
+        if (auto* clock = vtime::thread_clock()) {
+          clock->sync_cpu();
+          clock->merge(entry.ready_vtime);
+        }
+        continue;
+
+      case PageState::kReadOnly:
+        if (!is_write) return true;  // fetch completed; retry will succeed
+        upgrade_to_dirty(page, entry);
+        return true;
+
+      case PageState::kDirty:
+        return true;  // another thread already upgraded
+    }
+  }
+}
+
+void DsmNode::fetch_page(PageId page, std::unique_lock<std::mutex>& lock,
+                         PageEntry& entry) {
+  entry.state = PageState::kTransient;
+  const NodeId home = entry.home;
+  PARADE_CHECK_MSG(home != rank(), "home node must never fault INVALID");
+  lock.unlock();
+
+  stats_.inc_page_fetches();
+  VirtualUs stamp = 0.0;
+  auto* clock = vtime::thread_clock();
+  if (clock != nullptr) {
+    clock->sync_cpu();
+    clock->add(config_.net.send_overhead_us);
+    stamp = clock->now();
+  }
+  channel_.send(home, kTagPageRequest, encode(PageRequestMsg{page}), stamp);
+
+  lock.lock();
+  entry.cv.wait(lock, [&] {
+    return entry.state == PageState::kReadOnly ||
+           entry.state == PageState::kDirty;
+  });
+  if (clock != nullptr) {
+    clock->sync_cpu();
+    clock->merge(entry.ready_vtime);
+  }
+}
+
+void DsmNode::upgrade_to_dirty(PageId page, PageEntry& entry) {
+  if (entry.home != rank()) {
+    // Non-home writers keep a twin so the flush can diff (§5.2.1: the home
+    // itself needs no twin — all diffs merge into its copy).
+    entry.twin.resize(config_.page_bytes);
+    std::memcpy(entry.twin.data(), sys_page(page), config_.page_bytes);
+    stats_.inc_twins_created();
+  }
+  protect(page, PROT_READ | PROT_WRITE);
+  entry.state = PageState::kDirty;
+  {
+    std::lock_guard dirty_lock(dirty_mutex_);
+    dirty_now_.push_back(page);
+    interval_dirty_.insert(page);
+  }
+  cs_tracking::note_page(page);
+}
+
+// ---------------------------------------------------------------------------
+// Flush
+
+std::vector<PageId> DsmNode::drain_dirty_now() {
+  std::lock_guard lock(dirty_mutex_);
+  std::vector<PageId> pages;
+  pages.swap(dirty_now_);
+  return pages;
+}
+
+void DsmNode::flush_pages(const std::vector<PageId>& pages) {
+  if (pages.empty()) return;
+  std::lock_guard flush_lock(flush_mutex_);
+  auto* clock = vtime::thread_clock();
+
+  int pending_acks = 0;
+  for (const PageId page : pages) {
+    PageEntry& entry = pages_->entry(page);
+    std::unique_lock lock(entry.mutex);
+    if (entry.state != PageState::kDirty) continue;  // already flushed
+
+    if (entry.home == rank()) {
+      protect(page, PROT_READ);
+      entry.state = PageState::kReadOnly;
+      continue;
+    }
+
+    auto diff = encode_diff(
+        reinterpret_cast<const std::uint8_t*>(sys_page(page)),
+        entry.twin.data(), config_.page_bytes);
+    entry.twin.clear();
+    entry.twin.shrink_to_fit();
+    protect(page, PROT_READ);
+    entry.state = PageState::kReadOnly;
+    const NodeId home = entry.home;
+    lock.unlock();
+
+    if (diff.empty()) continue;  // page written but unchanged
+    stats_.inc_diffs_created();
+    stats_.inc_diff_bytes_sent(static_cast<std::int64_t>(diff.size()));
+    VirtualUs stamp = 0.0;
+    if (clock != nullptr) {
+      clock->sync_cpu();
+      clock->add(config_.net.send_overhead_us);
+      stamp = clock->now();
+    }
+    channel_.send(home, kTagDiff, encode(DiffMsg{page, std::move(diff)}), stamp);
+    ++pending_acks;
+  }
+
+  for (int i = 0; i < pending_acks; ++i) {
+    auto ack = channel_.inbox().recv_match(
+        [](const net::MessageHeader& h) { return h.tag == kTagDiffAck; });
+    PARADE_CHECK_MSG(ack.has_value(), "channel closed waiting for diff ack");
+    if (clock != nullptr) {
+      clock->sync_cpu();
+      clock->merge(ack->header.vtime +
+                   config_.net.transfer_us(ack->payload.size()));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Barrier (one caller per node)
+
+void DsmNode::barrier() {
+  auto* clock = vtime::thread_clock();
+  if (clock != nullptr) clock->sync_cpu();
+
+  flush_pages(drain_dirty_now());
+
+  BarrierArriveMsg arrive;
+  arrive.epoch = epoch_;
+  {
+    std::lock_guard lock(dirty_mutex_);
+    arrive.dirtied_pages.assign(interval_dirty_.begin(), interval_dirty_.end());
+    interval_dirty_.clear();
+  }
+  stats_.inc_write_notices_sent(
+      static_cast<std::int64_t>(arrive.dirtied_pages.size()));
+
+  // Communication-thread CPU spent this phase either overlapped (dedicated
+  // CPU) or serialized with computation (paper's 1T-1CPU / 2T-2CPU).
+  const VirtualUs phase_comm = comm_ledger_.drain_phase();
+  if (clock != nullptr && !config_.machine.comm_thread_dedicated()) {
+    clock->add(phase_comm);
+  }
+
+  if (rank() == 0) {
+    master_barrier(arrive, clock);
+  } else {
+    VirtualUs stamp = 0.0;
+    if (clock != nullptr) {
+      clock->add(config_.net.send_overhead_us);
+      stamp = clock->now();
+    }
+    channel_.send(0, kTagBarrierArrive, encode(arrive), stamp);
+    auto msg = channel_.inbox().recv_match(
+        [](const net::MessageHeader& h) { return h.tag == kTagBarrierDepart; });
+    PARADE_CHECK_MSG(msg.has_value(), "channel closed during barrier");
+    BarrierDepartMsg depart = decode_barrier_depart(msg->payload);
+    PARADE_CHECK(depart.epoch == epoch_);
+    if (clock != nullptr) {
+      clock->merge(depart.departure_vtime +
+                   config_.net.transfer_us(msg->payload.size()));
+    }
+    process_departure(depart);
+  }
+
+  stats_.inc_barriers();
+  ++epoch_;
+  if (clock != nullptr) clock->discard_cpu();
+}
+
+void DsmNode::master_barrier(const BarrierArriveMsg& own,
+                             vtime::ThreadClock* clock) {
+  // page -> modifiers this interval.
+  std::unordered_map<PageId, std::vector<NodeId>> modifiers;
+  for (const PageId page : own.dirtied_pages) modifiers[page].push_back(0);
+
+  VirtualUs latest = clock != nullptr ? clock->now() : 0.0;
+  for (int i = 1; i < size(); ++i) {
+    auto msg = channel_.inbox().recv_match(
+        [](const net::MessageHeader& h) { return h.tag == kTagBarrierArrive; });
+    PARADE_CHECK_MSG(msg.has_value(), "channel closed during barrier gather");
+    const BarrierArriveMsg arr = decode_barrier_arrive(msg->payload);
+    PARADE_CHECK_MSG(arr.epoch == epoch_, "barrier epoch mismatch");
+    latest = std::max(latest, msg->header.vtime +
+                                  config_.net.transfer_us(msg->payload.size()));
+    for (const PageId page : arr.dirtied_pages) {
+      modifiers[page].push_back(msg->header.src);
+    }
+  }
+
+  BarrierDepartMsg depart;
+  depart.epoch = epoch_;
+  depart.entries.reserve(modifiers.size());
+  for (const auto& [page, mods] : modifiers) {
+    DepartEntry entry;
+    entry.page = page;
+    const NodeId home = pages_->home_of(page);
+    if (mods.size() == 1) {
+      // §5.2.2: a unique modifier becomes the new home (if migration is on).
+      entry.sole_modifier = mods.front();
+      entry.new_home = config_.home_migration ? mods.front() : home;
+      if (entry.new_home != home) stats_.inc_home_migrations();
+    } else {
+      // Several modifiers: only the old home holds the merged page, and the
+      // paper gives the current home the highest retention priority.
+      entry.sole_modifier = kAnyNode;
+      entry.new_home = home;
+    }
+    depart.entries.push_back(entry);
+  }
+
+  latest += config_.net.recv_overhead_us;  // master-side gather processing
+  depart.departure_vtime = latest;
+  const auto payload = encode(depart);
+  for (int i = 1; i < size(); ++i) {
+    channel_.send(i, kTagBarrierDepart, payload, latest);
+  }
+  if (clock != nullptr) clock->merge(latest);
+  process_departure(depart);
+}
+
+void DsmNode::process_departure(const BarrierDepartMsg& msg) {
+  for (const DepartEntry& e : msg.entries) {
+    PageEntry& entry = pages_->entry(e.page);
+    std::lock_guard lock(entry.mutex);
+    const NodeId old_home = entry.home;
+    entry.home = e.new_home;
+
+    // Keep the copy when it is provably current: we are the new home, we
+    // were the old home (all diffs merged into us), or we were the interval's
+    // only modifier.
+    const bool keep = e.new_home == rank() || old_home == rank() ||
+                      e.sole_modifier == rank();
+    if (keep) continue;
+    if (entry.state == PageState::kReadOnly ||
+        entry.state == PageState::kDirty) {
+      entry.twin.clear();
+      entry.twin.shrink_to_fit();
+      protect(e.page, PROT_NONE);
+      entry.state = PageState::kInvalid;
+      stats_.inc_invalidations();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DSM locks (conventional-SDSM path)
+
+void DsmNode::lock_acquire(int lock_id) {
+  PARADE_CHECK_MSG(lock_id >= 0 && lock_id < kMaxDsmLocks, "lock id range");
+  stats_.inc_lock_acquires();
+  const NodeId home = static_cast<NodeId>(lock_id % size());
+  auto* clock = vtime::thread_clock();
+  VirtualUs stamp = 0.0;
+  if (clock != nullptr) {
+    clock->sync_cpu();
+    clock->add(config_.net.send_overhead_us);
+    stamp = clock->now();
+  }
+  channel_.send(home, kTagLockAcquire, encode(LockAcquireMsg{lock_id}), stamp);
+
+  auto msg = channel_.inbox().recv_match([&](const net::MessageHeader& h) {
+    return h.tag == kTagLockGrantBase + lock_id;
+  });
+  PARADE_CHECK_MSG(msg.has_value(), "channel closed during lock acquire");
+  const LockGrantMsg grant = decode_lock_grant(msg->payload);
+  if (clock != nullptr) {
+    clock->sync_cpu();
+    clock->merge(msg->header.vtime +
+                 config_.net.transfer_us(msg->payload.size()));
+  }
+
+  // Lazy-release consistency, conservatively: invalidate every cached page
+  // another node modified under this lock so the critical section sees the
+  // most up-to-date values.
+  for (const WriteNotice& notice : grant.notices) {
+    if (notice.modifier == rank()) continue;
+    PageEntry& entry = pages_->entry(notice.page);
+    std::lock_guard lock(entry.mutex);
+    if (entry.home == rank()) continue;  // diffs were merged into us
+    if (entry.state == PageState::kReadOnly) {
+      protect(notice.page, PROT_NONE);
+      entry.state = PageState::kInvalid;
+      stats_.inc_invalidations();
+    }
+  }
+
+  cs_tracking::begin();
+}
+
+void DsmNode::lock_release(int lock_id) {
+  PARADE_CHECK_MSG(lock_id >= 0 && lock_id < kMaxDsmLocks, "lock id range");
+  std::vector<PageId> cs_pages = cs_tracking::end();
+  // Dedup (a page may fault several times across nested sections).
+  std::sort(cs_pages.begin(), cs_pages.end());
+  cs_pages.erase(std::unique(cs_pages.begin(), cs_pages.end()),
+                 cs_pages.end());
+  flush_pages(cs_pages);
+
+  const NodeId home = static_cast<NodeId>(lock_id % size());
+  auto* clock = vtime::thread_clock();
+  VirtualUs stamp = 0.0;
+  if (clock != nullptr) {
+    clock->sync_cpu();
+    clock->add(config_.net.send_overhead_us);
+    stamp = clock->now();
+  }
+  channel_.send(home, kTagLockRelease,
+                encode(LockReleaseMsg{lock_id, std::move(cs_pages)}), stamp);
+}
+
+// ---------------------------------------------------------------------------
+// Communication thread
+
+void DsmNode::comm_loop() {
+  logging::set_thread_node_tag(rank());
+  for (;;) {
+    auto msg = channel_.inbox().recv_match(
+        [](const net::MessageHeader& h) { return comm_thread_tag(h.tag); });
+    if (!msg.has_value()) break;  // mailbox closed
+
+    comm_clock_.merge(msg->header.vtime +
+                      config_.net.transfer_us(msg->payload.size()));
+    comm_clock_.add(config_.net.recv_overhead_us);
+    comm_ledger_.charge(config_.net.recv_overhead_us);
+
+    switch (msg->header.tag) {
+      case kTagShutdown:
+        return;
+      case kTagPageRequest:
+        serve_page_request(*msg);
+        break;
+      case kTagPageReply:
+        install_page(*msg);
+        break;
+      case kTagDiff:
+        apply_incoming_diff(*msg);
+        break;
+      case kTagLockAcquire:
+        lock_manager_acquire(*msg);
+        break;
+      case kTagLockRelease:
+        lock_manager_release(*msg);
+        break;
+      default:
+        PLOG_WARN("comm thread ignoring tag " << msg->header.tag);
+    }
+  }
+}
+
+void DsmNode::serve_page_request(const net::Message& message) {
+  const PageRequestMsg request = decode_page_request(message.payload);
+  stats_.inc_page_serves();
+  comm_clock_.add(config_.net.page_service_us + config_.net.send_overhead_us);
+  comm_ledger_.charge(config_.net.page_service_us +
+                      config_.net.send_overhead_us);
+
+  PageReplyMsg reply;
+  reply.page = request.page;
+  reply.data.resize(config_.page_bytes);
+  {
+    // The serving copy is read through the system view; the home invariant
+    // (see DESIGN.md) guarantees it is current.
+    PageEntry& entry = pages_->entry(request.page);
+    std::lock_guard lock(entry.mutex);
+    std::memcpy(reply.data.data(), sys_page(request.page), config_.page_bytes);
+  }
+  channel_.send(message.header.src, kTagPageReply, encode(reply),
+                comm_clock_.now());
+}
+
+void DsmNode::install_page(const net::Message& message) {
+  PageReplyMsg reply = decode_page_reply(message.payload);
+  PARADE_CHECK(reply.data.size() == config_.page_bytes);
+  PageEntry& entry = pages_->entry(reply.page);
+  std::lock_guard lock(entry.mutex);
+  PARADE_CHECK_MSG(entry.state == PageState::kTransient ||
+                       entry.state == PageState::kBlocked,
+                   "unexpected page reply");
+  // Atomic page update (§5.1): write through the always-writable system view
+  // first, only then open the application view.
+  std::memcpy(sys_page(reply.page), reply.data.data(), config_.page_bytes);
+  protect(reply.page, PROT_READ);
+  entry.ready_vtime = message.header.vtime +
+                      config_.net.transfer_us(message.payload.size()) +
+                      config_.net.recv_overhead_us;
+  entry.state = PageState::kReadOnly;
+  entry.cv.notify_all();
+}
+
+void DsmNode::apply_incoming_diff(const net::Message& message) {
+  const DiffMsg diff = decode_diff(message.payload);
+  stats_.inc_diffs_applied();
+  comm_clock_.add(config_.net.page_service_us);
+  comm_ledger_.charge(config_.net.page_service_us);
+  {
+    PageEntry& entry = pages_->entry(diff.page);
+    std::lock_guard lock(entry.mutex);
+    const bool ok =
+        apply_diff(reinterpret_cast<std::uint8_t*>(sys_page(diff.page)),
+                   config_.page_bytes, diff.diff.data(), diff.diff.size());
+    PARADE_CHECK_MSG(ok, "malformed diff");
+  }
+  channel_.send(message.header.src, kTagDiffAck, encode(DiffAckMsg{diff.page}),
+                comm_clock_.now());
+}
+
+void DsmNode::send_grant(NodeId to, std::int32_t lock_id) {
+  ManagedLock& managed = managed_locks_[lock_id];
+  LockGrantMsg grant;
+  grant.lock_id = lock_id;
+  grant.notices.reserve(managed.notices.size());
+  for (const auto& [page, modifier] : managed.notices) {
+    grant.notices.push_back(WriteNotice{page, modifier});
+  }
+  if (to != rank()) stats_.inc_lock_remote_grants();
+  comm_clock_.add(config_.net.send_overhead_us);
+  comm_ledger_.charge(config_.net.send_overhead_us);
+  channel_.send(to, kTagLockGrantBase + grant.lock_id, encode(grant),
+                comm_clock_.now());
+}
+
+void DsmNode::lock_manager_acquire(const net::Message& message) {
+  const LockAcquireMsg request = decode_lock_acquire(message.payload);
+  ManagedLock& managed = managed_locks_[request.lock_id];
+  if (!managed.held) {
+    managed.held = true;
+    managed.holder = message.header.src;
+    send_grant(message.header.src, request.lock_id);
+  } else {
+    managed.waiters.push_back(message.header.src);
+  }
+}
+
+void DsmNode::lock_manager_release(const net::Message& message) {
+  const LockReleaseMsg release = decode_lock_release(message.payload);
+  ManagedLock& managed = managed_locks_[release.lock_id];
+  for (const PageId page : release.dirtied_pages) {
+    managed.notices[page] = message.header.src;
+  }
+  if (!managed.waiters.empty()) {
+    const NodeId next = managed.waiters.front();
+    managed.waiters.erase(managed.waiters.begin());
+    managed.holder = next;
+    send_grant(next, release.lock_id);
+  } else {
+    managed.held = false;
+    managed.holder = kAnyNode;
+  }
+}
+
+}  // namespace parade::dsm

@@ -1,0 +1,154 @@
+// DsmNode: one cluster node's multi-threaded SDSM engine (paper §5).
+//
+// Responsibilities:
+//  - shared pool with double mapping (atomic page update, §5.1),
+//  - SIGSEGV fault path with the Figure-5 page state machine,
+//  - HLRC with migratory home: twin/diff to the home, write notices
+//    piggybacked on barrier arrival, home migration decided by the master at
+//    barrier time (§5.2.2, §5.2.3),
+//  - home-based lock manager for the conventional-SDSM personality (§2.2),
+//  - a dedicated communication thread servicing remote requests (§5.3),
+//  - virtual-time accounting hooks (vtime/).
+//
+// Threading contract: any number of application threads may fault and
+// acquire locks; barrier() must be called by exactly one thread per node at
+// a time (the runtime's hierarchical barrier guarantees this).
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.hpp"
+#include "dsm/config.hpp"
+#include "dsm/mapping.hpp"
+#include "dsm/pagetable.hpp"
+#include "dsm/protocol.hpp"
+#include "dsm/stats.hpp"
+#include "net/channel.hpp"
+#include "vtime/clock.hpp"
+
+namespace parade::dsm {
+
+class DsmNode {
+ public:
+  DsmNode(net::Channel& channel, DsmConfig config);
+  ~DsmNode();
+
+  DsmNode(const DsmNode&) = delete;
+  DsmNode& operator=(const DsmNode&) = delete;
+
+  /// Maps the pool, registers the fault range, starts the comm thread.
+  Status start();
+  /// Stops the comm thread and unregisters the pool (idempotent).
+  void shutdown();
+
+  NodeId rank() const { return channel_.rank(); }
+  int size() const { return channel_.size(); }
+  const DsmConfig& config() const { return config_; }
+
+  /// Application view base of the shared pool (fault-managed).
+  std::byte* base() const { return mapping_->app_view(); }
+  std::size_t pool_bytes() const { return config_.pool_bytes; }
+
+  /// SPMD bump allocator: every node must perform the identical allocation
+  /// sequence; the same call index yields the same pool offset everywhere.
+  void* shmalloc(std::size_t bytes, std::size_t align = 64);
+  /// Offset of a pool pointer (for cross-checking SPMD allocation order).
+  std::size_t offset_of(const void* p) const;
+
+  /// Inter-node HLRC barrier: flush diffs, exchange write notices, migrate
+  /// homes, invalidate. One caller per node.
+  void barrier();
+
+  /// Home-based DSM lock with lazy-release-style consistency (conventional
+  /// SDSM path; also the fallback for non-analyzable critical sections).
+  void lock_acquire(int lock_id);
+  void lock_release(int lock_id);
+
+  /// SIGSEGV entry point; returns false if `addr` is outside the pool.
+  bool handle_fault(void* addr, bool is_write);
+
+  DsmStats& stats() { return stats_; }
+  vtime::CommLedger& comm_ledger() { return comm_ledger_; }
+  PageTable& page_table() { return *pages_; }
+  Epoch epoch() const { return epoch_; }
+
+  /// Current home of `page` as this node believes it (tests/benches).
+  NodeId home_of(PageId page) const { return pages_->home_of(page); }
+
+ private:
+  // --- fault path helpers (application threads) ---
+  void fetch_page(PageId page, std::unique_lock<std::mutex>& entry_lock,
+                  PageEntry& entry);
+  void upgrade_to_dirty(PageId page, PageEntry& entry);
+
+  // --- flush (barrier / lock release) ---
+  /// Sends diffs for the given DIRTY pages to their homes and downgrades them
+  /// to READ_ONLY. Waits for all acks. Serialized by flush_mutex_.
+  void flush_pages(const std::vector<PageId>& pages);
+  std::vector<PageId> drain_dirty_now();
+
+  // --- barrier internals ---
+  void master_barrier(const BarrierArriveMsg& own, vtime::ThreadClock* clock);
+  void process_departure(const BarrierDepartMsg& msg);
+
+  // --- communication thread ---
+  void comm_loop();
+  void serve_page_request(const net::Message& message);
+  void install_page(const net::Message& message);
+  void apply_incoming_diff(const net::Message& message);
+  void lock_manager_acquire(const net::Message& message);
+  void lock_manager_release(const net::Message& message);
+  void send_grant(NodeId to, std::int32_t lock_id);
+
+  void protect(PageId page, int prot);
+  std::byte* sys_page(PageId page) const;
+
+  net::Channel& channel_;
+  DsmConfig config_;
+  std::unique_ptr<DoubleMapping> mapping_;
+  std::unique_ptr<PageTable> pages_;
+  DsmStats stats_;
+  vtime::CommLedger comm_ledger_;
+
+  std::thread comm_thread_;
+  vtime::ThreadClock comm_clock_;
+  bool started_ = false;
+
+  // Pages currently DIRTY on this node (appended on write upgrade).
+  std::mutex dirty_mutex_;
+  std::vector<PageId> dirty_now_;
+  // Pages this node dirtied in the open barrier interval (write notices).
+  std::unordered_set<PageId> interval_dirty_;
+
+  std::mutex flush_mutex_;
+  std::mutex alloc_mutex_;
+  std::size_t alloc_offset_ = 0;
+
+  Epoch epoch_ = 0;
+
+  // Lock-manager state for locks homed here (touched only by comm thread).
+  struct ManagedLock {
+    bool held = false;
+    NodeId holder = kAnyNode;
+    std::vector<NodeId> waiters;
+    /// page -> most recent modifier under this lock.
+    std::unordered_map<PageId, NodeId> notices;
+  };
+  std::unordered_map<std::int32_t, ManagedLock> managed_locks_;
+};
+
+/// Per-thread critical-section dirty tracking: while a CS is open, write
+/// faults record pages here so lock_release flushes exactly the CS's pages.
+namespace cs_tracking {
+void begin();
+void note_page(PageId page);
+std::vector<PageId> end();
+bool active();
+}  // namespace cs_tracking
+
+}  // namespace parade::dsm

@@ -1,0 +1,72 @@
+// Per-node page table implementing the paper's Figure 5 state machine:
+//
+//   INVALID ──fault──▶ TRANSIENT ──another fault──▶ BLOCKED
+//      ▲                   │                           │
+//      │              update done                 update done
+//  invalidate              ▼                           ▼
+//      └──────────── READ_ONLY ◀───────(wake waiters)──┘
+//                        │  ▲
+//                  write fault  flush (diff sent / WN recorded)
+//                        ▼  │
+//                       DIRTY
+//
+// TRANSIENT marks "a thread is fetching this page"; BLOCKED additionally
+// marks "other threads are waiting for the fetch". Waiting threads park on
+// the per-page condition variable; the communication thread installs the
+// fetched page through the system view, flips protection, and wakes them.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+
+namespace parade::dsm {
+
+enum class PageState : std::uint8_t {
+  kInvalid,
+  kTransient,
+  kBlocked,
+  kReadOnly,
+  kDirty,
+};
+
+const char* to_string(PageState state);
+
+/// Pure state-transition validity check (exercised by property tests).
+bool transition_allowed(PageState from, PageState to);
+
+struct PageEntry {
+  std::mutex mutex;
+  std::condition_variable cv;
+  PageState state = PageState::kInvalid;
+  NodeId home = 0;
+  /// Twin copy for non-home writers (empty unless DIRTY at a non-home node).
+  std::vector<std::uint8_t> twin;
+  /// Virtual timestamp at which the latest fetched copy became usable;
+  /// merged into the clock of every thread that waited for the fetch.
+  VirtualUs ready_vtime = 0.0;
+};
+
+class PageTable {
+ public:
+  PageTable(std::size_t num_pages, NodeId initial_home);
+
+  PageEntry& entry(PageId page);
+  const PageEntry& entry(PageId page) const;
+  std::size_t num_pages() const { return entries_.size(); }
+
+  /// Home lookup without holding the page lock (homes only change inside the
+  /// barrier, when no application thread is faulting).
+  NodeId home_of(PageId page) const;
+
+ private:
+  // deque-like stable storage: entries hold mutexes, so no reallocation.
+  std::vector<std::unique_ptr<PageEntry>> entries_;
+};
+
+}  // namespace parade::dsm

@@ -1,0 +1,160 @@
+#include "dsm/protocol.hpp"
+
+namespace parade::dsm {
+
+std::vector<std::uint8_t> encode(const PageRequestMsg& m) {
+  WireBuffer buffer;
+  buffer.put<std::int32_t>(m.page);
+  return std::move(buffer).take();
+}
+
+PageRequestMsg decode_page_request(const std::vector<std::uint8_t>& bytes) {
+  WireBuffer buffer{bytes};
+  PageRequestMsg m;
+  m.page = buffer.get<std::int32_t>();
+  return m;
+}
+
+std::vector<std::uint8_t> encode(const PageReplyMsg& m) {
+  WireBuffer buffer;
+  buffer.put<std::int32_t>(m.page);
+  buffer.put_vector(m.data);
+  return std::move(buffer).take();
+}
+
+PageReplyMsg decode_page_reply(const std::vector<std::uint8_t>& bytes) {
+  WireBuffer buffer{bytes};
+  PageReplyMsg m;
+  m.page = buffer.get<std::int32_t>();
+  m.data = buffer.get_vector<std::uint8_t>();
+  return m;
+}
+
+std::vector<std::uint8_t> encode(const DiffMsg& m) {
+  WireBuffer buffer;
+  buffer.put<std::int32_t>(m.page);
+  buffer.put_vector(m.diff);
+  return std::move(buffer).take();
+}
+
+DiffMsg decode_diff(const std::vector<std::uint8_t>& bytes) {
+  WireBuffer buffer{bytes};
+  DiffMsg m;
+  m.page = buffer.get<std::int32_t>();
+  m.diff = buffer.get_vector<std::uint8_t>();
+  return m;
+}
+
+std::vector<std::uint8_t> encode(const DiffAckMsg& m) {
+  WireBuffer buffer;
+  buffer.put<std::int32_t>(m.page);
+  return std::move(buffer).take();
+}
+
+DiffAckMsg decode_diff_ack(const std::vector<std::uint8_t>& bytes) {
+  WireBuffer buffer{bytes};
+  DiffAckMsg m;
+  m.page = buffer.get<std::int32_t>();
+  return m;
+}
+
+std::vector<std::uint8_t> encode(const BarrierArriveMsg& m) {
+  WireBuffer buffer;
+  buffer.put<std::int64_t>(m.epoch);
+  buffer.put_vector(m.dirtied_pages);
+  return std::move(buffer).take();
+}
+
+BarrierArriveMsg decode_barrier_arrive(const std::vector<std::uint8_t>& bytes) {
+  WireBuffer buffer{bytes};
+  BarrierArriveMsg m;
+  m.epoch = buffer.get<std::int64_t>();
+  m.dirtied_pages = buffer.get_vector<PageId>();
+  return m;
+}
+
+std::vector<std::uint8_t> encode(const BarrierDepartMsg& m) {
+  WireBuffer buffer;
+  buffer.put<std::int64_t>(m.epoch);
+  buffer.put<double>(m.departure_vtime);
+  buffer.put<std::uint32_t>(static_cast<std::uint32_t>(m.entries.size()));
+  for (const DepartEntry& e : m.entries) {
+    buffer.put<std::int32_t>(e.page);
+    buffer.put<std::int32_t>(e.new_home);
+    buffer.put<std::int32_t>(e.sole_modifier);
+  }
+  return std::move(buffer).take();
+}
+
+BarrierDepartMsg decode_barrier_depart(const std::vector<std::uint8_t>& bytes) {
+  WireBuffer buffer{bytes};
+  BarrierDepartMsg m;
+  m.epoch = buffer.get<std::int64_t>();
+  m.departure_vtime = buffer.get<double>();
+  const auto count = buffer.get<std::uint32_t>();
+  m.entries.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    DepartEntry e;
+    e.page = buffer.get<std::int32_t>();
+    e.new_home = buffer.get<std::int32_t>();
+    e.sole_modifier = buffer.get<std::int32_t>();
+    m.entries.push_back(e);
+  }
+  return m;
+}
+
+std::vector<std::uint8_t> encode(const LockAcquireMsg& m) {
+  WireBuffer buffer;
+  buffer.put<std::int32_t>(m.lock_id);
+  return std::move(buffer).take();
+}
+
+LockAcquireMsg decode_lock_acquire(const std::vector<std::uint8_t>& bytes) {
+  WireBuffer buffer{bytes};
+  LockAcquireMsg m;
+  m.lock_id = buffer.get<std::int32_t>();
+  return m;
+}
+
+std::vector<std::uint8_t> encode(const LockGrantMsg& m) {
+  WireBuffer buffer;
+  buffer.put<std::int32_t>(m.lock_id);
+  buffer.put<std::uint32_t>(static_cast<std::uint32_t>(m.notices.size()));
+  for (const WriteNotice& n : m.notices) {
+    buffer.put<std::int32_t>(n.page);
+    buffer.put<std::int32_t>(n.modifier);
+  }
+  return std::move(buffer).take();
+}
+
+LockGrantMsg decode_lock_grant(const std::vector<std::uint8_t>& bytes) {
+  WireBuffer buffer{bytes};
+  LockGrantMsg m;
+  m.lock_id = buffer.get<std::int32_t>();
+  const auto count = buffer.get<std::uint32_t>();
+  m.notices.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    WriteNotice n;
+    n.page = buffer.get<std::int32_t>();
+    n.modifier = buffer.get<std::int32_t>();
+    m.notices.push_back(n);
+  }
+  return m;
+}
+
+std::vector<std::uint8_t> encode(const LockReleaseMsg& m) {
+  WireBuffer buffer;
+  buffer.put<std::int32_t>(m.lock_id);
+  buffer.put_vector(m.dirtied_pages);
+  return std::move(buffer).take();
+}
+
+LockReleaseMsg decode_lock_release(const std::vector<std::uint8_t>& bytes) {
+  WireBuffer buffer{bytes};
+  LockReleaseMsg m;
+  m.lock_id = buffer.get<std::int32_t>();
+  m.dirtied_pages = buffer.get_vector<PageId>();
+  return m;
+}
+
+}  // namespace parade::dsm

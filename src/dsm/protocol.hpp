@@ -1,0 +1,127 @@
+// DSM protocol message kinds and wire encodings. All protocol traffic uses
+// tags in the DSM tag class [0, 1000); see net/message.hpp.
+//
+// Ownership of each tag (who consumes it):
+//   communication thread: PageRequest, Diff, LockAcquire, LockRelease,
+//                         PageReply (it installs pages and wakes waiters),
+//                         Shutdown
+//   barrier caller:       BarrierArrive (master only), BarrierDepart
+//   diff flusher:         DiffAck
+//   lock acquirer:        LockGrant (tag is lock-indexed so concurrent
+//                         acquirers on one node never steal each other's
+//                         grants)
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/serialize.hpp"
+#include "common/types.hpp"
+
+namespace parade::dsm {
+
+inline constexpr Tag kTagPageRequest = 1;
+inline constexpr Tag kTagPageReply = 2;
+inline constexpr Tag kTagDiff = 3;
+inline constexpr Tag kTagDiffAck = 4;
+inline constexpr Tag kTagBarrierArrive = 5;
+inline constexpr Tag kTagBarrierDepart = 6;
+inline constexpr Tag kTagLockAcquire = 7;
+inline constexpr Tag kTagLockRelease = 8;
+inline constexpr Tag kTagShutdown = 9;
+/// Grant for lock L arrives with tag kTagLockGrantBase + L.
+inline constexpr Tag kTagLockGrantBase = 100;
+
+/// True for tags the communication thread services.
+inline bool comm_thread_tag(Tag tag) {
+  return tag == kTagPageRequest || tag == kTagPageReply || tag == kTagDiff ||
+         tag == kTagLockAcquire || tag == kTagLockRelease ||
+         tag == kTagShutdown;
+}
+
+// ---- payload structures ----
+
+struct PageRequestMsg {
+  PageId page = 0;
+};
+
+struct PageReplyMsg {
+  PageId page = 0;
+  std::vector<std::uint8_t> data;
+};
+
+struct DiffMsg {
+  PageId page = 0;
+  std::vector<std::uint8_t> diff;
+};
+
+struct DiffAckMsg {
+  PageId page = 0;
+};
+
+/// Write notice: "node `modifier` changed `page` during the closing interval".
+struct WriteNotice {
+  PageId page = 0;
+  NodeId modifier = 0;
+};
+
+struct BarrierArriveMsg {
+  Epoch epoch = 0;
+  std::vector<PageId> dirtied_pages;
+};
+
+/// Departure entry for one write-noticed page: everyone updates the home and
+/// invalidates stale copies.
+struct DepartEntry {
+  PageId page = 0;
+  NodeId new_home = 0;
+  /// The single modifier this interval, or kAnyNode when several nodes wrote.
+  NodeId sole_modifier = kAnyNode;
+};
+
+struct BarrierDepartMsg {
+  Epoch epoch = 0;
+  VirtualUs departure_vtime = 0.0;
+  std::vector<DepartEntry> entries;
+};
+
+struct LockAcquireMsg {
+  std::int32_t lock_id = 0;
+};
+
+struct LockGrantMsg {
+  std::int32_t lock_id = 0;
+  /// Pages modified under this lock with their most recent modifier; the
+  /// acquirer invalidates stale local copies (lazy-release consistency,
+  /// conservatively approximated — see DESIGN.md).
+  std::vector<WriteNotice> notices;
+};
+
+struct LockReleaseMsg {
+  std::int32_t lock_id = 0;
+  std::vector<PageId> dirtied_pages;
+};
+
+// ---- encode / decode ----
+
+std::vector<std::uint8_t> encode(const PageRequestMsg& m);
+std::vector<std::uint8_t> encode(const PageReplyMsg& m);
+std::vector<std::uint8_t> encode(const DiffMsg& m);
+std::vector<std::uint8_t> encode(const DiffAckMsg& m);
+std::vector<std::uint8_t> encode(const BarrierArriveMsg& m);
+std::vector<std::uint8_t> encode(const BarrierDepartMsg& m);
+std::vector<std::uint8_t> encode(const LockAcquireMsg& m);
+std::vector<std::uint8_t> encode(const LockGrantMsg& m);
+std::vector<std::uint8_t> encode(const LockReleaseMsg& m);
+
+PageRequestMsg decode_page_request(const std::vector<std::uint8_t>& bytes);
+PageReplyMsg decode_page_reply(const std::vector<std::uint8_t>& bytes);
+DiffMsg decode_diff(const std::vector<std::uint8_t>& bytes);
+DiffAckMsg decode_diff_ack(const std::vector<std::uint8_t>& bytes);
+BarrierArriveMsg decode_barrier_arrive(const std::vector<std::uint8_t>& bytes);
+BarrierDepartMsg decode_barrier_depart(const std::vector<std::uint8_t>& bytes);
+LockAcquireMsg decode_lock_acquire(const std::vector<std::uint8_t>& bytes);
+LockGrantMsg decode_lock_grant(const std::vector<std::uint8_t>& bytes);
+LockReleaseMsg decode_lock_release(const std::vector<std::uint8_t>& bytes);
+
+}  // namespace parade::dsm

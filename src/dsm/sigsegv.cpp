@@ -1,0 +1,123 @@
+#include "dsm/sigsegv.hpp"
+
+#include <signal.h>
+#include <ucontext.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "dsm/node.hpp"
+
+namespace parade::dsm::sigsegv {
+namespace {
+
+struct Range {
+  std::uintptr_t base;
+  std::uintptr_t limit;
+  DsmNode* node;
+};
+
+// The registry is read inside a signal handler, so mutation swaps an
+// immutable snapshot under a mutex and readers load an atomic pointer —
+// no locks on the fault path.
+std::mutex g_mutex;
+std::atomic<const std::vector<Range>*> g_ranges{nullptr};
+
+struct sigaction g_previous;
+
+DsmNode* find_node(void* addr) {
+  const auto* ranges = g_ranges.load(std::memory_order_acquire);
+  if (ranges == nullptr) return nullptr;
+  const auto p = reinterpret_cast<std::uintptr_t>(addr);
+  for (const Range& range : *ranges) {
+    if (p >= range.base && p < range.limit) return range.node;
+  }
+  return nullptr;
+}
+
+void handler(int signo, siginfo_t* info, void* ucontext) {
+  DsmNode* node = info != nullptr ? find_node(info->si_addr) : nullptr;
+  if (node != nullptr) {
+    const bool is_write = context_says_write(ucontext);
+    if (node->handle_fault(info->si_addr, is_write)) return;
+  }
+  // Not ours (or the node refused): restore the previous disposition and
+  // re-raise so the process crashes normally.
+  if (g_previous.sa_flags & SA_SIGINFO) {
+    if (g_previous.sa_sigaction != nullptr) {
+      g_previous.sa_sigaction(signo, info, ucontext);
+      return;
+    }
+  } else if (g_previous.sa_handler != SIG_DFL &&
+             g_previous.sa_handler != SIG_IGN &&
+             g_previous.sa_handler != nullptr) {
+    g_previous.sa_handler(signo);
+    return;
+  }
+  std::fprintf(stderr, "parade: unhandled SIGSEGV at %p\n",
+               info != nullptr ? info->si_addr : nullptr);
+  signal(SIGSEGV, SIG_DFL);
+  raise(SIGSEGV);
+}
+
+}  // namespace
+
+void ensure_installed() {
+  static std::once_flag installed;
+  std::call_once(installed, [] {
+    struct sigaction action {};
+    action.sa_sigaction = handler;
+    action.sa_flags = SA_SIGINFO | SA_RESTART;
+    sigemptyset(&action.sa_mask);
+    sigaction(SIGSEGV, &action, &g_previous);
+    // Linux reports faults on protected mappings as SIGBUS in some corner
+    // cases (e.g. beyond a truncated file); route those too.
+    sigaction(SIGBUS, &action, nullptr);
+  });
+}
+
+void register_range(void* base, std::size_t bytes, DsmNode* node) {
+  std::lock_guard lock(g_mutex);
+  auto next = std::make_unique<std::vector<Range>>();
+  const auto* current = g_ranges.load(std::memory_order_acquire);
+  if (current != nullptr) *next = *current;
+  next->push_back(Range{reinterpret_cast<std::uintptr_t>(base),
+                        reinterpret_cast<std::uintptr_t>(base) + bytes, node});
+  const auto* old = g_ranges.exchange(next.release(), std::memory_order_acq_rel);
+  // Leak the tiny old snapshot rather than risk freeing it under a
+  // concurrent fault (registration happens a handful of times per run).
+  (void)old;
+}
+
+void unregister_range(void* base) {
+  std::lock_guard lock(g_mutex);
+  const auto* current = g_ranges.load(std::memory_order_acquire);
+  if (current == nullptr) return;
+  auto next = std::make_unique<std::vector<Range>>();
+  for (const Range& range : *current) {
+    if (range.base != reinterpret_cast<std::uintptr_t>(base)) {
+      next->push_back(range);
+    }
+  }
+  g_ranges.exchange(next.release(), std::memory_order_acq_rel);
+}
+
+bool context_says_write(const void* ucontext) {
+#if defined(__x86_64__)
+  if (ucontext != nullptr) {
+    const auto* uc = static_cast<const ucontext_t*>(ucontext);
+    // Page-fault error code: bit 1 set => write access.
+    return (uc->uc_mcontext.gregs[REG_ERR] & 0x2) != 0;
+  }
+#else
+  (void)ucontext;
+#endif
+  return false;
+}
+
+}  // namespace parade::dsm::sigsegv

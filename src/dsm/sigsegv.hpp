@@ -1,0 +1,31 @@
+// Global SIGSEGV dispatcher.
+//
+// A conventional SDSM process hosts one shared pool; the ParADE virtual
+// cluster hosts one per node in the same process. The dispatcher maps a
+// faulting address to the owning DsmNode's fault handler. Faults outside any
+// registered pool are re-raised with the default disposition so genuine bugs
+// still crash with a useful core.
+#pragma once
+
+#include <cstddef>
+
+namespace parade::dsm {
+
+class DsmNode;
+
+namespace sigsegv {
+
+/// Installs the process-wide handler (idempotent, thread-safe).
+void ensure_installed();
+
+/// Registers [base, base+bytes) as owned by `node`.
+void register_range(void* base, std::size_t bytes, DsmNode* node);
+void unregister_range(void* base);
+
+/// Extracts the hardware write/read fault flag where the platform exposes it
+/// (x86-64 page-fault error code bit 1). Returns false when unknown; the
+/// fault path then infers intent from the page state.
+bool context_says_write(const void* ucontext);
+
+}  // namespace sigsegv
+}  // namespace parade::dsm

@@ -1,0 +1,86 @@
+// Protocol event counters; the ablation benches and several tests assert on
+// these (page fetch counts, diff bytes, migrations...).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace parade::dsm {
+
+struct DsmStatsSnapshot {
+  std::int64_t read_faults = 0;
+  std::int64_t write_faults = 0;
+  std::int64_t page_fetches = 0;       // remote page fetches issued
+  std::int64_t page_serves = 0;        // requests served as home
+  std::int64_t diffs_created = 0;
+  std::int64_t diff_bytes_sent = 0;
+  std::int64_t diffs_applied = 0;
+  std::int64_t twins_created = 0;
+  std::int64_t barriers = 0;
+  std::int64_t write_notices_sent = 0;
+  std::int64_t invalidations = 0;
+  std::int64_t home_migrations = 0;    // counted at the master
+  std::int64_t lock_acquires = 0;
+  std::int64_t lock_remote_grants = 0;
+};
+
+class DsmStats {
+ public:
+#define PARADE_DSM_COUNTER(name)                                      \
+  void inc_##name(std::int64_t by = 1) {                              \
+    name##_.fetch_add(by, std::memory_order_relaxed);                 \
+  }
+
+  PARADE_DSM_COUNTER(read_faults)
+  PARADE_DSM_COUNTER(write_faults)
+  PARADE_DSM_COUNTER(page_fetches)
+  PARADE_DSM_COUNTER(page_serves)
+  PARADE_DSM_COUNTER(diffs_created)
+  PARADE_DSM_COUNTER(diff_bytes_sent)
+  PARADE_DSM_COUNTER(diffs_applied)
+  PARADE_DSM_COUNTER(twins_created)
+  PARADE_DSM_COUNTER(barriers)
+  PARADE_DSM_COUNTER(write_notices_sent)
+  PARADE_DSM_COUNTER(invalidations)
+  PARADE_DSM_COUNTER(home_migrations)
+  PARADE_DSM_COUNTER(lock_acquires)
+  PARADE_DSM_COUNTER(lock_remote_grants)
+#undef PARADE_DSM_COUNTER
+
+  DsmStatsSnapshot snapshot() const {
+    DsmStatsSnapshot s;
+    s.read_faults = read_faults_.load(std::memory_order_relaxed);
+    s.write_faults = write_faults_.load(std::memory_order_relaxed);
+    s.page_fetches = page_fetches_.load(std::memory_order_relaxed);
+    s.page_serves = page_serves_.load(std::memory_order_relaxed);
+    s.diffs_created = diffs_created_.load(std::memory_order_relaxed);
+    s.diff_bytes_sent = diff_bytes_sent_.load(std::memory_order_relaxed);
+    s.diffs_applied = diffs_applied_.load(std::memory_order_relaxed);
+    s.twins_created = twins_created_.load(std::memory_order_relaxed);
+    s.barriers = barriers_.load(std::memory_order_relaxed);
+    s.write_notices_sent = write_notices_sent_.load(std::memory_order_relaxed);
+    s.invalidations = invalidations_.load(std::memory_order_relaxed);
+    s.home_migrations = home_migrations_.load(std::memory_order_relaxed);
+    s.lock_acquires = lock_acquires_.load(std::memory_order_relaxed);
+    s.lock_remote_grants = lock_remote_grants_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+ private:
+  std::atomic<std::int64_t> read_faults_{0};
+  std::atomic<std::int64_t> write_faults_{0};
+  std::atomic<std::int64_t> page_fetches_{0};
+  std::atomic<std::int64_t> page_serves_{0};
+  std::atomic<std::int64_t> diffs_created_{0};
+  std::atomic<std::int64_t> diff_bytes_sent_{0};
+  std::atomic<std::int64_t> diffs_applied_{0};
+  std::atomic<std::int64_t> twins_created_{0};
+  std::atomic<std::int64_t> barriers_{0};
+  std::atomic<std::int64_t> write_notices_sent_{0};
+  std::atomic<std::int64_t> invalidations_{0};
+  std::atomic<std::int64_t> home_migrations_{0};
+  std::atomic<std::int64_t> lock_acquires_{0};
+  std::atomic<std::int64_t> lock_remote_grants_{0};
+};
+
+}  // namespace parade::dsm

@@ -1,0 +1,106 @@
+// parade_run: multi-process cluster launcher.
+//
+//   parade_run -n <nodes> [-t <threads>] [--net clan|fastether|ideal] \
+//              [--sockdir <dir>] <program> [args...]
+//
+// Forks one OS process per node; each process joins the Unix-domain-socket
+// fabric via PARADE_RANK / PARADE_SIZE / PARADE_SOCKDIR. The program must be
+// built against the ParADE runtime (ProcessRuntime::from_env or a translated
+// program's generated main). Exit status: first non-zero child status, else 0.
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: parade_run -n <nodes> [-t <threads>] [--net NAME] "
+               "[--sockdir DIR] <program> [args...]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int nodes = 0;
+  int threads = 1;
+  std::string net;
+  std::string sockdir;
+  int prog_at = -1;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-n" && i + 1 < argc) {
+      nodes = std::atoi(argv[++i]);
+    } else if (arg == "-t" && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
+    } else if (arg == "--net" && i + 1 < argc) {
+      net = argv[++i];
+    } else if (arg == "--sockdir" && i + 1 < argc) {
+      sockdir = argv[++i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else {
+      prog_at = i;
+      break;
+    }
+  }
+  if (nodes < 1 || nodes > 64 || threads < 1 || prog_at < 0) return usage();
+
+  char dir_template[] = "/tmp/parade-run-XXXXXX";
+  if (sockdir.empty()) {
+    const char* made = mkdtemp(dir_template);
+    if (made == nullptr) {
+      std::perror("parade_run: mkdtemp");
+      return 1;
+    }
+    sockdir = made;
+  }
+
+  std::vector<pid_t> children;
+  children.reserve(static_cast<std::size_t>(nodes));
+  for (int rank = 0; rank < nodes; ++rank) {
+    const pid_t pid = fork();
+    if (pid < 0) {
+      std::perror("parade_run: fork");
+      return 1;
+    }
+    if (pid == 0) {
+      setenv("PARADE_RANK", std::to_string(rank).c_str(), 1);
+      setenv("PARADE_SIZE", std::to_string(nodes).c_str(), 1);
+      setenv("PARADE_SOCKDIR", sockdir.c_str(), 1);
+      setenv("PARADE_NODES", std::to_string(nodes).c_str(), 1);
+      setenv("PARADE_THREADS", std::to_string(threads).c_str(), 1);
+      if (!net.empty()) setenv("PARADE_NET", net.c_str(), 1);
+      execvp(argv[prog_at], argv + prog_at);
+      std::perror("parade_run: execvp");
+      _exit(127);
+    }
+    children.push_back(pid);
+  }
+
+  int exit_code = 0;
+  for (const pid_t pid : children) {
+    int status = 0;
+    if (waitpid(pid, &status, 0) < 0) {
+      std::perror("parade_run: waitpid");
+      exit_code = 1;
+      continue;
+    }
+    if (WIFEXITED(status) && WEXITSTATUS(status) != 0 && exit_code == 0) {
+      exit_code = WEXITSTATUS(status);
+    }
+    if (WIFSIGNALED(status) && exit_code == 0) {
+      std::fprintf(stderr, "parade_run: node process killed by signal %d\n",
+                   WTERMSIG(status));
+      exit_code = 128 + WTERMSIG(status);
+    }
+  }
+  return exit_code;
+}

@@ -1,0 +1,225 @@
+#include "mp/comm.hpp"
+
+#include <cstring>
+
+#include "common/status.hpp"
+
+namespace parade::mp {
+namespace {
+
+vtime::ThreadClock* t_clock_get() { return vtime::thread_clock(); }
+
+}  // namespace
+
+Comm::Comm(net::Channel& channel, vtime::NetworkModel model)
+    : channel_(channel), model_(model) {}
+
+Tag Comm::next_collective_tag() {
+  // All nodes execute collectives in the same order (SPMD), so a simple
+  // sequence number yields matching tags everywhere.
+  const std::uint32_t seq =
+      collective_seq_.fetch_add(1, std::memory_order_relaxed);
+  return net::kCollTagBase + static_cast<Tag>(seq & 0x0FFFFFFF);
+}
+
+void Comm::send_wire(NodeId dst, Tag wire_tag, const void* data,
+                     std::size_t bytes) {
+  VirtualUs stamp = 0.0;
+  if (t_clock_get() != nullptr) {
+    t_clock_get()->sync_cpu();
+    t_clock_get()->add(model_.send_overhead_us);
+    stamp = t_clock_get()->now();
+  }
+  std::vector<std::uint8_t> payload(bytes);
+  if (bytes > 0) std::memcpy(payload.data(), data, bytes);
+  channel_.send(dst, wire_tag, std::move(payload), stamp);
+}
+
+net::Message Comm::recv_wire(NodeId src, Tag wire_tag) {
+  auto matched = channel_.inbox().recv_match([&](const net::MessageHeader& h) {
+    return h.tag == wire_tag && (src == kAnyNode || h.src == src);
+  });
+  PARADE_CHECK_MSG(matched.has_value(), "channel closed during recv");
+  if (t_clock_get() != nullptr) {
+    t_clock_get()->sync_cpu();
+    t_clock_get()->merge(matched->header.vtime +
+                   model_.transfer_us(matched->payload.size()));
+    t_clock_get()->add(model_.recv_overhead_us);
+  }
+  return std::move(*matched);
+}
+
+void Comm::send(NodeId dst, Tag tag, const void* data, std::size_t bytes) {
+  PARADE_CHECK_MSG(tag >= 0 && tag < net::kCollTagBase - net::kMpTagBase,
+                   "user tag out of range");
+  send_wire(dst, net::kMpTagBase + tag, data, bytes);
+}
+
+RecvStatus Comm::recv(NodeId src, Tag tag, void* buffer, std::size_t bytes) {
+  RecvStatus status;
+  auto payload = recv_bytes(src, tag, &status);
+  PARADE_CHECK_MSG(payload.size() <= bytes, "recv buffer too small");
+  if (!payload.empty()) std::memcpy(buffer, payload.data(), payload.size());
+  return status;
+}
+
+std::vector<std::uint8_t> Comm::recv_bytes(NodeId src, Tag tag,
+                                           RecvStatus* status) {
+  auto matched = channel_.inbox().recv_match([&](const net::MessageHeader& h) {
+    if (h.tag < net::kMpTagBase || h.tag >= net::kCollTagBase) return false;
+    if (src != kAnyNode && h.src != src) return false;
+    return tag == kAnyTag || h.tag == net::kMpTagBase + tag;
+  });
+  PARADE_CHECK_MSG(matched.has_value(), "channel closed during recv");
+  if (t_clock_get() != nullptr) {
+    t_clock_get()->sync_cpu();
+    t_clock_get()->merge(matched->header.vtime +
+                   model_.transfer_us(matched->payload.size()));
+    t_clock_get()->add(model_.recv_overhead_us);
+  }
+  if (status != nullptr) {
+    status->source = matched->header.src;
+    status->tag = matched->header.tag - net::kMpTagBase;
+    status->bytes = matched->payload.size();
+  }
+  return std::move(matched->payload);
+}
+
+std::optional<std::vector<std::uint8_t>> Comm::try_recv_bytes(
+    NodeId src, Tag tag, RecvStatus* status) {
+  auto matched =
+      channel_.inbox().try_recv_match([&](const net::MessageHeader& h) {
+        if (h.tag < net::kMpTagBase || h.tag >= net::kCollTagBase) return false;
+        if (src != kAnyNode && h.src != src) return false;
+        return tag == kAnyTag || h.tag == net::kMpTagBase + tag;
+      });
+  if (!matched) return std::nullopt;
+  if (t_clock_get() != nullptr) {
+    t_clock_get()->sync_cpu();
+    t_clock_get()->merge(matched->header.vtime +
+                   model_.transfer_us(matched->payload.size()));
+    t_clock_get()->add(model_.recv_overhead_us);
+  }
+  if (status != nullptr) {
+    status->source = matched->header.src;
+    status->tag = matched->header.tag - net::kMpTagBase;
+    status->bytes = matched->payload.size();
+  }
+  return std::move(matched->payload);
+}
+
+void Comm::barrier() {
+  const int n = size();
+  if (n == 1) return;
+  const Tag tag = next_collective_tag();
+  // Dissemination barrier: within one barrier every round talks to a distinct
+  // partner, so one tag suffices; the round is identified by the source rank.
+  for (int dist = 1; dist < n; dist <<= 1) {
+    const NodeId to = (rank() + dist) % n;
+    const NodeId from = (rank() - dist % n + n) % n;
+    send_wire(to, tag, nullptr, 0);
+    (void)recv_wire(from, tag);
+  }
+}
+
+void Comm::bcast(void* data, std::size_t bytes, NodeId root) {
+  const int n = size();
+  if (n == 1) return;
+  const Tag tag = next_collective_tag();
+  const int relative = (rank() - root + n) % n;
+
+  int mask = 1;
+  while (mask < n) {
+    if ((relative & mask) != 0) {
+      const NodeId src = (rank() - mask + n) % n;
+      net::Message m = recv_wire(src, tag);
+      PARADE_CHECK_MSG(m.payload.size() == bytes, "bcast size mismatch");
+      if (bytes > 0) std::memcpy(data, m.payload.data(), bytes);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (relative + mask < n) {
+      const NodeId dst = (rank() + mask) % n;
+      send_wire(dst, tag, data, bytes);
+    }
+    mask >>= 1;
+  }
+}
+
+void Comm::reduce_with(void* buffer, std::size_t bytes, NodeId root, Tag tag,
+                       const std::function<void(void*, const void*)>& combine) {
+  const int n = size();
+  const int relative = (rank() - root + n) % n;
+  int mask = 1;
+  while (mask < n) {
+    if ((relative & mask) == 0) {
+      const int source_rel = relative | mask;
+      if (source_rel < n) {
+        const NodeId source = (source_rel + root) % n;
+        net::Message m = recv_wire(source, tag);
+        PARADE_CHECK_MSG(m.payload.size() == bytes, "reduce size mismatch");
+        combine(buffer, m.payload.data());
+      }
+    } else {
+      const NodeId dst = ((relative & ~mask) + root) % n;
+      send_wire(dst, tag, buffer, bytes);
+      break;
+    }
+    mask <<= 1;
+  }
+}
+
+void Comm::reduce(void* buffer, std::size_t count, DType dtype, Op op,
+                  NodeId root) {
+  if (size() == 1) return;
+  const Tag tag = next_collective_tag();
+  const std::size_t bytes = count * dtype_size(dtype);
+  reduce_with(buffer, bytes, root, tag, [&](void* inout, const void* in) {
+    reduce_inplace(dtype, op, inout, in, count);
+  });
+}
+
+void Comm::allreduce(void* buffer, std::size_t count, DType dtype, Op op) {
+  reduce(buffer, count, dtype, op, /*root=*/0);
+  bcast(buffer, count * dtype_size(dtype), /*root=*/0);
+}
+
+void Comm::allreduce_user(void* buffer, std::size_t bytes,
+                          const UserReduceFn& fn) {
+  if (size() > 1) {
+    const Tag tag = next_collective_tag();
+    reduce_with(buffer, bytes, /*root=*/0, tag,
+                [&](void* inout, const void* in) { fn(inout, in, bytes); });
+  }
+  bcast(buffer, bytes, /*root=*/0);
+}
+
+void Comm::gather(const void* contribution, std::size_t bytes, void* out,
+                  NodeId root) {
+  const Tag tag = next_collective_tag();
+  if (rank() == root) {
+    PARADE_CHECK_MSG(out != nullptr, "gather root needs an output buffer");
+    auto* base = static_cast<std::uint8_t*>(out);
+    std::memcpy(base + static_cast<std::size_t>(rank()) * bytes, contribution,
+                bytes);
+    for (int peer = 0; peer < size(); ++peer) {
+      if (peer == root) continue;
+      net::Message m = recv_wire(peer, tag);
+      PARADE_CHECK_MSG(m.payload.size() == bytes, "gather size mismatch");
+      std::memcpy(base + static_cast<std::size_t>(peer) * bytes,
+                  m.payload.data(), bytes);
+    }
+  } else {
+    send_wire(root, tag, contribution, bytes);
+  }
+}
+
+void Comm::allgather(const void* contribution, std::size_t bytes, void* out) {
+  gather(contribution, bytes, out, /*root=*/0);
+  bcast(out, bytes * static_cast<std::size_t>(size()), /*root=*/0);
+}
+
+}  // namespace parade::mp

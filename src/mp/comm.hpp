@@ -1,0 +1,105 @@
+// Thread-safe MPI-subset communicator (paper §5.3).
+//
+// The paper implements point-to-point send/receive plus MPI_Bcast and
+// MPI_Allreduce on VIA, because public MPI libraries of the time were not
+// thread-safe. This communicator provides those (plus barrier, reduce,
+// gather, allgather) over any net::Channel. Thread safety: any number of
+// threads may issue point-to-point operations concurrently; collectives must
+// be called by exactly one thread per node at a time, in the same order on
+// every node (standard MPI semantics).
+//
+// Virtual-time integration: threads that participate in the direct-execution
+// timing bind their ThreadClock with bind_thread_clock(); every operation
+// then charges LogGP costs and propagates causality through message
+// timestamps. Unbound threads communicate untimed.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "mp/datatypes.hpp"
+#include "net/channel.hpp"
+#include "vtime/clock.hpp"
+#include "vtime/cost_model.hpp"
+
+namespace parade::mp {
+
+/// Alias of vtime::bind_thread_clock — all Comm operations on the calling
+/// thread charge their costs to the bound clock.
+using vtime::bind_thread_clock;
+using vtime::thread_clock;
+
+struct RecvStatus {
+  NodeId source = 0;
+  Tag tag = 0;
+  std::size_t bytes = 0;
+};
+
+class Comm {
+ public:
+  Comm(net::Channel& channel, vtime::NetworkModel model);
+
+  NodeId rank() const { return channel_.rank(); }
+  int size() const { return channel_.size(); }
+  const vtime::NetworkModel& model() const { return model_; }
+  net::Channel& channel() { return channel_; }
+
+  // ---- point-to-point ----
+
+  /// Sends `bytes` of `data` to `dst` with user tag `tag` (>= 0).
+  void send(NodeId dst, Tag tag, const void* data, std::size_t bytes);
+
+  /// Receives into `buffer` (capacity `bytes`); blocks. `src`/`tag` may be
+  /// kAnyNode / kAnyTag. Returns actual source/tag/size; the message must fit.
+  RecvStatus recv(NodeId src, Tag tag, void* buffer, std::size_t bytes);
+
+  /// Receives a whole message as a byte vector.
+  std::vector<std::uint8_t> recv_bytes(NodeId src, Tag tag,
+                                       RecvStatus* status = nullptr);
+
+  /// Non-blocking probe-and-take. Returns std::nullopt when nothing matches.
+  std::optional<std::vector<std::uint8_t>> try_recv_bytes(
+      NodeId src, Tag tag, RecvStatus* status = nullptr);
+
+  // ---- collectives (call once per node, same order everywhere) ----
+
+  /// Dissemination barrier, O(log N) rounds.
+  void barrier();
+
+  /// Binomial-tree broadcast of `bytes` from `root`.
+  void bcast(void* data, std::size_t bytes, NodeId root);
+
+  /// Binomial-tree reduction to `root`; `buffer` holds this node's
+  /// contribution on entry and, on the root, the result on exit.
+  void reduce(void* buffer, std::size_t count, DType dtype, Op op, NodeId root);
+
+  /// Reduce-to-0 + broadcast: every node ends with the reduction result.
+  void allreduce(void* buffer, std::size_t count, DType dtype, Op op);
+
+  /// Allreduce with a user combine function over opaque bytes (used for the
+  /// merged multi-variable reduction structures of paper §4.2).
+  void allreduce_user(void* buffer, std::size_t bytes, const UserReduceFn& fn);
+
+  /// Root gathers `bytes` from each node into `out` (size N*bytes, rank
+  /// order). `out` may be null on non-roots.
+  void gather(const void* contribution, std::size_t bytes, void* out,
+              NodeId root);
+
+  /// gather to 0 + bcast.
+  void allgather(const void* contribution, std::size_t bytes, void* out);
+
+ private:
+  Tag next_collective_tag();
+  void send_wire(NodeId dst, Tag wire_tag, const void* data, std::size_t bytes);
+  net::Message recv_wire(NodeId src, Tag wire_tag);
+  void reduce_with(void* buffer, std::size_t bytes, NodeId root, Tag tag,
+                   const std::function<void(void*, const void*)>& combine);
+
+  net::Channel& channel_;
+  vtime::NetworkModel model_;
+  std::atomic<std::uint32_t> collective_seq_{0};
+};
+
+}  // namespace parade::mp

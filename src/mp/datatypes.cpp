@@ -1,0 +1,120 @@
+#include "mp/datatypes.hpp"
+
+#include "common/status.hpp"
+
+namespace parade::mp {
+namespace {
+
+template <typename T>
+void reduce_typed(Op op, T* inout, const T* in, std::size_t count) {
+  switch (op) {
+    case Op::kSum:
+      for (std::size_t i = 0; i < count; ++i) inout[i] = inout[i] + in[i];
+      return;
+    case Op::kProd:
+      for (std::size_t i = 0; i < count; ++i) inout[i] = inout[i] * in[i];
+      return;
+    case Op::kMin:
+      for (std::size_t i = 0; i < count; ++i)
+        inout[i] = in[i] < inout[i] ? in[i] : inout[i];
+      return;
+    case Op::kMax:
+      for (std::size_t i = 0; i < count; ++i)
+        inout[i] = inout[i] < in[i] ? in[i] : inout[i];
+      return;
+    case Op::kLAnd:
+      for (std::size_t i = 0; i < count; ++i)
+        inout[i] = static_cast<T>((inout[i] != T{}) && (in[i] != T{}));
+      return;
+    case Op::kLOr:
+      for (std::size_t i = 0; i < count; ++i)
+        inout[i] = static_cast<T>((inout[i] != T{}) || (in[i] != T{}));
+      return;
+    case Op::kBAnd:
+    case Op::kBOr:
+      if constexpr (std::is_integral_v<T>) {
+        if (op == Op::kBAnd) {
+          for (std::size_t i = 0; i < count; ++i) inout[i] &= in[i];
+        } else {
+          for (std::size_t i = 0; i < count; ++i) inout[i] |= in[i];
+        }
+        return;
+      } else {
+        PARADE_CHECK_MSG(false, "bitwise op on floating-point dtype");
+      }
+  }
+  PARADE_CHECK_MSG(false, "unknown reduction op");
+}
+
+}  // namespace
+
+std::size_t dtype_size(DType dtype) {
+  switch (dtype) {
+    case DType::kInt32: return 4;
+    case DType::kInt64: return 8;
+    case DType::kUInt64: return 8;
+    case DType::kFloat: return 4;
+    case DType::kDouble: return 8;
+    case DType::kByte: return 1;
+  }
+  return 0;
+}
+
+const char* to_string(DType dtype) {
+  switch (dtype) {
+    case DType::kInt32: return "int32";
+    case DType::kInt64: return "int64";
+    case DType::kUInt64: return "uint64";
+    case DType::kFloat: return "float";
+    case DType::kDouble: return "double";
+    case DType::kByte: return "byte";
+  }
+  return "?";
+}
+
+const char* to_string(Op op) {
+  switch (op) {
+    case Op::kSum: return "sum";
+    case Op::kProd: return "prod";
+    case Op::kMin: return "min";
+    case Op::kMax: return "max";
+    case Op::kLAnd: return "land";
+    case Op::kLOr: return "lor";
+    case Op::kBAnd: return "band";
+    case Op::kBOr: return "bor";
+  }
+  return "?";
+}
+
+void reduce_inplace(DType dtype, Op op, void* inout, const void* in,
+                    std::size_t count) {
+  switch (dtype) {
+    case DType::kInt32:
+      reduce_typed(op, static_cast<std::int32_t*>(inout),
+                   static_cast<const std::int32_t*>(in), count);
+      return;
+    case DType::kInt64:
+      reduce_typed(op, static_cast<std::int64_t*>(inout),
+                   static_cast<const std::int64_t*>(in), count);
+      return;
+    case DType::kUInt64:
+      reduce_typed(op, static_cast<std::uint64_t*>(inout),
+                   static_cast<const std::uint64_t*>(in), count);
+      return;
+    case DType::kFloat:
+      reduce_typed(op, static_cast<float*>(inout),
+                   static_cast<const float*>(in), count);
+      return;
+    case DType::kDouble:
+      reduce_typed(op, static_cast<double*>(inout),
+                   static_cast<const double*>(in), count);
+      return;
+    case DType::kByte:
+      reduce_typed(op, static_cast<std::uint8_t*>(inout),
+                   static_cast<const std::uint8_t*>(in), count);
+      return;
+  }
+  PARADE_CHECK_MSG(false, "unknown dtype");
+}
+
+}  // namespace parade::mp

@@ -1,0 +1,53 @@
+// Reduction datatypes and operators for the message-passing library.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace parade::mp {
+
+enum class DType : std::int32_t {
+  kInt32,
+  kInt64,
+  kUInt64,
+  kFloat,
+  kDouble,
+  kByte,
+};
+
+enum class Op : std::int32_t {
+  kSum,
+  kProd,
+  kMin,
+  kMax,
+  kLAnd,  // logical and
+  kLOr,   // logical or
+  kBAnd,  // bitwise and
+  kBOr,   // bitwise or
+};
+
+std::size_t dtype_size(DType dtype);
+const char* to_string(DType dtype);
+const char* to_string(Op op);
+
+/// Applies `inout[i] = inout[i] OP in[i]` for `count` elements.
+/// kByte only supports bitwise/logical ops.
+void reduce_inplace(DType dtype, Op op, void* inout, const void* in,
+                    std::size_t count);
+
+/// User-defined reduction over opaque bytes (paper §4.2: multiple reduction
+/// variables merged into one structure and reduced with a user operation).
+using UserReduceFn =
+    std::function<void(void* inout, const void* in, std::size_t bytes)>;
+
+template <typename T>
+DType dtype_of() = delete;
+template <> inline DType dtype_of<std::int32_t>() { return DType::kInt32; }
+template <> inline DType dtype_of<std::int64_t>() { return DType::kInt64; }
+template <> inline DType dtype_of<std::uint64_t>() { return DType::kUInt64; }
+template <> inline DType dtype_of<float>() { return DType::kFloat; }
+template <> inline DType dtype_of<double>() { return DType::kDouble; }
+template <> inline DType dtype_of<std::uint8_t>() { return DType::kByte; }
+
+}  // namespace parade::mp

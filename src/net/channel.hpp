@@ -1,0 +1,44 @@
+// Channel: a node's attachment to the interconnect fabric. Implementations:
+// InProcFabric (all nodes in one process; used by the virtual cluster, unit
+// tests and the figure benches) and SocketFabric (one process per node over
+// Unix-domain sockets; used by the parade_run launcher).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/mailbox.hpp"
+#include "net/message.hpp"
+
+namespace parade::net {
+
+class Channel {
+ public:
+  virtual ~Channel() = default;
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  NodeId rank() const { return rank_; }
+  int size() const { return size_; }
+
+  /// Sends `payload` to `dst` with the given tag and virtual timestamp.
+  /// Thread-safe. Self-sends (dst == rank()) are delivered locally.
+  virtual void send(NodeId dst, Tag tag, std::vector<std::uint8_t> payload,
+                    VirtualUs vtime) = 0;
+
+  Mailbox& inbox() { return inbox_; }
+
+  /// Stops delivery and wakes blocked receivers.
+  virtual void shutdown() { inbox_.close(); }
+
+ protected:
+  Channel(NodeId rank, int size) : rank_(rank), size_(size) {}
+
+  NodeId rank_;
+  int size_;
+  Mailbox inbox_;
+};
+
+}  // namespace parade::net

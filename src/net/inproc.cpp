@@ -1,0 +1,47 @@
+#include "net/inproc.hpp"
+
+#include "common/status.hpp"
+
+namespace parade::net {
+
+class InProcFabric::InProcChannel final : public Channel {
+ public:
+  InProcChannel(NodeId rank, int size, InProcFabric* fabric)
+      : Channel(rank, size), fabric_(fabric) {}
+
+  void send(NodeId dst, Tag tag, std::vector<std::uint8_t> payload,
+            VirtualUs vtime) override {
+    PARADE_CHECK_MSG(dst >= 0 && dst < size_, "send to invalid rank");
+    MessageHeader header;
+    header.src = rank_;
+    header.dst = dst;
+    header.tag = tag;
+    header.vtime = vtime;
+    fabric_->channels_[static_cast<std::size_t>(dst)]->inbox().deliver(
+        Message(header, std::move(payload)));
+  }
+
+ private:
+  InProcFabric* fabric_;
+};
+
+InProcFabric::InProcFabric(int size) {
+  PARADE_CHECK_MSG(size >= 1, "fabric needs at least one node");
+  channels_.reserve(static_cast<std::size_t>(size));
+  for (int rank = 0; rank < size; ++rank) {
+    channels_.push_back(std::make_unique<InProcChannel>(rank, size, this));
+  }
+}
+
+InProcFabric::~InProcFabric() { shutdown(); }
+
+Channel& InProcFabric::channel(NodeId rank) {
+  PARADE_CHECK(rank >= 0 && rank < size());
+  return *channels_[static_cast<std::size_t>(rank)];
+}
+
+void InProcFabric::shutdown() {
+  for (auto& channel : channels_) channel->shutdown();
+}
+
+}  // namespace parade::net

@@ -1,0 +1,56 @@
+#include "net/mailbox.hpp"
+
+namespace parade::net {
+
+void Mailbox::deliver(Message message) {
+  {
+    std::lock_guard lock(mutex_);
+    queue_.push_back(std::move(message));
+  }
+  cv_.notify_all();
+}
+
+std::optional<Message> Mailbox::take_locked(const Matcher& match) {
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (match(it->header)) {
+      Message found = std::move(*it);
+      queue_.erase(it);
+      return found;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Message> Mailbox::recv_match(const Matcher& match) {
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    if (auto found = take_locked(match)) return found;
+    if (closed_) return std::nullopt;
+    cv_.wait(lock);
+  }
+}
+
+std::optional<Message> Mailbox::try_recv_match(const Matcher& match) {
+  std::lock_guard lock(mutex_);
+  return take_locked(match);
+}
+
+void Mailbox::close() {
+  {
+    std::lock_guard lock(mutex_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool Mailbox::closed() const {
+  std::lock_guard lock(mutex_);
+  return closed_;
+}
+
+std::size_t Mailbox::pending() const {
+  std::lock_guard lock(mutex_);
+  return queue_.size();
+}
+
+}  // namespace parade::net

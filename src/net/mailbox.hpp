@@ -1,0 +1,51 @@
+// A node's incoming-message queue with predicate matching.
+//
+// Multiple consumer threads may block in recv_match() concurrently with
+// different predicates (e.g. the DSM communication thread matching protocol
+// tags while application threads match collective tags); a delivery wakes all
+// waiters and each re-scans for its own match. The queue preserves arrival
+// order between messages matched by the same predicate, which is all the MP
+// layer requires for (src, tag) ordering.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+
+#include "net/message.hpp"
+
+namespace parade::net {
+
+class Mailbox {
+ public:
+  using Matcher = std::function<bool(const MessageHeader&)>;
+
+  /// Enqueues a message (called by the fabric / reader threads).
+  void deliver(Message message);
+
+  /// Blocks until a message whose header satisfies `match` is available and
+  /// removes it. Returns std::nullopt only after close().
+  std::optional<Message> recv_match(const Matcher& match);
+
+  /// Non-blocking variant.
+  std::optional<Message> try_recv_match(const Matcher& match);
+
+  /// Wakes all blocked receivers with std::nullopt; subsequent recv_match
+  /// calls drain remaining matches, then return std::nullopt.
+  void close();
+
+  bool closed() const;
+  std::size_t pending() const;
+
+ private:
+  std::optional<Message> take_locked(const Matcher& match);
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace parade::net

@@ -1,0 +1,43 @@
+// Wire message format shared by every transport.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace parade::net {
+
+// Tag-space partition. DSM protocol traffic and MP (application/collective)
+// traffic never alias: the DSM communication thread only consumes DSM-class
+// tags, application threads only consume MP-class tags.
+inline constexpr Tag kDsmTagBase = 0;        // DSM protocol: [0, 1000)
+inline constexpr Tag kDsmTagLimit = 1000;
+inline constexpr Tag kMpTagBase = 1000;      // user point-to-point: [1000, 1<<20)
+inline constexpr Tag kCollTagBase = 1 << 20; // collective internals: >= 1<<20
+
+inline bool is_dsm_tag(Tag tag) { return tag >= kDsmTagBase && tag < kDsmTagLimit; }
+
+struct MessageHeader {
+  NodeId src = 0;
+  NodeId dst = 0;
+  Tag tag = 0;
+  std::uint32_t payload_size = 0;
+  /// Sender's virtual timestamp at send time (microseconds). Consumers merge
+  /// `vtime + transfer_us(payload_size)` into their own clock.
+  VirtualUs vtime = 0.0;
+};
+
+struct Message {
+  MessageHeader header;
+  std::vector<std::uint8_t> payload;
+
+  Message() = default;
+  Message(MessageHeader h, std::vector<std::uint8_t> p)
+      : header(h), payload(std::move(p)) {
+    header.payload_size = static_cast<std::uint32_t>(payload.size());
+  }
+};
+
+}  // namespace parade::net

@@ -1,0 +1,53 @@
+// Unix-domain-socket fabric for real multi-process clusters (one OS process
+// per ParADE node), used by the parade_run launcher.
+//
+// Rendezvous: every rank listens on <dir>/node-<rank>.sock; rank r dials all
+// ranks below it (with retry while peers are still starting) and accepts
+// connections from ranks above it, yielding a full mesh. A 4-byte rank
+// handshake identifies the dialing peer. One reader thread per peer frames
+// incoming messages into the mailbox.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.hpp"
+#include "net/channel.hpp"
+
+namespace parade::net {
+
+class SocketFabric final : public Channel {
+ public:
+  /// Blocks until the full mesh is established or `timeout_ms` expires.
+  static Result<std::unique_ptr<SocketFabric>> create(NodeId rank, int size,
+                                                      const std::string& dir,
+                                                      int timeout_ms = 10000);
+  ~SocketFabric() override;
+
+  void send(NodeId dst, Tag tag, std::vector<std::uint8_t> payload,
+            VirtualUs vtime) override;
+
+  void shutdown() override;
+
+ private:
+  SocketFabric(NodeId rank, int size);
+
+  Status establish(const std::string& dir, int timeout_ms);
+  void reader_loop(NodeId peer);
+
+  struct Peer {
+    int fd = -1;
+    std::mutex send_mutex;
+  };
+
+  std::vector<std::unique_ptr<Peer>> peers_;
+  std::vector<std::thread> readers_;
+  int listen_fd_ = -1;
+  bool down_ = false;
+  std::mutex state_mutex_;
+};
+
+}  // namespace parade::net

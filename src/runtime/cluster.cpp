@@ -1,0 +1,84 @@
+#include "runtime/cluster.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/env.hpp"
+#include "common/log.hpp"
+
+namespace parade {
+
+VirtualCluster::VirtualCluster(const RuntimeConfig& config)
+    : fabric_(config.nodes) {
+  nodes_.reserve(static_cast<std::size_t>(config.nodes));
+  for (NodeId rank = 0; rank < config.nodes; ++rank) {
+    auto node = std::make_unique<NodeRuntime>(fabric_.channel(rank), config);
+    Status s = node->start();
+    PARADE_CHECK_MSG(s.is_ok(), s.message());
+    nodes_.push_back(std::move(node));
+  }
+}
+
+VirtualCluster::~VirtualCluster() { shutdown(); }
+
+VirtualUs VirtualCluster::exec(const std::function<void()>& program) {
+  std::vector<std::thread> mains;
+  mains.reserve(nodes_.size());
+  for (auto& node : nodes_) {
+    mains.emplace_back([&node, &program] { node->main_entry(program); });
+  }
+  for (auto& main : mains) main.join();
+  VirtualUs slowest = 0.0;
+  for (auto& node : nodes_) slowest = std::max(slowest, node->final_vtime());
+  return slowest;
+}
+
+void VirtualCluster::shutdown() {
+  for (auto& node : nodes_) {
+    if (node) node->shutdown();
+  }
+  fabric_.shutdown();
+}
+
+Result<std::unique_ptr<ProcessRuntime>> ProcessRuntime::from_env() {
+  const auto rank = env::get_int("PARADE_RANK");
+  const auto size = env::get_int("PARADE_SIZE");
+  const auto dir = env::get_string("PARADE_SOCKDIR");
+  if (!rank || !size || !dir) {
+    return make_error(ErrorCode::kFailedPrecondition,
+                      "PARADE_RANK/PARADE_SIZE/PARADE_SOCKDIR not set (run "
+                      "under parade_run)");
+  }
+  auto fabric = net::SocketFabric::create(static_cast<NodeId>(*rank),
+                                          static_cast<int>(*size), *dir);
+  if (!fabric.is_ok()) return fabric.status();
+
+  auto runtime = std::unique_ptr<ProcessRuntime>(new ProcessRuntime());
+  runtime->fabric_ = std::move(fabric).value();
+  RuntimeConfig config = runtime_config_from_env();
+  config.nodes = static_cast<int>(*size);
+  runtime->node_ =
+      std::make_unique<NodeRuntime>(*runtime->fabric_, config);
+  if (Status s = runtime->node_->start(); !s) return s;
+  return runtime;
+}
+
+ProcessRuntime::~ProcessRuntime() {
+  if (node_) node_->shutdown();
+  if (fabric_) fabric_->shutdown();
+}
+
+VirtualUs ProcessRuntime::exec(const std::function<void()>& program) {
+  node_->main_entry(program);
+  return node_->final_vtime();
+}
+
+double run_virtual_cluster_s(const RuntimeConfig& config,
+                             const std::function<void()>& program) {
+  VirtualCluster cluster(config);
+  const VirtualUs us = cluster.exec(program);
+  cluster.shutdown();
+  return us / 1e6;
+}
+
+}  // namespace parade

@@ -1,0 +1,66 @@
+// Top-level runners.
+//
+// VirtualCluster: the default substrate — N nodes in one process over the
+// in-proc fabric, each with its own protected pool view. exec() runs the
+// same program on every node's main thread (redundant serial execution) and
+// reports the slowest node's virtual time, which is what the figure benches
+// plot as "execution time".
+//
+// ProcessRuntime: one node per OS process over Unix-domain sockets; created
+// from the PARADE_RANK / PARADE_SIZE / PARADE_SOCKDIR environment the
+// parade_run launcher sets up.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/inproc.hpp"
+#include "net/socket.hpp"
+#include "runtime/node_runtime.hpp"
+
+namespace parade {
+
+class VirtualCluster {
+ public:
+  explicit VirtualCluster(const RuntimeConfig& config);
+  ~VirtualCluster();
+
+  int size() const { return static_cast<int>(nodes_.size()); }
+  NodeRuntime& node(NodeId rank) { return *nodes_[static_cast<std::size_t>(rank)]; }
+
+  /// Runs `program` on every node's main thread; returns the maximum final
+  /// virtual time across nodes (µs).
+  VirtualUs exec(const std::function<void()>& program);
+
+  void shutdown();
+
+ private:
+  net::InProcFabric fabric_;
+  std::vector<std::unique_ptr<NodeRuntime>> nodes_;
+};
+
+class ProcessRuntime {
+ public:
+  /// Builds the node from PARADE_RANK / PARADE_SIZE / PARADE_SOCKDIR (plus
+  /// the usual runtime_config_from_env knobs).
+  static Result<std::unique_ptr<ProcessRuntime>> from_env();
+  ~ProcessRuntime();
+
+  NodeRuntime& node() { return *node_; }
+
+  /// Runs the program on this process's node; returns its final virtual time.
+  VirtualUs exec(const std::function<void()>& program);
+
+ private:
+  ProcessRuntime() = default;
+  std::unique_ptr<net::SocketFabric> fabric_;
+  std::unique_ptr<NodeRuntime> node_;
+};
+
+/// One-call helper for the figure benches: build a virtual cluster with
+/// `config`, run `program`, tear down, return max virtual time in seconds.
+double run_virtual_cluster_s(const RuntimeConfig& config,
+                             const std::function<void()>& program);
+
+}  // namespace parade

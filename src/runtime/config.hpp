@@ -1,0 +1,33 @@
+// Runtime configuration: cluster shape + DSM + timing model.
+#pragma once
+
+#include "dsm/config.hpp"
+#include "vtime/clock.hpp"
+#include "vtime/cost_model.hpp"
+
+namespace parade {
+
+struct RuntimeConfig {
+  int nodes = 2;
+  int threads_per_node = 2;
+  dsm::DsmConfig dsm{};
+  /// Virtual-time multiplier for measured CPU time (PARADE_CPU_SCALE).
+  double cpu_scale = 1.0;
+
+  /// Convenience: apply one of the paper's three measurement configurations
+  /// (§6.2) — thread count and CPU layout together.
+  RuntimeConfig& with_node_config(vtime::NodeConfig node_config) {
+    dsm.machine = vtime::machine_for(node_config);
+    threads_per_node = dsm.machine.compute_threads;
+    return *this;
+  }
+
+  int total_threads() const { return nodes * threads_per_node; }
+};
+
+/// Reads PARADE_NODES, PARADE_THREADS, PARADE_NET*, PARADE_CPU_SCALE,
+/// PARADE_SYNC_MODE (parade|conventional), PARADE_HOME_MIGRATION,
+/// PARADE_POOL_MB.
+RuntimeConfig runtime_config_from_env();
+
+}  // namespace parade

@@ -1,0 +1,25 @@
+#include "runtime/context.hpp"
+
+#include "vtime/clock.hpp"
+
+namespace parade {
+namespace {
+thread_local ThreadCtx* t_ctx = nullptr;
+}  // namespace
+
+ThreadCtx& current_ctx() {
+  PARADE_CHECK_MSG(t_ctx != nullptr,
+                   "calling thread is not a ParADE runtime thread");
+  return *t_ctx;
+}
+
+ThreadCtx* current_ctx_or_null() { return t_ctx; }
+
+namespace detail {
+void set_current_ctx(ThreadCtx* ctx) {
+  t_ctx = ctx;
+  vtime::bind_thread_clock(ctx != nullptr ? &ctx->clock : nullptr);
+}
+}  // namespace detail
+
+}  // namespace parade

@@ -1,0 +1,38 @@
+// Per-thread execution context. Every application thread (node main thread
+// and team workers) carries one; the free-function API in api.hpp resolves
+// the current node/team/clock through it.
+#pragma once
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+#include "vtime/clock.hpp"
+
+namespace parade {
+
+class NodeRuntime;
+
+struct ThreadCtx {
+  NodeRuntime* node = nullptr;
+  LocalThreadId local_id = 0;
+  vtime::ThreadClock clock;
+  /// Per-thread ordinal of the next single / worksharing-loop construct the
+  /// thread encounters; OpenMP requires all threads to meet these constructs
+  /// in the same order, so the ordinal identifies the construct instance.
+  long single_seq = 0;
+  long loop_seq = 0;
+
+  explicit ThreadCtx(double cpu_scale = 1.0) : clock(cpu_scale) {}
+};
+
+/// The calling thread's context; dies if the thread is not a ParADE thread.
+ThreadCtx& current_ctx();
+/// Null when the calling thread is not a ParADE thread.
+ThreadCtx* current_ctx_or_null();
+
+namespace detail {
+/// Installs `ctx` for the calling thread and binds its virtual clock.
+/// Pass nullptr to clear.
+void set_current_ctx(ThreadCtx* ctx);
+}  // namespace detail
+
+}  // namespace parade

@@ -1,0 +1,63 @@
+#include "runtime/node_runtime.hpp"
+
+#include "common/env.hpp"
+#include "common/log.hpp"
+
+namespace parade {
+
+RuntimeConfig runtime_config_from_env() {
+  RuntimeConfig config;
+  config.nodes = static_cast<int>(env::get_int_or("PARADE_NODES", 2));
+  config.threads_per_node =
+      static_cast<int>(env::get_int_or("PARADE_THREADS", 2));
+  config.cpu_scale = vtime::cpu_scale_from_env();
+  config.dsm.net = vtime::model_from_env();
+  config.dsm.machine.compute_threads = config.threads_per_node;
+  config.dsm.machine.cpus_per_node =
+      static_cast<int>(env::get_int_or("PARADE_CPUS_PER_NODE", 2));
+  config.dsm.home_migration = env::get_bool_or("PARADE_HOME_MIGRATION", true);
+  config.dsm.pool_bytes =
+      static_cast<std::size_t>(env::get_int_or("PARADE_POOL_MB", 64)) << 20;
+  config.dsm.mp_threshold_bytes =
+      static_cast<std::size_t>(env::get_int_or("PARADE_MP_THRESHOLD", 256));
+  config.dsm.sync_mode =
+      env::get_string_or("PARADE_SYNC_MODE", "parade") == "conventional"
+          ? dsm::SyncMode::kConventional
+          : dsm::SyncMode::kParade;
+  return config;
+}
+
+NodeRuntime::NodeRuntime(net::Channel& channel, const RuntimeConfig& config)
+    : config_(config) {
+  dsm_ = std::make_unique<dsm::DsmNode>(channel, config_.dsm);
+  comm_ = std::make_unique<mp::Comm>(channel, config_.dsm.net);
+  team_ = std::make_unique<Team>(*this, config_.threads_per_node);
+}
+
+NodeRuntime::~NodeRuntime() { shutdown(); }
+
+Status NodeRuntime::start() {
+  if (Status s = dsm_->start(); !s) return s;
+  team_->start();
+  return Status::ok();
+}
+
+void NodeRuntime::shutdown() {
+  if (team_) team_->stop();
+  if (dsm_) dsm_->shutdown();
+}
+
+void NodeRuntime::main_entry(const std::function<void()>& program) {
+  logging::set_thread_node_tag(node_id());
+  ThreadCtx ctx(config_.cpu_scale);
+  ctx.node = this;
+  ctx.local_id = 0;
+  detail::set_current_ctx(&ctx);
+  ctx.clock.reset(0.0);
+  program();
+  ctx.clock.sync_cpu();
+  final_vtime_ = ctx.clock.now();
+  detail::set_current_ctx(nullptr);
+}
+
+}  // namespace parade

@@ -1,0 +1,50 @@
+// OpenMP-API shims for translator output (OpenMP 1.0 §3 runtime functions).
+// Translated programs call these names instead of libgomp's.
+#pragma once
+
+#include "runtime/api.hpp"
+
+namespace parade::ompshim {
+
+inline int omp_get_num_threads() { return num_threads(); }
+inline int omp_get_max_threads() { return num_threads(); }
+inline int omp_get_thread_num() { return thread_id(); }
+inline int omp_get_num_procs() { return num_threads(); }
+inline int omp_in_parallel() {
+  return this_node().team().in_region() ? 1 : 0;
+}
+inline double omp_get_wtime() { return vtime_now() / 1e6; }
+inline double omp_get_wtick() { return 1e-6; }
+
+// ---- OpenMP 1.0 lock API on top of the DSM lock manager ----
+//
+// omp_lock_t holds a DSM lock id. Ids are handed out by a per-node counter;
+// SPMD programs initialize locks in the same order on every node, so the
+// same source-level lock gets the same id cluster-wide (mirroring the SPMD
+// shared-pool allocator's contract). Ids start above the range the
+// translator uses for named criticals.
+using omp_lock_t = int;
+
+namespace detail {
+int allocate_dsm_lock_id();
+}  // namespace detail
+
+inline void omp_init_lock(omp_lock_t* lock) {
+  *lock = detail::allocate_dsm_lock_id();
+}
+inline void omp_destroy_lock(omp_lock_t* lock) { *lock = -1; }
+inline void omp_set_lock(omp_lock_t* lock) { dsm_lock(*lock); }
+inline void omp_unset_lock(omp_lock_t* lock) { dsm_unlock(*lock); }
+// Nest locks degrade to plain locks (no recursive acquisition): OpenMP 1.0
+// programs that re-acquire a held nest lock are not supported.
+using omp_nest_lock_t = omp_lock_t;
+inline void omp_init_nest_lock(omp_nest_lock_t* lock) { omp_init_lock(lock); }
+inline void omp_destroy_nest_lock(omp_nest_lock_t* lock) {
+  omp_destroy_lock(lock);
+}
+inline void omp_set_nest_lock(omp_nest_lock_t* lock) { omp_set_lock(lock); }
+inline void omp_unset_nest_lock(omp_nest_lock_t* lock) {
+  omp_unset_lock(lock);
+}
+
+}  // namespace parade::ompshim

@@ -1,0 +1,212 @@
+#include "runtime/team.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/log.hpp"
+#include "common/status.hpp"
+#include "runtime/node_runtime.hpp"
+
+namespace parade {
+
+VirtualUs CombiningBarrier::arrive(VirtualUs value) {
+  std::unique_lock lock(mutex_);
+  pending_max_ = std::max(pending_max_, value);
+  if (++count_ == parties_) {
+    released_max_ = pending_max_;
+    pending_max_ = 0.0;
+    count_ = 0;
+    ++generation_;
+    cv_.notify_all();
+    return released_max_;
+  }
+  const long generation = generation_;
+  cv_.wait(lock, [&] { return generation_ != generation; });
+  return released_max_;
+}
+
+Team::Team(NodeRuntime& node, int num_threads)
+    : node_(node),
+      num_threads_(num_threads),
+      gather_barrier_(num_threads),
+      release_barrier_(num_threads),
+      join_barrier_(num_threads) {
+  PARADE_CHECK_MSG(num_threads >= 1, "team needs at least one thread");
+}
+
+Team::~Team() { stop(); }
+
+void Team::start() {
+  for (LocalThreadId id = 1; id < num_threads_; ++id) {
+    workers_.emplace_back([this, id] { worker_loop(id); });
+  }
+}
+
+void Team::stop() {
+  {
+    std::lock_guard lock(region_mutex_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  region_cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+  workers_.clear();
+}
+
+void Team::worker_loop(LocalThreadId local_id) {
+  logging::set_thread_node_tag(node_.node_id());
+  ThreadCtx ctx(node_.config().cpu_scale);
+  ctx.node = &node_;
+  ctx.local_id = local_id;
+  detail::set_current_ctx(&ctx);
+
+  long seen_epoch = 0;
+  for (;;) {
+    const std::function<void()>* body = nullptr;
+    {
+      std::unique_lock lock(region_mutex_);
+      region_cv_.wait(lock,
+                      [&] { return stopping_ || region_epoch_ > seen_epoch; });
+      if (stopping_) break;
+      seen_epoch = region_epoch_;
+      body = region_body_;
+      // Fork semantics: a worker's virtual clock starts at the master's
+      // fork time.
+      ctx.clock.reset(fork_vtime_);
+    }
+    ctx.single_seq = 0;
+    ctx.loop_seq = 0;
+    (*body)();
+    barrier_global();  // implicit barrier at the end of a parallel region
+    (void)join_barrier_.arrive(0.0);
+  }
+  detail::set_current_ctx(nullptr);
+}
+
+void Team::run_region(const std::function<void()>& body) {
+  ThreadCtx& ctx = current_ctx();
+  PARADE_CHECK_MSG(ctx.local_id == 0, "only the node main thread forks");
+  ctx.clock.sync_cpu();
+  {
+    // Construct-instance state is per region; all workers are idle here.
+    std::lock_guard single_lock(single_mutex_);
+    singles_.clear();
+  }
+  {
+    std::lock_guard loop_lock(loop_mutex_);
+    loops_.clear();
+  }
+  {
+    std::lock_guard lock(region_mutex_);
+    in_region_ = true;  // before workers can wake and hit a barrier
+    region_body_ = &body;
+    fork_vtime_ = ctx.clock.now();
+    ++region_epoch_;
+  }
+  region_cv_.notify_all();
+
+  const long saved_single_seq = ctx.single_seq;
+  const long saved_loop_seq = ctx.loop_seq;
+  ctx.single_seq = 0;
+  ctx.loop_seq = 0;
+  body();
+  barrier_global();
+  ctx.single_seq = saved_single_seq;
+  ctx.loop_seq = saved_loop_seq;
+
+  // Wait for workers to go idle before the next region can be published.
+  (void)join_barrier_.arrive(0.0);
+  in_region_ = false;
+}
+
+void Team::barrier_global() {
+  ThreadCtx& ctx = current_ctx();
+  ctx.clock.sync_cpu();
+  if (!in_region_) {
+    // Serial section: only the node main thread is running.
+    PARADE_CHECK_MSG(ctx.local_id == 0, "worker outside a region");
+    node_.dsm().barrier();
+    return;
+  }
+  const VirtualUs team_max = gather_barrier_.arrive(ctx.clock.now());
+  if (ctx.local_id == 0) {
+    ctx.clock.merge(team_max);
+    node_.dsm().barrier();  // merges the global departure time into the clock
+  }
+  const VirtualUs departure =
+      release_barrier_.arrive(ctx.local_id == 0 ? ctx.clock.now() : 0.0);
+  ctx.clock.merge(departure);
+}
+
+void Team::barrier_node() {
+  ThreadCtx& ctx = current_ctx();
+  ctx.clock.sync_cpu();
+  if (!in_region_) return;  // serial section: nothing to synchronize with
+  const VirtualUs team_max = gather_barrier_.arrive(ctx.clock.now());
+  ctx.clock.merge(team_max);
+}
+
+bool Team::single_try_claim(long seq) {
+  std::lock_guard lock(single_mutex_);
+  SingleSlot& slot = singles_[seq];
+  if (slot.claimed) return false;
+  slot.claimed = true;
+  return true;
+}
+
+void Team::single_mark_done(long seq, VirtualUs vtime, const void* payload,
+                            std::size_t bytes) {
+  {
+    std::lock_guard lock(single_mutex_);
+    SingleSlot& slot = singles_[seq];
+    slot.done = true;
+    slot.done_vtime = vtime;
+    slot.payload.assign(static_cast<const std::uint8_t*>(payload),
+                        static_cast<const std::uint8_t*>(payload) + bytes);
+  }
+  single_cv_.notify_all();
+}
+
+VirtualUs Team::single_wait_done(long seq, void* out, std::size_t bytes) {
+  std::unique_lock lock(single_mutex_);
+  single_cv_.wait(lock, [&] { return singles_[seq].done; });
+  SingleSlot& slot = singles_[seq];
+  PARADE_CHECK_MSG(slot.payload.size() == bytes, "single payload mismatch");
+  if (bytes > 0) std::memcpy(out, slot.payload.data(), bytes);
+  return slot.done_vtime;
+}
+
+Team::LoopState& Team::loop_state(long seq, long begin, long end) {
+  std::lock_guard lock(loop_mutex_);
+  auto [it, inserted] = loops_.try_emplace(seq);
+  if (inserted) {
+    it->second.next = begin;
+    it->second.end = end;
+  }
+  return it->second;
+}
+
+bool Team::loop_next_chunk(LoopState& state, long chunk, long* lo, long* hi) {
+  std::lock_guard lock(loop_mutex_);
+  if (state.next >= state.end) return false;
+  if (chunk <= 0) {
+    // Guided: chunk shrinks with the remaining work (min 1 iteration).
+    const long remaining = state.end - state.next;
+    chunk = std::max<long>(1, remaining / (2 * num_threads_));
+  }
+  *lo = state.next;
+  *hi = std::min(state.end, state.next + chunk);
+  state.next = *hi;
+  return true;
+}
+
+void Team::loop_finish(long seq) {
+  std::lock_guard lock(loop_mutex_);
+  auto it = loops_.find(seq);
+  PARADE_CHECK(it != loops_.end());
+  if (++it->second.finished_threads == num_threads_) {
+    loops_.erase(it);
+  }
+}
+
+}  // namespace parade

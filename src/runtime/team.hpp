@@ -1,0 +1,135 @@
+// Team: a node's persistent worker pool and the fork-join machinery for
+// parallel regions (paper §4.1), plus the hierarchical barriers that combine
+// node-local pthread synchronization with the inter-node DSM barrier.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "runtime/context.hpp"
+
+namespace parade {
+
+class NodeRuntime;
+
+/// Reusable cyclic barrier that additionally max-combines a value carried by
+/// each arriving thread and hands the combined value to every participant.
+class CombiningBarrier {
+ public:
+  explicit CombiningBarrier(int parties) : parties_(parties) {}
+
+  /// Blocks until all parties arrive; returns max over the carried values.
+  VirtualUs arrive(VirtualUs value);
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  int parties_;
+  int count_ = 0;
+  long generation_ = 0;
+  VirtualUs pending_max_ = 0.0;
+  VirtualUs released_max_ = 0.0;
+};
+
+class Team {
+ public:
+  Team(NodeRuntime& node, int num_threads);
+  ~Team();
+
+  int num_threads() const { return num_threads_; }
+
+  /// Spawns the persistent workers (local ids 1..T-1).
+  void start();
+  /// Stops and joins the workers.
+  void stop();
+
+  /// Runs `body` on all T threads (caller participates as local thread 0)
+  /// and finishes with the implicit global join barrier.
+  void run_region(const std::function<void()>& body);
+
+  /// Hierarchical global barrier: intra-node max-combine, then the DSM
+  /// barrier by local thread 0, then distribution of the departure time.
+  void barrier_global();
+
+  /// Intra-node barrier only (clock max-combined across the team).
+  void barrier_node();
+
+  // --- single construct support (see api.cpp) ---
+  struct SingleSlot {
+    bool claimed = false;
+    bool done = false;
+    VirtualUs done_vtime = 0.0;
+    /// Broadcast payload, so every thread of the node (not just the claimer)
+    /// observes the construct's small-data result.
+    std::vector<std::uint8_t> payload;
+  };
+  /// Claims construct instance `seq` for the calling thread; returns true for
+  /// the executing thread.
+  bool single_try_claim(long seq);
+  void single_mark_done(long seq, VirtualUs vtime, const void* payload,
+                        std::size_t bytes);
+  /// Blocks until done; copies the payload into `out` (size `bytes`).
+  VirtualUs single_wait_done(long seq, void* out, std::size_t bytes);
+
+  // --- worksharing-loop state (dynamic/guided scheduling) ---
+  struct LoopState {
+    long next = 0;
+    long end = 0;
+    int finished_threads = 0;
+  };
+  /// Returns the shared state for loop instance `seq`, creating it with
+  /// [begin,end) bounds on first touch.
+  LoopState& loop_state(long seq, long begin, long end);
+  /// Grabs the next chunk; false when the loop is exhausted.
+  bool loop_next_chunk(LoopState& state, long chunk, long* lo, long* hi);
+  /// Marks the calling thread done; the last thread reclaims the state.
+  void loop_finish(long seq);
+
+  /// True while a parallel region is executing on this node.
+  bool in_region() const { return in_region_; }
+
+  // --- hybrid combining scratch (team_update_bytes) ---
+  /// Node-local mutex used by hybrid critical/reduction combining.
+  std::mutex& combine_mutex() { return combine_mutex_; }
+  std::vector<std::uint8_t>& combine_scratch() { return combine_scratch_; }
+  int& combine_count() { return combine_count_; }
+  void reset_combine_count() { combine_count_ = 0; }
+
+ private:
+  void worker_loop(LocalThreadId local_id);
+
+  NodeRuntime& node_;
+  int num_threads_;
+
+  std::vector<std::thread> workers_;
+  std::mutex region_mutex_;
+  std::condition_variable region_cv_;
+  long region_epoch_ = 0;
+  bool stopping_ = false;
+  const std::function<void()>* region_body_ = nullptr;
+  VirtualUs fork_vtime_ = 0.0;
+
+  CombiningBarrier gather_barrier_;
+  CombiningBarrier release_barrier_;
+  CombiningBarrier join_barrier_;
+
+  std::mutex single_mutex_;
+  std::condition_variable single_cv_;
+  std::unordered_map<long, SingleSlot> singles_;
+
+  std::mutex loop_mutex_;
+  std::unordered_map<long, LoopState> loops_;
+
+  std::mutex combine_mutex_;
+  std::vector<std::uint8_t> combine_scratch_;
+  int combine_count_ = 0;
+  bool in_region_ = false;
+};
+
+}  // namespace parade

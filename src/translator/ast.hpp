@@ -1,0 +1,99 @@
+// Statement-level AST for the translator. Following Omni's C-front approach
+// (parse, annotate with directive info, regenerate C), we keep expression
+// text as reconstructed token runs and parse structure only where the
+// translation needs it: blocks, declarations, for-loop headers, and
+// directive attachment points.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "translator/pragma.hpp"
+
+namespace parade::translator {
+
+enum class StmtKind {
+  kBlock,     // { children }
+  kRaw,       // expression statement / return / goto ... (verbatim text)
+  kDecl,      // declaration; names/types extracted for the symbol table
+  kFor,       // parsed header + body
+  kIf,        // cond + then (+ optional else)
+  kWhile,     // cond + body
+  kDoWhile,   // body + cond
+  kSwitch,    // cond + body (body treated structurally)
+  kPragma,    // OpenMP directive (+ optional body)
+  kHashLine,  // preprocessor line, verbatim
+  kEmpty,     // ;
+};
+
+/// One declarator inside a declaration: `*name[dim0][dim1] = init`.
+struct Declarator {
+  std::string name;
+  int pointer_depth = 0;
+  std::vector<std::string> array_dims;  // dimension expressions, outermost first
+  std::string init;                     // initializer text ("" if none)
+  bool is_function = false;             // function prototype declarator
+};
+
+/// Canonicalized `for (init; cond; incr)` header when the loop is in OpenMP
+/// canonical shape; otherwise only the raw texts are set.
+struct ForHeader {
+  std::string init_text;
+  std::string cond_text;
+  std::string incr_text;
+
+  bool canonical = false;
+  std::string loop_var;
+  std::string var_decl_type;  // non-empty if the init declares the variable
+  std::string lower;          // initial value expression
+  std::string upper;          // bound expression
+  bool inclusive = false;     // cond used <= (or >=)
+  bool increasing = true;
+  std::string step = "1";     // positive step expression
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Stmt {
+  StmtKind kind = StmtKind::kEmpty;
+  int line = 0;
+
+  std::vector<StmtPtr> children;  // block children / bodies (see kind)
+  std::string text;               // kRaw / kHashLine verbatim text
+  std::string cond;               // kIf / kWhile / kDoWhile / kSwitch
+  bool has_else = false;          // kIf: children = {then, else?}
+
+  // kDecl
+  std::string decl_type;  // base type text ("static double", "unsigned int")
+  std::vector<Declarator> declarators;
+
+  // kFor: children = {body}
+  ForHeader for_header;
+
+  // kPragma: children = {body?}
+  Directive directive;
+  bool directive_has_body = false;
+};
+
+struct FunctionDef {
+  std::string ret_type;    // text before the name
+  std::string name;
+  std::string params;      // text inside the parentheses
+  StmtPtr body;
+  int line = 0;
+};
+
+struct TopItem {
+  enum class Kind { kFunction, kDecl, kHashLine, kPragma, kRaw } kind;
+  FunctionDef function;  // kFunction
+  StmtPtr stmt;          // kDecl / kPragma / kRaw
+  std::string text;      // kHashLine
+};
+
+struct TranslationUnit {
+  std::vector<TopItem> items;
+};
+
+}  // namespace parade::translator

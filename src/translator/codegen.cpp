@@ -1,0 +1,1260 @@
+#include "translator/codegen.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "translator/parser.hpp"
+#include "translator/token.hpp"
+
+namespace parade::translator {
+namespace {
+
+const std::unordered_set<std::string>& omp_api_names() {
+  static const std::unordered_set<std::string> names = {
+      "omp_get_num_threads", "omp_get_max_threads", "omp_get_thread_num",
+      "omp_get_num_procs",   "omp_in_parallel",     "omp_get_wtime",
+      "omp_get_wtick",       "omp_init_lock",       "omp_destroy_lock",
+      "omp_set_lock",        "omp_unset_lock",      "omp_init_nest_lock",
+      "omp_destroy_nest_lock", "omp_set_nest_lock", "omp_unset_nest_lock",
+      "omp_lock_t",          "omp_nest_lock_t"};
+  return names;
+}
+
+/// Strips storage-class and cv qualifiers so the remainder can be used as a
+/// template argument / cast target ("static long" -> "long").
+std::string value_type_of(const std::string& decl_type) {
+  auto tokens_result = lex(decl_type);
+  if (!tokens_result.is_ok()) return decl_type;
+  const auto tokens = std::move(tokens_result).value();
+  std::string out;
+  for (const Token& t : tokens) {
+    if (t.kind == TokKind::kEof) break;
+    if (t.text == "static" || t.text == "extern" || t.text == "register" ||
+        t.text == "auto" || t.text == "const" || t.text == "volatile") {
+      continue;
+    }
+    std::string text = t.text;
+    if (text == "omp_lock_t" || text == "omp_nest_lock_t") {
+      text = "parade::ompshim::" + text;
+    }
+    out += (out.empty() ? "" : " ") + text;
+  }
+  return out.empty() ? decl_type : out;
+}
+
+struct Symbol {
+  std::string type;  // base type text without stars
+  int pointer_depth = 0;
+  bool is_array = false;
+  bool replicated_global = false;  // rewritten to __prep_<name>.get()
+  bool dsm_scalar = false;         // rewritten to (*__pdsm_<name>.get())
+  bool threadprivate = false;
+};
+
+// ---------------------------------------------------------------------------
+// Global classification pre-pass (paper §5.2): a file-scope scalar stays
+// node-replicated (update-by-collective) only while every parallel-context
+// write to it goes through a managed construct (reduction clause, analyzable
+// atomic/critical, single). Scalars written by plain statements inside
+// parallel regions — sections bodies, lock-fallback criticals, master blocks,
+// ad-hoc assignments — must live in the DSM pool so HLRC propagates them.
+
+/// Syntactic version of the analyzable-update check (no symbol table):
+/// `x op= expr` / `x++` / `x = x op expr`, no function calls.
+bool looks_like_scalar_update(const std::string& text, std::string* var) {
+  auto tokens_result = lex(text);
+  if (!tokens_result.is_ok()) return false;
+  const auto tokens = std::move(tokens_result).value();
+  std::size_t n = tokens.size();
+  while (n > 0 && (tokens[n - 1].kind == TokKind::kEof ||
+                   tokens[n - 1].is_punct(";"))) {
+    --n;
+  }
+  if (n < 2 || tokens[0].kind != TokKind::kIdent) return false;
+  for (std::size_t i = 1; i < n; ++i) {
+    if (tokens[i].kind == TokKind::kIdent && i + 1 < n &&
+        tokens[i + 1].is_punct("(")) {
+      return false;
+    }
+  }
+  const std::string& op = tokens[1].text;
+  const bool shape_ok =
+      (n == 2 && (op == "++" || op == "--")) || op == "+=" || op == "-=" ||
+      op == "*=" || op == "&=" || op == "|=" || op == "^=" ||
+      (op == "=" && n >= 5 && tokens[2].text == tokens[0].text);
+  if (shape_ok && var != nullptr) *var = tokens[0].text;
+  return shape_ok;
+}
+
+class GlobalClassifier {
+ public:
+  explicit GlobalClassifier(std::unordered_set<std::string> global_scalars)
+      : globals_(std::move(global_scalars)) {}
+
+  void walk_unit(const TranslationUnit& unit) {
+    for (const TopItem& item : unit.items) {
+      if (item.kind == TopItem::Kind::kFunction) {
+        std::unordered_set<std::string> shadowed;
+        walk(*item.function.body, /*in_parallel=*/false, shadowed);
+      }
+    }
+  }
+
+  const std::unordered_set<std::string>& dsm_scalars() const {
+    return dsm_scalars_;
+  }
+
+ private:
+  void note_raw_writes(const std::string& text,
+                       const std::unordered_set<std::string>& shadowed) {
+    auto tokens_result = lex(text);
+    if (!tokens_result.is_ok()) return;
+    const auto tokens = std::move(tokens_result).value();
+    for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+      const bool write_next =
+          tokens[i + 1].is_punct("=") || tokens[i + 1].is_punct("+=") ||
+          tokens[i + 1].is_punct("-=") || tokens[i + 1].is_punct("*=") ||
+          tokens[i + 1].is_punct("/=") || tokens[i + 1].is_punct("%=") ||
+          tokens[i + 1].is_punct("&=") || tokens[i + 1].is_punct("|=") ||
+          tokens[i + 1].is_punct("^=") || tokens[i + 1].is_punct("++") ||
+          tokens[i + 1].is_punct("--");
+      const bool inc_prev =
+          tokens[i].is_punct("++") || tokens[i].is_punct("--");
+      const Token& candidate = write_next ? tokens[i] : tokens[i + 1];
+      if (!(write_next || inc_prev) || candidate.kind != TokKind::kIdent) {
+        continue;
+      }
+      if (write_next && i > 0 &&
+          (tokens[i - 1].is_punct("]") || tokens[i - 1].is_punct(".") ||
+           tokens[i - 1].is_punct("->"))) {
+        continue;  // subscript/member store, not a scalar
+      }
+      if (shadowed.count(candidate.text) > 0) continue;
+      if (globals_.count(candidate.text) > 0) {
+        dsm_scalars_.insert(candidate.text);
+      }
+    }
+  }
+
+  void add_clause_shadows(const Clauses& c,
+                          std::unordered_set<std::string>* shadowed) {
+    for (const auto& v : c.privates) shadowed->insert(v);
+    for (const auto& v : c.firstprivate) shadowed->insert(v);
+    for (const auto& v : c.lastprivate) shadowed->insert(v);
+    for (const auto& [op, v] : c.reductions) {
+      (void)op;
+      shadowed->insert(v);
+    }
+  }
+
+  void walk(const Stmt& stmt, bool in_parallel,
+            std::unordered_set<std::string> shadowed) {
+    switch (stmt.kind) {
+      case StmtKind::kBlock:
+        for (const StmtPtr& child : stmt.children) {
+          if (child->kind == StmtKind::kDecl) {
+            for (const Declarator& d : child->declarators) {
+              shadowed.insert(d.name);
+            }
+            continue;
+          }
+          walk(*child, in_parallel, shadowed);
+        }
+        return;
+      case StmtKind::kRaw:
+        if (in_parallel) note_raw_writes(stmt.text, shadowed);
+        return;
+      case StmtKind::kFor: {
+        auto inner = shadowed;
+        if (stmt.for_header.canonical) {
+          inner.insert(stmt.for_header.loop_var);
+        }
+        walk(*stmt.children.front(), in_parallel, inner);
+        return;
+      }
+      case StmtKind::kIf:
+      case StmtKind::kWhile:
+      case StmtKind::kDoWhile:
+      case StmtKind::kSwitch:
+        for (const StmtPtr& child : stmt.children) {
+          walk(*child, in_parallel, shadowed);
+        }
+        return;
+      case StmtKind::kPragma: {
+        const Directive& d = stmt.directive;
+        auto inner = shadowed;
+        switch (d.kind) {
+          case DirectiveKind::kParallel:
+          case DirectiveKind::kParallelSections:
+            add_clause_shadows(d.clauses, &inner);
+            walk(*stmt.children.front(), /*in_parallel=*/true, inner);
+            return;
+          case DirectiveKind::kParallelFor:
+          case DirectiveKind::kFor:
+            add_clause_shadows(d.clauses, &inner);
+            walk(*stmt.children.front(),
+                 d.kind == DirectiveKind::kFor ? in_parallel : true, inner);
+            return;
+          case DirectiveKind::kSingle:
+            // Writes inside single are managed (broadcast payload).
+            return;
+          case DirectiveKind::kAtomic:
+            return;  // analyzable by definition (or a hard error later)
+          case DirectiveKind::kCritical: {
+            const Stmt* body = stmt.children.front().get();
+            if (body->kind == StmtKind::kBlock &&
+                body->children.size() == 1) {
+              body = body->children.front().get();
+            }
+            std::string var;
+            if (body->kind == StmtKind::kRaw &&
+                looks_like_scalar_update(body->text, &var) &&
+                shadowed.count(var) == 0) {
+              return;  // collective fast path: managed
+            }
+            // DSM-lock fallback: body writes need page consistency.
+            walk(*stmt.children.front(), in_parallel, shadowed);
+            return;
+          }
+          default:
+            if (!stmt.children.empty()) {
+              walk(*stmt.children.front(), in_parallel, shadowed);
+            }
+            return;
+        }
+      }
+      default:
+        return;
+    }
+  }
+
+  std::unordered_set<std::string> globals_;
+  std::unordered_set<std::string> dsm_scalars_;
+};
+
+/// A scalar-update statement matched for the hybrid critical/atomic path:
+/// var <combine-op>= expr with no function calls.
+struct UpdatePattern {
+  std::string var;
+  std::string combine_op;  // C operator combining contributions: + * & | ^
+  std::string apply_op;    // operator applying the combined value to var
+  std::string expr;        // contribution expression
+};
+
+class CodeGen {
+ public:
+  explicit CodeGen(const TranslateOptions& options) : options_(options) {}
+
+  Result<std::string> run(const TranslationUnit& unit);
+
+ private:
+  // --- output helpers ---
+  void line(const std::string& text) {
+    for (int i = 0; i < indent_; ++i) out_ << "  ";
+    out_ << text << '\n';
+  }
+  void open(const std::string& text) {
+    line(text);
+    ++indent_;
+  }
+  void close(const std::string& text = "}") {
+    --indent_;
+    line(text);
+  }
+  std::string unique(const std::string& stem) {
+    return "__parade_" + stem + std::to_string(counter_++);
+  }
+
+  // --- scopes / symbols ---
+  void push_scope() { scopes_.emplace_back(); }
+  void pop_scope() { scopes_.pop_back(); }
+  const Symbol* lookup(const std::string& name) const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      auto found = it->find(name);
+      if (found != it->end()) return &found->second;
+    }
+    return nullptr;
+  }
+  void declare(const std::string& name, Symbol symbol) {
+    scopes_.back()[name] = std::move(symbol);
+  }
+
+  /// Re-lexes `text` and rewrites identifiers: replicated globals and
+  /// omp_*/printf calls. `extra_shadow` names are treated as locally bound.
+  std::string rewrite(const std::string& text) const;
+
+  // --- statements ---
+  Status emit_stmt(const Stmt& stmt);
+  Status emit_block_children(const Stmt& block);
+  Status emit_decl(const Stmt& decl);
+  Status emit_pragma(const Stmt& stmt);
+
+  // --- directive handlers ---
+  Status emit_parallel(const Directive& d, const Stmt& body);
+  Status emit_for(const Directive& d, const Stmt& for_stmt);
+  Status emit_sections(const Directive& d, const Stmt& body);
+  Status emit_single(const Directive& d, const Stmt& body);
+  Status emit_critical(const Directive& d, const Stmt& body);
+  Status emit_atomic(const Directive& d, const Stmt& body);
+
+  // --- helpers ---
+  Status emit_data_env_prologue(const Clauses& c,
+                                std::vector<std::string>* fp_tmp_names);
+  void emit_reduction_epilogue(const Clauses& c);
+  std::optional<UpdatePattern> match_update(const std::string& text) const;
+  std::string type_of(const std::string& var) const;
+  void collect_written_scalars(const Stmt& stmt,
+                               std::set<std::string>* names) const;
+  std::string stmt_to_string(const Stmt& stmt);
+  int critical_lock_id(const std::string& name);
+
+  Status err(int line, const std::string& message) const {
+    return make_error(ErrorCode::kUnsupported,
+                      message + " (line " + std::to_string(line) + ")");
+  }
+
+  TranslateOptions options_;
+  std::ostringstream out_;
+  int indent_ = 0;
+  int counter_ = 0;
+  std::vector<std::unordered_map<std::string, Symbol>> scopes_;
+  std::vector<std::string> shared_init_lines_;
+  std::unordered_map<std::string, int> critical_ids_;
+  std::string user_main_params_;
+  bool saw_main_ = false;
+};
+
+std::string CodeGen::rewrite(const std::string& text) const {
+  auto tokens_result = lex(text);
+  if (!tokens_result.is_ok()) return text;  // emit verbatim on lex trouble
+  auto tokens = std::move(tokens_result).value();
+  for (Token& t : tokens) {
+    if (t.kind != TokKind::kIdent) continue;
+    if (t.text == "printf") {
+      t.text = "parade::xlat::master_printf";
+      continue;
+    }
+    if (omp_api_names().count(t.text) > 0) {
+      t.text = "parade::ompshim::" + t.text;
+      continue;
+    }
+    const Symbol* symbol = lookup(t.text);
+    if (symbol != nullptr && symbol->replicated_global) {
+      t.text = "__prep_" + t.text + ".get()";
+    } else if (symbol != nullptr && symbol->dsm_scalar) {
+      t.text = "(*__pdsm_" + t.text + ".get())";
+    }
+  }
+  return render_tokens(tokens, 0, tokens.size() - 1);  // drop EOF
+}
+
+std::string CodeGen::type_of(const std::string& var) const {
+  const Symbol* symbol = lookup(var);
+  if (symbol == nullptr || symbol->type.empty()) return "long";
+  std::string type = value_type_of(symbol->type);
+  for (int i = 0; i < symbol->pointer_depth; ++i) type += "*";
+  return type;
+}
+
+int CodeGen::critical_lock_id(const std::string& name) {
+  const std::string key = name.empty() ? "<unnamed>" : name;
+  auto [it, inserted] = critical_ids_.try_emplace(
+      key, static_cast<int>(critical_ids_.size()) + 8);
+  (void)inserted;
+  return it->second;
+}
+
+std::optional<UpdatePattern> CodeGen::match_update(
+    const std::string& text) const {
+  auto tokens_result = lex(text);
+  if (!tokens_result.is_ok()) return std::nullopt;
+  const auto tokens = std::move(tokens_result).value();
+  // Strip trailing ';' / EOF.
+  std::size_t n = tokens.size();
+  while (n > 0 && (tokens[n - 1].kind == TokKind::kEof ||
+                   tokens[n - 1].is_punct(";"))) {
+    --n;
+  }
+  if (n < 2 || tokens[0].kind != TokKind::kIdent) return std::nullopt;
+  const std::string var = tokens[0].text;
+  const Symbol* symbol = lookup(var);
+  if (symbol == nullptr || symbol->is_array || symbol->pointer_depth > 0) {
+    return std::nullopt;
+  }
+
+  auto expr_from = [&](std::size_t begin) -> std::optional<std::string> {
+    std::string expr;
+    for (std::size_t i = begin; i < n; ++i) {
+      // Reject function calls in the contribution (paper §7: only criticals
+      // without function calls map to collectives).
+      if (tokens[i].kind == TokKind::kIdent && i + 1 < n &&
+          tokens[i + 1].is_punct("(")) {
+        return std::nullopt;
+      }
+      expr += (expr.empty() ? "" : " ") + tokens[i].text;
+    }
+    if (expr.empty()) return std::nullopt;
+    return expr;
+  };
+
+  UpdatePattern p;
+  p.var = var;
+  if (n == 2 && (tokens[1].is_punct("++") || tokens[1].is_punct("--"))) {
+    p.combine_op = "+";
+    p.apply_op = tokens[1].text == "++" ? "+" : "-";
+    p.expr = "1";
+    return p;
+  }
+  const std::string& op = tokens[1].text;
+  if (op == "+=" || op == "-=" || op == "*=" || op == "&=" || op == "|=" ||
+      op == "^=") {
+    auto expr = expr_from(2);
+    if (!expr) return std::nullopt;
+    p.apply_op = op.substr(0, 1);
+    p.combine_op = op == "-=" ? "+" : p.apply_op;
+    p.expr = *expr;
+    return p;
+  }
+  if (op == "=" && n >= 5 && tokens[2].text == var &&
+      tokens[3].kind == TokKind::kPunct) {
+    const std::string& binop = tokens[3].text;
+    if (binop == "+" || binop == "-" || binop == "*" || binop == "&" ||
+        binop == "|" || binop == "^") {
+      auto expr = expr_from(4);
+      if (!expr) return std::nullopt;
+      p.apply_op = binop;
+      p.combine_op = binop == "-" ? "+" : binop;
+      p.expr = *expr;
+      return p;
+    }
+  }
+  return std::nullopt;
+}
+
+void CodeGen::collect_written_scalars(const Stmt& stmt,
+                                      std::set<std::string>* names) const {
+  if (stmt.kind == StmtKind::kRaw) {
+    auto tokens_result = lex(stmt.text);
+    if (!tokens_result.is_ok()) return;
+    const auto tokens = std::move(tokens_result).value();
+    for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+      const bool write_next =
+          tokens[i + 1].is_punct("=") || tokens[i + 1].is_punct("+=") ||
+          tokens[i + 1].is_punct("-=") || tokens[i + 1].is_punct("*=") ||
+          tokens[i + 1].is_punct("/=") || tokens[i + 1].is_punct("++") ||
+          tokens[i + 1].is_punct("--");
+      const bool inc_prev = tokens[i].is_punct("++") || tokens[i].is_punct("--");
+      const Token& candidate = write_next ? tokens[i] : tokens[i + 1];
+      if ((write_next || inc_prev) && candidate.kind == TokKind::kIdent) {
+        // Writes through subscripts/members are array/pointer stores, not
+        // scalar updates: x[i] = ..., p->f = ...
+        if (write_next && i > 0 &&
+            (tokens[i - 1].is_punct("]") || tokens[i - 1].is_punct(".") ||
+             tokens[i - 1].is_punct("->"))) {
+          continue;
+        }
+        const Symbol* symbol = lookup(candidate.text);
+        if (symbol != nullptr && !symbol->is_array &&
+            symbol->pointer_depth == 0) {
+          names->insert(candidate.text);
+        }
+      }
+    }
+    return;
+  }
+  for (const StmtPtr& child : stmt.children) {
+    if (child) collect_written_scalars(*child, names);
+  }
+}
+
+std::string CodeGen::stmt_to_string(const Stmt& stmt) {
+  std::ostringstream saved;
+  saved.swap(out_);
+  const int saved_indent = indent_;
+  indent_ = 0;
+  (void)emit_stmt(stmt);
+  std::string text = out_.str();
+  out_ = std::move(saved);
+  indent_ = saved_indent;
+  return text;
+}
+
+Status CodeGen::emit_decl(const Stmt& decl) {
+  // Register symbols, emit the (rewritten) declaration.
+  std::string text = decl.decl_type;
+  if (text.find("omp_lock_t") != std::string::npos ||
+      text.find("omp_nest_lock_t") != std::string::npos) {
+    text = rewrite(text);  // qualifies the omp type names
+  }
+  bool first = true;
+  for (const Declarator& d : decl.declarators) {
+    Symbol symbol;
+    symbol.type = decl.decl_type;
+    symbol.pointer_depth = d.pointer_depth;
+    symbol.is_array = !d.array_dims.empty();
+    declare(d.name, symbol);
+
+    text += first ? " " : ", ";
+    first = false;
+    for (int i = 0; i < d.pointer_depth; ++i) text += "*";
+    text += d.name;
+    for (const std::string& dim : d.array_dims) {
+      text += "[" + rewrite(dim) + "]";
+    }
+    if (d.is_function) text += "()";  // prototypes inside functions are rare
+    if (!d.init.empty()) text += " = " + rewrite(d.init);
+  }
+  line(text + ";");
+  return Status::ok();
+}
+
+Status CodeGen::emit_data_env_prologue(const Clauses& c,
+                                       std::vector<std::string>* fp_tmps) {
+  // firstprivate: snapshot outer values before shadowing.
+  for (const std::string& var : c.firstprivate) {
+    const std::string tmp = unique("fp_");
+    line("auto " + tmp + " = " + rewrite(var) + ";");
+    fp_tmps->push_back(tmp);
+  }
+  return Status::ok();
+}
+
+Status CodeGen::emit_parallel(const Directive& d, const Stmt& body) {
+  const Clauses& c = d.clauses;
+  open("{");
+  std::vector<std::string> fp_tmps;
+  if (Status s = emit_data_env_prologue(c, &fp_tmps); !s) return s;
+
+  // copyin: snapshot the master's threadprivate values before the fork.
+  std::vector<std::string> ci_tmps;
+  for (const std::string& var : c.copyin) {
+    const Symbol* symbol = lookup(var);
+    if (symbol == nullptr || !symbol->threadprivate) {
+      return err(d.line, "copyin(" + var + ") needs a threadprivate variable");
+    }
+    const std::string tmp = unique("ci_");
+    line("auto " + tmp + " = " + var + ";");
+    ci_tmps.push_back(tmp);
+  }
+  if (!c.if_expr.empty()) {
+    line("// if(" + c.if_expr + ") clause noted: this translator always "
+         "executes the region in parallel");
+  }
+
+  // Reduction targets: capture pointers before the shadows appear.
+  std::vector<std::string> red_ptrs;
+  for (const auto& [op, var] : c.reductions) {
+    (void)op;
+    const std::string ptr = unique("redptr_");
+    line("auto* " + ptr + " = &(" + rewrite(var) + ");");
+    red_ptrs.push_back(ptr);
+  }
+
+  open("parade::parallel([&]() {");
+  push_scope();
+
+  for (std::size_t i = 0; i < c.copyin.size(); ++i) {
+    line(c.copyin[i] + " = " + ci_tmps[i] + ";");
+  }
+  for (const std::string& var : c.privates) {
+    line(type_of(var) + " " + var + "{};");
+    declare(var, Symbol{type_of(var), 0, false, false, false});
+  }
+  for (std::size_t i = 0; i < c.firstprivate.size(); ++i) {
+    const std::string& var = c.firstprivate[i];
+    line(type_of(var) + " " + var + " = " + fp_tmps[i] + ";");
+    declare(var, Symbol{type_of(var), 0, false, false, false});
+  }
+  for (const auto& [op, var] : c.reductions) {
+    line(type_of(var) + " " + var + " = " + reduction_identity(op) + ";");
+    declare(var, Symbol{type_of(var), 0, false, false, false});
+  }
+
+  if (Status s = emit_stmt(body); !s) return s;
+
+  // Merge reductions: one collective per variable (the paper merges multiple
+  // variables into a struct; per-variable collectives are semantically
+  // identical and the virtual-time model charges them individually).
+  for (std::size_t i = 0; i < c.reductions.size(); ++i) {
+    const auto& [op, var] = c.reductions[i];
+    const std::string type = type_of(var);
+    const char* cop = reduction_operator(op);
+    const std::string combine = op == ReductionOp::kSub ? "+" : cop;
+    open("{");
+    line(type + " __contrib = " + var + ";");
+    line("parade::team_allreduce_bytes(&__contrib, sizeof(__contrib), "
+         "[](void* __a, const void* __b, std::size_t) { *static_cast<" +
+         type + "*>(__a) = *static_cast<" + type + "*>(__a) " + combine +
+         " *static_cast<const " + type + "*>(__b); });");
+    open("if (parade::local_thread_id() == 0) {");
+    line("*" + red_ptrs[i] + " = *" + red_ptrs[i] + " " + std::string(cop) +
+         " __contrib;");
+    close();
+    line("parade::node_barrier();");
+    close();
+  }
+
+  pop_scope();
+  close("});");
+  close();
+  return Status::ok();
+}
+
+Status CodeGen::emit_for(const Directive& d, const Stmt& stmt) {
+  if (stmt.kind != StmtKind::kFor) {
+    return err(d.line, "omp for must be followed by a for loop");
+  }
+  const ForHeader& h = stmt.for_header;
+  if (!h.canonical) {
+    return err(d.line, "omp for loop is not in canonical form (init; "
+                       "var relop bound; var update)");
+  }
+  const Clauses& c = d.clauses;
+
+  open("{");
+  std::vector<std::string> fp_tmps;
+  if (Status s = emit_data_env_prologue(c, &fp_tmps); !s) return s;
+
+  std::vector<std::string> red_ptrs;
+  for (const auto& [op, var] : c.reductions) {
+    (void)op;
+    const std::string ptr = unique("redptr_");
+    line("auto* " + ptr + " = &(" + rewrite(var) + ");");
+    red_ptrs.push_back(ptr);
+  }
+
+  // Normalized bounds.
+  const std::string count = unique("count_");
+  line("const long " + count + " = parade::xlat::loop_count((long)(" +
+       rewrite(h.lower) + "), (long)(" + rewrite(h.upper) + "), (long)(" +
+       rewrite(h.step) + "), " + (h.inclusive ? "true" : "false") + ", " +
+       (h.increasing ? "true" : "false") + ");");
+
+  // Schedule clause mapping (paper supports static; dynamic/guided are the
+  // §8 extension implemented hierarchically by the runtime).
+  std::string schedule = "parade::Schedule{parade::ScheduleKind::kStatic, 0}";
+  if (c.has_schedule) {
+    switch (c.schedule) {
+      case OmpSchedule::kStatic:
+        schedule = c.schedule_chunk.empty()
+                       ? "parade::Schedule{parade::ScheduleKind::kStatic, 0}"
+                       : "parade::Schedule{parade::ScheduleKind::kStaticChunk, "
+                         "(long)(" + rewrite(c.schedule_chunk) + ")}";
+        break;
+      case OmpSchedule::kDynamic:
+        schedule = "parade::Schedule{parade::ScheduleKind::kDynamic, " +
+                   (c.schedule_chunk.empty()
+                        ? std::string("1")
+                        : "(long)(" + rewrite(c.schedule_chunk) + ")") + "}";
+        break;
+      case OmpSchedule::kGuided:
+        schedule = "parade::Schedule{parade::ScheduleKind::kGuided, 0}";
+        break;
+      case OmpSchedule::kRuntime:
+        schedule = "parade::schedule_from_env()";
+        break;
+    }
+  }
+
+  // Lastprivate support: flag + value per variable, selected by whoever
+  // executes the sequentially-last iteration, then broadcast.
+  struct LastPrivate {
+    std::string var;
+    std::string flag;
+    std::string value;
+  };
+  std::vector<LastPrivate> lastprivates;
+  for (const std::string& var : c.lastprivate) {
+    LastPrivate lp{var, unique("lp_has_"), unique("lp_val_")};
+    line("int " + lp.flag + " = 0;");
+    line(type_of(var) + " " + lp.value + "{};");
+    lastprivates.push_back(lp);
+  }
+
+  // Per-thread data environment: this whole translated block runs on every
+  // team thread, so shadows declared here are thread-private and visible to
+  // the chunk lambda and to the reduction merge after the loop.
+  push_scope();
+  for (const std::string& var : c.privates) {
+    const std::string type = type_of(var);
+    line(type + " " + var + "{};");
+    declare(var, Symbol{type, 0, false, false, false});
+  }
+  for (std::size_t i = 0; i < c.firstprivate.size(); ++i) {
+    const std::string& var = c.firstprivate[i];
+    const std::string type = type_of(var);
+    line(type + " " + var + " = " + fp_tmps[i] + ";");
+    declare(var, Symbol{type, 0, false, false, false});
+  }
+  for (const auto& [op, var] : c.reductions) {
+    const std::string type = type_of(var);
+    line(type + " " + var + " = " + reduction_identity(op) + ";");
+    declare(var, Symbol{type, 0, false, false, false});
+  }
+
+  open("parade::parallel_for(0, " + count + ", " + schedule +
+       ", [&](long __lo, long __hi) {");
+
+  open("for (long __it = __lo; __it < __hi; ++__it) {");
+  const std::string var_type =
+      !h.var_decl_type.empty() ? h.var_decl_type : type_of(h.loop_var);
+  line(var_type + " " + h.loop_var + " = (" + var_type +
+       ")parade::xlat::loop_index((long)(" + rewrite(h.lower) + "), (long)(" +
+       rewrite(h.step) + "), " + (h.increasing ? "true" : "false") +
+       ", __it);");
+  push_scope();
+  declare(h.loop_var, Symbol{var_type, 0, false, false, false});
+  if (Status s = emit_stmt(*stmt.children.front()); !s) return s;
+  for (const LastPrivate& lp : lastprivates) {
+    open("if (__it == " + count + " - 1) {");
+    line(lp.flag + " = 1;");
+    line(lp.value + " = " + lp.var + ";");
+    close();
+  }
+  pop_scope();
+  close();
+
+  close("}, /*nowait=*/" + std::string(c.nowait ? "true" : "false") + ");");
+
+  // Reductions merge after the loop (inside the enclosing region).
+  for (std::size_t i = 0; i < c.reductions.size(); ++i) {
+    const auto& [op, var] = c.reductions[i];
+    const std::string type = type_of(var);
+    const char* cop = reduction_operator(op);
+    const std::string combine = op == ReductionOp::kSub ? "+" : cop;
+    open("{");
+    line(type + " __contrib = " + var + ";");
+    line("parade::team_allreduce_bytes(&__contrib, sizeof(__contrib), "
+         "[](void* __a, const void* __b, std::size_t) { *static_cast<" +
+         type + "*>(__a) = *static_cast<" + type + "*>(__a) " + combine +
+         " *static_cast<const " + type + "*>(__b); });");
+    open("if (parade::local_thread_id() == 0) {");
+    line("*" + red_ptrs[i] + " = *" + red_ptrs[i] + " " + std::string(cop) +
+         " __contrib;");
+    close();
+    line("parade::node_barrier();");
+    close();
+  }
+
+  // Lastprivate selection across the team.
+  for (const LastPrivate& lp : lastprivates) {
+    const std::string type = type_of(lp.var);
+    open("{");
+    line("struct __Sel { int has; " + type + " v; } __sel{" + lp.flag + ", " +
+         lp.value + "};");
+    line("parade::team_allreduce_bytes(&__sel, sizeof(__sel), "
+         "[](void* __a, const void* __b, std::size_t) { auto* __x = "
+         "static_cast<__Sel*>(__a); const auto* __y = static_cast<const "
+         "__Sel*>(__b); if (__y->has) *__x = *__y; });");
+    open("if (parade::local_thread_id() == 0 && __sel.has) {");
+    line(rewrite(lp.var) + " = __sel.v;");
+    close();
+    line("parade::node_barrier();");
+    close();
+  }
+
+  pop_scope();
+  close();
+  return Status::ok();
+}
+
+Status CodeGen::emit_sections(const Directive& d, const Stmt& body) {
+  if (body.kind != StmtKind::kBlock) {
+    return err(d.line, "omp sections needs a block body");
+  }
+  // Collect the section bodies.
+  std::vector<const Stmt*> sections;
+  for (const StmtPtr& child : body.children) {
+    if (child->kind == StmtKind::kPragma &&
+        child->directive.kind == DirectiveKind::kSection) {
+      sections.push_back(child->children.front().get());
+    } else if (child->kind != StmtKind::kEmpty) {
+      // First statement before any `section` pragma forms section 0.
+      sections.push_back(child.get());
+    }
+  }
+  open("{");
+  open("parade::parallel_for(0, " + std::to_string(sections.size()) +
+       ", parade::Schedule{parade::ScheduleKind::kStaticChunk, 1}, "
+       "[&](long __lo, long __hi) {");
+  open("for (long __s = __lo; __s < __hi; ++__s) {");
+  open("switch (__s) {");
+  for (std::size_t i = 0; i < sections.size(); ++i) {
+    open("case " + std::to_string(i) + ": {");
+    push_scope();
+    if (Status s = emit_stmt(*sections[i]); !s) return s;
+    pop_scope();
+    line("break;");
+    close();
+  }
+  close();
+  close();
+  close("}, /*nowait=*/" +
+        std::string(d.clauses.nowait ? "true" : "false") + ");");
+  close();
+  return Status::ok();
+}
+
+Status CodeGen::emit_single(const Directive& d, const Stmt& body) {
+  // Scalars written inside the block travel in the broadcast payload
+  // (paper Figure 3: executing node updates, MPI_Bcast propagates).
+  std::set<std::string> written;
+  collect_written_scalars(body, &written);
+
+  open("{");
+  std::string struct_body;
+  std::vector<std::string> names(written.begin(), written.end());
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    struct_body += type_of(names[i]) + " v" + std::to_string(i) + "; ";
+  }
+  if (names.empty()) struct_body = "char v0; ";
+  line("struct __ParadeSingle { " + struct_body + "} __sgl{};");
+  open("parade::single_small(&__sgl, sizeof(__sgl), [&]() {");
+  push_scope();
+  if (Status s = emit_stmt(body); !s) return s;
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    line("__sgl.v" + std::to_string(i) + " = " + rewrite(names[i]) + ";");
+  }
+  pop_scope();
+  close("});");
+  if (!names.empty()) {
+    open("if (parade::local_thread_id() == 0) {");
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      line(rewrite(names[i]) + " = __sgl.v" + std::to_string(i) + ";");
+    }
+    close();
+    line("parade::node_barrier();");
+  }
+  if (!d.clauses.nowait) {
+    // OpenMP single carries an implicit barrier; ParADE's broadcast already
+    // synchronizes the data, so a node-local barrier suffices (the paper's
+    // "reducing the number of inter-process barriers").
+    line("parade::node_barrier();");
+  }
+  close();
+  return Status::ok();
+}
+
+Status CodeGen::emit_critical(const Directive& d, const Stmt& body) {
+  // Lexically analyzable single-update criticals map to collectives
+  // (Figure 2 right); everything else falls back to the DSM lock.
+  const Stmt* stmt = &body;
+  if (stmt->kind == StmtKind::kBlock && stmt->children.size() == 1) {
+    stmt = stmt->children.front().get();
+  }
+  if (stmt->kind == StmtKind::kRaw) {
+    if (auto pattern = match_update(stmt->text)) {
+      const std::string type = type_of(pattern->var);
+      open("{");
+      line(type + " __contrib = (" + rewrite(pattern->expr) + ");");
+      line("parade::team_allreduce_bytes(&__contrib, sizeof(__contrib), "
+           "[](void* __a, const void* __b, std::size_t) { *static_cast<" +
+           type + "*>(__a) = *static_cast<" + type + "*>(__a) " +
+           pattern->combine_op + " *static_cast<const " + type +
+           "*>(__b); });");
+      open("if (parade::local_thread_id() == 0) {");
+      line(rewrite(pattern->var) + " = " + rewrite(pattern->var) + " " +
+           pattern->apply_op + " __contrib;");
+      close();
+      line("parade::node_barrier();");
+      close();
+      return Status::ok();
+    }
+  }
+  const int lock_id = critical_lock_id(d.clauses.critical_name);
+  open("{");
+  line("parade::dsm_lock(" + std::to_string(lock_id) + ");");
+  push_scope();
+  if (Status s = emit_stmt(body); !s) return s;
+  pop_scope();
+  line("parade::dsm_unlock(" + std::to_string(lock_id) + ");");
+  close();
+  return Status::ok();
+}
+
+Status CodeGen::emit_atomic(const Directive& d, const Stmt& body) {
+  const Stmt* stmt = &body;
+  if (stmt->kind == StmtKind::kBlock && stmt->children.size() == 1) {
+    stmt = stmt->children.front().get();
+  }
+  if (stmt->kind != StmtKind::kRaw) {
+    return err(d.line, "omp atomic requires an expression statement");
+  }
+  auto pattern = match_update(stmt->text);
+  if (!pattern) {
+    return err(d.line, "omp atomic statement is not a supported update "
+                       "(x op= expr, x++, x = x op expr)");
+  }
+  // Identical machinery to the analyzable critical (paper: atomic is a
+  // special case of critical, exactly mapped to a collective).
+  Directive as_critical = d;
+  return emit_critical(as_critical, body);
+}
+
+Status CodeGen::emit_pragma(const Stmt& stmt) {
+  const Directive& d = stmt.directive;
+  switch (d.kind) {
+    case DirectiveKind::kParallel:
+      return emit_parallel(d, *stmt.children.front());
+    case DirectiveKind::kParallelFor: {
+      // parallel for == parallel { for }.
+      Directive par = d;
+      open("{");
+      std::vector<std::string> fp_tmps;
+      // Keep it simple: delegate the whole clause set to the inner `for`
+      // inside a clause-less parallel.
+      open("parade::parallel([&]() {");
+      push_scope();
+      Directive inner = d;
+      inner.kind = DirectiveKind::kFor;
+      Status s = emit_for(inner, *stmt.children.front());
+      pop_scope();
+      close("});");
+      close();
+      return s;
+    }
+    case DirectiveKind::kFor:
+      return emit_for(d, *stmt.children.front());
+    case DirectiveKind::kParallelSections: {
+      open("parade::parallel([&]() {");
+      push_scope();
+      Directive inner = d;
+      inner.kind = DirectiveKind::kSections;
+      Status s = emit_sections(inner, *stmt.children.front());
+      pop_scope();
+      close("});");
+      return s;
+    }
+    case DirectiveKind::kSections:
+      return emit_sections(d, *stmt.children.front());
+    case DirectiveKind::kSection:
+      return err(d.line, "omp section outside sections");
+    case DirectiveKind::kSingle:
+      return emit_single(d, *stmt.children.front());
+    case DirectiveKind::kMaster:
+      open("if (parade::node_id() == 0 && parade::local_thread_id() == 0) {");
+      push_scope();
+      if (Status s = emit_stmt(*stmt.children.front()); !s) return s;
+      pop_scope();
+      close();
+      return Status::ok();
+    case DirectiveKind::kCritical:
+      return emit_critical(d, *stmt.children.front());
+    case DirectiveKind::kAtomic:
+      return emit_atomic(d, *stmt.children.front());
+    case DirectiveKind::kBarrier:
+      line("parade::barrier();");
+      return Status::ok();
+    case DirectiveKind::kFlush:
+      line("parade::barrier(); /* flush approximated by a global barrier */");
+      return Status::ok();
+    case DirectiveKind::kOrdered:
+      line("/* ordered: static scheduling preserves chunk order per thread */");
+      return emit_stmt(*stmt.children.front());
+    case DirectiveKind::kThreadprivate:
+      return err(d.line, "threadprivate is not supported by this translator");
+  }
+  return err(d.line, "unhandled directive");
+}
+
+Status CodeGen::emit_stmt(const Stmt& stmt) {
+  switch (stmt.kind) {
+    case StmtKind::kBlock: {
+      open("{");
+      push_scope();
+      if (Status s = emit_block_children(stmt); !s) return s;
+      pop_scope();
+      close();
+      return Status::ok();
+    }
+    case StmtKind::kRaw:
+      line(rewrite(stmt.text));
+      return Status::ok();
+    case StmtKind::kDecl:
+      return emit_decl(stmt);
+    case StmtKind::kFor: {
+      const ForHeader& h = stmt.for_header;
+      line("for (" + rewrite(h.init_text) + "; " + rewrite(h.cond_text) +
+           "; " + rewrite(h.incr_text) + ")");
+      push_scope();
+      if (h.canonical && !h.var_decl_type.empty()) {
+        declare(h.loop_var, Symbol{h.var_decl_type, 0, false, false, false});
+      }
+      Status s = emit_stmt(*stmt.children.front());
+      pop_scope();
+      return s;
+    }
+    case StmtKind::kIf: {
+      line("if (" + rewrite(stmt.cond) + ")");
+      if (Status s = emit_stmt(*stmt.children[0]); !s) return s;
+      if (stmt.has_else) {
+        line("else");
+        return emit_stmt(*stmt.children[1]);
+      }
+      return Status::ok();
+    }
+    case StmtKind::kWhile: {
+      line("while (" + rewrite(stmt.cond) + ")");
+      return emit_stmt(*stmt.children.front());
+    }
+    case StmtKind::kDoWhile: {
+      line("do");
+      if (Status s = emit_stmt(*stmt.children.front()); !s) return s;
+      line("while (" + rewrite(stmt.cond) + ");");
+      return Status::ok();
+    }
+    case StmtKind::kSwitch: {
+      line("switch (" + rewrite(stmt.cond) + ")");
+      return emit_stmt(*stmt.children.front());
+    }
+    case StmtKind::kPragma:
+      return emit_pragma(stmt);
+    case StmtKind::kHashLine:
+      line(stmt.text);
+      return Status::ok();
+    case StmtKind::kEmpty:
+      line(";");
+      return Status::ok();
+  }
+  return Status::ok();
+}
+
+Status CodeGen::emit_block_children(const Stmt& block) {
+  for (const StmtPtr& child : block.children) {
+    if (Status s = emit_stmt(*child); !s) return s;
+  }
+  return Status::ok();
+}
+
+Result<std::string> CodeGen::run(const TranslationUnit& unit) {
+  // Pre-pass: which file-scope scalars are written by unmanaged statements
+  // inside parallel regions (they must live in the DSM pool)?
+  std::unordered_set<std::string> global_scalars;
+  for (const TopItem& item : unit.items) {
+    if (item.kind != TopItem::Kind::kDecl) continue;
+    for (const Declarator& d : item.stmt->declarators) {
+      if (!d.is_function && d.array_dims.empty() && d.pointer_depth == 0) {
+        global_scalars.insert(d.name);
+      }
+    }
+  }
+  GlobalClassifier classifier(global_scalars);
+  classifier.walk_unit(unit);
+  const auto& dsm_scalars = classifier.dsm_scalars();
+
+  // threadprivate(list) pragmas at file scope mark per-thread globals.
+  std::unordered_set<std::string> threadprivate_names;
+  for (const TopItem& item : unit.items) {
+    if (item.kind == TopItem::Kind::kPragma &&
+        item.stmt->directive.kind == DirectiveKind::kThreadprivate) {
+      for (const std::string& name : item.stmt->directive.clauses.flush_list) {
+        threadprivate_names.insert(name);
+      }
+    }
+  }
+
+  push_scope();  // file scope
+  line("// Generated by parade_omcc (ParADE OpenMP translator). Do not edit.");
+  line("#include \"" + options_.support_include + "\"");
+  line("");
+
+  for (const TopItem& item : unit.items) {
+    switch (item.kind) {
+      case TopItem::Kind::kHashLine:
+        line(item.text);
+        break;
+      case TopItem::Kind::kRaw:
+        line(rewrite(item.stmt->text));
+        break;
+      case TopItem::Kind::kPragma: {
+        if (item.stmt->directive.kind == DirectiveKind::kThreadprivate) {
+          line("// threadprivate: handled at the declarations above");
+          break;
+        }
+        return err(item.stmt->directive.line,
+                   "OpenMP directive at file scope");
+      }
+      case TopItem::Kind::kDecl: {
+        // File-scope data: arrays go to the DSM pool; scalars/pointers become
+        // node-replicated (paper §5.2: page consistency for large data,
+        // update-by-collective for small synchronization-managed data).
+        const Stmt& decl = *item.stmt;
+        for (const Declarator& d : decl.declarators) {
+          if (d.is_function) {
+            // Prototype: emit verbatim-ish.
+            line(decl.decl_type + " " + d.name + "();");
+            continue;
+          }
+          Symbol symbol;
+          symbol.type = decl.decl_type;
+          symbol.pointer_depth = d.pointer_depth;
+          if (!d.array_dims.empty()) {
+            if (!d.init.empty()) {
+              return err(decl.line, "initialized global arrays are not "
+                                    "supported (move init into main)");
+            }
+            // DSM placement: emit a replicated pointer + pool allocation.
+            symbol.is_array = false;
+            symbol.pointer_depth = 1;
+            symbol.replicated_global = true;
+            declare(d.name, symbol);
+            std::string elem_type = value_type_of(decl.decl_type);
+            for (int i = 0; i < d.pointer_depth; ++i) elem_type += "*";
+            std::string ptr_type = elem_type + " (*)";
+            std::string suffix;
+            for (std::size_t dim = 1; dim < d.array_dims.size(); ++dim) {
+              suffix += "[" + d.array_dims[dim] + "]";
+            }
+            ptr_type = elem_type + " (*" + std::string(")") + suffix;
+            const std::string full_type =
+                "decltype(static_cast<" + elem_type + " (*)" + suffix +
+                ">(nullptr))";
+            line("static parade::xlat::Replicated<" + full_type + "> __prep_" +
+                 d.name + ";");
+            std::string size_expr = "sizeof(" + elem_type + ")";
+            for (const std::string& dim : d.array_dims) {
+              size_expr += " * (" + dim + ")";
+            }
+            shared_init_lines_.push_back(
+                "__prep_" + d.name + ".get() = reinterpret_cast<" + elem_type +
+                " (*)" + suffix + ">(parade::shmalloc(" + size_expr + "));");
+          } else if (threadprivate_names.count(d.name) > 0) {
+            // OpenMP threadprivate: one instance per thread, no rewriting.
+            symbol.threadprivate = true;
+            declare(d.name, symbol);
+            std::string full_type = value_type_of(decl.decl_type);
+            for (int i = 0; i < d.pointer_depth; ++i) full_type += "*";
+            std::string dims;
+            for (const std::string& dim : d.array_dims) {
+              dims += "[" + dim + "]";
+            }
+            line("static thread_local " + full_type + " " + d.name + dims +
+                 (d.init.empty() ? "" : " = " + d.init) + ";");
+          } else if (d.pointer_depth == 0 && dsm_scalars.count(d.name) > 0) {
+            // Written by unmanaged parallel code: place in the DSM pool.
+            symbol.dsm_scalar = true;
+            declare(d.name, symbol);
+            const std::string vt = value_type_of(decl.decl_type);
+            line("static parade::xlat::Replicated<" + vt + "*> __pdsm_" +
+                 d.name + ";");
+            shared_init_lines_.push_back(
+                "__pdsm_" + d.name + ".get() = static_cast<" + vt +
+                "*>(parade::shmalloc(sizeof(" + vt + ")));");
+            if (!d.init.empty()) {
+              shared_init_lines_.push_back(
+                  "if (parade::node_id() == 0) { *__pdsm_" + d.name +
+                  ".get() = " + d.init + "; }");
+            }
+          } else {
+            symbol.replicated_global = true;
+            declare(d.name, symbol);
+            std::string full_type = value_type_of(decl.decl_type);
+            for (int i = 0; i < d.pointer_depth; ++i) full_type += "*";
+            if (d.init.empty()) {
+              line("static parade::xlat::Replicated<" + full_type +
+                   "> __prep_" + d.name + ";");
+            } else {
+              line("static parade::xlat::Replicated<" + full_type +
+                   "> __prep_" + d.name + "{static_cast<" + full_type + ">(" +
+                   d.init + ")};");
+            }
+          }
+        }
+        break;
+      }
+      case TopItem::Kind::kFunction: {
+        const FunctionDef& fn = item.function;
+        const bool is_main = fn.name == "main";
+        if (is_main) {
+          saw_main_ = true;
+          user_main_params_ = fn.params;
+        }
+        const std::string name = is_main ? "__parade_user_main" : fn.name;
+        std::string ret =
+            fn.ret_type.empty() ? std::string("int") : fn.ret_type;
+        if (is_main) ret = "static int";
+        line(ret + " " + name + "(" + fn.params + ")");
+        push_scope();
+        // Register parameters: "type name" comma-separated (approximate).
+        if (fn.params != "void" && !fn.params.empty()) {
+          auto tokens_result = lex(fn.params + " ,");
+          if (tokens_result.is_ok()) {
+            const auto tokens = std::move(tokens_result).value();
+            std::vector<Token> current;
+            for (const Token& t : tokens) {
+              if (t.is_punct(",") || t.kind == TokKind::kEof) {
+                // Last identifier is the name; the rest is its type.
+                for (std::size_t i = current.size(); i-- > 0;) {
+                  if (current[i].kind == TokKind::kIdent) {
+                    Symbol symbol;
+                    std::vector<Token> type_run(current.begin(),
+                                                current.begin() +
+                                                    static_cast<long>(i));
+                    symbol.type = render_tokens(type_run, 0, type_run.size());
+                    symbol.is_array =
+                        i + 1 < current.size() && current[i + 1].is_punct("[");
+                    declare(current[i].text, symbol);
+                    break;
+                  }
+                }
+                current.clear();
+              } else {
+                current.push_back(t);
+              }
+            }
+          }
+        }
+        if (Status s = emit_stmt(*fn.body); !s) return s;
+        pop_scope();
+        line("");
+        break;
+      }
+    }
+  }
+
+  // Shared-pool initialisation (runs once per node, before user main).
+  line("static void __parade_shared_init() {");
+  ++indent_;
+  for (const std::string& init : shared_init_lines_) line(init);
+  if (!shared_init_lines_.empty()) {
+    // Publish node 0's initial values before user code touches the pool.
+    line("parade::barrier();");
+  }
+  --indent_;
+  line("}");
+  line("");
+
+  if (options_.emit_main_wrapper && saw_main_) {
+    const bool wants_args = user_main_params_.find("argc") != std::string::npos;
+    line("int main(int argc, char** argv) {");
+    ++indent_;
+    line("(void)argc; (void)argv;");
+    if (wants_args) {
+      line("return parade::xlat::launch([&]() -> int { "
+           "__parade_shared_init(); return __parade_user_main(argc, argv); "
+           "});");
+    } else {
+      line("return parade::xlat::launch([&]() -> int { "
+           "__parade_shared_init(); return __parade_user_main(); });");
+    }
+    --indent_;
+    line("}");
+  }
+
+  pop_scope();
+  return out_.str();
+}
+
+}  // namespace
+
+Result<std::string> generate(const TranslationUnit& unit,
+                             const TranslateOptions& options) {
+  CodeGen codegen(options);
+  return codegen.run(unit);
+}
+
+}  // namespace parade::translator

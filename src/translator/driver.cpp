@@ -1,0 +1,76 @@
+// parade_omcc: the ParADE OpenMP translator CLI.
+//
+//   parade_omcc input.c [-o output.cpp] [--threshold=BYTES] [--no-main]
+//
+// Translates an OpenMP C program into a ParADE C++ program. Compile the
+// output against the ParADE runtime (see README "Translator" section).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "translator/translate.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: parade_omcc <input.c> [-o <output.cpp>] "
+               "[--threshold=BYTES] [--no-main]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string input;
+  std::string output;
+  parade::translator::TranslateOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-o") {
+      if (i + 1 >= argc) return usage();
+      output = argv[++i];
+    } else if (arg.rfind("--threshold=", 0) == 0) {
+      options.mp_threshold_bytes =
+          static_cast<std::size_t>(std::strtoul(arg.c_str() + 12, nullptr, 10));
+    } else if (arg == "--no-main") {
+      options.emit_main_wrapper = false;
+    } else if (arg.rfind("-", 0) == 0) {
+      return usage();
+    } else {
+      if (!input.empty()) return usage();
+      input = arg;
+    }
+  }
+  if (input.empty()) return usage();
+
+  std::ifstream in(input);
+  if (!in) {
+    std::fprintf(stderr, "parade_omcc: cannot open %s\n", input.c_str());
+    return 1;
+  }
+  std::ostringstream source;
+  source << in.rdbuf();
+
+  auto translated = parade::translator::translate_source(source.str(), options);
+  if (!translated.is_ok()) {
+    std::fprintf(stderr, "parade_omcc: %s: %s\n", input.c_str(),
+                 translated.status().to_string().c_str());
+    return 1;
+  }
+
+  if (output.empty()) {
+    std::fputs(translated.value().c_str(), stdout);
+  } else {
+    std::ofstream out(output);
+    if (!out) {
+      std::fprintf(stderr, "parade_omcc: cannot write %s\n", output.c_str());
+      return 1;
+    }
+    out << translated.value();
+  }
+  return 0;
+}

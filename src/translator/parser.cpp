@@ -1,0 +1,548 @@
+#include "translator/parser.hpp"
+
+#include <cctype>
+
+namespace parade::translator {
+namespace {
+
+bool no_space_before(const std::string& t) {
+  return t == ";" || t == "," || t == ")" || t == "]" || t == "++" ||
+         t == "--" || t == "." || t == "->" || t == "(" || t == "[";
+}
+
+bool no_space_after(const std::string& t) {
+  return t == "(" || t == "[" || t == "." || t == "->" || t == "!" ||
+         t == "~";
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::vector<Token>& tokens) : tokens_(tokens) {}
+
+  Result<TranslationUnit> parse_unit();
+
+ private:
+  const Token& cur() const { return tokens_[pos_]; }
+  const Token& ahead(std::size_t n) const {
+    const std::size_t at = std::min(pos_ + n, tokens_.size() - 1);
+    return tokens_[at];
+  }
+  void advance() {
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+  }
+  bool at_eof() const { return cur().kind == TokKind::kEof; }
+
+  Status error(const std::string& message) const {
+    return make_error(ErrorCode::kInvalidArgument,
+                      message + " at line " + std::to_string(cur().line));
+  }
+
+  /// Renders and consumes tokens until `stop` punct at paren/bracket depth 0
+  /// (stop not consumed unless consume_stop).
+  std::string consume_until(const char* stop, bool consume_stop);
+
+  Result<StmtPtr> parse_statement();
+  Result<StmtPtr> parse_block();
+  Result<StmtPtr> parse_declaration();
+  Result<StmtPtr> parse_for();
+  Result<StmtPtr> parse_pragma_stmt();
+  void canonicalize_for(ForHeader& header);
+
+  bool looks_like_declaration() const;
+
+  const std::vector<Token>& tokens_;
+  std::size_t pos_ = 0;
+};
+
+std::string Parser::consume_until(const char* stop, bool consume_stop) {
+  std::vector<Token> run;
+  int depth = 0;
+  while (!at_eof()) {
+    const Token& t = cur();
+    if (t.kind == TokKind::kPunct) {
+      if (t.text == "(" || t.text == "[") {
+        ++depth;
+      } else if (t.text == ")" || t.text == "]") {
+        if (depth == 0) {
+          if (t.text == stop) break;
+          // Unbalanced closer; stop here rather than run away.
+          break;
+        }
+        --depth;
+      } else if (depth == 0 && t.text == stop) {
+        break;
+      }
+    }
+    run.push_back(t);
+    advance();
+  }
+  if (consume_stop && !at_eof()) advance();
+  return render_tokens(run, 0, run.size());
+}
+
+bool Parser::looks_like_declaration() const {
+  const Token& t = cur();
+  if (t.kind == TokKind::kKeyword && is_decl_start_keyword(t.text)) return true;
+  // "Type name ..." with a known typedef-ish pattern: ident ident.
+  if (t.kind == TokKind::kIdent && ahead(1).kind == TokKind::kIdent) {
+    return true;
+  }
+  return false;
+}
+
+Result<StmtPtr> Parser::parse_block() {
+  auto block = std::make_unique<Stmt>();
+  block->kind = StmtKind::kBlock;
+  block->line = cur().line;
+  advance();  // '{'
+  while (!at_eof() && !cur().is_punct("}")) {
+    auto stmt = parse_statement();
+    if (!stmt.is_ok()) return stmt.status();
+    block->children.push_back(std::move(stmt).value());
+  }
+  if (at_eof()) return error("unterminated block");
+  advance();  // '}'
+  return StmtPtr(std::move(block));
+}
+
+Result<StmtPtr> Parser::parse_declaration() {
+  auto decl = std::make_unique<Stmt>();
+  decl->kind = StmtKind::kDecl;
+  decl->line = cur().line;
+
+  // Base type: leading keywords (+ struct/union/enum tag, + one identifier
+  // for typedef names when followed by a declarator-ish token).
+  std::vector<Token> type_tokens;
+  while (!at_eof()) {
+    const Token& t = cur();
+    if (t.kind == TokKind::kKeyword && is_decl_start_keyword(t.text)) {
+      type_tokens.push_back(t);
+      advance();
+      if (type_tokens.back().text == "struct" ||
+          type_tokens.back().text == "union" ||
+          type_tokens.back().text == "enum") {
+        if (cur().kind == TokKind::kIdent) {
+          type_tokens.push_back(cur());
+          advance();
+        }
+        if (cur().is_punct("{")) {
+          return error("struct definitions in declarations are unsupported");
+        }
+      }
+      continue;
+    }
+    break;
+  }
+  if (type_tokens.empty() ||
+      (type_tokens.size() == 1 && (type_tokens[0].text == "static" ||
+                                   type_tokens[0].text == "const"))) {
+    // typedef-name base type: "Type x" pattern.
+    if (cur().kind == TokKind::kIdent && ahead(1).kind == TokKind::kIdent) {
+      type_tokens.push_back(cur());
+      advance();
+    }
+  }
+  if (type_tokens.empty()) return error("expected declaration");
+  decl->decl_type = render_tokens(type_tokens, 0, type_tokens.size());
+
+  // Declarators separated by commas, terminated by ';'.
+  for (;;) {
+    Declarator d;
+    while (cur().is_punct("*")) {
+      ++d.pointer_depth;
+      advance();
+    }
+    if (cur().kind != TokKind::kIdent) {
+      return error("expected declarator name after '" + decl->decl_type + "'");
+    }
+    d.name = cur().text;
+    advance();
+    if (cur().is_punct("(")) {
+      // Function prototype: swallow the parameter list.
+      d.is_function = true;
+      advance();
+      (void)consume_until(")", /*consume_stop=*/true);
+    }
+    while (cur().is_punct("[")) {
+      advance();
+      d.array_dims.push_back(consume_until("]", /*consume_stop=*/true));
+    }
+    if (cur().is_punct("=")) {
+      advance();
+      // Initializer up to ',' or ';' at depth 0 (brace initializers kept raw).
+      std::vector<Token> run;
+      int depth = 0;
+      while (!at_eof()) {
+        const Token& t = cur();
+        if (t.kind == TokKind::kPunct) {
+          if (t.text == "(" || t.text == "[" || t.text == "{") ++depth;
+          if (t.text == ")" || t.text == "]" || t.text == "}") --depth;
+          if (depth == 0 && (t.text == "," || t.text == ";")) break;
+        }
+        run.push_back(t);
+        advance();
+      }
+      d.init = render_tokens(run, 0, run.size());
+    }
+    decl->declarators.push_back(std::move(d));
+    if (cur().is_punct(",")) {
+      advance();
+      continue;
+    }
+    if (cur().is_punct(";")) {
+      advance();
+      break;
+    }
+    return error("expected ',' or ';' in declaration");
+  }
+  return StmtPtr(std::move(decl));
+}
+
+void Parser::canonicalize_for(ForHeader& h) {
+  // init: [type] var = lower
+  auto init_tokens_result = lex(h.init_text + " ;");
+  auto cond_tokens_result = lex(h.cond_text + " ;");
+  auto incr_tokens_result = lex(h.incr_text + " ;");
+  if (!init_tokens_result.is_ok() || !cond_tokens_result.is_ok() ||
+      !incr_tokens_result.is_ok()) {
+    return;
+  }
+  const auto init = std::move(init_tokens_result).value();
+  const auto cond = std::move(cond_tokens_result).value();
+  const auto incr = std::move(incr_tokens_result).value();
+
+  std::size_t i = 0;
+  std::string decl_type;
+  while (init[i].kind == TokKind::kKeyword &&
+         is_decl_start_keyword(init[i].text)) {
+    decl_type += (decl_type.empty() ? "" : " ") + init[i].text;
+    ++i;
+  }
+  if (init[i].kind != TokKind::kIdent) return;
+  const std::string var = init[i].text;
+  ++i;
+  if (!init[i].is_punct("=")) return;
+  ++i;
+  std::string lower;
+  int paren_depth = 0;
+  for (; i < init.size() && !init[i].is_punct(";"); ++i) {
+    if (init[i].is_punct("(")) ++paren_depth;
+    if (init[i].is_punct(")")) --paren_depth;
+    // A top-level comma means a multi-clause init (i = 0, j = 1): not
+    // canonical.
+    if (paren_depth == 0 && init[i].is_punct(",")) return;
+    lower += (lower.empty() ? "" : " ") + init[i].text;
+  }
+
+  // cond: var < / <= / > / >= bound
+  if (cond.size() < 3 || cond[0].text != var) return;
+  const std::string rel = cond[1].text;
+  if (rel != "<" && rel != "<=" && rel != ">" && rel != ">=") return;
+  std::string upper;
+  for (std::size_t k = 2; k < cond.size() && !cond[k].is_punct(";"); ++k) {
+    upper += (upper.empty() ? "" : " ") + cond[k].text;
+  }
+
+  // incr: var++ / ++var / var-- / --var / var += s / var -= s /
+  //       var = var + s / var = var - s
+  std::string step = "1";
+  bool increasing = true;
+  if (incr.size() >= 2 && incr[0].text == var && incr[1].is_punct("++")) {
+  } else if (incr.size() >= 2 && incr[0].is_punct("++") && incr[1].text == var) {
+  } else if (incr.size() >= 2 && incr[0].text == var && incr[1].is_punct("--")) {
+    increasing = false;
+  } else if (incr.size() >= 2 && incr[0].is_punct("--") && incr[1].text == var) {
+    increasing = false;
+  } else if (incr.size() >= 3 && incr[0].text == var &&
+             (incr[1].is_punct("+=") || incr[1].is_punct("-="))) {
+    increasing = incr[1].text == "+=";
+    step.clear();
+    for (std::size_t k = 2; k < incr.size() && !incr[k].is_punct(";"); ++k) {
+      step += (step.empty() ? "" : " ") + incr[k].text;
+    }
+  } else if (incr.size() >= 5 && incr[0].text == var && incr[1].is_punct("=") &&
+             incr[2].text == var &&
+             (incr[3].is_punct("+") || incr[3].is_punct("-"))) {
+    increasing = incr[3].text == "+";
+    step.clear();
+    for (std::size_t k = 4; k < incr.size() && !incr[k].is_punct(";"); ++k) {
+      step += (step.empty() ? "" : " ") + incr[k].text;
+    }
+  } else {
+    return;
+  }
+  // Direction must agree with the relation.
+  if (increasing && (rel == ">" || rel == ">=")) return;
+  if (!increasing && (rel == "<" || rel == "<=")) return;
+
+  h.canonical = true;
+  h.loop_var = var;
+  h.var_decl_type = decl_type;
+  h.lower = lower;
+  h.upper = upper;
+  h.inclusive = rel == "<=" || rel == ">=";
+  h.increasing = increasing;
+  h.step = step;
+}
+
+Result<StmtPtr> Parser::parse_for() {
+  auto stmt = std::make_unique<Stmt>();
+  stmt->kind = StmtKind::kFor;
+  stmt->line = cur().line;
+  advance();  // 'for'
+  if (!cur().is_punct("(")) return error("expected '(' after for");
+  advance();
+  stmt->for_header.init_text = consume_until(";", /*consume_stop=*/true);
+  stmt->for_header.cond_text = consume_until(";", /*consume_stop=*/true);
+  stmt->for_header.incr_text = consume_until(")", /*consume_stop=*/true);
+  canonicalize_for(stmt->for_header);
+  auto body = parse_statement();
+  if (!body.is_ok()) return body.status();
+  stmt->children.push_back(std::move(body).value());
+  return StmtPtr(std::move(stmt));
+}
+
+Result<StmtPtr> Parser::parse_pragma_stmt() {
+  auto stmt = std::make_unique<Stmt>();
+  stmt->kind = StmtKind::kPragma;
+  stmt->line = cur().line;
+  auto directive = parse_pragma(cur().text, cur().line);
+  if (!directive.is_ok()) return directive.status();
+  stmt->directive = std::move(directive).value();
+  advance();
+
+  switch (stmt->directive.kind) {
+    case DirectiveKind::kBarrier:
+    case DirectiveKind::kFlush:
+    case DirectiveKind::kThreadprivate:
+      stmt->directive_has_body = false;
+      break;
+    default: {
+      auto body = parse_statement();
+      if (!body.is_ok()) return body.status();
+      stmt->children.push_back(std::move(body).value());
+      stmt->directive_has_body = true;
+      break;
+    }
+  }
+  return StmtPtr(std::move(stmt));
+}
+
+Result<StmtPtr> Parser::parse_statement() {
+  const Token& t = cur();
+  switch (t.kind) {
+    case TokKind::kPragmaOmp:
+      return parse_pragma_stmt();
+    case TokKind::kHashLine: {
+      auto stmt = std::make_unique<Stmt>();
+      stmt->kind = StmtKind::kHashLine;
+      stmt->text = t.text;
+      stmt->line = t.line;
+      advance();
+      return StmtPtr(std::move(stmt));
+    }
+    default:
+      break;
+  }
+  if (t.is_punct("{")) return parse_block();
+  if (t.is_punct(";")) {
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = StmtKind::kEmpty;
+    stmt->line = t.line;
+    advance();
+    return StmtPtr(std::move(stmt));
+  }
+  if (t.is_kw("for")) return parse_for();
+  if (t.is_kw("if")) {
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = StmtKind::kIf;
+    stmt->line = t.line;
+    advance();
+    if (!cur().is_punct("(")) return error("expected '(' after if");
+    advance();
+    stmt->cond = consume_until(")", /*consume_stop=*/true);
+    auto then_branch = parse_statement();
+    if (!then_branch.is_ok()) return then_branch.status();
+    stmt->children.push_back(std::move(then_branch).value());
+    if (cur().is_kw("else")) {
+      advance();
+      auto else_branch = parse_statement();
+      if (!else_branch.is_ok()) return else_branch.status();
+      stmt->children.push_back(std::move(else_branch).value());
+      stmt->has_else = true;
+    }
+    return StmtPtr(std::move(stmt));
+  }
+  if (t.is_kw("while")) {
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = StmtKind::kWhile;
+    stmt->line = t.line;
+    advance();
+    if (!cur().is_punct("(")) return error("expected '(' after while");
+    advance();
+    stmt->cond = consume_until(")", /*consume_stop=*/true);
+    auto body = parse_statement();
+    if (!body.is_ok()) return body.status();
+    stmt->children.push_back(std::move(body).value());
+    return StmtPtr(std::move(stmt));
+  }
+  if (t.is_kw("do")) {
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = StmtKind::kDoWhile;
+    stmt->line = t.line;
+    advance();
+    auto body = parse_statement();
+    if (!body.is_ok()) return body.status();
+    stmt->children.push_back(std::move(body).value());
+    if (!cur().is_kw("while")) return error("expected while after do body");
+    advance();
+    if (!cur().is_punct("(")) return error("expected '(' after do..while");
+    advance();
+    stmt->cond = consume_until(")", /*consume_stop=*/true);
+    if (cur().is_punct(";")) advance();
+    return StmtPtr(std::move(stmt));
+  }
+  if (t.is_kw("switch")) {
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = StmtKind::kSwitch;
+    stmt->line = t.line;
+    advance();
+    if (!cur().is_punct("(")) return error("expected '(' after switch");
+    advance();
+    stmt->cond = consume_until(")", /*consume_stop=*/true);
+    auto body = parse_statement();
+    if (!body.is_ok()) return body.status();
+    stmt->children.push_back(std::move(body).value());
+    return StmtPtr(std::move(stmt));
+  }
+  if (looks_like_declaration()) return parse_declaration();
+
+  // Raw statement: everything through ';' at depth 0. Covers expressions,
+  // return, break, continue, goto, labels.
+  auto stmt = std::make_unique<Stmt>();
+  stmt->kind = StmtKind::kRaw;
+  stmt->line = t.line;
+  stmt->text = consume_until(";", /*consume_stop=*/true) + ";";
+  return StmtPtr(std::move(stmt));
+}
+
+Result<TranslationUnit> Parser::parse_unit() {
+  TranslationUnit unit;
+  while (!at_eof()) {
+    const Token& t = cur();
+    if (t.kind == TokKind::kHashLine) {
+      TopItem item;
+      item.kind = TopItem::Kind::kHashLine;
+      item.text = t.text;
+      unit.items.push_back(std::move(item));
+      advance();
+      continue;
+    }
+    if (t.kind == TokKind::kPragmaOmp) {
+      auto stmt = parse_pragma_stmt();
+      if (!stmt.is_ok()) return stmt.status();
+      TopItem item;
+      item.kind = TopItem::Kind::kPragma;
+      item.stmt = std::move(stmt).value();
+      unit.items.push_back(std::move(item));
+      continue;
+    }
+
+    // Function definition or declaration: scan ahead for "name ( ... ) {".
+    std::size_t probe = pos_;
+    int paren_depth = 0;
+    bool is_function = false;
+    std::size_t name_at = 0;
+    while (probe < tokens_.size()) {
+      const Token& p = tokens_[probe];
+      if (p.kind == TokKind::kEof) break;
+      if (p.is_punct(";") && paren_depth == 0) break;
+      if (p.is_punct("=") && paren_depth == 0) break;
+      if (p.is_punct("(")) {
+        if (paren_depth == 0 && probe > pos_ &&
+            tokens_[probe - 1].kind == TokKind::kIdent) {
+          name_at = probe - 1;
+        }
+        ++paren_depth;
+      } else if (p.is_punct(")")) {
+        --paren_depth;
+        if (paren_depth == 0) {
+          // After the parameter list: '{' means definition.
+          std::size_t after = probe + 1;
+          if (after < tokens_.size() && tokens_[after].is_punct("{")) {
+            is_function = name_at != 0;
+          }
+          break;
+        }
+      } else if (p.is_punct("{") && paren_depth == 0) {
+        break;
+      }
+      ++probe;
+    }
+
+    if (is_function) {
+      FunctionDef fn;
+      fn.line = t.line;
+      std::vector<Token> ret_run(tokens_.begin() + static_cast<long>(pos_),
+                                 tokens_.begin() + static_cast<long>(name_at));
+      fn.ret_type = render_tokens(ret_run, 0, ret_run.size());
+      fn.name = tokens_[name_at].text;
+      pos_ = name_at + 1;  // at '('
+      advance();           // past '('
+      fn.params = consume_until(")", /*consume_stop=*/true);
+      if (!cur().is_punct("{")) return error("expected function body");
+      auto body = parse_block();
+      if (!body.is_ok()) return body.status();
+      fn.body = std::move(body).value();
+      TopItem item;
+      item.kind = TopItem::Kind::kFunction;
+      item.function = std::move(fn);
+      unit.items.push_back(std::move(item));
+      continue;
+    }
+
+    // Top-level declaration.
+    if (looks_like_declaration()) {
+      auto decl = parse_declaration();
+      if (!decl.is_ok()) return decl.status();
+      TopItem item;
+      item.kind = TopItem::Kind::kDecl;
+      item.stmt = std::move(decl).value();
+      unit.items.push_back(std::move(item));
+      continue;
+    }
+    // Anything else (stray semicolons, extern "C" etc.): raw until ';'.
+    TopItem item;
+    item.kind = TopItem::Kind::kRaw;
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = StmtKind::kRaw;
+    stmt->line = t.line;
+    stmt->text = consume_until(";", /*consume_stop=*/true) + ";";
+    item.stmt = std::move(stmt);
+    unit.items.push_back(std::move(item));
+  }
+  return unit;
+}
+
+}  // namespace
+
+std::string render_tokens(const std::vector<Token>& tokens, std::size_t begin,
+                          std::size_t end) {
+  std::string out;
+  for (std::size_t i = begin; i < end; ++i) {
+    const std::string& text = tokens[i].text;
+    if (!out.empty() && !no_space_before(text) &&
+        !(i > begin && no_space_after(tokens[i - 1].text))) {
+      out += ' ';
+    }
+    out += text;
+  }
+  return out;
+}
+
+Result<TranslationUnit> parse(const std::vector<Token>& tokens) {
+  Parser parser(tokens);
+  return parser.parse_unit();
+}
+
+}  // namespace parade::translator

@@ -1,0 +1,67 @@
+// OpenMP 1.0 (C/C++) directive and clause parsing (paper §4: the translator
+// follows the OpenMP 1.0 C/C++ API).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace parade::translator {
+
+enum class DirectiveKind {
+  kParallel,
+  kParallelFor,
+  kParallelSections,
+  kFor,
+  kSections,
+  kSection,
+  kSingle,
+  kMaster,
+  kCritical,
+  kAtomic,
+  kBarrier,
+  kFlush,
+  kOrdered,
+  kThreadprivate,
+};
+
+enum class ReductionOp { kAdd, kSub, kMul, kAnd, kOr, kXor, kLAnd, kLOr };
+
+enum class OmpSchedule { kStatic, kDynamic, kGuided, kRuntime };
+
+struct Clauses {
+  std::vector<std::string> shared;
+  std::vector<std::string> privates;
+  std::vector<std::string> firstprivate;
+  std::vector<std::string> lastprivate;
+  std::vector<std::pair<ReductionOp, std::string>> reductions;
+  std::vector<std::string> copyin;
+  std::vector<std::string> flush_list;  // for flush(list)
+  bool has_default = false;
+  bool default_shared = true;  // default(shared) vs default(none)
+  bool nowait = false;
+  bool has_schedule = false;
+  OmpSchedule schedule = OmpSchedule::kStatic;
+  std::string schedule_chunk;  // expression text, empty if absent
+  std::string if_expr;         // if(expr) text, empty if absent
+  std::string critical_name;   // critical(name)
+};
+
+struct Directive {
+  DirectiveKind kind = DirectiveKind::kBarrier;
+  Clauses clauses;
+  int line = 0;
+};
+
+/// Parses the text after "#pragma omp". Reports unknown directives/clauses as
+/// errors with the offending token (translator diagnostics, tested).
+Result<Directive> parse_pragma(const std::string& text, int line);
+
+const char* to_string(DirectiveKind kind);
+/// The C operator token for a reduction op ("+", "&&", ...).
+const char* reduction_operator(ReductionOp op);
+/// The identity value literal for a reduction op ("0", "1", "~0", ...).
+const char* reduction_identity(ReductionOp op);
+
+}  // namespace parade::translator

@@ -1,0 +1,208 @@
+#include "translator/token.hpp"
+
+#include <cctype>
+#include <unordered_set>
+
+namespace parade::translator {
+namespace {
+
+const std::unordered_set<std::string>& keywords() {
+  static const std::unordered_set<std::string> kw = {
+      "auto",     "break",    "case",     "char",   "const",    "continue",
+      "default",  "do",       "double",   "else",   "enum",     "extern",
+      "float",    "for",      "goto",     "if",     "inline",   "int",
+      "long",     "register", "restrict", "return", "short",    "signed",
+      "sizeof",   "static",   "struct",   "switch", "typedef",  "union",
+      "unsigned", "void",     "volatile", "while"};
+  return kw;
+}
+
+// Multi-char punctuators, longest first.
+const char* kPuncts3[] = {"<<=", ">>=", "...", nullptr};
+const char* kPuncts2[] = {"->", "++", "--", "<<", ">>", "<=", ">=", "==",
+                          "!=", "&&", "||", "+=", "-=", "*=", "/=", "%=",
+                          "&=", "^=", "|=", nullptr};
+
+}  // namespace
+
+bool is_decl_start_keyword(const std::string& word) {
+  static const std::unordered_set<std::string> starters = {
+      "auto",   "char",   "const",  "double",   "enum",   "extern",
+      "float",  "inline", "int",    "long",     "register", "short",
+      "signed", "static", "struct", "typedef",  "union",  "unsigned",
+      "void",   "volatile"};
+  return starters.count(word) > 0;
+}
+
+Result<std::vector<Token>> lex(const std::string& source) {
+  std::vector<Token> tokens;
+  std::size_t i = 0;
+  int line = 1;
+  const std::size_t n = source.size();
+
+  auto peek = [&](std::size_t ahead = 0) -> char {
+    return i + ahead < n ? source[i + ahead] : '\0';
+  };
+
+  while (i < n) {
+    const char c = source[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Comments.
+    if (c == '/' && peek(1) == '/') {
+      while (i < n && source[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && peek(1) == '*') {
+      i += 2;
+      while (i + 1 < n && !(source[i] == '*' && source[i + 1] == '/')) {
+        if (source[i] == '\n') ++line;
+        ++i;
+      }
+      if (i + 1 >= n) {
+        return make_error(ErrorCode::kInvalidArgument,
+                          "unterminated comment at line " + std::to_string(line));
+      }
+      i += 2;
+      continue;
+    }
+    // Preprocessor / pragma lines (with backslash continuation).
+    if (c == '#') {
+      std::string text;
+      const int start_line = line;
+      while (i < n) {
+        if (source[i] == '\\' && i + 1 < n && source[i + 1] == '\n') {
+          text += ' ';
+          i += 2;
+          ++line;
+          continue;
+        }
+        if (source[i] == '\n') break;
+        text += source[i];
+        ++i;
+      }
+      // Classify: "#pragma omp ..." vs anything else.
+      std::string squished;
+      for (const char ch : text) {
+        if (!std::isspace(static_cast<unsigned char>(ch)) || (!squished.empty() && squished.back() != ' ')) {
+          squished += std::isspace(static_cast<unsigned char>(ch)) ? ' ' : ch;
+        }
+      }
+      if (squished.rfind("#pragma omp", 0) == 0) {
+        Token t;
+        t.kind = TokKind::kPragmaOmp;
+        t.text = squished.substr(std::string("#pragma omp").size());
+        t.line = start_line;
+        tokens.push_back(std::move(t));
+      } else {
+        Token t;
+        t.kind = TokKind::kHashLine;
+        t.text = text;
+        t.line = start_line;
+        tokens.push_back(std::move(t));
+      }
+      continue;
+    }
+    // Identifiers / keywords.
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string word;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(source[i])) ||
+                       source[i] == '_')) {
+        word += source[i];
+        ++i;
+      }
+      Token t;
+      t.kind = keywords().count(word) ? TokKind::kKeyword : TokKind::kIdent;
+      t.text = std::move(word);
+      t.line = line;
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    // Numbers (ints, floats, hex, suffixes, exponents).
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+      std::string num;
+      while (i < n) {
+        const char d = source[i];
+        if (std::isalnum(static_cast<unsigned char>(d)) || d == '.' ||
+            ((d == '+' || d == '-') && !num.empty() &&
+             (num.back() == 'e' || num.back() == 'E' || num.back() == 'p' ||
+              num.back() == 'P'))) {
+          num += d;
+          ++i;
+        } else {
+          break;
+        }
+      }
+      Token t;
+      t.kind = TokKind::kNumber;
+      t.text = std::move(num);
+      t.line = line;
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    // Strings / chars.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      std::string text(1, quote);
+      ++i;
+      while (i < n && source[i] != quote) {
+        if (source[i] == '\\' && i + 1 < n) {
+          text += source[i];
+          text += source[i + 1];
+          i += 2;
+          continue;
+        }
+        if (source[i] == '\n') ++line;
+        text += source[i];
+        ++i;
+      }
+      if (i >= n) {
+        return make_error(ErrorCode::kInvalidArgument,
+                          "unterminated literal at line " + std::to_string(line));
+      }
+      text += quote;
+      ++i;
+      Token t;
+      t.kind = quote == '"' ? TokKind::kString : TokKind::kChar;
+      t.text = std::move(text);
+      t.line = line;
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    // Punctuators, longest match.
+    bool matched = false;
+    for (const char** p = kPuncts3; *p != nullptr; ++p) {
+      if (source.compare(i, 3, *p) == 0) {
+        tokens.push_back(Token{TokKind::kPunct, *p, line});
+        i += 3;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    for (const char** p = kPuncts2; *p != nullptr; ++p) {
+      if (source.compare(i, 2, *p) == 0) {
+        tokens.push_back(Token{TokKind::kPunct, *p, line});
+        i += 2;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    tokens.push_back(Token{TokKind::kPunct, std::string(1, c), line});
+    ++i;
+  }
+
+  tokens.push_back(Token{TokKind::kEof, "", line});
+  return tokens;
+}
+
+}  // namespace parade::translator

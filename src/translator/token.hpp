@@ -1,0 +1,44 @@
+// C lexer for the OpenMP translator. Tokenizes a preprocessed-ish C source
+// (we pass through #include/#define lines untouched, as Omni's C-front does
+// after its preprocessing step) and exposes `#pragma omp` lines as dedicated
+// pragma tokens.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace parade::translator {
+
+enum class TokKind {
+  kIdent,
+  kKeyword,
+  kNumber,
+  kString,
+  kChar,
+  kPunct,      // operators and punctuation, longest-match
+  kPragmaOmp,  // a whole "#pragma omp ..." line; text holds the directive part
+  kHashLine,   // any other preprocessor line, passed through verbatim
+  kEof,
+};
+
+struct Token {
+  TokKind kind = TokKind::kEof;
+  std::string text;
+  int line = 0;
+
+  bool is(const char* t) const { return text == t; }
+  bool is_punct(const char* t) const { return kind == TokKind::kPunct && text == t; }
+  bool is_kw(const char* t) const { return kind == TokKind::kKeyword && text == t; }
+};
+
+/// True for C type/storage keywords that can begin a declaration.
+bool is_decl_start_keyword(const std::string& word);
+
+/// Tokenizes `source`. Comments are dropped; `#pragma omp` lines become
+/// kPragmaOmp tokens (text = everything after "omp"), other `#` lines become
+/// kHashLine tokens (text = whole line).
+Result<std::vector<Token>> lex(const std::string& source);
+
+}  // namespace parade::translator

@@ -1,0 +1,17 @@
+#include "translator/translate.hpp"
+
+#include "translator/parser.hpp"
+#include "translator/token.hpp"
+
+namespace parade::translator {
+
+Result<std::string> translate_source(const std::string& source,
+                                     const TranslateOptions& options) {
+  auto tokens = lex(source);
+  if (!tokens.is_ok()) return tokens.status();
+  auto unit = parse(tokens.value());
+  if (!unit.is_ok()) return unit.status();
+  return generate(unit.value(), options);
+}
+
+}  // namespace parade::translator

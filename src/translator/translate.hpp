@@ -1,0 +1,16 @@
+// Library entry point: OpenMP C source text -> ParADE C++ source text.
+#pragma once
+
+#include <string>
+
+#include "common/status.hpp"
+#include "translator/codegen.hpp"
+
+namespace parade::translator {
+
+/// Full pipeline: lex -> parse -> generate (paper §4's three C-front steps;
+/// preprocessing is left to the host compiler, `#` lines pass through).
+Result<std::string> translate_source(const std::string& source,
+                                     const TranslateOptions& options = {});
+
+}  // namespace parade::translator

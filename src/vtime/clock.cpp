@@ -1,0 +1,18 @@
+#include "vtime/clock.hpp"
+
+#include "common/env.hpp"
+
+namespace parade::vtime {
+
+double cpu_scale_from_env() {
+  return env::get_double_or("PARADE_CPU_SCALE", 20.0);
+}
+
+namespace {
+thread_local ThreadClock* t_clock = nullptr;
+}  // namespace
+
+void bind_thread_clock(ThreadClock* clock) { t_clock = clock; }
+ThreadClock* thread_clock() { return t_clock; }
+
+}  // namespace parade::vtime

@@ -1,0 +1,68 @@
+#include "vtime/cost_model.hpp"
+
+#include "common/env.hpp"
+
+namespace parade::vtime {
+
+NetworkModel clan_via() {
+  NetworkModel m;
+  m.latency_us = 15.0;
+  m.us_per_byte = 1.0 / 110.0;  // ~110 MB/s
+  m.send_overhead_us = 3.0;
+  m.recv_overhead_us = 5.0;
+  m.page_service_us = 20.0;
+  return m;
+}
+
+NetworkModel fast_ethernet() {
+  NetworkModel m;
+  m.latency_us = 70.0;
+  m.us_per_byte = 1.0 / 11.0;  // ~11 MB/s
+  m.send_overhead_us = 10.0;
+  m.recv_overhead_us = 15.0;
+  m.page_service_us = 25.0;
+  return m;
+}
+
+NetworkModel ideal() {
+  NetworkModel m;
+  m.latency_us = 0.0;
+  m.us_per_byte = 0.0;
+  m.send_overhead_us = 0.0;
+  m.recv_overhead_us = 0.0;
+  m.page_service_us = 0.0;
+  return m;
+}
+
+NetworkModel model_from_name(const std::string& name) {
+  if (name == "fastether" || name == "ethernet") return fast_ethernet();
+  if (name == "ideal" || name == "none") return ideal();
+  return clan_via();
+}
+
+NetworkModel model_from_env() {
+  NetworkModel m = model_from_name(env::get_string_or("PARADE_NET", "clan"));
+  m.latency_us = env::get_double_or("PARADE_NET_LATENCY_US", m.latency_us);
+  m.us_per_byte = env::get_double_or("PARADE_NET_US_PER_BYTE", m.us_per_byte);
+  return m;
+}
+
+MachineModel machine_for(NodeConfig config) {
+  switch (config) {
+    case NodeConfig::k1Thread1Cpu: return {.cpus_per_node = 1, .compute_threads = 1};
+    case NodeConfig::k1Thread2Cpu: return {.cpus_per_node = 2, .compute_threads = 1};
+    case NodeConfig::k2Thread2Cpu: return {.cpus_per_node = 2, .compute_threads = 2};
+  }
+  return {};
+}
+
+const char* to_string(NodeConfig config) {
+  switch (config) {
+    case NodeConfig::k1Thread1Cpu: return "1Thread-1CPU";
+    case NodeConfig::k1Thread2Cpu: return "1Thread-2CPU";
+    case NodeConfig::k2Thread2Cpu: return "2Thread-2CPU";
+  }
+  return "?";
+}
+
+}  // namespace parade::vtime

@@ -1,0 +1,76 @@
+// Network and per-message CPU cost model for direct-execution simulation.
+//
+// The reproduction runs the full ParADE protocol stack on a single host core;
+// "execution time" in the figures is *virtual time*: measured per-thread CPU
+// time for computation plus modeled communication costs from this LogGP-style
+// model. Presets approximate the paper's two interconnects (Giganet cLAN VIA
+// and Fast Ethernet through a 3Com switch) on dual-PIII-class hosts.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace parade::vtime {
+
+struct NetworkModel {
+  /// One-way wire latency for a minimal message (LogGP L), microseconds.
+  double latency_us = 15.0;
+  /// Per-byte gap (1 / bandwidth), microseconds per byte (LogGP G).
+  double us_per_byte = 0.01;
+  /// CPU overhead to send a message (LogGP o_s), charged to the sender's
+  /// compute thread, microseconds.
+  double send_overhead_us = 3.0;
+  /// CPU overhead to receive + dispatch a message, charged to the receiving
+  /// node's communication thread, microseconds.
+  double recv_overhead_us = 5.0;
+  /// Extra handler cost for servicing a remote page request (page lookup,
+  /// permission flip, copy), microseconds.
+  double page_service_us = 20.0;
+
+  /// Full one-way transfer time of `bytes` payload, excluding CPU overheads.
+  double transfer_us(std::size_t bytes) const {
+    return latency_us + us_per_byte * static_cast<double>(bytes);
+  }
+  /// Request/response round trip with payloads `req` and `resp`.
+  double round_trip_us(std::size_t req, std::size_t resp) const {
+    return transfer_us(req) + transfer_us(resp);
+  }
+};
+
+/// Giganet cLAN VIA: ~15 us latency, ~110 MB/s.
+NetworkModel clan_via();
+/// Switched Fast Ethernet over TCP: ~70 us latency, ~11 MB/s.
+NetworkModel fast_ethernet();
+/// Zero-cost network (isolates protocol CPU work in ablations).
+NetworkModel ideal();
+
+/// Parses "clan", "fastether", or "ideal"; falls back to clan.
+NetworkModel model_from_name(const std::string& name);
+
+/// Reads PARADE_NET (preset name) and optional PARADE_NET_LATENCY_US /
+/// PARADE_NET_US_PER_BYTE overrides.
+NetworkModel model_from_env();
+
+/// Per-node machine shape; decides whether the communication thread's CPU
+/// consumption overlaps with computation (paper §6.2 configurations).
+struct MachineModel {
+  int cpus_per_node = 2;
+  int compute_threads = 1;
+
+  /// True when the comm thread has a CPU to itself, i.e. its processing
+  /// overlaps computation (1Thread-2CPU). False means its cycles serialize
+  /// with compute (1Thread-1CPU, 2Thread-2CPU).
+  bool comm_thread_dedicated() const {
+    return compute_threads < cpus_per_node;
+  }
+};
+
+/// The paper's three measurement configurations.
+enum class NodeConfig { k1Thread1Cpu, k1Thread2Cpu, k2Thread2Cpu };
+
+MachineModel machine_for(NodeConfig config);
+const char* to_string(NodeConfig config);
+
+}  // namespace parade::vtime

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "common/env.hpp"
+#include "common/nas_rng.hpp"
+#include "common/serialize.hpp"
+#include "common/status.hpp"
+
+namespace parade {
+namespace {
+
+TEST(Status, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_EQ(s.code(), ErrorCode::kOk);
+  EXPECT_EQ(s.to_string(), "OK");
+}
+
+TEST(Status, CarriesCodeAndMessage) {
+  Status s = make_error(ErrorCode::kTimeout, "deadline exceeded");
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), ErrorCode::kTimeout);
+  EXPECT_EQ(s.to_string(), "TIMEOUT: deadline exceeded");
+}
+
+TEST(Result, HoldsValueOrStatus) {
+  Result<int> ok(42);
+  ASSERT_TRUE(ok.is_ok());
+  EXPECT_EQ(ok.value(), 42);
+
+  Result<int> bad(make_error(ErrorCode::kNotFound, "nope"));
+  ASSERT_FALSE(bad.is_ok());
+  EXPECT_EQ(bad.status().code(), ErrorCode::kNotFound);
+}
+
+TEST(WireBuffer, PodRoundTrip) {
+  WireBuffer buffer;
+  buffer.put<std::int32_t>(-7);
+  buffer.put<double>(2.5);
+  buffer.put<std::uint8_t>(0xEE);
+  buffer.put_string("hello world");
+  buffer.put_vector(std::vector<std::int64_t>{1, 2, 3});
+
+  EXPECT_EQ(buffer.get<std::int32_t>(), -7);
+  EXPECT_DOUBLE_EQ(buffer.get<double>(), 2.5);
+  EXPECT_EQ(buffer.get<std::uint8_t>(), 0xEE);
+  EXPECT_EQ(buffer.get_string(), "hello world");
+  EXPECT_EQ(buffer.get_vector<std::int64_t>(),
+            (std::vector<std::int64_t>{1, 2, 3}));
+  EXPECT_TRUE(buffer.exhausted());
+}
+
+TEST(WireBuffer, EmptyVectorsAndStrings) {
+  WireBuffer buffer;
+  buffer.put_string("");
+  buffer.put_vector(std::vector<double>{});
+  EXPECT_EQ(buffer.get_string(), "");
+  EXPECT_TRUE(buffer.get_vector<double>().empty());
+  EXPECT_TRUE(buffer.exhausted());
+}
+
+TEST(WireBuffer, RewindRereads) {
+  WireBuffer buffer;
+  buffer.put<int>(5);
+  EXPECT_EQ(buffer.get<int>(), 5);
+  buffer.rewind();
+  EXPECT_EQ(buffer.get<int>(), 5);
+}
+
+TEST(Env, ParsesTypes) {
+  setenv("PARADE_TEST_INT", "123", 1);
+  setenv("PARADE_TEST_DBL", "2.75", 1);
+  setenv("PARADE_TEST_BOOL", "true", 1);
+  setenv("PARADE_TEST_BAD", "xyz", 1);
+  EXPECT_EQ(env::get_int("PARADE_TEST_INT").value(), 123);
+  EXPECT_DOUBLE_EQ(env::get_double("PARADE_TEST_DBL").value(), 2.75);
+  EXPECT_TRUE(env::get_bool("PARADE_TEST_BOOL").value());
+  EXPECT_FALSE(env::get_int("PARADE_TEST_BAD").has_value());
+  EXPECT_EQ(env::get_int_or("PARADE_TEST_MISSING", 9), 9);
+  unsetenv("PARADE_TEST_INT");
+  unsetenv("PARADE_TEST_DBL");
+  unsetenv("PARADE_TEST_BOOL");
+  unsetenv("PARADE_TEST_BAD");
+}
+
+TEST(NasRng, DeviatesInUnitInterval) {
+  nas::RandLc rng;
+  for (int i = 0; i < 10000; ++i) {
+    const double r = rng.next();
+    ASSERT_GT(r, 0.0);
+    ASSERT_LT(r, 1.0);
+  }
+}
+
+TEST(NasRng, SkipMatchesIteration) {
+  // randlc_skip(seed, a, k) must equal k sequential randlc steps.
+  const double a = nas::kDefaultMult;
+  for (const std::int64_t k : {0L, 1L, 2L, 17L, 1000L, 65536L}) {
+    double x = 271828183.0;
+    for (std::int64_t i = 0; i < k; ++i) nas::randlc(x, a);
+    EXPECT_DOUBLE_EQ(nas::randlc_skip(271828183.0, a, k), x) << "k=" << k;
+  }
+}
+
+TEST(NasRng, VranlcMatchesRandlc) {
+  double x1 = nas::kDefaultSeed;
+  double x2 = nas::kDefaultSeed;
+  std::vector<double> batch(257);
+  nas::vranlc(257, x1, nas::kDefaultMult, batch.data());
+  for (int i = 0; i < 257; ++i) {
+    EXPECT_DOUBLE_EQ(batch[static_cast<std::size_t>(i)],
+                     nas::randlc(x2, nas::kDefaultMult));
+  }
+  EXPECT_DOUBLE_EQ(x1, x2);
+}
+
+TEST(NasRng, StateStaysBelow2Pow46) {
+  nas::RandLc rng;
+  for (int i = 0; i < 1000; ++i) {
+    rng.next();
+    ASSERT_LT(rng.state(), 70368744177664.0);  // 2^46
+    ASSERT_GE(rng.state(), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace parade

@@ -1,0 +1,296 @@
+// Multi-node DSM protocol behaviour: caching, invalidation, migration
+// policy, lock consistency, multi-threaded fault handling (TRANSIENT /
+// BLOCKED), and protocol statistics.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "dsm/cluster.hpp"
+
+namespace parade::dsm {
+namespace {
+
+DsmConfig config_mb(std::size_t mb = 4) {
+  DsmConfig config;
+  config.pool_bytes = mb << 20;
+  return config;
+}
+
+TEST(DsmProtocol, ReadCachingAvoidsRefetch) {
+  DsmCluster cluster(2, config_mb());
+  cluster.run([&](NodeId rank) {
+    auto* data = static_cast<int*>(cluster.node(rank).shmalloc(4096, 4096));
+    if (rank == 0) *data = 11;
+    cluster.node(rank).barrier();
+    // First read faults the page in on node 1...
+    EXPECT_EQ(*data, 11);
+    const auto after_first = cluster.node(rank).stats().snapshot();
+    // ...subsequent reads are local.
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(data[0], 11);
+    const auto after_many = cluster.node(rank).stats().snapshot();
+    EXPECT_EQ(after_first.page_fetches, after_many.page_fetches);
+    cluster.node(rank).barrier();
+  });
+  cluster.shutdown();
+}
+
+TEST(DsmProtocol, CachedCopySurvivesUnrelatedBarriers) {
+  DsmCluster cluster(2, config_mb());
+  cluster.run([&](NodeId rank) {
+    auto* data = static_cast<int*>(cluster.node(rank).shmalloc(4096, 4096));
+    if (rank == 0) *data = 5;
+    cluster.node(rank).barrier();
+    EXPECT_EQ(*data, 5);
+    const auto before = cluster.node(rank).stats().snapshot();
+    // Barriers without writes to this page must not invalidate it.
+    cluster.node(rank).barrier();
+    cluster.node(rank).barrier();
+    EXPECT_EQ(*data, 5);
+    const auto after = cluster.node(rank).stats().snapshot();
+    EXPECT_EQ(before.page_fetches, after.page_fetches);
+    cluster.node(rank).barrier();
+  });
+  cluster.shutdown();
+}
+
+TEST(DsmProtocol, RemoteWriteInvalidatesCachedCopy) {
+  DsmCluster cluster(3, config_mb());
+  cluster.run([&](NodeId rank) {
+    auto* data = static_cast<int*>(cluster.node(rank).shmalloc(4096, 4096));
+    if (rank == 0) *data = 1;
+    cluster.node(rank).barrier();
+    EXPECT_EQ(*data, 1);  // all nodes cache the page
+    cluster.node(rank).barrier();
+    if (rank == 2) *data = 2;
+    cluster.node(rank).barrier();
+    EXPECT_EQ(*data, 2);  // invalidation forced a refetch everywhere
+    cluster.node(rank).barrier();
+  });
+  cluster.shutdown();
+}
+
+TEST(DsmProtocol, MigrationDisabledKeepsHome) {
+  DsmConfig config = config_mb();
+  config.home_migration = false;
+  DsmCluster cluster(2, config);
+  cluster.run([&](NodeId rank) {
+    auto* data = static_cast<int*>(cluster.node(rank).shmalloc(4096, 4096));
+    const PageId page =
+        static_cast<PageId>(cluster.node(rank).offset_of(data) / 4096);
+    cluster.node(rank).barrier();
+    if (rank == 1) *data = 7;
+    cluster.node(rank).barrier();
+    EXPECT_EQ(cluster.node(rank).home_of(page), 0);  // fixed home
+    EXPECT_EQ(*data, 7);
+    cluster.node(rank).barrier();
+  });
+  const auto master_stats = cluster.node(0).stats().snapshot();
+  EXPECT_EQ(master_stats.home_migrations, 0);
+  cluster.shutdown();
+}
+
+TEST(DsmProtocol, MultiWriterPageKeepsOldHome) {
+  DsmCluster cluster(3, config_mb());
+  cluster.run([&](NodeId rank) {
+    auto* data = static_cast<int*>(cluster.node(rank).shmalloc(4096, 4096));
+    cluster.node(rank).barrier();
+    // Nodes 1 and 2 write disjoint words of the same page.
+    if (rank == 1) data[1] = 100;
+    if (rank == 2) data[2] = 200;
+    cluster.node(rank).barrier();
+    const PageId page =
+        static_cast<PageId>(cluster.node(rank).offset_of(data) / 4096);
+    // Several modifiers: only the old home holds the merged copy, so the
+    // home must not move (paper §5.2.2 priority rule).
+    EXPECT_EQ(cluster.node(rank).home_of(page), 0);
+    EXPECT_EQ(data[1], 100);
+    EXPECT_EQ(data[2], 200);
+    cluster.node(rank).barrier();
+  });
+  cluster.shutdown();
+}
+
+TEST(DsmProtocol, ChainedMigrationFollowsWriter) {
+  DsmCluster cluster(3, config_mb());
+  cluster.run([&](NodeId rank) {
+    auto* data = static_cast<int*>(cluster.node(rank).shmalloc(4096, 4096));
+    const PageId page =
+        static_cast<PageId>(cluster.node(rank).offset_of(data) / 4096);
+    cluster.node(rank).barrier();
+    if (rank == 1) *data = 1;
+    cluster.node(rank).barrier();
+    EXPECT_EQ(cluster.node(rank).home_of(page), 1);
+    // Separate read and write phases with a barrier: a reader racing a
+    // writer in the same interval is a data race the protocol need not
+    // order (a fast writer's barrier flush updates the home's copy early).
+    cluster.node(rank).barrier();
+    if (rank == 2) *data = 2;
+    cluster.node(rank).barrier();
+    EXPECT_EQ(cluster.node(rank).home_of(page), 2);
+    EXPECT_EQ(*data, 2);
+    cluster.node(rank).barrier();
+    if (rank == 0) *data = 3;
+    cluster.node(rank).barrier();
+    EXPECT_EQ(cluster.node(rank).home_of(page), 0);
+    EXPECT_EQ(*data, 3);
+    cluster.node(rank).barrier();
+  });
+  const auto stats = cluster.node(0).stats().snapshot();
+  EXPECT_GE(stats.home_migrations, 3);
+  cluster.shutdown();
+}
+
+TEST(DsmProtocol, ManyPagesManyEpochs) {
+  constexpr int kPages = 32;
+  constexpr int kEpochs = 8;
+  DsmCluster cluster(4, config_mb(8));
+  cluster.run([&](NodeId rank) {
+    auto* data = static_cast<std::int64_t*>(
+        cluster.node(rank).shmalloc(kPages * 4096, 4096));
+    const int per_page = 4096 / sizeof(std::int64_t);
+    cluster.node(rank).barrier();
+    for (int epoch = 0; epoch < kEpochs; ++epoch) {
+      // Round-robin writer per page per epoch.
+      for (int p = 0; p < kPages; ++p) {
+        if ((p + epoch) % 4 == rank) {
+          data[p * per_page + epoch] = epoch * 1000 + p;
+        }
+      }
+      cluster.node(rank).barrier();
+      for (int p = 0; p < kPages; ++p) {
+        ASSERT_EQ(data[p * per_page + epoch], epoch * 1000 + p)
+            << "rank " << rank << " page " << p << " epoch " << epoch;
+      }
+      cluster.node(rank).barrier();
+    }
+  });
+  cluster.shutdown();
+}
+
+TEST(DsmProtocol, LockTransfersProtectedData) {
+  // Token passing: each node appends to a shared log under the lock.
+  constexpr int kRounds = 3;
+  DsmCluster cluster(3, config_mb());
+  cluster.run([&](NodeId rank) {
+    auto* log = static_cast<int*>(cluster.node(rank).shmalloc(4096, 4096));
+    if (rank == 0) log[0] = 0;  // log[0] = count
+    cluster.node(rank).barrier();
+    for (int round = 0; round < kRounds; ++round) {
+      cluster.node(rank).lock_acquire(5);
+      const int count = log[0];
+      log[count + 1] = rank * 100 + round;
+      log[0] = count + 1;
+      cluster.node(rank).lock_release(5);
+    }
+    cluster.node(rank).barrier();
+    EXPECT_EQ(log[0], 3 * kRounds);
+    // Every entry must be a valid (rank, round) stamp, each exactly once.
+    std::set<int> seen;
+    for (int i = 1; i <= log[0]; ++i) seen.insert(log[i]);
+    EXPECT_EQ(seen.size(), static_cast<std::size_t>(3 * kRounds));
+    cluster.node(rank).barrier();
+  });
+  cluster.shutdown();
+}
+
+TEST(DsmProtocol, TwoThreadsFaultSamePage) {
+  // Exercises TRANSIENT -> BLOCKED: two threads of one node fault the same
+  // remote page concurrently; exactly one fetch must happen.
+  DsmCluster cluster(2, config_mb());
+  cluster.run([&](NodeId rank) {
+    auto* data = static_cast<int*>(cluster.node(rank).shmalloc(4096, 4096));
+    if (rank == 0) *data = 77;
+    cluster.node(rank).barrier();
+    if (rank == 1) {
+      std::vector<std::thread> readers;
+      for (int t = 0; t < 4; ++t) {
+        readers.emplace_back([&] { EXPECT_EQ(*data, 77); });
+      }
+      for (auto& r : readers) r.join();
+      EXPECT_EQ(cluster.node(1).stats().snapshot().page_fetches, 1);
+    }
+    cluster.node(rank).barrier();
+  });
+  cluster.shutdown();
+}
+
+TEST(DsmProtocol, StatsAccounting) {
+  DsmCluster cluster(2, config_mb());
+  cluster.run([&](NodeId rank) {
+    auto* data = static_cast<int*>(cluster.node(rank).shmalloc(4096, 4096));
+    cluster.node(rank).barrier();
+    if (rank == 1) *data = 1;  // fetch + twin + diff at the next barrier
+    cluster.node(rank).barrier();
+    cluster.node(rank).barrier();
+  });
+  const auto n0 = cluster.node(0).stats().snapshot();
+  const auto n1 = cluster.node(1).stats().snapshot();
+  EXPECT_EQ(n1.page_fetches, 1);
+  EXPECT_EQ(n0.page_serves, 1);
+  EXPECT_EQ(n1.twins_created, 1);
+  EXPECT_EQ(n1.diffs_created, 1);
+  EXPECT_EQ(n0.diffs_applied, 1);
+  EXPECT_GT(n1.diff_bytes_sent, 0);
+  EXPECT_EQ(n0.barriers, 3);
+  EXPECT_EQ(n1.barriers, 3);
+  EXPECT_EQ(n1.write_notices_sent, 1);
+  cluster.shutdown();
+}
+
+TEST(DsmProtocol, SysVMappingCluster) {
+  DsmConfig config = config_mb();
+  config.map_method = MapMethod::kSysV;
+  DsmCluster cluster(2, config);
+  cluster.run([&](NodeId rank) {
+    auto* data = static_cast<int*>(cluster.node(rank).shmalloc(4096, 4096));
+    if (rank == 0) *data = 31;
+    cluster.node(rank).barrier();
+    EXPECT_EQ(*data, 31);
+    if (rank == 1) *data = 32;
+    cluster.node(rank).barrier();
+    EXPECT_EQ(*data, 32);
+    cluster.node(rank).barrier();
+  });
+  cluster.shutdown();
+}
+
+TEST(DsmProtocol, SoleModifierKeepsCopyWithoutMigration) {
+  DsmConfig config = config_mb();
+  config.home_migration = false;
+  DsmCluster cluster(2, config);
+  cluster.run([&](NodeId rank) {
+    auto* data = static_cast<int*>(cluster.node(rank).shmalloc(4096, 4096));
+    cluster.node(rank).barrier();
+    if (rank == 1) *data = 9;
+    cluster.node(rank).barrier();
+    const auto before = cluster.node(rank).stats().snapshot();
+    EXPECT_EQ(*data, 9);  // sole modifier's copy stayed valid; home merged
+    const auto after = cluster.node(rank).stats().snapshot();
+    if (rank == 1) {
+      EXPECT_EQ(before.page_fetches, after.page_fetches);
+    }
+    cluster.node(rank).barrier();
+  });
+  cluster.shutdown();
+}
+
+TEST(DsmProtocol, AllocatorAlignmentAndDeterminism) {
+  DsmCluster cluster(2, config_mb());
+  std::size_t offsets[2][3];
+  cluster.run([&](NodeId rank) {
+    void* a = cluster.node(rank).shmalloc(100);
+    void* b = cluster.node(rank).shmalloc(8, 4096);
+    void* c = cluster.node(rank).shmalloc(1);
+    offsets[rank][0] = cluster.node(rank).offset_of(a);
+    offsets[rank][1] = cluster.node(rank).offset_of(b);
+    offsets[rank][2] = cluster.node(rank).offset_of(c);
+  });
+  // SPMD allocation: identical offsets on every node.
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(offsets[0][i], offsets[1][i]);
+  EXPECT_EQ(offsets[0][1] % 4096, 0u);
+  cluster.shutdown();
+}
+
+}  // namespace
+}  // namespace parade::dsm

@@ -1,0 +1,275 @@
+// DSM building blocks: double mapping (atomic page update), twin/diff codec
+// (with randomized property tests), page-state machine, protocol wire
+// round-trips.
+#include <gtest/gtest.h>
+
+#include <sys/mman.h>
+
+#include <cstring>
+#include <random>
+
+#include "dsm/diff.hpp"
+#include "dsm/mapping.hpp"
+#include "dsm/pagetable.hpp"
+#include "dsm/protocol.hpp"
+
+namespace parade::dsm {
+namespace {
+
+// ---------------------------------------------------------------------------
+// DoubleMapping (paper §5.1)
+
+class DoubleMappingMethod : public ::testing::TestWithParam<MapMethod> {};
+
+TEST_P(DoubleMappingMethod, SystemViewWritesVisibleInAppView) {
+  auto mapping_result = DoubleMapping::create(1 << 16, GetParam());
+  ASSERT_TRUE(mapping_result.is_ok()) << mapping_result.status().to_string();
+  auto& mapping = *mapping_result.value();
+
+  // Write through the always-writable system view while the app view is
+  // PROT_NONE — the core of the atomic page update solution.
+  std::memset(mapping.sys_view(), 0xCD, 4096);
+  ASSERT_TRUE(mapping.protect_app(0, 4096, PROT_READ).is_ok());
+  EXPECT_EQ(std::to_integer<int>(mapping.app_view()[0]), 0xCD);
+  EXPECT_EQ(std::to_integer<int>(mapping.app_view()[4095]), 0xCD);
+}
+
+TEST_P(DoubleMappingMethod, AppViewWritesVisibleInSystemView) {
+  auto mapping_result = DoubleMapping::create(1 << 16, GetParam());
+  ASSERT_TRUE(mapping_result.is_ok());
+  auto& mapping = *mapping_result.value();
+  ASSERT_TRUE(mapping.protect_app(0, 4096, PROT_READ | PROT_WRITE).is_ok());
+  mapping.app_view()[17] = std::byte{0x7E};
+  EXPECT_EQ(std::to_integer<int>(mapping.sys_view()[17]), 0x7E);
+}
+
+TEST_P(DoubleMappingMethod, PerPageProtection) {
+  auto mapping_result = DoubleMapping::create(1 << 16, GetParam());
+  ASSERT_TRUE(mapping_result.is_ok());
+  auto& mapping = *mapping_result.value();
+  // Different pages may hold different protections independently.
+  EXPECT_TRUE(mapping.protect_app(0, 4096, PROT_READ).is_ok());
+  EXPECT_TRUE(mapping.protect_app(4096, 4096, PROT_READ | PROT_WRITE).is_ok());
+  EXPECT_TRUE(mapping.protect_app(8192, 4096, PROT_NONE).is_ok());
+}
+
+TEST_P(DoubleMappingMethod, OutOfRangeProtectRejected) {
+  auto mapping_result = DoubleMapping::create(1 << 16, GetParam());
+  ASSERT_TRUE(mapping_result.is_ok());
+  auto& mapping = *mapping_result.value();
+  EXPECT_EQ(mapping.protect_app(1 << 16, 4096, PROT_READ).code(),
+            ErrorCode::kOutOfRange);
+}
+
+INSTANTIATE_TEST_SUITE_P(Methods, DoubleMappingMethod,
+                         ::testing::Values(MapMethod::kMemfd, MapMethod::kSysV),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+TEST(DoubleMapping, UnimplementedMethodsReportUnsupported) {
+  // mdup() needs the authors' kernel patch; child-process needs cross-process
+  // page-table tricks — both are documented substitutions.
+  for (const MapMethod method : {MapMethod::kMdup, MapMethod::kChildProcess}) {
+    auto result = DoubleMapping::create(1 << 16, method);
+    ASSERT_FALSE(result.is_ok());
+    EXPECT_EQ(result.status().code(), ErrorCode::kUnsupported);
+  }
+}
+
+TEST(DoubleMapping, RejectsUnalignedSize) {
+  auto result = DoubleMapping::create(12345, MapMethod::kMemfd);
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_EQ(result.status().code(), ErrorCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Diff codec
+
+TEST(Diff, EmptyWhenIdentical) {
+  std::vector<std::uint8_t> page(4096, 3), twin(4096, 3);
+  EXPECT_TRUE(encode_diff(page.data(), twin.data(), 4096).empty());
+}
+
+TEST(Diff, SingleWordRun) {
+  std::vector<std::uint8_t> twin(4096, 0), page(4096, 0);
+  page[100] = 9;  // one changed byte -> one 8-byte word run
+  const auto diff = encode_diff(page.data(), twin.data(), 4096);
+  EXPECT_EQ(diff.size(), 8u + 8u);  // header + one word
+  std::vector<std::uint8_t> target = twin;
+  ASSERT_TRUE(apply_diff(target.data(), 4096, diff.data(), diff.size()));
+  EXPECT_EQ(target, page);
+  EXPECT_EQ(diff_payload_bytes(diff.data(), diff.size()), 8u);
+}
+
+TEST(Diff, AdjacentWordsCoalesce) {
+  std::vector<std::uint8_t> twin(4096, 0), page(4096, 0);
+  for (int i = 64; i < 96; ++i) page[static_cast<std::size_t>(i)] = 1;
+  const auto diff = encode_diff(page.data(), twin.data(), 4096);
+  EXPECT_EQ(diff.size(), 8u + 32u);  // one run of 4 words
+}
+
+TEST(Diff, FullPage) {
+  std::vector<std::uint8_t> twin(4096, 0), page(4096, 0xFF);
+  const auto diff = encode_diff(page.data(), twin.data(), 4096);
+  EXPECT_EQ(diff.size(), 8u + 4096u);
+  std::vector<std::uint8_t> target = twin;
+  ASSERT_TRUE(apply_diff(target.data(), 4096, diff.data(), diff.size()));
+  EXPECT_EQ(target, page);
+}
+
+TEST(Diff, RejectsMalformed) {
+  std::vector<std::uint8_t> target(4096, 0);
+  const std::uint8_t truncated[4] = {1, 2, 3, 4};
+  EXPECT_FALSE(apply_diff(target.data(), 4096, truncated, 4));
+  // Out-of-range run.
+  std::vector<std::uint8_t> bad;
+  const std::uint32_t offset = 4090, length = 16;
+  bad.resize(8 + 16);
+  std::memcpy(bad.data(), &offset, 4);
+  std::memcpy(bad.data() + 4, &length, 4);
+  EXPECT_FALSE(apply_diff(target.data(), 4096, bad.data(), bad.size()));
+}
+
+class DiffProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(DiffProperty, RandomRoundTrip) {
+  // Property: apply(twin, encode(current, twin)) == current, for random
+  // twins and random change densities.
+  std::mt19937 rng(static_cast<unsigned>(GetParam()));
+  std::vector<std::uint8_t> twin(4096), page(4096);
+  for (auto& b : twin) b = static_cast<std::uint8_t>(rng());
+  page = twin;
+  const int changes = GetParam() * 37 % 4096;
+  for (int c = 0; c < changes; ++c) {
+    page[rng() % 4096] = static_cast<std::uint8_t>(rng());
+  }
+  const auto diff = encode_diff(page.data(), twin.data(), 4096);
+  std::vector<std::uint8_t> target = twin;
+  ASSERT_TRUE(apply_diff(target.data(), 4096, diff.data(), diff.size()));
+  EXPECT_EQ(target, page);
+  // Sparse changes must not ship the whole page.
+  if (changes > 0 && changes < 64) {
+    EXPECT_LT(diff.size(), 4096u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DiffProperty, ::testing::Range(1, 25));
+
+// ---------------------------------------------------------------------------
+// Page state machine (paper Figure 5)
+
+TEST(PageState, AllowedTransitions) {
+  using PS = PageState;
+  EXPECT_TRUE(transition_allowed(PS::kInvalid, PS::kTransient));
+  EXPECT_TRUE(transition_allowed(PS::kTransient, PS::kBlocked));
+  EXPECT_TRUE(transition_allowed(PS::kTransient, PS::kReadOnly));
+  EXPECT_TRUE(transition_allowed(PS::kBlocked, PS::kReadOnly));
+  EXPECT_TRUE(transition_allowed(PS::kReadOnly, PS::kDirty));
+  EXPECT_TRUE(transition_allowed(PS::kReadOnly, PS::kInvalid));
+  EXPECT_TRUE(transition_allowed(PS::kDirty, PS::kReadOnly));
+}
+
+class PageStatePairs
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(PageStatePairs, ForbiddenTransitionsStayForbidden) {
+  const auto from = static_cast<PageState>(std::get<0>(GetParam()));
+  const auto to = static_cast<PageState>(std::get<1>(GetParam()));
+  // Invariants that must hold for every pair:
+  if (from == to) {
+    EXPECT_FALSE(transition_allowed(from, to));  // self loops are not events
+  }
+  if (to == PageState::kTransient) {
+    // Only a fault on INVALID starts a fetch.
+    EXPECT_EQ(transition_allowed(from, to), from == PageState::kInvalid);
+  }
+  if (to == PageState::kBlocked) {
+    EXPECT_EQ(transition_allowed(from, to), from == PageState::kTransient);
+  }
+  if (from == PageState::kInvalid && to != PageState::kTransient) {
+    EXPECT_FALSE(transition_allowed(from, to));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPairs, PageStatePairs,
+                         ::testing::Combine(::testing::Range(0, 5),
+                                            ::testing::Range(0, 5)));
+
+TEST(PageTable, InitialHome) {
+  PageTable table(16, /*initial_home=*/0);
+  EXPECT_EQ(table.num_pages(), 16u);
+  for (PageId p = 0; p < 16; ++p) {
+    EXPECT_EQ(table.home_of(p), 0);
+    EXPECT_EQ(table.entry(p).state, PageState::kInvalid);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Protocol wire round-trips
+
+TEST(Protocol, PageMessages) {
+  PageReplyMsg reply{42, {1, 2, 3, 4, 5}};
+  const auto decoded = decode_page_reply(encode(reply));
+  EXPECT_EQ(decoded.page, 42);
+  EXPECT_EQ(decoded.data, reply.data);
+
+  const auto request = decode_page_request(encode(PageRequestMsg{7}));
+  EXPECT_EQ(request.page, 7);
+}
+
+TEST(Protocol, DiffMessages) {
+  DiffMsg diff{9, {0xA, 0xB}};
+  const auto decoded = decode_diff(encode(diff));
+  EXPECT_EQ(decoded.page, 9);
+  EXPECT_EQ(decoded.diff, diff.diff);
+  EXPECT_EQ(decode_diff_ack(encode(DiffAckMsg{9})).page, 9);
+}
+
+TEST(Protocol, BarrierMessages) {
+  BarrierArriveMsg arrive{5, {1, 2, 30}};
+  const auto a = decode_barrier_arrive(encode(arrive));
+  EXPECT_EQ(a.epoch, 5);
+  EXPECT_EQ(a.dirtied_pages, arrive.dirtied_pages);
+
+  BarrierDepartMsg depart;
+  depart.epoch = 5;
+  depart.departure_vtime = 123.5;
+  depart.entries = {{1, 2, 2}, {30, 0, kAnyNode}};
+  const auto d = decode_barrier_depart(encode(depart));
+  EXPECT_EQ(d.epoch, 5);
+  EXPECT_DOUBLE_EQ(d.departure_vtime, 123.5);
+  ASSERT_EQ(d.entries.size(), 2u);
+  EXPECT_EQ(d.entries[0].page, 1);
+  EXPECT_EQ(d.entries[0].new_home, 2);
+  EXPECT_EQ(d.entries[0].sole_modifier, 2);
+  EXPECT_EQ(d.entries[1].sole_modifier, kAnyNode);
+}
+
+TEST(Protocol, LockMessages) {
+  const auto acq = decode_lock_acquire(encode(LockAcquireMsg{3}));
+  EXPECT_EQ(acq.lock_id, 3);
+
+  LockGrantMsg grant{3, {{10, 1}, {11, 2}}};
+  const auto g = decode_lock_grant(encode(grant));
+  EXPECT_EQ(g.lock_id, 3);
+  ASSERT_EQ(g.notices.size(), 2u);
+  EXPECT_EQ(g.notices[1].page, 11);
+  EXPECT_EQ(g.notices[1].modifier, 2);
+
+  LockReleaseMsg release{3, {10, 11}};
+  const auto r = decode_lock_release(encode(release));
+  EXPECT_EQ(r.dirtied_pages, release.dirtied_pages);
+}
+
+TEST(Protocol, CommThreadTagPartition) {
+  EXPECT_TRUE(comm_thread_tag(kTagPageRequest));
+  EXPECT_TRUE(comm_thread_tag(kTagDiff));
+  EXPECT_FALSE(comm_thread_tag(kTagBarrierArrive));
+  EXPECT_FALSE(comm_thread_tag(kTagBarrierDepart));
+  EXPECT_FALSE(comm_thread_tag(kTagDiffAck));
+  EXPECT_FALSE(comm_thread_tag(kTagLockGrantBase + 5));
+}
+
+}  // namespace
+}  // namespace parade::dsm

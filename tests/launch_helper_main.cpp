@@ -1,0 +1,37 @@
+// Helper binary for launch_test: joins a parade_run socket cluster, checks
+// DSM propagation and a team reduction, prints one verdict line per node.
+#include <cstdio>
+
+#include "runtime/api.hpp"
+#include "runtime/cluster.hpp"
+
+int main() {
+  using namespace parade;
+  auto runtime = ProcessRuntime::from_env();
+  if (!runtime.is_ok()) {
+    std::fprintf(stderr, "launch_helper: %s\n",
+                 runtime.status().to_string().c_str());
+    return 2;
+  }
+  bool ok = true;
+  runtime.value()->exec([&] {
+    auto* data = shmalloc_array<std::int64_t>(512);
+    if (node_id() == 0) {
+      for (int i = 0; i < 512; ++i) data[i] = 3 * i;
+    }
+    barrier();
+    for (int i = 0; i < 512; ++i) {
+      if (data[i] != 3 * i) ok = false;
+    }
+    double expected = 0.0;
+    for (int t = 0; t < num_threads(); ++t) expected += t;
+    parallel([&] {
+      const double sum =
+          team_reduce(static_cast<double>(thread_id()), mp::Op::kSum);
+      if (sum != expected) ok = false;
+    });
+    // One verdict line per node; the test counts them.
+    std::printf("node %d: %s\n", node_id(), ok ? "OK" : "BAD");
+  });
+  return ok ? 0 : 1;
+}

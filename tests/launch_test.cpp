@@ -1,0 +1,80 @@
+// End-to-end multi-process deployment: parade_run forks node processes that
+// rendezvous over Unix-domain sockets and run the full DSM + runtime stack.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace {
+
+std::string run_command(const std::string& command, int* exit_code) {
+  std::string output;
+  FILE* pipe = popen((command + " 2>&1").c_str(), "r");
+  if (pipe == nullptr) {
+    *exit_code = -1;
+    return output;
+  }
+  char buffer[4096];
+  while (fgets(buffer, sizeof(buffer), pipe) != nullptr) output += buffer;
+  *exit_code = pclose(pipe);
+  return output;
+}
+
+std::string binary(const char* name) {
+  return std::string(PARADE_BINARY_DIR) + name;
+}
+
+int count_occurrences(const std::string& haystack, const std::string& needle) {
+  int count = 0;
+  std::size_t at = 0;
+  while ((at = haystack.find(needle, at)) != std::string::npos) {
+    ++count;
+    at += needle.size();
+  }
+  return count;
+}
+
+class ParadeRunNodes : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParadeRunNodes, ClusterRunsAndVerifies) {
+  const int nodes = GetParam();
+  int code = 0;
+  const std::string out = run_command(
+      binary("/src/launch/parade_run") + " -n " + std::to_string(nodes) +
+          " -t 2 " + binary("/tests/launch_helper"),
+      &code);
+  EXPECT_EQ(code, 0) << out;
+  EXPECT_EQ(count_occurrences(out, ": OK"), nodes) << out;
+  EXPECT_EQ(count_occurrences(out, "BAD"), 0) << out;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ParadeRunNodes, ::testing::Values(1, 2, 4));
+
+TEST(ParadeRun, UsageErrors) {
+  int code = 0;
+  run_command(binary("/src/launch/parade_run"), &code);
+  EXPECT_NE(code, 0);
+  run_command(binary("/src/launch/parade_run") + " -n 0 /bin/true", &code);
+  EXPECT_NE(code, 0);
+}
+
+TEST(ParadeRun, PropagatesChildFailure) {
+  int code = 0;
+  run_command(binary("/src/launch/parade_run") + " -n 2 /bin/false", &code);
+  EXPECT_NE(code, 0);
+}
+
+
+TEST(ParadeRun, TranslatedProgramOnSocketCluster) {
+  // Full toolchain x full deployment: the build-time-translated OpenMP pi
+  // program on a real multi-process socket cluster.
+  int code = 0;
+  const std::string out = run_command(
+      binary("/src/launch/parade_run") + " -n 3 -t 2 " +
+          binary("/examples/translated_pi"),
+      &code);
+  EXPECT_EQ(code, 0) << out;
+  EXPECT_NE(out.find("pi=3.141592654"), std::string::npos) << out;
+}
+
+}  // namespace

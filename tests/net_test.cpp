@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <set>
+#include <thread>
+
+#include "net/inproc.hpp"
+#include "net/mailbox.hpp"
+#include "net/socket.hpp"
+
+namespace parade::net {
+namespace {
+
+Message make_msg(NodeId src, NodeId dst, Tag tag, std::size_t bytes = 0) {
+  MessageHeader h;
+  h.src = src;
+  h.dst = dst;
+  h.tag = tag;
+  return Message(h, std::vector<std::uint8_t>(bytes, 0x5A));
+}
+
+TEST(Mailbox, FifoWithinMatch) {
+  Mailbox box;
+  box.deliver(make_msg(0, 1, 7, 1));
+  box.deliver(make_msg(0, 1, 7, 2));
+  auto m1 = box.try_recv_match([](const MessageHeader& h) { return h.tag == 7; });
+  auto m2 = box.try_recv_match([](const MessageHeader& h) { return h.tag == 7; });
+  ASSERT_TRUE(m1 && m2);
+  EXPECT_EQ(m1->payload.size(), 1u);
+  EXPECT_EQ(m2->payload.size(), 2u);
+}
+
+TEST(Mailbox, PredicateSkipsNonMatching) {
+  Mailbox box;
+  box.deliver(make_msg(0, 1, 3));
+  box.deliver(make_msg(0, 1, 9));
+  auto m = box.try_recv_match([](const MessageHeader& h) { return h.tag == 9; });
+  ASSERT_TRUE(m);
+  EXPECT_EQ(m->header.tag, 9);
+  EXPECT_EQ(box.pending(), 1u);  // tag 3 still queued
+}
+
+TEST(Mailbox, BlockingRecvWakesOnDeliver) {
+  Mailbox box;
+  std::thread producer([&] { box.deliver(make_msg(2, 0, 11)); });
+  auto m = box.recv_match([](const MessageHeader& h) { return h.tag == 11; });
+  producer.join();
+  ASSERT_TRUE(m);
+  EXPECT_EQ(m->header.src, 2);
+}
+
+TEST(Mailbox, CloseWakesBlockedReceivers) {
+  Mailbox box;
+  std::atomic<bool> got_null{false};
+  std::thread consumer([&] {
+    auto m = box.recv_match([](const MessageHeader&) { return true; });
+    got_null.store(!m.has_value());
+  });
+  box.close();
+  consumer.join();
+  EXPECT_TRUE(got_null.load());
+}
+
+TEST(Mailbox, DrainsMatchesAfterClose) {
+  Mailbox box;
+  box.deliver(make_msg(0, 1, 5));
+  box.close();
+  auto m = box.recv_match([](const MessageHeader& h) { return h.tag == 5; });
+  EXPECT_TRUE(m.has_value());
+  auto none = box.recv_match([](const MessageHeader&) { return true; });
+  EXPECT_FALSE(none.has_value());
+}
+
+TEST(InProc, DeliversAcrossChannels) {
+  InProcFabric fabric(3);
+  fabric.channel(0).send(2, 42, {1, 2, 3}, 0.0);
+  auto m = fabric.channel(2).inbox().recv_match(
+      [](const MessageHeader& h) { return h.tag == 42; });
+  ASSERT_TRUE(m);
+  EXPECT_EQ(m->header.src, 0);
+  EXPECT_EQ(m->payload, (std::vector<std::uint8_t>{1, 2, 3}));
+}
+
+TEST(InProc, SelfSend) {
+  InProcFabric fabric(2);
+  fabric.channel(1).send(1, 9, {}, 0.0);
+  auto m = fabric.channel(1).inbox().try_recv_match(
+      [](const MessageHeader& h) { return h.tag == 9; });
+  ASSERT_TRUE(m);
+  EXPECT_EQ(m->header.src, 1);
+}
+
+TEST(InProc, ManyThreadsManyMessages) {
+  constexpr int kSenders = 4;
+  constexpr int kPerSender = 200;
+  InProcFabric fabric(kSenders + 1);
+  std::vector<std::thread> senders;
+  for (int s = 0; s < kSenders; ++s) {
+    senders.emplace_back([&, s] {
+      for (int i = 0; i < kPerSender; ++i) {
+        fabric.channel(s).send(kSenders, 100 + s, {static_cast<std::uint8_t>(i)},
+                               0.0);
+      }
+    });
+  }
+  int received = 0;
+  while (received < kSenders * kPerSender) {
+    auto m = fabric.channel(kSenders).inbox().recv_match(
+        [](const MessageHeader& h) { return h.tag >= 100; });
+    ASSERT_TRUE(m);
+    ++received;
+  }
+  for (auto& t : senders) t.join();
+}
+
+TEST(Socket, FullMeshRoundTrip) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "parade-socket-test").string();
+  std::filesystem::create_directories(dir);
+
+  constexpr int kNodes = 3;
+  std::vector<std::unique_ptr<SocketFabric>> fabrics(kNodes);
+  std::vector<std::thread> joiners;
+  for (int r = 0; r < kNodes; ++r) {
+    joiners.emplace_back([&, r] {
+      auto fabric = SocketFabric::create(r, kNodes, dir);
+      ASSERT_TRUE(fabric.is_ok()) << fabric.status().to_string();
+      fabrics[static_cast<std::size_t>(r)] = std::move(fabric).value();
+    });
+  }
+  for (auto& t : joiners) t.join();
+
+  // Every node sends its rank to every other node.
+  for (int r = 0; r < kNodes; ++r) {
+    for (int peer = 0; peer < kNodes; ++peer) {
+      if (peer == r) continue;
+      fabrics[static_cast<std::size_t>(r)]->send(
+          peer, 55, {static_cast<std::uint8_t>(r)}, 1.5);
+    }
+  }
+  for (int r = 0; r < kNodes; ++r) {
+    std::set<int> sources;
+    for (int k = 0; k < kNodes - 1; ++k) {
+      auto m = fabrics[static_cast<std::size_t>(r)]->inbox().recv_match(
+          [](const MessageHeader& h) { return h.tag == 55; });
+      ASSERT_TRUE(m);
+      EXPECT_DOUBLE_EQ(m->header.vtime, 1.5);
+      sources.insert(m->header.src);
+    }
+    EXPECT_EQ(sources.size(), static_cast<std::size_t>(kNodes - 1));
+  }
+  for (auto& fabric : fabrics) fabric->shutdown();
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Socket, LargePayload) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "parade-socket-large").string();
+  std::filesystem::create_directories(dir);
+  std::unique_ptr<SocketFabric> f0, f1;
+  std::thread t0([&] { f0 = std::move(SocketFabric::create(0, 2, dir)).value(); });
+  std::thread t1([&] { f1 = std::move(SocketFabric::create(1, 2, dir)).value(); });
+  t0.join();
+  t1.join();
+
+  std::vector<std::uint8_t> big(1 << 20);
+  for (std::size_t i = 0; i < big.size(); ++i) {
+    big[i] = static_cast<std::uint8_t>(i * 2654435761u >> 24);
+  }
+  f0->send(1, 77, big, 0.0);
+  auto m = f1->inbox().recv_match(
+      [](const MessageHeader& h) { return h.tag == 77; });
+  ASSERT_TRUE(m);
+  EXPECT_EQ(m->payload, big);
+  f0->shutdown();
+  f1->shutdown();
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace parade::net

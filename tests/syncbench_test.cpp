@@ -1,0 +1,75 @@
+// Syncbench sanity: the ParADE constructs must beat their conventional-SDSM
+// counterparts on a multi-node virtual cluster (the inequality behind the
+// paper's Figures 6 and 7).
+#include <gtest/gtest.h>
+
+#include "apps/syncbench.hpp"
+
+#include "runtime/api.hpp"
+#include "runtime/cluster.hpp"
+
+namespace parade::apps {
+namespace {
+
+std::vector<SyncbenchResult> run_syncbench(int nodes, long iters) {
+  RuntimeConfig config;
+  config.nodes = nodes;
+  config.threads_per_node = 2;
+  config.dsm.machine.cpus_per_node = 2;
+  config.cpu_scale = 20.0;
+  config.dsm.net = vtime::clan_via();
+  config.dsm.pool_bytes = 4 << 20;
+  std::vector<SyncbenchResult> results;
+  VirtualCluster cluster(config);
+  cluster.exec([&] {
+    auto measured = syncbench_all(iters);
+    if (parade::is_master()) results = measured;
+  });
+  cluster.shutdown();
+  return results;
+}
+
+double overhead_of(const std::vector<SyncbenchResult>& results,
+                   SyncConstruct construct) {
+  for (const auto& r : results) {
+    if (r.construct == construct) return r.overhead_us();
+  }
+  ADD_FAILURE() << "construct missing";
+  return 0.0;
+}
+
+TEST(Syncbench, ParadeBeatsKdsmAtFourNodes) {
+  const auto results = run_syncbench(4, 15);
+  const double crit_parade = overhead_of(results, SyncConstruct::kCriticalParade);
+  const double crit_kdsm = overhead_of(results, SyncConstruct::kCriticalKdsm);
+  EXPECT_LT(crit_parade, crit_kdsm);
+
+  const double single_parade = overhead_of(results, SyncConstruct::kSingleParade);
+  const double single_kdsm = overhead_of(results, SyncConstruct::kSingleKdsm);
+  EXPECT_LT(single_parade, single_kdsm);
+}
+
+TEST(Syncbench, KdsmGapGrowsWithNodes) {
+  const auto at2 = run_syncbench(2, 12);
+  const auto at8 = run_syncbench(8, 12);
+  const double gap2 = overhead_of(at2, SyncConstruct::kCriticalKdsm) -
+                      overhead_of(at2, SyncConstruct::kCriticalParade);
+  const double gap8 = overhead_of(at8, SyncConstruct::kCriticalKdsm) -
+                      overhead_of(at8, SyncConstruct::kCriticalParade);
+  EXPECT_GT(gap8, gap2);  // "the gap becomes wider as the number of nodes
+                          //  increases" (paper §6.1)
+}
+
+TEST(Syncbench, SingleNodeHasNoInterNodeCost) {
+  const auto results = run_syncbench(1, 15);
+  // On one node everything is pthread-level (scaled CPU cost only); there
+  // must be no modeled network round trips, so overheads stay well under the
+  // multi-node KDSM critical which pays lock + page transfers.
+  const auto at4 = run_syncbench(4, 12);
+  EXPECT_LT(overhead_of(results, SyncConstruct::kCriticalParade),
+            overhead_of(at4, SyncConstruct::kCriticalKdsm) / 2);
+  EXPECT_LT(overhead_of(results, SyncConstruct::kReduction), 1000.0);
+}
+
+}  // namespace
+}  // namespace parade::apps

@@ -1,0 +1,223 @@
+// Translator robustness corpus: a battery of small OpenMP C programs with
+// tricky-but-legal syntax must translate successfully (and the output must
+// mention the expected runtime calls); known-unsupported inputs must fail
+// with a useful diagnostic.
+#include <gtest/gtest.h>
+
+#include "translator/translate.hpp"
+
+namespace parade::translator {
+namespace {
+
+struct CorpusCase {
+  const char* name;
+  const char* source;
+  bool should_translate;
+  const char* expect_in_output;  // substring of generated code or of error
+};
+
+class Corpus : public ::testing::TestWithParam<CorpusCase> {};
+
+TEST_P(Corpus, TranslatesOrDiagnoses) {
+  const CorpusCase& c = GetParam();
+  auto result = translate_source(c.source);
+  if (c.should_translate) {
+    ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+    if (c.expect_in_output != nullptr) {
+      EXPECT_NE(result.value().find(c.expect_in_output), std::string::npos)
+          << result.value();
+    }
+  } else {
+    ASSERT_FALSE(result.is_ok());
+    if (c.expect_in_output != nullptr) {
+      EXPECT_NE(result.status().message().find(c.expect_in_output),
+                std::string::npos)
+          << result.status().to_string();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, Corpus,
+    ::testing::Values(
+        CorpusCase{"comments_everywhere", R"(
+/* header */ int x; // trailing
+int main() { /* inner */
+#pragma omp parallel
+  { x = x /* mid-expression */ + 0; }
+  return 0; }
+)",
+                   true, "parade::parallel"},
+        CorpusCase{"macros_pass_through", R"(
+#include <stdio.h>
+#define N 100
+#define SQ(a) ((a)*(a))
+double v[N];
+int main() {
+  int i;
+#pragma omp parallel for
+  for (i = 0; i < N; i++) v[i] = SQ(i);
+  return 0; }
+)",
+                   true, "#define SQ(a)"},
+        CorpusCase{"three_dimensional_array", R"(
+double cube[4][8][16];
+int main() { cube[1][2][3] = 1.0; return 0; }
+)",
+                   true, "sizeof(double) * (4) * (8) * (16)"},
+        CorpusCase{"nested_loops_outer_omp", R"(
+double m[64][64];
+int main() {
+  int i, j;
+#pragma omp parallel for private(j)
+  for (i = 0; i < 64; i++)
+    for (j = 0; j < 64; j++)
+      m[i][j] = i + j;
+  return 0; }
+)",
+                   true, "parallel_for"},
+        CorpusCase{"multiple_functions", R"(
+double shared_v;
+static double helper(double a) { return a * 2.0; }
+void work(void) {
+#pragma omp parallel
+  {
+#pragma omp critical
+    shared_v += 1.0;
+  }
+}
+int main() { work(); shared_v = helper(shared_v); return 0; }
+)",
+                   true, "team_allreduce_bytes"},
+        CorpusCase{"do_while_and_switch", R"(
+int main() {
+  int state = 0, n = 3;
+  do {
+    switch (state) {
+      case 0: state = 1; break;
+      default: state = 0; break;
+    }
+    n--;
+  } while (n > 0);
+  return state; }
+)",
+                   true, "do"},
+        CorpusCase{"decreasing_canonical_loop", R"(
+double v[128];
+int main() {
+  int i;
+#pragma omp parallel for
+  for (i = 127; i >= 0; i--) v[i] = i;
+  return 0; }
+)",
+                   true, "loop_index"},
+        CorpusCase{"barrier_and_flush", R"(
+int main() {
+#pragma omp parallel
+  {
+#pragma omp barrier
+#pragma omp flush
+    ;
+  }
+  return 0; }
+)",
+                   true, "parade::barrier"},
+        CorpusCase{"string_literals_with_braces", R"(
+#include <stdio.h>
+int main() { printf("{not a block} %d\n", 1); return 0; }
+)",
+                   true, "master_printf"},
+        CorpusCase{"pointer_params", R"(
+void fill(double* out, int n) {
+  int i;
+  for (i = 0; i < n; i++) out[i] = i;
+}
+int main() { double buf[4]; fill(buf, 4); return 0; }
+)",
+                   true, nullptr},
+        // ---- diagnosed inputs ----
+        CorpusCase{"noncanonical_condition", R"(
+int main() {
+  int i;
+#pragma omp parallel for
+  for (i = 0; i != 10; i++) { }
+  return 0; }
+)",
+                   false, "canonical"},
+        CorpusCase{"unknown_directive", R"(
+int main() {
+#pragma omp taskloop
+  { }
+  return 0; }
+)",
+                   false, "unknown OpenMP directive"},
+        CorpusCase{"unknown_clause", R"(
+int main() {
+#pragma omp parallel num_threads(4)
+  { }
+  return 0; }
+)",
+                   false, "unsupported clause"},
+        CorpusCase{"initialized_global_array", R"(
+int lut[4] = {1, 2, 3, 4};
+int main() { return lut[0]; }
+)",
+                   false, "initialized global arrays"},
+        CorpusCase{"atomic_on_block", R"(
+int main() {
+#pragma omp parallel
+  {
+#pragma omp atomic
+    { int q; }
+  }
+  return 0; }
+)",
+                   false, "atomic"},
+        CorpusCase{"copyin_without_threadprivate", R"(
+double x;
+int main() {
+#pragma omp parallel copyin(x)
+  { }
+  return 0; }
+)",
+                   false, "threadprivate"}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+TEST(Corpus, GeneratedCodeHasBalancedBraces) {
+  const char* source = R"(
+double grid[32][32];
+double total;
+int main() {
+  int i, j;
+#pragma omp parallel private(j)
+  {
+#pragma omp for reduction(+:total) schedule(dynamic, 4)
+    for (i = 1; i < 31; i++) {
+      for (j = 1; j < 31; j++) {
+        if (grid[i][j] > 0.0) total += grid[i][j];
+        else total -= 1.0;
+      }
+    }
+#pragma omp single
+    total *= 0.5;
+#pragma omp master
+    { grid[0][0] = total; }
+  }
+  return 0;
+}
+)";
+  auto result = translate_source(source);
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  int depth = 0;
+  bool negative = false;
+  for (const char c : result.value()) {
+    if (c == '{') ++depth;
+    if (c == '}') --depth;
+    if (depth < 0) negative = true;
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(negative);
+}
+
+}  // namespace
+}  // namespace parade::translator

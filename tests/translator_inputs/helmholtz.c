@@ -1,0 +1,67 @@
+/* OpenMP C port of the openmp.org jacobi sample (Helmholtz equation), used
+ * as a realistic end-to-end translator input. */
+#include <stdio.h>
+#include <math.h>
+
+#define N 64
+#define M 64
+
+double u[M][N];
+double uold[M][N];
+double f[M][N];
+double resid_sum;
+
+int main() {
+  int i, j, iter;
+  double alpha = 0.0543;
+  double relax = 1.0;
+  double dx, dy, ax, ay, b;
+  int maxit = 100;
+
+  dx = 2.0 / (N - 1);
+  dy = 2.0 / (M - 1);
+  ax = 1.0 / (dx * dx);
+  ay = 1.0 / (dy * dy);
+  b = -2.0 / (dx * dx) - 2.0 / (dy * dy) - alpha;
+
+#pragma omp parallel private(i)
+  {
+#pragma omp for
+    for (j = 0; j < M; j++) {
+      for (i = 0; i < N; i++) {
+        double x = -1.0 + dx * i;
+        double y = -1.0 + dy * j;
+        u[j][i] = 0.0;
+        f[j][i] = -2.0 * (1.0 - x * x) - 2.0 * (1.0 - y * y)
+                  - alpha * (1.0 - x * x) * (1.0 - y * y);
+      }
+    }
+  }
+
+  for (iter = 0; iter < maxit; iter++) {
+    resid_sum = 0.0;
+#pragma omp parallel private(i)
+    {
+#pragma omp for
+      for (j = 0; j < M; j++) {
+        for (i = 0; i < N; i++) {
+          uold[j][i] = u[j][i];
+        }
+      }
+#pragma omp for reduction(+:resid_sum)
+      for (j = 1; j < M - 1; j++) {
+        for (i = 1; i < N - 1; i++) {
+          double resid = (ax * (uold[j][i-1] + uold[j][i+1])
+                        + ay * (uold[j-1][i] + uold[j+1][i])
+                        + b * uold[j][i] - f[j][i]) / b;
+          u[j][i] = uold[j][i] - relax * resid;
+          resid_sum += resid * resid;
+        }
+      }
+    }
+  }
+
+  printf("residual=%.6e\n", sqrt(resid_sum) / (N * M));
+  printf("u[32][32]=%.4f\n", u[32][32]);
+  return 0;
+}

@@ -1,0 +1,18 @@
+#include <stdio.h>
+
+static long num_steps = 1000000;
+double step;
+
+int main() {
+  double x, pi, sum = 0.0;
+  long i;
+  step = 1.0 / (double)num_steps;
+#pragma omp parallel for private(x) reduction(+:sum)
+  for (i = 0; i < num_steps; i++) {
+    x = (i + 0.5) * step;
+    sum = sum + 4.0 / (1.0 + x * x);
+  }
+  pi = step * sum;
+  printf("pi=%.9f\n", pi);
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Behavioural tests of the direct-execution timing model — the mechanisms
+// behind the paper's Figures 8-11 shapes:
+//  * a communication-heavy workload is slower on 1Thread-1CPU than on
+//    1Thread-2CPU (comm-thread cost serializes vs overlaps),
+//  * more compute threads reduce virtual compute time,
+//  * a slower network increases virtual time,
+//  * EP-style workloads are insensitive to the network.
+#include <gtest/gtest.h>
+
+#include "apps/ep.hpp"
+#include "runtime/api.hpp"
+#include "runtime/cluster.hpp"
+
+namespace parade {
+namespace {
+
+/// Page-traffic-heavy workload: nodes take turns rewriting a block of pages.
+void page_churn() {
+  auto* data = shmalloc_array<double>(16 * 512);  // 16 pages
+  barrier();
+  for (int epoch = 0; epoch < 6; ++epoch) {
+    if (node_id() == epoch % num_nodes()) {
+      for (int i = 0; i < 16 * 512; ++i) data[i] = epoch + i * 0.5;
+    }
+    barrier();
+    double sum = 0.0;
+    for (int i = 0; i < 16 * 512; i += 512) sum += data[i];
+    barrier();
+  }
+}
+
+double run_with(vtime::NodeConfig node_config, vtime::NetworkModel net,
+                const std::function<void()>& program, int nodes = 2) {
+  RuntimeConfig config;
+  config.nodes = nodes;
+  config.with_node_config(node_config);
+  config.cpu_scale = 20.0;
+  config.dsm.net = net;
+  config.dsm.pool_bytes = 4 << 20;
+  return run_virtual_cluster_s(config, program);
+}
+
+TEST(VtimeModel, CommThreadPlacementMatters) {
+  // 1T-1CPU charges communication-thread CPU to the compute timeline;
+  // 1T-2CPU overlaps it (paper §6.2's central observation).
+  const double one_cpu =
+      run_with(vtime::NodeConfig::k1Thread1Cpu, vtime::clan_via(), page_churn);
+  const double two_cpu =
+      run_with(vtime::NodeConfig::k1Thread2Cpu, vtime::clan_via(), page_churn);
+  EXPECT_GT(one_cpu, two_cpu);
+}
+
+TEST(VtimeModel, MoreThreadsLessComputeTime) {
+  auto compute_heavy = [] {
+    double sink_replica = 0.0;
+    parallel([&] {
+      double local = 0.0;
+      parallel_for(0, 400000, [&](long lo, long hi) {
+        for (long i = lo; i < hi; ++i) local += 1.0 / (1.0 + i);
+      });
+      team_update(&sink_replica, local, mp::Op::kSum);
+    });
+  };
+  const double one_thread = run_with(vtime::NodeConfig::k1Thread2Cpu,
+                                     vtime::ideal(), compute_heavy);
+  const double two_threads = run_with(vtime::NodeConfig::k2Thread2Cpu,
+                                      vtime::ideal(), compute_heavy);
+  // Two compute threads should cut virtual compute time by roughly half;
+  // accept anything clearly better.
+  EXPECT_LT(two_threads, 0.8 * one_thread);
+}
+
+TEST(VtimeModel, SlowerNetworkSlowerRun) {
+  const double clan =
+      run_with(vtime::NodeConfig::k2Thread2Cpu, vtime::clan_via(), page_churn);
+  const double ether = run_with(vtime::NodeConfig::k2Thread2Cpu,
+                                vtime::fast_ethernet(), page_churn);
+  EXPECT_GT(ether, 1.5 * clan);  // Fast Ethernet is ~5-10x worse
+}
+
+TEST(VtimeModel, EpInsensitiveToNetwork) {
+  apps::EpParams params{17};
+  apps::EpResult result;
+  const double clan = run_with(vtime::NodeConfig::k2Thread2Cpu,
+                               vtime::clan_via(),
+                               [&] { result = apps::ep_parade(params); });
+  const double ether = run_with(vtime::NodeConfig::k2Thread2Cpu,
+                                vtime::fast_ethernet(),
+                                [&] { result = apps::ep_parade(params); });
+  // EP communicates once at the end; the network should barely matter
+  // (paper: "it is natural that ParADE is highly scalable" for EP).
+  EXPECT_LT(ether, 1.5 * clan);
+}
+
+TEST(VtimeModel, MoreNodesMoreSyncCost) {
+  auto sync_heavy = [] {
+    double replica = 0.0;
+    parallel([&] {
+      for (int i = 0; i < 30; ++i) team_update(&replica, 1.0, mp::Op::kSum);
+    });
+  };
+  const double two =
+      run_with(vtime::NodeConfig::k2Thread2Cpu, vtime::clan_via(), sync_heavy, 2);
+  const double eight =
+      run_with(vtime::NodeConfig::k2Thread2Cpu, vtime::clan_via(), sync_heavy, 8);
+  EXPECT_GT(eight, two);  // log-depth collectives + more arrivals
+}
+
+}  // namespace
+}  // namespace parade
