@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_home_migration.dir/ablation_home_migration.cpp.o"
+  "CMakeFiles/ablation_home_migration.dir/ablation_home_migration.cpp.o.d"
+  "ablation_home_migration"
+  "ablation_home_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_home_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

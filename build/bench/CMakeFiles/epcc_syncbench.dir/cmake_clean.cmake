@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epcc_syncbench.dir/epcc_syncbench.cpp.o"
+  "CMakeFiles/epcc_syncbench.dir/epcc_syncbench.cpp.o.d"
+  "epcc_syncbench"
+  "epcc_syncbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epcc_syncbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

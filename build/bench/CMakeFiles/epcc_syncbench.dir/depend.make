@@ -1,0 +1,2 @@
+# Empty dependencies file for epcc_syncbench.
+# This may be replaced when dependencies are built.

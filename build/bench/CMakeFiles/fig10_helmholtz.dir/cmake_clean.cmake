@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_helmholtz.dir/fig10_helmholtz.cpp.o"
+  "CMakeFiles/fig10_helmholtz.dir/fig10_helmholtz.cpp.o.d"
+  "fig10_helmholtz"
+  "fig10_helmholtz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_helmholtz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

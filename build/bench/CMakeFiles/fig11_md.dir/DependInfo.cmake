@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig11_md.cpp" "bench/CMakeFiles/fig11_md.dir/fig11_md.cpp.o" "gcc" "bench/CMakeFiles/fig11_md.dir/fig11_md.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/parade_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/parade_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsm/CMakeFiles/parade_dsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mp/CMakeFiles/parade_mp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/parade_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/vtime/CMakeFiles/parade_vtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/parade_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_md.dir/fig11_md.cpp.o"
+  "CMakeFiles/fig11_md.dir/fig11_md.cpp.o.d"
+  "fig11_md"
+  "fig11_md.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_md.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

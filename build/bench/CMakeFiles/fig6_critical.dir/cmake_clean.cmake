@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_critical.dir/fig6_critical.cpp.o"
+  "CMakeFiles/fig6_critical.dir/fig6_critical.cpp.o.d"
+  "fig6_critical"
+  "fig6_critical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_critical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

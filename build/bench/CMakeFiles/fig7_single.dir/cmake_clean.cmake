@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_single.dir/fig7_single.cpp.o"
+  "CMakeFiles/fig7_single.dir/fig7_single.cpp.o.d"
+  "fig7_single"
+  "fig7_single.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_single.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

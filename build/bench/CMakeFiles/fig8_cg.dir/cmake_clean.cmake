@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_cg.dir/fig8_cg.cpp.o"
+  "CMakeFiles/fig8_cg.dir/fig8_cg.cpp.o.d"
+  "fig8_cg"
+  "fig8_cg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_cg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_ep.dir/fig9_ep.cpp.o"
+  "CMakeFiles/fig9_ep.dir/fig9_ep.cpp.o.d"
+  "fig9_ep"
+  "fig9_ep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_ep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

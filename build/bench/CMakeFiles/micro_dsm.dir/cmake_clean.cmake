@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_dsm.dir/micro_dsm.cpp.o"
+  "CMakeFiles/micro_dsm.dir/micro_dsm.cpp.o.d"
+  "micro_dsm"
+  "micro_dsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_dsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

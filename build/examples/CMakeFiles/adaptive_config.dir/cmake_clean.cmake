@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_config.dir/adaptive_config.cpp.o"
+  "CMakeFiles/adaptive_config.dir/adaptive_config.cpp.o.d"
+  "adaptive_config"
+  "adaptive_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_hello.dir/cluster_hello.cpp.o"
+  "CMakeFiles/cluster_hello.dir/cluster_hello.cpp.o.d"
+  "cluster_hello"
+  "cluster_hello.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_hello.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/helmholtz_solver.dir/helmholtz_solver.cpp.o"
+  "CMakeFiles/helmholtz_solver.dir/helmholtz_solver.cpp.o.d"
+  "helmholtz_solver"
+  "helmholtz_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/helmholtz_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/translated_pi.dir/openmp_pi_translated.cpp.o"
+  "CMakeFiles/translated_pi.dir/openmp_pi_translated.cpp.o.d"
+  "openmp_pi_translated.cpp"
+  "translated_pi"
+  "translated_pi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/translated_pi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

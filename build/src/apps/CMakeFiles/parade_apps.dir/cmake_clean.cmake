@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parade_apps.dir/cg.cpp.o"
+  "CMakeFiles/parade_apps.dir/cg.cpp.o.d"
+  "CMakeFiles/parade_apps.dir/cg_nas.cpp.o"
+  "CMakeFiles/parade_apps.dir/cg_nas.cpp.o.d"
+  "CMakeFiles/parade_apps.dir/ep.cpp.o"
+  "CMakeFiles/parade_apps.dir/ep.cpp.o.d"
+  "CMakeFiles/parade_apps.dir/helmholtz.cpp.o"
+  "CMakeFiles/parade_apps.dir/helmholtz.cpp.o.d"
+  "CMakeFiles/parade_apps.dir/md.cpp.o"
+  "CMakeFiles/parade_apps.dir/md.cpp.o.d"
+  "CMakeFiles/parade_apps.dir/syncbench.cpp.o"
+  "CMakeFiles/parade_apps.dir/syncbench.cpp.o.d"
+  "libparade_apps.a"
+  "libparade_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parade_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/env.cpp" "src/common/CMakeFiles/parade_common.dir/env.cpp.o" "gcc" "src/common/CMakeFiles/parade_common.dir/env.cpp.o.d"
+  "/root/repo/src/common/log.cpp" "src/common/CMakeFiles/parade_common.dir/log.cpp.o" "gcc" "src/common/CMakeFiles/parade_common.dir/log.cpp.o.d"
+  "/root/repo/src/common/nas_rng.cpp" "src/common/CMakeFiles/parade_common.dir/nas_rng.cpp.o" "gcc" "src/common/CMakeFiles/parade_common.dir/nas_rng.cpp.o.d"
+  "/root/repo/src/common/status.cpp" "src/common/CMakeFiles/parade_common.dir/status.cpp.o" "gcc" "src/common/CMakeFiles/parade_common.dir/status.cpp.o.d"
+  "/root/repo/src/common/timing.cpp" "src/common/CMakeFiles/parade_common.dir/timing.cpp.o" "gcc" "src/common/CMakeFiles/parade_common.dir/timing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parade_common.dir/env.cpp.o"
+  "CMakeFiles/parade_common.dir/env.cpp.o.d"
+  "CMakeFiles/parade_common.dir/log.cpp.o"
+  "CMakeFiles/parade_common.dir/log.cpp.o.d"
+  "CMakeFiles/parade_common.dir/nas_rng.cpp.o"
+  "CMakeFiles/parade_common.dir/nas_rng.cpp.o.d"
+  "CMakeFiles/parade_common.dir/status.cpp.o"
+  "CMakeFiles/parade_common.dir/status.cpp.o.d"
+  "CMakeFiles/parade_common.dir/timing.cpp.o"
+  "CMakeFiles/parade_common.dir/timing.cpp.o.d"
+  "libparade_common.a"
+  "libparade_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parade_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsm/cluster.cpp" "src/dsm/CMakeFiles/parade_dsm.dir/cluster.cpp.o" "gcc" "src/dsm/CMakeFiles/parade_dsm.dir/cluster.cpp.o.d"
+  "/root/repo/src/dsm/diff.cpp" "src/dsm/CMakeFiles/parade_dsm.dir/diff.cpp.o" "gcc" "src/dsm/CMakeFiles/parade_dsm.dir/diff.cpp.o.d"
+  "/root/repo/src/dsm/mapping.cpp" "src/dsm/CMakeFiles/parade_dsm.dir/mapping.cpp.o" "gcc" "src/dsm/CMakeFiles/parade_dsm.dir/mapping.cpp.o.d"
+  "/root/repo/src/dsm/node.cpp" "src/dsm/CMakeFiles/parade_dsm.dir/node.cpp.o" "gcc" "src/dsm/CMakeFiles/parade_dsm.dir/node.cpp.o.d"
+  "/root/repo/src/dsm/pagetable.cpp" "src/dsm/CMakeFiles/parade_dsm.dir/pagetable.cpp.o" "gcc" "src/dsm/CMakeFiles/parade_dsm.dir/pagetable.cpp.o.d"
+  "/root/repo/src/dsm/protocol.cpp" "src/dsm/CMakeFiles/parade_dsm.dir/protocol.cpp.o" "gcc" "src/dsm/CMakeFiles/parade_dsm.dir/protocol.cpp.o.d"
+  "/root/repo/src/dsm/sigsegv.cpp" "src/dsm/CMakeFiles/parade_dsm.dir/sigsegv.cpp.o" "gcc" "src/dsm/CMakeFiles/parade_dsm.dir/sigsegv.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/parade_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/vtime/CMakeFiles/parade_vtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/parade_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

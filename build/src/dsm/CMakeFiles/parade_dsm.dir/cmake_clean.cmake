@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parade_dsm.dir/cluster.cpp.o"
+  "CMakeFiles/parade_dsm.dir/cluster.cpp.o.d"
+  "CMakeFiles/parade_dsm.dir/diff.cpp.o"
+  "CMakeFiles/parade_dsm.dir/diff.cpp.o.d"
+  "CMakeFiles/parade_dsm.dir/mapping.cpp.o"
+  "CMakeFiles/parade_dsm.dir/mapping.cpp.o.d"
+  "CMakeFiles/parade_dsm.dir/node.cpp.o"
+  "CMakeFiles/parade_dsm.dir/node.cpp.o.d"
+  "CMakeFiles/parade_dsm.dir/pagetable.cpp.o"
+  "CMakeFiles/parade_dsm.dir/pagetable.cpp.o.d"
+  "CMakeFiles/parade_dsm.dir/protocol.cpp.o"
+  "CMakeFiles/parade_dsm.dir/protocol.cpp.o.d"
+  "CMakeFiles/parade_dsm.dir/sigsegv.cpp.o"
+  "CMakeFiles/parade_dsm.dir/sigsegv.cpp.o.d"
+  "libparade_dsm.a"
+  "libparade_dsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parade_dsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

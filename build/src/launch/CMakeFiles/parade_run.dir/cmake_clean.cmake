@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parade_run.dir/parade_run.cpp.o"
+  "CMakeFiles/parade_run.dir/parade_run.cpp.o.d"
+  "parade_run"
+  "parade_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parade_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parade_mp.dir/comm.cpp.o"
+  "CMakeFiles/parade_mp.dir/comm.cpp.o.d"
+  "CMakeFiles/parade_mp.dir/datatypes.cpp.o"
+  "CMakeFiles/parade_mp.dir/datatypes.cpp.o.d"
+  "libparade_mp.a"
+  "libparade_mp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parade_mp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

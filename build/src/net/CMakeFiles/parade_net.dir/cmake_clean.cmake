@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parade_net.dir/inproc.cpp.o"
+  "CMakeFiles/parade_net.dir/inproc.cpp.o.d"
+  "CMakeFiles/parade_net.dir/mailbox.cpp.o"
+  "CMakeFiles/parade_net.dir/mailbox.cpp.o.d"
+  "CMakeFiles/parade_net.dir/socket.cpp.o"
+  "CMakeFiles/parade_net.dir/socket.cpp.o.d"
+  "libparade_net.a"
+  "libparade_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parade_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

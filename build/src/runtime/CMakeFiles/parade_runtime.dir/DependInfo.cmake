@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/api.cpp" "src/runtime/CMakeFiles/parade_runtime.dir/api.cpp.o" "gcc" "src/runtime/CMakeFiles/parade_runtime.dir/api.cpp.o.d"
+  "/root/repo/src/runtime/cluster.cpp" "src/runtime/CMakeFiles/parade_runtime.dir/cluster.cpp.o" "gcc" "src/runtime/CMakeFiles/parade_runtime.dir/cluster.cpp.o.d"
+  "/root/repo/src/runtime/context.cpp" "src/runtime/CMakeFiles/parade_runtime.dir/context.cpp.o" "gcc" "src/runtime/CMakeFiles/parade_runtime.dir/context.cpp.o.d"
+  "/root/repo/src/runtime/node_runtime.cpp" "src/runtime/CMakeFiles/parade_runtime.dir/node_runtime.cpp.o" "gcc" "src/runtime/CMakeFiles/parade_runtime.dir/node_runtime.cpp.o.d"
+  "/root/repo/src/runtime/team.cpp" "src/runtime/CMakeFiles/parade_runtime.dir/team.cpp.o" "gcc" "src/runtime/CMakeFiles/parade_runtime.dir/team.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dsm/CMakeFiles/parade_dsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mp/CMakeFiles/parade_mp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/parade_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/vtime/CMakeFiles/parade_vtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/parade_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

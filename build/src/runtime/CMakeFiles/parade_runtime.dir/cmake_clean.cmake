@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parade_runtime.dir/api.cpp.o"
+  "CMakeFiles/parade_runtime.dir/api.cpp.o.d"
+  "CMakeFiles/parade_runtime.dir/cluster.cpp.o"
+  "CMakeFiles/parade_runtime.dir/cluster.cpp.o.d"
+  "CMakeFiles/parade_runtime.dir/context.cpp.o"
+  "CMakeFiles/parade_runtime.dir/context.cpp.o.d"
+  "CMakeFiles/parade_runtime.dir/node_runtime.cpp.o"
+  "CMakeFiles/parade_runtime.dir/node_runtime.cpp.o.d"
+  "CMakeFiles/parade_runtime.dir/team.cpp.o"
+  "CMakeFiles/parade_runtime.dir/team.cpp.o.d"
+  "libparade_runtime.a"
+  "libparade_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parade_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libparade_runtime.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parade_omcc.dir/driver.cpp.o"
+  "CMakeFiles/parade_omcc.dir/driver.cpp.o.d"
+  "parade_omcc"
+  "parade_omcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parade_omcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

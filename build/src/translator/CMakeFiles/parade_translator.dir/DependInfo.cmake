@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/translator/codegen.cpp" "src/translator/CMakeFiles/parade_translator.dir/codegen.cpp.o" "gcc" "src/translator/CMakeFiles/parade_translator.dir/codegen.cpp.o.d"
+  "/root/repo/src/translator/parser.cpp" "src/translator/CMakeFiles/parade_translator.dir/parser.cpp.o" "gcc" "src/translator/CMakeFiles/parade_translator.dir/parser.cpp.o.d"
+  "/root/repo/src/translator/pragma.cpp" "src/translator/CMakeFiles/parade_translator.dir/pragma.cpp.o" "gcc" "src/translator/CMakeFiles/parade_translator.dir/pragma.cpp.o.d"
+  "/root/repo/src/translator/token.cpp" "src/translator/CMakeFiles/parade_translator.dir/token.cpp.o" "gcc" "src/translator/CMakeFiles/parade_translator.dir/token.cpp.o.d"
+  "/root/repo/src/translator/translate.cpp" "src/translator/CMakeFiles/parade_translator.dir/translate.cpp.o" "gcc" "src/translator/CMakeFiles/parade_translator.dir/translate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/parade_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parade_translator.dir/codegen.cpp.o"
+  "CMakeFiles/parade_translator.dir/codegen.cpp.o.d"
+  "CMakeFiles/parade_translator.dir/parser.cpp.o"
+  "CMakeFiles/parade_translator.dir/parser.cpp.o.d"
+  "CMakeFiles/parade_translator.dir/pragma.cpp.o"
+  "CMakeFiles/parade_translator.dir/pragma.cpp.o.d"
+  "CMakeFiles/parade_translator.dir/token.cpp.o"
+  "CMakeFiles/parade_translator.dir/token.cpp.o.d"
+  "CMakeFiles/parade_translator.dir/translate.cpp.o"
+  "CMakeFiles/parade_translator.dir/translate.cpp.o.d"
+  "libparade_translator.a"
+  "libparade_translator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parade_translator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parade_vtime.dir/clock.cpp.o"
+  "CMakeFiles/parade_vtime.dir/clock.cpp.o.d"
+  "CMakeFiles/parade_vtime.dir/cost_model.cpp.o"
+  "CMakeFiles/parade_vtime.dir/cost_model.cpp.o.d"
+  "libparade_vtime.a"
+  "libparade_vtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parade_vtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

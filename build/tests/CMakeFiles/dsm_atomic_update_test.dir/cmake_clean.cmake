@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsm_atomic_update_test.dir/dsm_atomic_update_test.cpp.o"
+  "CMakeFiles/dsm_atomic_update_test.dir/dsm_atomic_update_test.cpp.o.d"
+  "dsm_atomic_update_test"
+  "dsm_atomic_update_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsm_atomic_update_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

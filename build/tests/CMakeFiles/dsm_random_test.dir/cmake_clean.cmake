@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsm_random_test.dir/dsm_random_test.cpp.o"
+  "CMakeFiles/dsm_random_test.dir/dsm_random_test.cpp.o.d"
+  "dsm_random_test"
+  "dsm_random_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsm_random_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

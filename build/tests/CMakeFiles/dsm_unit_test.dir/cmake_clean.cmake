@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsm_unit_test.dir/dsm_unit_test.cpp.o"
+  "CMakeFiles/dsm_unit_test.dir/dsm_unit_test.cpp.o.d"
+  "dsm_unit_test"
+  "dsm_unit_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsm_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

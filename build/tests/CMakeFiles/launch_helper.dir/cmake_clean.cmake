@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/launch_helper.dir/launch_helper_main.cpp.o"
+  "CMakeFiles/launch_helper.dir/launch_helper_main.cpp.o.d"
+  "launch_helper"
+  "launch_helper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/launch_helper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syncbench_test.dir/syncbench_test.cpp.o"
+  "CMakeFiles/syncbench_test.dir/syncbench_test.cpp.o.d"
+  "syncbench_test"
+  "syncbench_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syncbench_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

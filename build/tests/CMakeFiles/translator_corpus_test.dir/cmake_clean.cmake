@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/translator_corpus_test.dir/translator_corpus_test.cpp.o"
+  "CMakeFiles/translator_corpus_test.dir/translator_corpus_test.cpp.o.d"
+  "translator_corpus_test"
+  "translator_corpus_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/translator_corpus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

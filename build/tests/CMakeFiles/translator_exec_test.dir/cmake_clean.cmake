@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/translator_exec_test.dir/translator_exec_test.cpp.o"
+  "CMakeFiles/translator_exec_test.dir/translator_exec_test.cpp.o.d"
+  "translator_exec_test"
+  "translator_exec_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/translator_exec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

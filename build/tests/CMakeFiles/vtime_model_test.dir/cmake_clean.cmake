@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vtime_model_test.dir/vtime_model_test.cpp.o"
+  "CMakeFiles/vtime_model_test.dir/vtime_model_test.cpp.o.d"
+  "vtime_model_test"
+  "vtime_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vtime_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vtime_test.dir/vtime_test.cpp.o"
+  "CMakeFiles/vtime_test.dir/vtime_test.cpp.o.d"
+  "vtime_test"
+  "vtime_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vtime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xlat_support_test.dir/xlat_support_test.cpp.o"
+  "CMakeFiles/xlat_support_test.dir/xlat_support_test.cpp.o.d"
+  "xlat_support_test"
+  "xlat_support_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xlat_support_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
