@@ -83,5 +83,6 @@ int main(int argc, char** argv) {
         run_case(nodes, false, [&] { r = apps::helmholtz_parade(hh); });
     print_row("Helmholtz", on, off);
   }
+  bench::export_metrics("ablation_home_migration");
   return 0;
 }

@@ -72,5 +72,6 @@ int main(int argc, char** argv) {
   std::printf(
       "# The paper sets the switch threshold where these curves cross "
       "(256 B on their cluster).\n");
+  bench::export_metrics("ablation_threshold");
   return 0;
 }

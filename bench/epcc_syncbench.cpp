@@ -36,5 +36,6 @@ int main(int argc, char** argv) {
     }
     std::printf("\n");
   }
+  bench::export_metrics("epcc_syncbench");
   return 0;
 }

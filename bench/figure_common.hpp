@@ -11,10 +11,19 @@
 #include <string>
 #include <vector>
 
+#include "obs/registry.hpp"
 #include "runtime/cluster.hpp"
 #include "vtime/cost_model.hpp"
 
 namespace parade::bench {
+
+/// Dumps the metrics registry (counters, epoch slices, trace) to the path in
+/// PARADE_METRICS, no-op otherwise. Every bench calls this after printing its
+/// table — either via print_figure or directly — so each figure's run comes
+/// with a machine-readable sidecar.
+inline void export_metrics(const std::string& label) {
+  obs::Registry::instance().export_if_configured(label);
+}
 
 inline const std::vector<int> kNodeSweep = {1, 2, 4, 8};
 
@@ -62,6 +71,7 @@ inline void print_figure(const std::string& title, const std::string& unit,
     std::printf("\n");
   }
   std::fflush(stdout);
+  export_metrics(title);
 }
 
 /// --flag=value parsing for the bench binaries.

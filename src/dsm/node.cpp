@@ -39,12 +39,24 @@ bool active() { return t_depth > 0; }
 // ---------------------------------------------------------------------------
 
 DsmNode::DsmNode(net::Channel& channel, DsmConfig config)
-    : channel_(channel), config_(config) {}
+    : channel_(channel), config_(config), stats_(channel.rank()) {}
+
+void DsmNode::post(NodeId dst, Tag tag, std::vector<std::uint8_t> payload,
+                   VirtualUs vtime) {
+  Status s = channel_.send(dst, tag, std::move(payload), vtime);
+  if (!s.is_ok()) {
+    PLOG_WARN("dsm send tag " << tag << " to node " << dst
+                              << " dropped: " << s.to_string());
+  }
+}
 
 DsmNode::~DsmNode() { shutdown(); }
 
 Status DsmNode::start() {
   PARADE_CHECK_MSG(!started_, "DsmNode already started");
+  // Fresh metrics per cluster run: tests and benches build consecutive
+  // virtual clusters in one process and assert exact protocol counts.
+  obs::Registry::instance().reset_node(rank());
   auto mapping = DoubleMapping::create(config_.pool_bytes, config_.map_method);
   if (!mapping.is_ok()) return mapping.status();
   mapping_ = std::move(mapping).value();
@@ -71,7 +83,8 @@ Status DsmNode::start() {
 void DsmNode::shutdown() {
   if (!started_) return;
   started_ = false;
-  channel_.send(rank(), kTagShutdown, {}, 0.0);
+  // Benign failure: the comm thread may already have exited on mailbox close.
+  (void)channel_.send(rank(), kTagShutdown, {}, 0.0);
   if (comm_thread_.joinable()) comm_thread_.join();
   sigsegv::unregister_range(mapping_->app_view());
 }
@@ -174,7 +187,7 @@ void DsmNode::fetch_page(PageId page, std::unique_lock<std::mutex>& lock,
     clock->add(config_.net.send_overhead_us);
     stamp = clock->now();
   }
-  channel_.send(home, kTagPageRequest, encode(PageRequestMsg{page}), stamp);
+  post(home, kTagPageRequest, codec<PageRequestMsg>::encode({page}), stamp);
 
   lock.lock();
   entry.cv.wait(lock, [&] {
@@ -251,7 +264,8 @@ void DsmNode::flush_pages(const std::vector<PageId>& pages) {
       clock->add(config_.net.send_overhead_us);
       stamp = clock->now();
     }
-    channel_.send(home, kTagDiff, encode(DiffMsg{page, std::move(diff)}), stamp);
+    post(home, kTagDiff, codec<DiffMsg>::encode({page, std::move(diff)}),
+         stamp);
     ++pending_acks;
   }
 
@@ -301,11 +315,11 @@ void DsmNode::barrier() {
       clock->add(config_.net.send_overhead_us);
       stamp = clock->now();
     }
-    channel_.send(0, kTagBarrierArrive, encode(arrive), stamp);
+    post(0, kTagBarrierArrive, codec<BarrierArriveMsg>::encode(arrive), stamp);
     auto msg = channel_.inbox().recv_match(
         [](const net::MessageHeader& h) { return h.tag == kTagBarrierDepart; });
     PARADE_CHECK_MSG(msg.has_value(), "channel closed during barrier");
-    BarrierDepartMsg depart = decode_barrier_depart(msg->payload);
+    BarrierDepartMsg depart = codec<BarrierDepartMsg>::decode(msg->payload);
     PARADE_CHECK(depart.epoch == epoch_);
     if (clock != nullptr) {
       clock->merge(depart.departure_vtime +
@@ -315,6 +329,12 @@ void DsmNode::barrier() {
   }
 
   stats_.inc_barriers();
+  auto& reg = obs::Registry::instance();
+  reg.close_epoch(rank(), epoch_);
+  if (reg.trace_enabled()) {
+    reg.emit(obs::TraceKind::kBarrier, rank(), kTagBarrierArrive,
+             clock != nullptr ? clock->now() : 0.0);
+  }
   ++epoch_;
   if (clock != nullptr) clock->discard_cpu();
 }
@@ -330,7 +350,7 @@ void DsmNode::master_barrier(const BarrierArriveMsg& own,
     auto msg = channel_.inbox().recv_match(
         [](const net::MessageHeader& h) { return h.tag == kTagBarrierArrive; });
     PARADE_CHECK_MSG(msg.has_value(), "channel closed during barrier gather");
-    const BarrierArriveMsg arr = decode_barrier_arrive(msg->payload);
+    const BarrierArriveMsg arr = codec<BarrierArriveMsg>::decode(msg->payload);
     PARADE_CHECK_MSG(arr.epoch == epoch_, "barrier epoch mismatch");
     latest = std::max(latest, msg->header.vtime +
                                   config_.net.transfer_us(msg->payload.size()));
@@ -362,9 +382,9 @@ void DsmNode::master_barrier(const BarrierArriveMsg& own,
 
   latest += config_.net.recv_overhead_us;  // master-side gather processing
   depart.departure_vtime = latest;
-  const auto payload = encode(depart);
+  const auto payload = codec<BarrierDepartMsg>::encode(depart);
   for (int i = 1; i < size(); ++i) {
-    channel_.send(i, kTagBarrierDepart, payload, latest);
+    post(i, kTagBarrierDepart, payload, latest);
   }
   if (clock != nullptr) clock->merge(latest);
   process_departure(depart);
@@ -408,13 +428,13 @@ void DsmNode::lock_acquire(int lock_id) {
     clock->add(config_.net.send_overhead_us);
     stamp = clock->now();
   }
-  channel_.send(home, kTagLockAcquire, encode(LockAcquireMsg{lock_id}), stamp);
+  post(home, kTagLockAcquire, codec<LockAcquireMsg>::encode({lock_id}), stamp);
 
   auto msg = channel_.inbox().recv_match([&](const net::MessageHeader& h) {
     return h.tag == kTagLockGrantBase + lock_id;
   });
   PARADE_CHECK_MSG(msg.has_value(), "channel closed during lock acquire");
-  const LockGrantMsg grant = decode_lock_grant(msg->payload);
+  const LockGrantMsg grant = codec<LockGrantMsg>::decode(msg->payload);
   if (clock != nullptr) {
     clock->sync_cpu();
     clock->merge(msg->header.vtime +
@@ -456,8 +476,8 @@ void DsmNode::lock_release(int lock_id) {
     clock->add(config_.net.send_overhead_us);
     stamp = clock->now();
   }
-  channel_.send(home, kTagLockRelease,
-                encode(LockReleaseMsg{lock_id, std::move(cs_pages)}), stamp);
+  post(home, kTagLockRelease,
+       codec<LockReleaseMsg>::encode({lock_id, std::move(cs_pages)}), stamp);
 }
 
 // ---------------------------------------------------------------------------
@@ -500,7 +520,7 @@ void DsmNode::comm_loop() {
 }
 
 void DsmNode::serve_page_request(const net::Message& message) {
-  const PageRequestMsg request = decode_page_request(message.payload);
+  const PageRequestMsg request = codec<PageRequestMsg>::decode(message.payload);
   stats_.inc_page_serves();
   comm_clock_.add(config_.net.page_service_us + config_.net.send_overhead_us);
   comm_ledger_.charge(config_.net.page_service_us +
@@ -516,12 +536,12 @@ void DsmNode::serve_page_request(const net::Message& message) {
     std::lock_guard lock(entry.mutex);
     std::memcpy(reply.data.data(), sys_page(request.page), config_.page_bytes);
   }
-  channel_.send(message.header.src, kTagPageReply, encode(reply),
-                comm_clock_.now());
+  post(message.header.src, kTagPageReply,
+       codec<PageReplyMsg>::encode(std::move(reply)), comm_clock_.now());
 }
 
 void DsmNode::install_page(const net::Message& message) {
-  PageReplyMsg reply = decode_page_reply(message.payload);
+  PageReplyMsg reply = codec<PageReplyMsg>::decode(message.payload);
   PARADE_CHECK(reply.data.size() == config_.page_bytes);
   PageEntry& entry = pages_->entry(reply.page);
   std::lock_guard lock(entry.mutex);
@@ -540,7 +560,7 @@ void DsmNode::install_page(const net::Message& message) {
 }
 
 void DsmNode::apply_incoming_diff(const net::Message& message) {
-  const DiffMsg diff = decode_diff(message.payload);
+  const DiffMsg diff = codec<DiffMsg>::decode(message.payload);
   stats_.inc_diffs_applied();
   comm_clock_.add(config_.net.page_service_us);
   comm_ledger_.charge(config_.net.page_service_us);
@@ -552,8 +572,8 @@ void DsmNode::apply_incoming_diff(const net::Message& message) {
                    config_.page_bytes, diff.diff.data(), diff.diff.size());
     PARADE_CHECK_MSG(ok, "malformed diff");
   }
-  channel_.send(message.header.src, kTagDiffAck, encode(DiffAckMsg{diff.page}),
-                comm_clock_.now());
+  post(message.header.src, kTagDiffAck,
+       codec<DiffAckMsg>::encode({diff.page}), comm_clock_.now());
 }
 
 void DsmNode::send_grant(NodeId to, std::int32_t lock_id) {
@@ -567,12 +587,12 @@ void DsmNode::send_grant(NodeId to, std::int32_t lock_id) {
   if (to != rank()) stats_.inc_lock_remote_grants();
   comm_clock_.add(config_.net.send_overhead_us);
   comm_ledger_.charge(config_.net.send_overhead_us);
-  channel_.send(to, kTagLockGrantBase + grant.lock_id, encode(grant),
-                comm_clock_.now());
+  post(to, kTagLockGrantBase + grant.lock_id,
+       codec<LockGrantMsg>::encode(std::move(grant)), comm_clock_.now());
 }
 
 void DsmNode::lock_manager_acquire(const net::Message& message) {
-  const LockAcquireMsg request = decode_lock_acquire(message.payload);
+  const LockAcquireMsg request = codec<LockAcquireMsg>::decode(message.payload);
   ManagedLock& managed = managed_locks_[request.lock_id];
   if (!managed.held) {
     managed.held = true;
@@ -584,7 +604,7 @@ void DsmNode::lock_manager_acquire(const net::Message& message) {
 }
 
 void DsmNode::lock_manager_release(const net::Message& message) {
-  const LockReleaseMsg release = decode_lock_release(message.payload);
+  const LockReleaseMsg release = codec<LockReleaseMsg>::decode(message.payload);
   ManagedLock& managed = managed_locks_[release.lock_id];
   for (const PageId page : release.dirtied_pages) {
     managed.notices[page] = message.header.src;

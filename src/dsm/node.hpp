@@ -105,6 +105,12 @@ class DsmNode {
   void lock_manager_release(const net::Message& message);
   void send_grant(NodeId to, std::int32_t lock_id);
 
+  /// channel_.send + warn-on-failure. DSM protocol sends only fail when a
+  /// peer is down, which the blocking receive paths surface as a check
+  /// failure anyway; the log pinpoints which send was dropped.
+  void post(NodeId dst, Tag tag, std::vector<std::uint8_t> payload,
+            VirtualUs vtime);
+
   void protect(PageId page, int prot);
   std::byte* sys_page(PageId page) const;
 

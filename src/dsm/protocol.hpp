@@ -10,9 +10,16 @@
 //   lock acquirer:        LockGrant (tag is lock-indexed so concurrent
 //                         acquirers on one node never steal each other's
 //                         grants)
+//
+// Serialization is the generic codec<T> at the bottom of this file: each
+// message declares its wire layout with a single wire_fields() one-liner and
+// gets encode/decode for free. Adding a message kind = struct + wire_fields.
 #pragma once
 
 #include <cstdint>
+#include <tuple>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "common/serialize.hpp"
@@ -102,26 +109,86 @@ struct LockReleaseMsg {
   std::vector<PageId> dirtied_pages;
 };
 
-// ---- encode / decode ----
+// ---- wire layout declarations (one per message kind) ----
+//
+// Field order here IS the wire format. Vector fields are length-prefixed
+// (uint32 count) and element structs are memcpy'd, so they must be packed;
+// the static_asserts below pin the on-wire element sizes.
 
-std::vector<std::uint8_t> encode(const PageRequestMsg& m);
-std::vector<std::uint8_t> encode(const PageReplyMsg& m);
-std::vector<std::uint8_t> encode(const DiffMsg& m);
-std::vector<std::uint8_t> encode(const DiffAckMsg& m);
-std::vector<std::uint8_t> encode(const BarrierArriveMsg& m);
-std::vector<std::uint8_t> encode(const BarrierDepartMsg& m);
-std::vector<std::uint8_t> encode(const LockAcquireMsg& m);
-std::vector<std::uint8_t> encode(const LockGrantMsg& m);
-std::vector<std::uint8_t> encode(const LockReleaseMsg& m);
+inline auto wire_fields(PageRequestMsg& m) { return std::tie(m.page); }
+inline auto wire_fields(PageReplyMsg& m) { return std::tie(m.page, m.data); }
+inline auto wire_fields(DiffMsg& m) { return std::tie(m.page, m.diff); }
+inline auto wire_fields(DiffAckMsg& m) { return std::tie(m.page); }
+inline auto wire_fields(BarrierArriveMsg& m) {
+  return std::tie(m.epoch, m.dirtied_pages);
+}
+inline auto wire_fields(BarrierDepartMsg& m) {
+  return std::tie(m.epoch, m.departure_vtime, m.entries);
+}
+inline auto wire_fields(LockAcquireMsg& m) { return std::tie(m.lock_id); }
+inline auto wire_fields(LockGrantMsg& m) {
+  return std::tie(m.lock_id, m.notices);
+}
+inline auto wire_fields(LockReleaseMsg& m) {
+  return std::tie(m.lock_id, m.dirtied_pages);
+}
 
-PageRequestMsg decode_page_request(const std::vector<std::uint8_t>& bytes);
-PageReplyMsg decode_page_reply(const std::vector<std::uint8_t>& bytes);
-DiffMsg decode_diff(const std::vector<std::uint8_t>& bytes);
-DiffAckMsg decode_diff_ack(const std::vector<std::uint8_t>& bytes);
-BarrierArriveMsg decode_barrier_arrive(const std::vector<std::uint8_t>& bytes);
-BarrierDepartMsg decode_barrier_depart(const std::vector<std::uint8_t>& bytes);
-LockAcquireMsg decode_lock_acquire(const std::vector<std::uint8_t>& bytes);
-LockGrantMsg decode_lock_grant(const std::vector<std::uint8_t>& bytes);
-LockReleaseMsg decode_lock_release(const std::vector<std::uint8_t>& bytes);
+static_assert(sizeof(WriteNotice) == 8, "WriteNotice wire size changed");
+static_assert(sizeof(DepartEntry) == 12, "DepartEntry wire size changed");
+
+// ---- generic codec ----
+
+template <typename T>
+concept WireMessage = requires(T& m) { wire_fields(m); };
+
+namespace codec_detail {
+
+template <TriviallyWirable F>
+void put_field(WireBuffer& buffer, const F& field) {
+  buffer.put(field);
+}
+template <TriviallyWirable E>
+void put_field(WireBuffer& buffer, const std::vector<E>& field) {
+  buffer.put_vector(field);
+}
+
+template <TriviallyWirable F>
+void get_field(WireBuffer& buffer, F& field) {
+  field = buffer.get<F>();
+}
+template <TriviallyWirable E>
+void get_field(WireBuffer& buffer, std::vector<E>& field) {
+  field = buffer.get_vector<E>();
+}
+
+}  // namespace codec_detail
+
+/// codec<T>::encode / codec<T>::decode for any message with wire_fields().
+template <WireMessage T>
+struct codec {
+  /// Takes the message by value so call sites can move vector payloads in:
+  /// codec<DiffMsg>::encode({page, std::move(diff)}).
+  static std::vector<std::uint8_t> encode(T msg) {
+    WireBuffer buffer;
+    std::apply(
+        [&buffer](auto&... fields) {
+          (codec_detail::put_field(buffer, fields), ...);
+        },
+        wire_fields(msg));
+    return std::move(buffer).take();
+  }
+
+  static T decode(const std::vector<std::uint8_t>& bytes) {
+    WireBuffer buffer{bytes};
+    T msg;
+    std::apply(
+        [&buffer](auto&... fields) {
+          (codec_detail::get_field(buffer, fields), ...);
+        },
+        wire_fields(msg));
+    PARADE_CHECK_MSG(buffer.exhausted(), "trailing bytes after decode");
+    return msg;
+  }
+};
 
 }  // namespace parade::dsm

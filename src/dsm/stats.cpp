@@ -1,0 +1,22 @@
+#include "dsm/stats.hpp"
+
+#include "obs/registry.hpp"
+
+namespace parade::dsm {
+
+DsmStats::DsmStats(NodeId node) {
+  auto& reg = obs::Registry::instance();
+#define PARADE_DSM_RESOLVE(name) name##_ = &reg.counter(node, "dsm." #name);
+  PARADE_DSM_COUNTERS(PARADE_DSM_RESOLVE)
+#undef PARADE_DSM_RESOLVE
+}
+
+DsmStatsSnapshot DsmStats::snapshot() const {
+  DsmStatsSnapshot s;
+#define PARADE_DSM_READ(name) s.name = name##_->value();
+  PARADE_DSM_COUNTERS(PARADE_DSM_READ)
+#undef PARADE_DSM_READ
+  return s;
+}
+
+}  // namespace parade::dsm

@@ -1,86 +1,62 @@
 // Protocol event counters; the ablation benches and several tests assert on
 // these (page fetch counts, diff bytes, migrations...).
+//
+// DsmStats is a thin per-node view over the obs registry: each counter lives
+// in the registry as "dsm.<name>" (so it appears in metrics exports and
+// epoch slices), and this class just caches the handles so the fault/flush
+// hot paths keep their single relaxed fetch_add.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
+
+#include "common/types.hpp"
+#include "obs/metric.hpp"
 
 namespace parade::dsm {
 
+// One entry per DSM protocol counter; X(name) is expanded for snapshot
+// fields, inc_ methods, handle members, and registry registration.
+#define PARADE_DSM_COUNTERS(X) \
+  X(read_faults)               \
+  X(write_faults)              \
+  X(page_fetches)    /* remote page fetches issued */ \
+  X(page_serves)     /* requests served as home */    \
+  X(diffs_created)             \
+  X(diff_bytes_sent)           \
+  X(diffs_applied)             \
+  X(twins_created)             \
+  X(barriers)                  \
+  X(write_notices_sent)        \
+  X(invalidations)             \
+  X(home_migrations) /* counted at the master */      \
+  X(lock_acquires)             \
+  X(lock_remote_grants)
+
 struct DsmStatsSnapshot {
-  std::int64_t read_faults = 0;
-  std::int64_t write_faults = 0;
-  std::int64_t page_fetches = 0;       // remote page fetches issued
-  std::int64_t page_serves = 0;        // requests served as home
-  std::int64_t diffs_created = 0;
-  std::int64_t diff_bytes_sent = 0;
-  std::int64_t diffs_applied = 0;
-  std::int64_t twins_created = 0;
-  std::int64_t barriers = 0;
-  std::int64_t write_notices_sent = 0;
-  std::int64_t invalidations = 0;
-  std::int64_t home_migrations = 0;    // counted at the master
-  std::int64_t lock_acquires = 0;
-  std::int64_t lock_remote_grants = 0;
+#define PARADE_DSM_FIELD(name) std::int64_t name = 0;
+  PARADE_DSM_COUNTERS(PARADE_DSM_FIELD)
+#undef PARADE_DSM_FIELD
 };
 
 class DsmStats {
  public:
-#define PARADE_DSM_COUNTER(name)                                      \
-  void inc_##name(std::int64_t by = 1) {                              \
-    name##_.fetch_add(by, std::memory_order_relaxed);                 \
-  }
+  /// Resolves registry handles for node `node`; cheap to construct once per
+  /// DsmNode, not per operation.
+  explicit DsmStats(NodeId node);
 
-  PARADE_DSM_COUNTER(read_faults)
-  PARADE_DSM_COUNTER(write_faults)
-  PARADE_DSM_COUNTER(page_fetches)
-  PARADE_DSM_COUNTER(page_serves)
-  PARADE_DSM_COUNTER(diffs_created)
-  PARADE_DSM_COUNTER(diff_bytes_sent)
-  PARADE_DSM_COUNTER(diffs_applied)
-  PARADE_DSM_COUNTER(twins_created)
-  PARADE_DSM_COUNTER(barriers)
-  PARADE_DSM_COUNTER(write_notices_sent)
-  PARADE_DSM_COUNTER(invalidations)
-  PARADE_DSM_COUNTER(home_migrations)
-  PARADE_DSM_COUNTER(lock_acquires)
-  PARADE_DSM_COUNTER(lock_remote_grants)
-#undef PARADE_DSM_COUNTER
-
-  DsmStatsSnapshot snapshot() const {
-    DsmStatsSnapshot s;
-    s.read_faults = read_faults_.load(std::memory_order_relaxed);
-    s.write_faults = write_faults_.load(std::memory_order_relaxed);
-    s.page_fetches = page_fetches_.load(std::memory_order_relaxed);
-    s.page_serves = page_serves_.load(std::memory_order_relaxed);
-    s.diffs_created = diffs_created_.load(std::memory_order_relaxed);
-    s.diff_bytes_sent = diff_bytes_sent_.load(std::memory_order_relaxed);
-    s.diffs_applied = diffs_applied_.load(std::memory_order_relaxed);
-    s.twins_created = twins_created_.load(std::memory_order_relaxed);
-    s.barriers = barriers_.load(std::memory_order_relaxed);
-    s.write_notices_sent = write_notices_sent_.load(std::memory_order_relaxed);
-    s.invalidations = invalidations_.load(std::memory_order_relaxed);
-    s.home_migrations = home_migrations_.load(std::memory_order_relaxed);
-    s.lock_acquires = lock_acquires_.load(std::memory_order_relaxed);
-    s.lock_remote_grants = lock_remote_grants_.load(std::memory_order_relaxed);
-    return s;
+#define PARADE_DSM_INC(name)                       \
+  void inc_##name(std::int64_t by = 1) {           \
+    name##_->add(by);                              \
   }
+  PARADE_DSM_COUNTERS(PARADE_DSM_INC)
+#undef PARADE_DSM_INC
+
+  DsmStatsSnapshot snapshot() const;
 
  private:
-  std::atomic<std::int64_t> read_faults_{0};
-  std::atomic<std::int64_t> write_faults_{0};
-  std::atomic<std::int64_t> page_fetches_{0};
-  std::atomic<std::int64_t> page_serves_{0};
-  std::atomic<std::int64_t> diffs_created_{0};
-  std::atomic<std::int64_t> diff_bytes_sent_{0};
-  std::atomic<std::int64_t> diffs_applied_{0};
-  std::atomic<std::int64_t> twins_created_{0};
-  std::atomic<std::int64_t> barriers_{0};
-  std::atomic<std::int64_t> write_notices_sent_{0};
-  std::atomic<std::int64_t> invalidations_{0};
-  std::atomic<std::int64_t> home_migrations_{0};
-  std::atomic<std::int64_t> lock_acquires_{0};
-  std::atomic<std::int64_t> lock_remote_grants_{0};
+#define PARADE_DSM_MEMBER(name) obs::Counter* name##_;
+  PARADE_DSM_COUNTERS(PARADE_DSM_MEMBER)
+#undef PARADE_DSM_MEMBER
 };
 
 }  // namespace parade::dsm

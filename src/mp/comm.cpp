@@ -2,7 +2,9 @@
 
 #include <cstring>
 
+#include "common/log.hpp"
 #include "common/status.hpp"
+#include "obs/registry.hpp"
 
 namespace parade::mp {
 namespace {
@@ -12,7 +14,30 @@ vtime::ThreadClock* t_clock_get() { return vtime::thread_clock(); }
 }  // namespace
 
 Comm::Comm(net::Channel& channel, vtime::NetworkModel model)
-    : channel_(channel), model_(model) {}
+    : channel_(channel), model_(model) {
+  auto& reg = obs::Registry::instance();
+  const NodeId node = channel_.rank();
+  metrics_.p2p_sends = &reg.counter(node, "mp.p2p_sends");
+  metrics_.p2p_send_bytes = &reg.counter(node, "mp.p2p_send_bytes");
+  metrics_.coll_payload_bytes = &reg.counter(node, "mp.coll_payload_bytes");
+  metrics_.barriers = &reg.counter(node, "mp.barriers");
+  metrics_.bcasts = &reg.counter(node, "mp.bcasts");
+  metrics_.reduces = &reg.counter(node, "mp.reduces");
+  metrics_.allreduces = &reg.counter(node, "mp.allreduces");
+  metrics_.gathers = &reg.counter(node, "mp.gathers");
+  metrics_.allgathers = &reg.counter(node, "mp.allgathers");
+  metrics_.recv_wait = &reg.timer(node, "mp.recv_wait");
+}
+
+void Comm::count_collective(obs::Counter* which, std::size_t payload_bytes) {
+  which->add();
+  metrics_.coll_payload_bytes->add(static_cast<std::int64_t>(payload_bytes));
+  auto& reg = obs::Registry::instance();
+  if (reg.trace_enabled()) {
+    reg.emit(obs::TraceKind::kCollective, channel_.rank(), 0,
+             t_clock_get() != nullptr ? t_clock_get()->now() : 0.0);
+  }
+}
 
 Tag Comm::next_collective_tag() {
   // All nodes execute collectives in the same order (SPMD), so a simple
@@ -32,10 +57,19 @@ void Comm::send_wire(NodeId dst, Tag wire_tag, const void* data,
   }
   std::vector<std::uint8_t> payload(bytes);
   if (bytes > 0) std::memcpy(payload.data(), data, bytes);
-  channel_.send(dst, wire_tag, std::move(payload), stamp);
+  if (wire_tag < net::kCollTagBase) {
+    metrics_.p2p_sends->add();
+    metrics_.p2p_send_bytes->add(static_cast<std::int64_t>(bytes));
+  }
+  Status s = channel_.send(dst, wire_tag, std::move(payload), stamp);
+  if (!s.is_ok()) {
+    PLOG_WARN("mp send tag " << wire_tag << " to node " << dst
+                             << " dropped: " << s.to_string());
+  }
 }
 
 net::Message Comm::recv_wire(NodeId src, Tag wire_tag) {
+  obs::ScopedTimer wait(metrics_.recv_wait);
   auto matched = channel_.inbox().recv_match([&](const net::MessageHeader& h) {
     return h.tag == wire_tag && (src == kAnyNode || h.src == src);
   });
@@ -65,6 +99,7 @@ RecvStatus Comm::recv(NodeId src, Tag tag, void* buffer, std::size_t bytes) {
 
 std::vector<std::uint8_t> Comm::recv_bytes(NodeId src, Tag tag,
                                            RecvStatus* status) {
+  obs::ScopedTimer wait(metrics_.recv_wait);
   auto matched = channel_.inbox().recv_match([&](const net::MessageHeader& h) {
     if (h.tag < net::kMpTagBase || h.tag >= net::kCollTagBase) return false;
     if (src != kAnyNode && h.src != src) return false;
@@ -109,6 +144,7 @@ std::optional<std::vector<std::uint8_t>> Comm::try_recv_bytes(
 }
 
 void Comm::barrier() {
+  count_collective(metrics_.barriers, 0);
   const int n = size();
   if (n == 1) return;
   const Tag tag = next_collective_tag();
@@ -123,6 +159,7 @@ void Comm::barrier() {
 }
 
 void Comm::bcast(void* data, std::size_t bytes, NodeId root) {
+  count_collective(metrics_.bcasts, bytes);
   const int n = size();
   if (n == 1) return;
   const Tag tag = next_collective_tag();
@@ -174,6 +211,7 @@ void Comm::reduce_with(void* buffer, std::size_t bytes, NodeId root, Tag tag,
 
 void Comm::reduce(void* buffer, std::size_t count, DType dtype, Op op,
                   NodeId root) {
+  count_collective(metrics_.reduces, count * dtype_size(dtype));
   if (size() == 1) return;
   const Tag tag = next_collective_tag();
   const std::size_t bytes = count * dtype_size(dtype);
@@ -183,6 +221,7 @@ void Comm::reduce(void* buffer, std::size_t count, DType dtype, Op op,
 }
 
 void Comm::allreduce(void* buffer, std::size_t count, DType dtype, Op op) {
+  count_collective(metrics_.allreduces, count * dtype_size(dtype));
   reduce(buffer, count, dtype, op, /*root=*/0);
   bcast(buffer, count * dtype_size(dtype), /*root=*/0);
 }
@@ -199,6 +238,7 @@ void Comm::allreduce_user(void* buffer, std::size_t bytes,
 
 void Comm::gather(const void* contribution, std::size_t bytes, void* out,
                   NodeId root) {
+  count_collective(metrics_.gathers, bytes);
   const Tag tag = next_collective_tag();
   if (rank() == root) {
     PARADE_CHECK_MSG(out != nullptr, "gather root needs an output buffer");
@@ -218,6 +258,7 @@ void Comm::gather(const void* contribution, std::size_t bytes, void* out,
 }
 
 void Comm::allgather(const void* contribution, std::size_t bytes, void* out) {
+  count_collective(metrics_.allgathers, bytes);
   gather(contribution, bytes, out, /*root=*/0);
   bcast(out, bytes * static_cast<std::size_t>(size()), /*root=*/0);
 }

@@ -21,6 +21,7 @@
 
 #include "mp/datatypes.hpp"
 #include "net/channel.hpp"
+#include "obs/metric.hpp"
 #include "vtime/clock.hpp"
 #include "vtime/cost_model.hpp"
 
@@ -96,10 +97,26 @@ class Comm {
   net::Message recv_wire(NodeId src, Tag wire_tag);
   void reduce_with(void* buffer, std::size_t bytes, NodeId root, Tag tag,
                    const std::function<void(void*, const void*)>& combine);
+  void count_collective(obs::Counter* which, std::size_t payload_bytes);
 
   net::Channel& channel_;
   vtime::NetworkModel model_;
   std::atomic<std::uint32_t> collective_seq_{0};
+
+  // Registry handles (resolved once in the ctor; see docs/OBSERVABILITY.md).
+  struct Metrics {
+    obs::Counter* p2p_sends;
+    obs::Counter* p2p_send_bytes;
+    obs::Counter* coll_payload_bytes;
+    obs::Counter* barriers;
+    obs::Counter* bcasts;
+    obs::Counter* reduces;
+    obs::Counter* allreduces;
+    obs::Counter* gathers;
+    obs::Counter* allgathers;
+    obs::Timer* recv_wait;
+  };
+  Metrics metrics_;
 };
 
 }  // namespace parade::mp

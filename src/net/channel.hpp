@@ -8,8 +8,10 @@
 #include <memory>
 #include <vector>
 
+#include "common/status.hpp"
 #include "net/mailbox.hpp"
 #include "net/message.hpp"
+#include "net/metrics.hpp"
 
 namespace parade::net {
 
@@ -25,8 +27,10 @@ class Channel {
 
   /// Sends `payload` to `dst` with the given tag and virtual timestamp.
   /// Thread-safe. Self-sends (dst == rank()) are delivered locally.
-  virtual void send(NodeId dst, Tag tag, std::vector<std::uint8_t> payload,
-                    VirtualUs vtime) = 0;
+  /// Returns kUnavailable when the destination is down/closed, kIoError on a
+  /// transport write failure; the message is dropped in both cases.
+  virtual Status send(NodeId dst, Tag tag, std::vector<std::uint8_t> payload,
+                      VirtualUs vtime) = 0;
 
   Mailbox& inbox() { return inbox_; }
 
@@ -34,11 +38,41 @@ class Channel {
   virtual void shutdown() { inbox_.close(); }
 
  protected:
-  Channel(NodeId rank, int size) : rank_(rank), size_(size) {}
+  Channel(NodeId rank, int size)
+      : rank_(rank), size_(size), metrics_(rank, size) {}
+
+  /// Records send-side metrics and the trace event. Implementations call this
+  /// once per accepted message, before handing it to the transport.
+  void record_send(NodeId dst, Tag tag, std::size_t bytes, VirtualUs vtime) {
+    metrics_.on_send(dst, tag, bytes);
+    auto& reg = obs::Registry::instance();
+    if (reg.trace_enabled()) {
+      reg.emit(obs::TraceKind::kSend, rank_, tag, vtime);
+    }
+  }
+
+  /// Records recv-side metrics and enqueues into this channel's inbox.
+  /// Returns kUnavailable if the inbox is already closed.
+  Status deliver_local(Message message) {
+    const Tag tag = message.header.tag;
+    const std::size_t bytes = message.payload.size();
+    const double vtime = message.header.vtime;
+    if (!inbox_.deliver(std::move(message))) {
+      return make_error(ErrorCode::kUnavailable,
+                        "rank " + std::to_string(rank_) + " inbox closed");
+    }
+    metrics_.on_recv(tag, bytes);
+    auto& reg = obs::Registry::instance();
+    if (reg.trace_enabled()) {
+      reg.emit(obs::TraceKind::kRecv, rank_, tag, vtime);
+    }
+    return Status::ok();
+  }
 
   NodeId rank_;
   int size_;
   Mailbox inbox_;
+  ChannelMetrics metrics_;
 };
 
 }  // namespace parade::net

@@ -9,15 +9,16 @@ class InProcFabric::InProcChannel final : public Channel {
   InProcChannel(NodeId rank, int size, InProcFabric* fabric)
       : Channel(rank, size), fabric_(fabric) {}
 
-  void send(NodeId dst, Tag tag, std::vector<std::uint8_t> payload,
-            VirtualUs vtime) override {
+  Status send(NodeId dst, Tag tag, std::vector<std::uint8_t> payload,
+              VirtualUs vtime) override {
     PARADE_CHECK_MSG(dst >= 0 && dst < size_, "send to invalid rank");
     MessageHeader header;
     header.src = rank_;
     header.dst = dst;
     header.tag = tag;
     header.vtime = vtime;
-    fabric_->channels_[static_cast<std::size_t>(dst)]->inbox().deliver(
+    record_send(dst, tag, payload.size(), vtime);
+    return fabric_->channels_[static_cast<std::size_t>(dst)]->deliver_local(
         Message(header, std::move(payload)));
   }
 

@@ -2,12 +2,14 @@
 
 namespace parade::net {
 
-void Mailbox::deliver(Message message) {
+bool Mailbox::deliver(Message message) {
   {
     std::lock_guard lock(mutex_);
+    if (closed_) return false;
     queue_.push_back(std::move(message));
   }
   cv_.notify_all();
+  return true;
 }
 
 std::optional<Message> Mailbox::take_locked(const Matcher& match) {

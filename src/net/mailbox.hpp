@@ -22,8 +22,9 @@ class Mailbox {
  public:
   using Matcher = std::function<bool(const MessageHeader&)>;
 
-  /// Enqueues a message (called by the fabric / reader threads).
-  void deliver(Message message);
+  /// Enqueues a message (called by the fabric / reader threads). Returns
+  /// false — and drops the message — once the mailbox is closed.
+  bool deliver(Message message);
 
   /// Blocks until a message whose header satisfies `match` is available and
   /// removes it. Returns std::nullopt only after close().

@@ -1,0 +1,78 @@
+// Per-channel network metrics: message/byte counters split by tag class
+// (dsm / mp / coll) plus per-peer send counters. Handles are resolved from
+// the obs registry once per channel, so the send/recv hot paths only do
+// relaxed atomic adds.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/message.hpp"
+#include "obs/registry.hpp"
+
+namespace parade::net {
+
+enum class TagClass : int { kDsm = 0, kMp = 1, kColl = 2 };
+
+inline TagClass tag_class(Tag tag) {
+  if (tag >= kCollTagBase) return TagClass::kColl;
+  if (tag >= kMpTagBase) return TagClass::kMp;
+  return TagClass::kDsm;
+}
+
+inline const char* tag_class_name(TagClass cls) {
+  switch (cls) {
+    case TagClass::kDsm: return "dsm";
+    case TagClass::kMp: return "mp";
+    case TagClass::kColl: return "coll";
+  }
+  return "?";
+}
+
+class ChannelMetrics {
+ public:
+  ChannelMetrics(NodeId rank, int size) {
+    auto& reg = obs::Registry::instance();
+    for (int cls = 0; cls < 3; ++cls) {
+      const std::string suffix = tag_class_name(static_cast<TagClass>(cls));
+      send_msgs_[cls] = &reg.counter(rank, "net.send_msgs." + suffix);
+      send_bytes_[cls] = &reg.counter(rank, "net.send_bytes." + suffix);
+      recv_msgs_[cls] = &reg.counter(rank, "net.recv_msgs." + suffix);
+      recv_bytes_[cls] = &reg.counter(rank, "net.recv_bytes." + suffix);
+    }
+    peer_msgs_.reserve(static_cast<std::size_t>(size));
+    peer_bytes_.reserve(static_cast<std::size_t>(size));
+    for (int peer = 0; peer < size; ++peer) {
+      const std::string id = std::to_string(peer);
+      peer_msgs_.push_back(&reg.counter(rank, "net.send_msgs_to." + id));
+      peer_bytes_.push_back(&reg.counter(rank, "net.send_bytes_to." + id));
+    }
+  }
+
+  void on_send(NodeId dst, Tag tag, std::size_t bytes) {
+    const int cls = static_cast<int>(tag_class(tag));
+    send_msgs_[cls]->add();
+    send_bytes_[cls]->add(static_cast<std::int64_t>(bytes));
+    if (dst >= 0 && static_cast<std::size_t>(dst) < peer_msgs_.size()) {
+      peer_msgs_[static_cast<std::size_t>(dst)]->add();
+      peer_bytes_[static_cast<std::size_t>(dst)]->add(
+          static_cast<std::int64_t>(bytes));
+    }
+  }
+
+  void on_recv(Tag tag, std::size_t bytes) {
+    const int cls = static_cast<int>(tag_class(tag));
+    recv_msgs_[cls]->add();
+    recv_bytes_[cls]->add(static_cast<std::int64_t>(bytes));
+  }
+
+ private:
+  obs::Counter* send_msgs_[3];
+  obs::Counter* send_bytes_[3];
+  obs::Counter* recv_msgs_[3];
+  obs::Counter* recv_bytes_[3];
+  std::vector<obs::Counter*> peer_msgs_;
+  std::vector<obs::Counter*> peer_bytes_;
+};
+
+}  // namespace parade::net

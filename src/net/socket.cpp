@@ -158,12 +158,12 @@ void SocketFabric::reader_loop(NodeId peer) {
     header.dst = wire.dst;
     header.tag = wire.tag;
     header.vtime = wire.vtime;
-    inbox_.deliver(Message(header, std::move(payload)));
+    if (!deliver_local(Message(header, std::move(payload)))) break;
   }
 }
 
-void SocketFabric::send(NodeId dst, Tag tag, std::vector<std::uint8_t> payload,
-                        VirtualUs vtime) {
+Status SocketFabric::send(NodeId dst, Tag tag,
+                          std::vector<std::uint8_t> payload, VirtualUs vtime) {
   PARADE_CHECK_MSG(dst >= 0 && dst < size_, "send to invalid rank");
   if (dst == rank_) {
     MessageHeader header;
@@ -171,8 +171,8 @@ void SocketFabric::send(NodeId dst, Tag tag, std::vector<std::uint8_t> payload,
     header.dst = dst;
     header.tag = tag;
     header.vtime = vtime;
-    inbox_.deliver(Message(header, std::move(payload)));
-    return;
+    record_send(dst, tag, payload.size(), vtime);
+    return deliver_local(Message(header, std::move(payload)));
   }
   WireHeader wire{};
   wire.src = rank_;
@@ -183,11 +183,18 @@ void SocketFabric::send(NodeId dst, Tag tag, std::vector<std::uint8_t> payload,
 
   Peer& peer = *peers_[static_cast<std::size_t>(dst)];
   std::lock_guard lock(peer.send_mutex);
-  if (peer.fd < 0) return;  // shut down
+  if (peer.fd < 0) {
+    return make_error(ErrorCode::kUnavailable,
+                      "peer " + std::to_string(dst) + " is down");
+  }
   if (!write_all(peer.fd, &wire, sizeof(wire)) ||
       (!payload.empty() && !write_all(peer.fd, payload.data(), payload.size()))) {
-    PLOG_WARN("socket send to node " << dst << " failed: " << std::strerror(errno));
+    return make_error(ErrorCode::kIoError,
+                      "socket send to node " + std::to_string(dst) +
+                          " failed: " + std::strerror(errno));
   }
+  record_send(dst, tag, payload.size(), vtime);
+  return Status::ok();
 }
 
 void SocketFabric::shutdown() {

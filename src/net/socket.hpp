@@ -27,8 +27,8 @@ class SocketFabric final : public Channel {
                                                       int timeout_ms = 10000);
   ~SocketFabric() override;
 
-  void send(NodeId dst, Tag tag, std::vector<std::uint8_t> payload,
-            VirtualUs vtime) override;
+  Status send(NodeId dst, Tag tag, std::vector<std::uint8_t> payload,
+              VirtualUs vtime) override;
 
   void shutdown() override;
 

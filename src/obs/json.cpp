@@ -1,0 +1,279 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <cstring>
+
+namespace parade::obs {
+
+void JsonWriter::pre_value() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!comma_stack_.empty()) {
+    if (comma_stack_.back()) out_ += ',';
+    comma_stack_.back() = true;
+  }
+}
+
+void JsonWriter::begin_object() {
+  pre_value();
+  out_ += '{';
+  comma_stack_.push_back(false);
+}
+
+void JsonWriter::end_object() {
+  comma_stack_.pop_back();
+  out_ += '}';
+}
+
+void JsonWriter::begin_array() {
+  pre_value();
+  out_ += '[';
+  comma_stack_.push_back(false);
+}
+
+void JsonWriter::end_array() {
+  comma_stack_.pop_back();
+  out_ += ']';
+}
+
+void JsonWriter::key(const std::string& name) {
+  pre_value();
+  write_escaped(name);
+  out_ += ':';
+  after_key_ = true;
+}
+
+void JsonWriter::value(const std::string& text) {
+  pre_value();
+  write_escaped(text);
+}
+
+void JsonWriter::value(std::int64_t number) {
+  pre_value();
+  out_ += std::to_string(number);
+}
+
+void JsonWriter::value(std::uint64_t number) {
+  pre_value();
+  out_ += std::to_string(number);
+}
+
+void JsonWriter::value(double number) {
+  pre_value();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", number);
+  out_ += buf;
+}
+
+void JsonWriter::value(bool flag) {
+  pre_value();
+  out_ += flag ? "true" : "false";
+}
+
+void JsonWriter::write_escaped(const std::string& text) {
+  out_ += '"';
+  for (char c : text) {
+    switch (c) {
+      case '"': out_ += "\\\""; break;
+      case '\\': out_ += "\\\\"; break;
+      case '\n': out_ += "\\n"; break;
+      case '\t': out_ += "\\t"; break;
+      case '\r': out_ += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out_ += buf;
+        } else {
+          out_ += c;
+        }
+    }
+  }
+  out_ += '"';
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<JsonValue> parse() {
+    JsonValue root;
+    Status s = parse_value(&root);
+    if (!s.is_ok()) return s;
+    skip_ws();
+    if (pos_ != text_.size()) {
+      return make_error(ErrorCode::kInvalidArgument,
+                        "trailing characters at offset " + std::to_string(pos_));
+    }
+    return root;
+  }
+
+ private:
+  Status fail(const std::string& what) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "json: " + what + " at offset " + std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool consume_word(const char* word) {
+    const std::size_t len = std::strlen(word);
+    if (text_.compare(pos_, len, word) == 0) {
+      pos_ += len;
+      return true;
+    }
+    return false;
+  }
+
+  Status parse_value(JsonValue* out) {
+    skip_ws();
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return parse_object(out);
+    if (c == '[') return parse_array(out);
+    if (c == '"') {
+      out->kind = JsonValue::Kind::kString;
+      return parse_string(&out->string);
+    }
+    if (consume_word("true")) {
+      out->kind = JsonValue::Kind::kBool;
+      out->boolean = true;
+      return Status::ok();
+    }
+    if (consume_word("false")) {
+      out->kind = JsonValue::Kind::kBool;
+      out->boolean = false;
+      return Status::ok();
+    }
+    if (consume_word("null")) {
+      out->kind = JsonValue::Kind::kNull;
+      return Status::ok();
+    }
+    return parse_number(out);
+  }
+
+  Status parse_object(JsonValue* out) {
+    out->kind = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    skip_ws();
+    if (consume('}')) return Status::ok();
+    while (true) {
+      skip_ws();
+      std::string name;
+      Status s = parse_string(&name);
+      if (!s.is_ok()) return s;
+      skip_ws();
+      if (!consume(':')) return fail("expected ':'");
+      JsonValue member;
+      s = parse_value(&member);
+      if (!s.is_ok()) return s;
+      out->object.emplace(std::move(name), std::move(member));
+      skip_ws();
+      if (consume('}')) return Status::ok();
+      if (!consume(',')) return fail("expected ',' or '}'");
+    }
+  }
+
+  Status parse_array(JsonValue* out) {
+    out->kind = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    skip_ws();
+    if (consume(']')) return Status::ok();
+    while (true) {
+      JsonValue element;
+      Status s = parse_value(&element);
+      if (!s.is_ok()) return s;
+      out->array.push_back(std::move(element));
+      skip_ws();
+      if (consume(']')) return Status::ok();
+      if (!consume(',')) return fail("expected ',' or ']'");
+    }
+  }
+
+  Status parse_string(std::string* out) {
+    if (!consume('"')) return fail("expected '\"'");
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return Status::ok();
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'n': out->push_back('\n'); break;
+        case 't': out->push_back('\t'); break;
+        case 'r': out->push_back('\r'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+          unsigned code = 0;
+          auto [ptr, ec] = std::from_chars(text_.data() + pos_,
+                                           text_.data() + pos_ + 4, code, 16);
+          if (ec != std::errc() || ptr != text_.data() + pos_ + 4) {
+            return fail("bad \\u escape");
+          }
+          pos_ += 4;
+          // Exporter only escapes control chars, so non-ASCII code points
+          // are out of scope; clamp rather than emit UTF-8.
+          out->push_back(code < 0x80 ? static_cast<char>(code) : '?');
+          break;
+        }
+        default:
+          return fail("unknown escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  Status parse_number(JsonValue* out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) return fail("expected value");
+    out->kind = JsonValue::Kind::kNumber;
+    out->number = std::strtod(text_.c_str() + start, nullptr);
+    return Status::ok();
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<JsonValue> parse_json(const std::string& text) {
+  return Parser(text).parse();
+}
+
+}  // namespace parade::obs

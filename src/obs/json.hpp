@@ -1,0 +1,73 @@
+// Minimal JSON support for the metrics exporter: a streaming writer for
+// export, and a small recursive-descent parser so tests can round-trip the
+// emitted files without external dependencies.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace parade::obs {
+
+/// Streaming JSON writer. Handles comma placement and string escaping;
+/// callers are responsible for balanced begin/end calls.
+class JsonWriter {
+ public:
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+  /// Starts a "key": inside an object; follow with a value or begin_*.
+  void key(const std::string& name);
+  void value(const std::string& text);
+  void value(const char* text) { value(std::string(text)); }
+  void value(std::int64_t number);
+  void value(std::uint64_t number);
+  void value(double number);
+  void value(bool flag);
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void pre_value();
+  void write_escaped(const std::string& text);
+
+  std::string out_;
+  // One entry per open container: true once the first element was written
+  // (so the next element needs a leading comma).
+  std::vector<bool> comma_stack_;
+  bool after_key_ = false;
+};
+
+/// Parsed JSON value. Numbers are stored as double (the exporter only emits
+/// integers small enough to round-trip exactly).
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool has(const std::string& name) const {
+    return kind == Kind::kObject && object.count(name) > 0;
+  }
+  const JsonValue& at(const std::string& name) const {
+    return object.at(name);
+  }
+  std::int64_t as_int() const { return static_cast<std::int64_t>(number); }
+};
+
+/// Parses a complete JSON document; trailing non-whitespace is an error.
+Result<JsonValue> parse_json(const std::string& text);
+
+}  // namespace parade::obs

@@ -1,0 +1,67 @@
+// Counter and Timer: the two metric primitives the observability registry
+// hands out. Handles are stable for the life of the process — layers look
+// them up once at setup and increment lock-free on the hot path.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/timing.hpp"
+
+namespace parade::obs {
+
+/// Monotonic event counter. Increment is a relaxed fetch_add; reads are
+/// racy-by-design snapshots (same contract as the old DsmStats counters).
+class Counter {
+ public:
+  void add(std::int64_t by = 1) {
+    value_.fetch_add(by, std::memory_order_relaxed);
+  }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Accumulating wall-clock timer: total nanoseconds plus the number of
+/// timed intervals (so exporters can derive a mean).
+class Timer {
+ public:
+  void add_ns(std::int64_t ns) {
+    total_ns_.fetch_add(ns, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::int64_t total_ns() const {
+    return total_ns_.load(std::memory_order_relaxed);
+  }
+  std::int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  void reset() {
+    total_ns_.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> total_ns_{0};
+  std::atomic<std::int64_t> count_{0};
+};
+
+/// Charges the enclosed scope's wall time to a Timer. A null timer makes the
+/// scope free, so call sites need no branches when metrics are off.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Timer* timer)
+      : timer_(timer), start_ns_(timer != nullptr ? wall_ns() : 0) {}
+  ~ScopedTimer() {
+    if (timer_ != nullptr) timer_->add_ns(wall_ns() - start_ns_);
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Timer* timer_;
+  std::int64_t start_ns_;
+};
+
+}  // namespace parade::obs

@@ -1,0 +1,262 @@
+#include "obs/registry.hpp"
+
+#include <fstream>
+
+#include "common/env.hpp"
+#include "common/log.hpp"
+#include "common/timing.hpp"
+#include "obs/json.hpp"
+
+namespace parade::obs {
+
+Registry::Options Registry::Options::from_env() {
+  Options options;
+  options.trace_enabled = env::get_bool_or("PARADE_TRACE", false);
+  options.ring_capacity = static_cast<std::size_t>(
+      env::get_int_or("PARADE_TRACE_RING", 1 << 16));
+  options.max_epochs = static_cast<std::size_t>(
+      env::get_int_or("PARADE_METRICS_EPOCHS", 512));
+  return options;
+}
+
+Registry& Registry::instance() {
+  static Registry registry(Options::from_env());
+  return registry;
+}
+
+Registry::Registry(Options options)
+    : options_(options), ring_(options.ring_capacity) {}
+
+Registry::NodeState& Registry::state_locked(NodeId node) {
+  return nodes_[node];
+}
+
+Counter& Registry::counter(NodeId node, const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = state_locked(node).counters[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Timer& Registry::timer(NodeId node, const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = state_locked(node).timers[name];
+  if (!slot) slot = std::make_unique<Timer>();
+  return *slot;
+}
+
+void Registry::emit(TraceKind kind, NodeId node, Tag tag, double vtime) {
+  if (!options_.trace_enabled) return;
+  TraceEvent event;
+  event.kind = kind;
+  event.node = node;
+  event.tag = tag;
+  event.vtime = vtime;
+  event.wall_ns = wall_ns();
+  ring_.emit(event);
+}
+
+void Registry::reset_node(NodeId node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = nodes_.find(node);
+  if (it == nodes_.end()) return;
+  for (auto& [name, counter] : it->second.counters) counter->reset();
+  for (auto& [name, timer] : it->second.timers) timer->reset();
+  it->second.epoch_baseline.clear();
+  it->second.epochs.clear();
+  it->second.epochs_dropped = 0;
+}
+
+NodeSnapshot Registry::snapshot(NodeId node) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  NodeSnapshot snap;
+  auto it = nodes_.find(node);
+  if (it == nodes_.end()) return snap;
+  for (const auto& [name, counter] : it->second.counters) {
+    snap.counters[name] = counter->value();
+  }
+  for (const auto& [name, timer] : it->second.timers) {
+    snap.timers[name] = {timer->total_ns(), timer->count()};
+  }
+  return snap;
+}
+
+void Registry::close_epoch(NodeId node, std::int64_t epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = nodes_.find(node);
+  if (it == nodes_.end()) return;
+  NodeState& state = it->second;
+  if (state.epochs.size() >= options_.max_epochs) {
+    ++state.epochs_dropped;
+    // Still advance the baseline so a later slice doesn't double-count.
+    for (const auto& [name, counter] : state.counters) {
+      state.epoch_baseline[name] = counter->value();
+    }
+    return;
+  }
+  EpochSlice slice;
+  slice.epoch = epoch;
+  for (const auto& [name, counter] : state.counters) {
+    const std::int64_t now = counter->value();
+    std::int64_t& base = state.epoch_baseline[name];
+    if (now != base) slice.deltas[name] = now - base;
+    base = now;
+  }
+  state.epochs.push_back(std::move(slice));
+}
+
+std::vector<EpochSlice> Registry::epochs(NodeId node) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = nodes_.find(node);
+  if (it == nodes_.end()) return {};
+  return it->second.epochs;
+}
+
+std::int64_t Registry::epochs_dropped(NodeId node) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = nodes_.find(node);
+  return it == nodes_.end() ? 0 : it->second.epochs_dropped;
+}
+
+std::string Registry::to_json(const std::string& label) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonWriter w;
+  w.begin_object();
+  w.key("schema");
+  w.value("parade.metrics.v1");
+  w.key("label");
+  w.value(label);
+  w.key("nodes");
+  w.begin_array();
+  for (const auto& [node, state] : nodes_) {
+    w.begin_object();
+    w.key("node");
+    w.value(static_cast<std::int64_t>(node));
+    w.key("counters");
+    w.begin_object();
+    for (const auto& [name, counter] : state.counters) {
+      w.key(name);
+      w.value(counter->value());
+    }
+    w.end_object();
+    w.key("timers");
+    w.begin_object();
+    for (const auto& [name, timer] : state.timers) {
+      w.key(name);
+      w.begin_object();
+      w.key("ns");
+      w.value(timer->total_ns());
+      w.key("count");
+      w.value(timer->count());
+      w.end_object();
+    }
+    w.end_object();
+    w.key("epochs");
+    w.begin_array();
+    for (const auto& slice : state.epochs) {
+      w.begin_object();
+      w.key("epoch");
+      w.value(slice.epoch);
+      w.key("deltas");
+      w.begin_object();
+      for (const auto& [name, delta] : slice.deltas) {
+        w.key(name);
+        w.value(delta);
+      }
+      w.end_object();
+      w.end_object();
+    }
+    w.end_array();
+    w.key("epochs_dropped");
+    w.value(state.epochs_dropped);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("trace");
+  w.begin_object();
+  w.key("enabled");
+  w.value(options_.trace_enabled);
+  w.key("capacity");
+  w.value(static_cast<std::uint64_t>(ring_.capacity()));
+  w.key("emitted");
+  w.value(ring_.emitted());
+  w.key("events");
+  w.begin_array();
+  for (const TraceEvent& event : ring_.drain()) {
+    w.begin_object();
+    w.key("kind");
+    w.value(trace_kind_name(event.kind));
+    w.key("node");
+    w.value(static_cast<std::int64_t>(event.node));
+    w.key("tag");
+    w.value(static_cast<std::int64_t>(event.tag));
+    w.key("vtime");
+    w.value(event.vtime);
+    w.key("wall_ns");
+    w.value(event.wall_ns);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+std::string Registry::to_csv() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "node,kind,name,value,count\n";
+  for (const auto& [node, state] : nodes_) {
+    for (const auto& [name, counter] : state.counters) {
+      // Counters have no sample count; the column is left empty.
+      out += std::to_string(node) + ",counter," + name + "," +
+             std::to_string(counter->value()) + ",\n";
+    }
+    for (const auto& [name, timer] : state.timers) {
+      out += std::to_string(node) + ",timer_ns," + name + "," +
+             std::to_string(timer->total_ns()) + "," +
+             std::to_string(timer->count()) + "\n";
+    }
+  }
+  return out;
+}
+
+Status Registry::export_to(const std::string& path,
+                           const std::string& label) const {
+  const bool csv =
+      path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
+  const std::string body = csv ? to_csv() : to_json(label);
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) {
+    return make_error(ErrorCode::kIoError, "cannot open " + path);
+  }
+  file << body;
+  if (csv) file << '\n';
+  file.flush();
+  if (!file) {
+    return make_error(ErrorCode::kIoError, "short write to " + path);
+  }
+  return Status::ok();
+}
+
+void Registry::export_if_configured(const std::string& label) const {
+  auto path = env::get_string("PARADE_METRICS");
+  if (!path) return;
+  // Multi-process launches: suffix the rank so each process gets its own file.
+  if (auto rank = env::get_int("PARADE_RANK")) {
+    const std::size_t dot = path->rfind('.');
+    const std::string suffix = ".rank" + std::to_string(*rank);
+    if (dot == std::string::npos || dot == 0) {
+      *path += suffix;
+    } else {
+      path->insert(dot, suffix);
+    }
+  }
+  Status s = export_to(*path, label);
+  if (!s.is_ok()) {
+    PLOG_WARN("metrics export failed: " << s.to_string());
+  } else {
+    PLOG_INFO("metrics exported to " << *path);
+  }
+}
+
+}  // namespace parade::obs

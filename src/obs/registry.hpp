@@ -1,0 +1,112 @@
+// Process-wide observability registry. Every layer (net, mp, dsm, runtime)
+// registers named counters/timers keyed by node id; handles are looked up
+// once (mutex-protected) and then incremented lock-free. Epochs slice the
+// counters into per-barrier deltas, and a bounded trace ring records the
+// most recent protocol events. `PARADE_METRICS=<path>` makes teardown dump
+// everything as JSON (or CSV by extension) — see docs/OBSERVABILITY.md.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+#include "obs/metric.hpp"
+#include "obs/trace.hpp"
+
+namespace parade::obs {
+
+/// Point-in-time copy of one node's metrics.
+struct NodeSnapshot {
+  std::map<std::string, std::int64_t> counters;
+  struct TimerValue {
+    std::int64_t total_ns = 0;
+    std::int64_t count = 0;
+  };
+  std::map<std::string, TimerValue> timers;
+};
+
+/// Counter deltas accumulated between two epoch closes (i.e. one barrier
+/// interval). Counters that did not move are omitted.
+struct EpochSlice {
+  std::int64_t epoch = 0;
+  std::map<std::string, std::int64_t> deltas;
+};
+
+class Registry {
+ public:
+  struct Options {
+    bool trace_enabled = false;
+    std::size_t ring_capacity = 1 << 16;
+    std::size_t max_epochs = 512;
+
+    /// Reads PARADE_TRACE / PARADE_TRACE_RING / PARADE_METRICS_EPOCHS.
+    static Options from_env();
+  };
+
+  /// The process singleton, configured from env on first use.
+  static Registry& instance();
+
+  Registry() : Registry(Options{}) {}
+  explicit Registry(Options options);
+
+  /// Returns the counter/timer handle for (node, name), creating it on first
+  /// use. Handles stay valid and keep their identity for the process
+  /// lifetime; reset_node zeroes values without invalidating pointers.
+  Counter& counter(NodeId node, const std::string& name);
+  Timer& timer(NodeId node, const std::string& name);
+
+  void emit(TraceKind kind, NodeId node, Tag tag, double vtime);
+  bool trace_enabled() const { return options_.trace_enabled; }
+
+  /// Zeroes all metrics, epochs, and the epoch baseline for one node. Called
+  /// when a node (re)starts so consecutive virtual clusters in one process
+  /// each see exact counts.
+  void reset_node(NodeId node);
+
+  NodeSnapshot snapshot(NodeId node) const;
+
+  /// Closes epoch `epoch` for `node`: records counter deltas since the last
+  /// close. Bounded by max_epochs; later closes only bump a dropped count.
+  void close_epoch(NodeId node, std::int64_t epoch);
+
+  std::vector<EpochSlice> epochs(NodeId node) const;
+  std::int64_t epochs_dropped(NodeId node) const;
+
+  /// Writes all nodes' metrics (plus the trace ring) to `path`. Format is
+  /// chosen by extension: ".csv" → CSV, anything else → JSON.
+  Status export_to(const std::string& path, const std::string& label) const;
+
+  /// export_to(PARADE_METRICS) if that env var is set; no-op otherwise.
+  /// Under PARADE_RANK the rank is suffixed before the extension so the
+  /// launcher's processes do not clobber each other.
+  void export_if_configured(const std::string& label) const;
+
+  /// JSON document string as written by export_to (for tests).
+  std::string to_json(const std::string& label) const;
+  std::string to_csv() const;
+
+ private:
+  struct NodeState {
+    // unique_ptr keeps handle addresses stable across map growth, since
+    // layers cache Counter*/Timer* for lock-free hot-path updates.
+    std::map<std::string, std::unique_ptr<Counter>> counters;
+    std::map<std::string, std::unique_ptr<Timer>> timers;
+    std::map<std::string, std::int64_t> epoch_baseline;
+    std::vector<EpochSlice> epochs;
+    std::int64_t epochs_dropped = 0;
+  };
+
+  NodeState& state_locked(NodeId node);
+
+  Options options_;
+  mutable std::mutex mu_;
+  std::map<NodeId, NodeState> nodes_;
+  TraceRing ring_;
+};
+
+}  // namespace parade::obs

@@ -1,0 +1,31 @@
+#include "obs/trace.hpp"
+
+namespace parade::obs {
+
+const char* trace_kind_name(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kSend: return "send";
+    case TraceKind::kRecv: return "recv";
+    case TraceKind::kBarrier: return "barrier";
+    case TraceKind::kLock: return "lock";
+    case TraceKind::kPageFault: return "page_fault";
+    case TraceKind::kRegion: return "region";
+    case TraceKind::kCollective: return "collective";
+  }
+  return "unknown";
+}
+
+std::vector<TraceEvent> TraceRing::drain() const {
+  const std::uint64_t total = emitted();
+  const std::uint64_t count =
+      total < slots_.size() ? total : static_cast<std::uint64_t>(slots_.size());
+  std::vector<TraceEvent> out;
+  out.reserve(count);
+  const std::uint64_t first = total - count;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    out.push_back(slots_[(first + i) % slots_.size()]);
+  }
+  return out;
+}
+
+}  // namespace parade::obs

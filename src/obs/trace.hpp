@@ -1,0 +1,58 @@
+// Bounded lock-free trace ring. Writers claim a slot with one fetch_add and
+// overwrite the oldest event once the ring wraps; readers (the exporter, at
+// teardown) see the last `capacity` events plus a total-emitted count.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace parade::obs {
+
+enum class TraceKind : std::uint8_t {
+  kSend = 0,
+  kRecv = 1,
+  kBarrier = 2,
+  kLock = 3,
+  kPageFault = 4,
+  kRegion = 5,
+  kCollective = 6,
+};
+
+const char* trace_kind_name(TraceKind kind);
+
+struct TraceEvent {
+  TraceKind kind = TraceKind::kSend;
+  NodeId node = 0;
+  Tag tag = 0;
+  double vtime = 0.0;       // virtual µs at emit, 0 when not on a clocked path
+  std::int64_t wall_ns = 0;  // wall clock at emit, for cross-node ordering
+};
+
+class TraceRing {
+ public:
+  explicit TraceRing(std::size_t capacity)
+      : slots_(capacity > 0 ? capacity : 1) {}
+
+  void emit(const TraceEvent& event) {
+    const std::uint64_t seq = next_.fetch_add(1, std::memory_order_relaxed);
+    slots_[seq % slots_.size()] = event;
+  }
+
+  std::size_t capacity() const { return slots_.size(); }
+  std::uint64_t emitted() const { return next_.load(std::memory_order_relaxed); }
+
+  /// Oldest-first copy of the retained window. Quiescent-time only: slots
+  /// written concurrently with the copy may tear.
+  std::vector<TraceEvent> drain() const;
+
+  void reset() { next_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::vector<TraceEvent> slots_;
+  std::atomic<std::uint64_t> next_{0};
+};
+
+}  // namespace parade::obs

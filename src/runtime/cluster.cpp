@@ -5,6 +5,7 @@
 
 #include "common/env.hpp"
 #include "common/log.hpp"
+#include "obs/registry.hpp"
 
 namespace parade {
 
@@ -38,6 +39,10 @@ void VirtualCluster::shutdown() {
     if (node) node->shutdown();
   }
   fabric_.shutdown();
+  // All nodes quiesced; dump metrics if PARADE_METRICS is set. Benches that
+  // run several clusters re-export with their own label afterwards, which
+  // simply overwrites this file with the final state.
+  obs::Registry::instance().export_if_configured("virtual_cluster");
 }
 
 Result<std::unique_ptr<ProcessRuntime>> ProcessRuntime::from_env() {
@@ -66,6 +71,9 @@ Result<std::unique_ptr<ProcessRuntime>> ProcessRuntime::from_env() {
 ProcessRuntime::~ProcessRuntime() {
   if (node_) node_->shutdown();
   if (fabric_) fabric_->shutdown();
+  // Rank-suffixed under PARADE_RANK, so launcher processes do not clobber
+  // one another's exports.
+  obs::Registry::instance().export_if_configured("process_runtime");
 }
 
 VirtualUs ProcessRuntime::exec(const std::function<void()>& program) {

@@ -5,6 +5,7 @@
 
 #include "common/log.hpp"
 #include "common/status.hpp"
+#include "obs/registry.hpp"
 #include "runtime/node_runtime.hpp"
 
 namespace parade {
@@ -32,6 +33,16 @@ Team::Team(NodeRuntime& node, int num_threads)
       release_barrier_(num_threads),
       join_barrier_(num_threads) {
   PARADE_CHECK_MSG(num_threads >= 1, "team needs at least one thread");
+  auto& reg = obs::Registry::instance();
+  const NodeId node_id = node.node_id();
+  regions_metric_ = &reg.counter(node_id, "rt.parallel_regions");
+  barrier_wait_.reserve(static_cast<std::size_t>(num_threads));
+  loop_chunks_.reserve(static_cast<std::size_t>(num_threads));
+  for (int t = 0; t < num_threads; ++t) {
+    const std::string id = std::to_string(t);
+    barrier_wait_.push_back(&reg.timer(node_id, "rt.barrier_wait.t" + id));
+    loop_chunks_.push_back(&reg.counter(node_id, "rt.loop_chunks.t" + id));
+  }
 }
 
 Team::~Team() { stop(); }
@@ -87,6 +98,11 @@ void Team::run_region(const std::function<void()>& body) {
   ThreadCtx& ctx = current_ctx();
   PARADE_CHECK_MSG(ctx.local_id == 0, "only the node main thread forks");
   ctx.clock.sync_cpu();
+  regions_metric_->add();
+  auto& reg = obs::Registry::instance();
+  if (reg.trace_enabled()) {
+    reg.emit(obs::TraceKind::kRegion, node_.node_id(), 0, ctx.clock.now());
+  }
   {
     // Construct-instance state is per region; all workers are idle here.
     std::lock_guard single_lock(single_mutex_);
@@ -122,6 +138,10 @@ void Team::run_region(const std::function<void()>& body) {
 void Team::barrier_global() {
   ThreadCtx& ctx = current_ctx();
   ctx.clock.sync_cpu();
+  // Wall time from arrival to departure: dominated by waiting for the
+  // slowest teammate plus the inter-node DSM barrier.
+  obs::ScopedTimer wait(
+      barrier_wait_[static_cast<std::size_t>(ctx.local_id)]);
   if (!in_region_) {
     // Serial section: only the node main thread is running.
     PARADE_CHECK_MSG(ctx.local_id == 0, "worker outside a region");
@@ -197,6 +217,7 @@ bool Team::loop_next_chunk(LoopState& state, long chunk, long* lo, long* hi) {
   *lo = state.next;
   *hi = std::min(state.end, state.next + chunk);
   state.next = *hi;
+  loop_chunks_[static_cast<std::size_t>(current_ctx().local_id)]->add();
   return true;
 }
 

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "obs/metric.hpp"
 #include "runtime/context.hpp"
 
 namespace parade {
@@ -130,6 +131,12 @@ class Team {
   std::vector<std::uint8_t> combine_scratch_;
   int combine_count_ = 0;
   bool in_region_ = false;
+
+  // Registry handles, indexed by local thread id where per-thread (barrier
+  // wait exposes straggler threads, chunk counts expose load imbalance).
+  obs::Counter* regions_metric_ = nullptr;
+  std::vector<obs::Timer*> barrier_wait_;
+  std::vector<obs::Counter*> loop_chunks_;
 };
 
 }  // namespace parade

@@ -210,25 +210,27 @@ TEST(PageTable, InitialHome) {
 
 TEST(Protocol, PageMessages) {
   PageReplyMsg reply{42, {1, 2, 3, 4, 5}};
-  const auto decoded = decode_page_reply(encode(reply));
+  const auto decoded = codec<PageReplyMsg>::decode(codec<PageReplyMsg>::encode(reply));
   EXPECT_EQ(decoded.page, 42);
   EXPECT_EQ(decoded.data, reply.data);
 
-  const auto request = decode_page_request(encode(PageRequestMsg{7}));
+  const auto request =
+      codec<PageRequestMsg>::decode(codec<PageRequestMsg>::encode({7}));
   EXPECT_EQ(request.page, 7);
 }
 
 TEST(Protocol, DiffMessages) {
   DiffMsg diff{9, {0xA, 0xB}};
-  const auto decoded = decode_diff(encode(diff));
+  const auto decoded = codec<DiffMsg>::decode(codec<DiffMsg>::encode(diff));
   EXPECT_EQ(decoded.page, 9);
   EXPECT_EQ(decoded.diff, diff.diff);
-  EXPECT_EQ(decode_diff_ack(encode(DiffAckMsg{9})).page, 9);
+  EXPECT_EQ(codec<DiffAckMsg>::decode(codec<DiffAckMsg>::encode({9})).page, 9);
 }
 
 TEST(Protocol, BarrierMessages) {
   BarrierArriveMsg arrive{5, {1, 2, 30}};
-  const auto a = decode_barrier_arrive(encode(arrive));
+  const auto a =
+      codec<BarrierArriveMsg>::decode(codec<BarrierArriveMsg>::encode(arrive));
   EXPECT_EQ(a.epoch, 5);
   EXPECT_EQ(a.dirtied_pages, arrive.dirtied_pages);
 
@@ -236,7 +238,8 @@ TEST(Protocol, BarrierMessages) {
   depart.epoch = 5;
   depart.departure_vtime = 123.5;
   depart.entries = {{1, 2, 2}, {30, 0, kAnyNode}};
-  const auto d = decode_barrier_depart(encode(depart));
+  const auto d =
+      codec<BarrierDepartMsg>::decode(codec<BarrierDepartMsg>::encode(depart));
   EXPECT_EQ(d.epoch, 5);
   EXPECT_DOUBLE_EQ(d.departure_vtime, 123.5);
   ASSERT_EQ(d.entries.size(), 2u);
@@ -247,19 +250,37 @@ TEST(Protocol, BarrierMessages) {
 }
 
 TEST(Protocol, LockMessages) {
-  const auto acq = decode_lock_acquire(encode(LockAcquireMsg{3}));
+  const auto acq =
+      codec<LockAcquireMsg>::decode(codec<LockAcquireMsg>::encode({3}));
   EXPECT_EQ(acq.lock_id, 3);
 
   LockGrantMsg grant{3, {{10, 1}, {11, 2}}};
-  const auto g = decode_lock_grant(encode(grant));
+  const auto g = codec<LockGrantMsg>::decode(codec<LockGrantMsg>::encode(grant));
   EXPECT_EQ(g.lock_id, 3);
   ASSERT_EQ(g.notices.size(), 2u);
   EXPECT_EQ(g.notices[1].page, 11);
   EXPECT_EQ(g.notices[1].modifier, 2);
 
   LockReleaseMsg release{3, {10, 11}};
-  const auto r = decode_lock_release(encode(release));
+  const auto r =
+      codec<LockReleaseMsg>::decode(codec<LockReleaseMsg>::encode(release));
   EXPECT_EQ(r.dirtied_pages, release.dirtied_pages);
+}
+
+// The codec is generic over wire_fields(); a wire-format pin: vector element
+// structs are memcpy'd, so their layout is the wire layout.
+TEST(Protocol, CodecWireFormatStable) {
+  BarrierDepartMsg depart;
+  depart.epoch = 7;
+  depart.departure_vtime = 1.0;
+  depart.entries = {{3, 1, kAnyNode}};
+  const auto bytes = codec<BarrierDepartMsg>::encode(depart);
+  // epoch(8) + vtime(8) + count(4) + one 12-byte DepartEntry.
+  EXPECT_EQ(bytes.size(), 8u + 8u + 4u + 12u);
+
+  const auto grant_bytes = codec<LockGrantMsg>::encode(LockGrantMsg{1, {{2, 3}}});
+  // lock_id(4) + count(4) + one 8-byte WriteNotice.
+  EXPECT_EQ(grant_bytes.size(), 4u + 4u + 8u);
 }
 
 TEST(Protocol, CommThreadTagPartition) {

@@ -74,7 +74,7 @@ TEST(Mailbox, DrainsMatchesAfterClose) {
 
 TEST(InProc, DeliversAcrossChannels) {
   InProcFabric fabric(3);
-  fabric.channel(0).send(2, 42, {1, 2, 3}, 0.0);
+  ASSERT_TRUE(fabric.channel(0).send(2, 42, {1, 2, 3}, 0.0).is_ok());
   auto m = fabric.channel(2).inbox().recv_match(
       [](const MessageHeader& h) { return h.tag == 42; });
   ASSERT_TRUE(m);
@@ -84,11 +84,19 @@ TEST(InProc, DeliversAcrossChannels) {
 
 TEST(InProc, SelfSend) {
   InProcFabric fabric(2);
-  fabric.channel(1).send(1, 9, {}, 0.0);
+  ASSERT_TRUE(fabric.channel(1).send(1, 9, {}, 0.0).is_ok());
   auto m = fabric.channel(1).inbox().try_recv_match(
       [](const MessageHeader& h) { return h.tag == 9; });
   ASSERT_TRUE(m);
   EXPECT_EQ(m->header.src, 1);
+}
+
+TEST(InProc, SendToClosedInboxReturnsUnavailable) {
+  InProcFabric fabric(2);
+  fabric.channel(1).shutdown();
+  Status s = fabric.channel(0).send(1, 5, {1}, 0.0);
+  ASSERT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), ErrorCode::kUnavailable);
 }
 
 TEST(InProc, ManyThreadsManyMessages) {
@@ -99,8 +107,10 @@ TEST(InProc, ManyThreadsManyMessages) {
   for (int s = 0; s < kSenders; ++s) {
     senders.emplace_back([&, s] {
       for (int i = 0; i < kPerSender; ++i) {
-        fabric.channel(s).send(kSenders, 100 + s, {static_cast<std::uint8_t>(i)},
-                               0.0);
+        ASSERT_TRUE(fabric.channel(s)
+                        .send(kSenders, 100 + s,
+                              {static_cast<std::uint8_t>(i)}, 0.0)
+                        .is_ok());
       }
     });
   }
@@ -135,8 +145,9 @@ TEST(Socket, FullMeshRoundTrip) {
   for (int r = 0; r < kNodes; ++r) {
     for (int peer = 0; peer < kNodes; ++peer) {
       if (peer == r) continue;
-      fabrics[static_cast<std::size_t>(r)]->send(
-          peer, 55, {static_cast<std::uint8_t>(r)}, 1.5);
+      ASSERT_TRUE(fabrics[static_cast<std::size_t>(r)]
+                      ->send(peer, 55, {static_cast<std::uint8_t>(r)}, 1.5)
+                      .is_ok());
     }
   }
   for (int r = 0; r < kNodes; ++r) {
@@ -168,7 +179,7 @@ TEST(Socket, LargePayload) {
   for (std::size_t i = 0; i < big.size(); ++i) {
     big[i] = static_cast<std::uint8_t>(i * 2654435761u >> 24);
   }
-  f0->send(1, 77, big, 0.0);
+  ASSERT_TRUE(f0->send(1, 77, big, 0.0).is_ok());
   auto m = f1->inbox().recv_match(
       [](const MessageHeader& h) { return h.tag == 77; });
   ASSERT_TRUE(m);

@@ -1,0 +1,268 @@
+// Observability layer tests: registry snapshot/epoch-delta semantics, the
+// trace ring, JSON export round-trips through the bundled parser, and a
+// cross-layer consistency check that the counters reported by net, dsm, and
+// runtime agree with each other on a real 4-node virtual cluster run.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
+
+#include "obs/json.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+#include "runtime/api.hpp"
+#include "runtime/cluster.hpp"
+
+namespace parade::obs {
+namespace {
+
+std::int64_t value_or0(const NodeSnapshot& snap, const std::string& name) {
+  auto it = snap.counters.find(name);
+  return it == snap.counters.end() ? 0 : it->second;
+}
+
+std::int64_t sum_prefix(const NodeSnapshot& snap, const std::string& prefix) {
+  std::int64_t total = 0;
+  for (const auto& [name, value] : snap.counters) {
+    if (name.rfind(prefix, 0) == 0) total += value;
+  }
+  return total;
+}
+
+TEST(Metric, CounterAndTimerBasics) {
+  Counter c;
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42);
+  c.reset();
+  EXPECT_EQ(c.value(), 0);
+
+  Timer t;
+  {
+    ScopedTimer scope(&t);
+  }
+  {
+    ScopedTimer scope(nullptr);  // null timer: a no-op scope
+  }
+  EXPECT_EQ(t.count(), 1);
+  EXPECT_GE(t.total_ns(), 0);
+}
+
+TEST(Trace, RingOverwritesOldest) {
+  TraceRing ring(4);
+  for (int i = 0; i < 6; ++i) {
+    TraceEvent e;
+    e.kind = TraceKind::kSend;
+    e.tag = i;
+    ring.emit(e);
+  }
+  EXPECT_EQ(ring.emitted(), 6u);
+  const auto events = ring.drain();
+  ASSERT_EQ(events.size(), 4u);  // capacity-bounded window
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(events[i].tag, 2 + i);  // oldest first
+}
+
+TEST(Registry, EpochSlicesAreDeltas) {
+  Registry reg;
+  Counter& faults = reg.counter(0, "dsm.read_faults");
+  Counter& idle = reg.counter(0, "dsm.diffs_created");
+
+  faults.add(3);
+  reg.close_epoch(0, 0);
+  faults.add(2);
+  reg.close_epoch(0, 1);
+  reg.close_epoch(0, 2);  // nothing moved
+
+  const auto epochs = reg.epochs(0);
+  ASSERT_EQ(epochs.size(), 3u);
+  EXPECT_EQ(epochs[0].epoch, 0);
+  EXPECT_EQ(epochs[0].deltas.at("dsm.read_faults"), 3);
+  EXPECT_EQ(epochs[1].deltas.at("dsm.read_faults"), 2);
+  // Counters that did not move in an interval are omitted from its slice.
+  EXPECT_EQ(epochs[0].deltas.count("dsm.diffs_created"), 0u);
+  EXPECT_TRUE(epochs[2].deltas.empty());
+  (void)idle;
+}
+
+TEST(Registry, EpochCapBumpsDroppedCount) {
+  Registry::Options options;
+  options.max_epochs = 2;
+  Registry reg(options);
+  Counter& c = reg.counter(1, "x");
+  for (int epoch = 0; epoch < 5; ++epoch) {
+    c.add();
+    reg.close_epoch(1, epoch);
+  }
+  EXPECT_EQ(reg.epochs(1).size(), 2u);
+  EXPECT_EQ(reg.epochs_dropped(1), 3);
+}
+
+TEST(Registry, ResetNodeZeroesButKeepsHandles) {
+  Registry reg;
+  Counter& c = reg.counter(0, "net.send_msgs.dsm");
+  Timer& t = reg.timer(0, "mp.recv_wait");
+  c.add(7);
+  t.add_ns(100);
+  reg.close_epoch(0, 0);
+
+  reg.reset_node(0);
+  EXPECT_EQ(reg.snapshot(0).counters.at("net.send_msgs.dsm"), 0);
+  EXPECT_EQ(reg.epochs(0).size(), 0u);
+
+  c.add();  // the old handle still points at the live counter
+  EXPECT_EQ(reg.snapshot(0).counters.at("net.send_msgs.dsm"), 1);
+}
+
+TEST(Registry, JsonExportRoundTrips) {
+  Registry::Options options;
+  options.trace_enabled = true;
+  options.ring_capacity = 8;
+  Registry reg(options);
+  reg.counter(0, "dsm.read_faults").add(5);
+  reg.counter(2, "net.send_bytes.mp").add(4096);
+  reg.timer(0, "rt.barrier_wait.t0").add_ns(1500);
+  reg.close_epoch(0, 0);
+  reg.emit(TraceKind::kBarrier, 0, 2, 12.5);
+
+  auto doc = parse_json(reg.to_json("roundtrip"));
+  ASSERT_TRUE(doc.is_ok()) << doc.status().to_string();
+  const JsonValue& root = doc.value();
+  EXPECT_EQ(root.at("schema").string, "parade.metrics.v1");
+  EXPECT_EQ(root.at("label").string, "roundtrip");
+
+  ASSERT_EQ(root.at("nodes").array.size(), 2u);
+  const JsonValue& node0 = root.at("nodes").array[0];
+  EXPECT_EQ(node0.at("node").as_int(), 0);
+  EXPECT_EQ(node0.at("counters").at("dsm.read_faults").as_int(), 5);
+  EXPECT_EQ(node0.at("timers").at("rt.barrier_wait.t0").at("ns").as_int(),
+            1500);
+  ASSERT_EQ(node0.at("epochs").array.size(), 1u);
+  EXPECT_EQ(node0.at("epochs")
+                .array[0]
+                .at("deltas")
+                .at("dsm.read_faults")
+                .as_int(),
+            5);
+  EXPECT_EQ(root.at("nodes").array[1].at("counters").at("net.send_bytes.mp")
+                .as_int(),
+            4096);
+
+  const JsonValue& trace = root.at("trace");
+  EXPECT_TRUE(trace.at("enabled").boolean);
+  ASSERT_EQ(trace.at("events").array.size(), 1u);
+  EXPECT_EQ(trace.at("events").array[0].at("kind").string, "barrier");
+  EXPECT_DOUBLE_EQ(trace.at("events").array[0].at("vtime").number, 12.5);
+}
+
+TEST(Registry, ExportToWritesCsvByExtension) {
+  Registry reg;
+  reg.counter(0, "dsm.barriers").add(2);
+  const auto dir = std::filesystem::temp_directory_path() / "parade-obs-test";
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "metrics.csv").string();
+  ASSERT_TRUE(reg.export_to(path, "csv").is_ok());
+
+  std::ifstream in(path);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(text.find("node,kind,name,value,count"), std::string::npos);
+  EXPECT_NE(text.find("0,counter,dsm.barriers,2,"), std::string::npos);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Json, ParserRejectsMalformedInput) {
+  EXPECT_FALSE(parse_json("{").is_ok());
+  EXPECT_FALSE(parse_json("{\"a\": 1} trailing").is_ok());
+  EXPECT_FALSE(parse_json("[1, 2,]").is_ok());
+  auto ok = parse_json(R"({"a": [1, -2.5, "x\n", true, null]})");
+  ASSERT_TRUE(ok.is_ok()) << ok.status().to_string();
+  EXPECT_EQ(ok.value().at("a").array[2].string, "x\n");
+}
+
+// One parallel_for over DSM-shared data on a 4-node virtual cluster: the
+// counters independently reported by the net, dsm, and runtime layers must
+// tell one consistent story.
+TEST(CrossLayer, CountersAgreeOnVirtualCluster) {
+  constexpr int kNodes = 4;
+  constexpr long kDoubles = 8 * 512;  // 8 pages of doubles
+
+  RuntimeConfig config;
+  config.nodes = kNodes;
+  config.with_node_config(vtime::NodeConfig::k2Thread2Cpu);
+  config.cpu_scale = 0.0;  // deterministic: modeled costs only
+  config.dsm.pool_bytes = 4 << 20;
+  run_virtual_cluster_s(config, [] {
+    auto* data = shmalloc_array<double>(kDoubles);
+    barrier();
+    parallel([&] {
+      parallel_for(0, kDoubles, [&](long lo, long hi) {
+        for (long i = lo; i < hi; ++i) data[i] = static_cast<double>(i);
+      });
+    });
+    double sum = 0.0;
+    for (long i = 0; i < kDoubles; i += 512) sum += data[i];
+    barrier();
+  });
+
+  auto& reg = Registry::instance();
+  std::vector<NodeSnapshot> snaps;
+  for (NodeId n = 0; n < kNodes; ++n) snaps.push_back(reg.snapshot(n));
+
+  std::int64_t sent_msgs = 0, recv_msgs = 0, sent_bytes = 0, recv_bytes = 0;
+  std::int64_t fetches = 0, serves = 0, diff_bytes = 0;
+  for (const NodeSnapshot& snap : snaps) {
+    sent_msgs += sum_prefix(snap, "net.send_msgs.");
+    recv_msgs += sum_prefix(snap, "net.recv_msgs.");
+    sent_bytes += sum_prefix(snap, "net.send_bytes.");
+    recv_bytes += sum_prefix(snap, "net.recv_bytes.");
+    fetches += value_or0(snap, "dsm.page_fetches");
+    serves += value_or0(snap, "dsm.page_serves");
+    diff_bytes += value_or0(snap, "dsm.diff_bytes_sent");
+
+    // Runtime layer: exactly one parallel region ran on every node, and the
+    // per-class and per-peer views of the same sends must agree.
+    EXPECT_EQ(value_or0(snap, "rt.parallel_regions"), 1);
+    EXPECT_EQ(sum_prefix(snap, "net.send_bytes_to."),
+              sum_prefix(snap, "net.send_bytes."));
+    EXPECT_EQ(sum_prefix(snap, "net.send_msgs_to."),
+              sum_prefix(snap, "net.send_msgs."));
+  }
+
+  // Every node saw the same barrier sequence.
+  for (const NodeSnapshot& snap : snaps) {
+    EXPECT_EQ(value_or0(snap, "dsm.barriers"),
+              value_or0(snaps[0], "dsm.barriers"));
+  }
+  EXPECT_GE(value_or0(snaps[0], "dsm.barriers"), 3);
+
+  // The in-process fabric delivers every send (including self-sends), so the
+  // net layer's send and receive totals must balance exactly.
+  EXPECT_GT(sent_msgs, 0);
+  EXPECT_EQ(sent_msgs, recv_msgs);
+  EXPECT_EQ(sent_bytes, recv_bytes);
+
+  // Cross-layer: every page fetched by one node was served by another, the
+  // loop touched remote pages at all, and dsm diff payloads are a subset of
+  // the bytes the net layer shipped.
+  EXPECT_GT(fetches, 0);
+  EXPECT_EQ(fetches, serves);
+  EXPECT_LE(diff_bytes, sent_bytes);
+
+  // The singleton's JSON export reflects the same run.
+  auto doc = parse_json(reg.to_json("cross_layer"));
+  ASSERT_TRUE(doc.is_ok()) << doc.status().to_string();
+  const auto& nodes = doc.value().at("nodes").array;
+  ASSERT_GE(nodes.size(), static_cast<std::size_t>(kNodes));
+  for (const JsonValue& node : nodes) {
+    const NodeId id = static_cast<NodeId>(node.at("node").as_int());
+    if (id >= kNodes) continue;
+    EXPECT_EQ(node.at("counters").at("dsm.barriers").as_int(),
+              value_or0(snaps[static_cast<std::size_t>(id)], "dsm.barriers"));
+  }
+}
+
+}  // namespace
+}  // namespace parade::obs

@@ -53,7 +53,8 @@ std::string translate_compile_run(const std::string& name,
       cpp.string() + " " + bin_dir + "/src/runtime/libparade_runtime.a " +
       bin_dir + "/src/dsm/libparade_dsm.a " + bin_dir +
       "/src/mp/libparade_mp.a " + bin_dir + "/src/net/libparade_net.a " +
-      bin_dir + "/src/vtime/libparade_vtime.a " + bin_dir +
+      bin_dir + "/src/obs/libparade_obs.a " + bin_dir +
+      "/src/vtime/libparade_vtime.a " + bin_dir +
       "/src/common/libparade_common.a -lpthread";
   int code = 0;
   const std::string compile_output = run_command(compile, &code);

@@ -29,12 +29,17 @@ void page_churn() {
   }
 }
 
+/// `cpu_scale = 0.0` makes a run fully deterministic: virtual time is then
+/// modeled communication cost only, with no measured-CPU jitter from the
+/// (possibly oversubscribed) host. Tests that compare network/placement
+/// effects use 0.0; tests about compute-time scaling need the default.
 double run_with(vtime::NodeConfig node_config, vtime::NetworkModel net,
-                const std::function<void()>& program, int nodes = 2) {
+                const std::function<void()>& program, int nodes = 2,
+                double cpu_scale = 20.0) {
   RuntimeConfig config;
   config.nodes = nodes;
   config.with_node_config(node_config);
-  config.cpu_scale = 20.0;
+  config.cpu_scale = cpu_scale;
   config.dsm.net = net;
   config.dsm.pool_bytes = 4 << 20;
   return run_virtual_cluster_s(config, program);
@@ -43,10 +48,10 @@ double run_with(vtime::NodeConfig node_config, vtime::NetworkModel net,
 TEST(VtimeModel, CommThreadPlacementMatters) {
   // 1T-1CPU charges communication-thread CPU to the compute timeline;
   // 1T-2CPU overlaps it (paper §6.2's central observation).
-  const double one_cpu =
-      run_with(vtime::NodeConfig::k1Thread1Cpu, vtime::clan_via(), page_churn);
-  const double two_cpu =
-      run_with(vtime::NodeConfig::k1Thread2Cpu, vtime::clan_via(), page_churn);
+  const double one_cpu = run_with(vtime::NodeConfig::k1Thread1Cpu,
+                                  vtime::clan_via(), page_churn, 2, 0.0);
+  const double two_cpu = run_with(vtime::NodeConfig::k1Thread2Cpu,
+                                  vtime::clan_via(), page_churn, 2, 0.0);
   EXPECT_GT(one_cpu, two_cpu);
 }
 
@@ -71,10 +76,10 @@ TEST(VtimeModel, MoreThreadsLessComputeTime) {
 }
 
 TEST(VtimeModel, SlowerNetworkSlowerRun) {
-  const double clan =
-      run_with(vtime::NodeConfig::k2Thread2Cpu, vtime::clan_via(), page_churn);
+  const double clan = run_with(vtime::NodeConfig::k2Thread2Cpu,
+                               vtime::clan_via(), page_churn, 2, 0.0);
   const double ether = run_with(vtime::NodeConfig::k2Thread2Cpu,
-                                vtime::fast_ethernet(), page_churn);
+                                vtime::fast_ethernet(), page_churn, 2, 0.0);
   EXPECT_GT(ether, 1.5 * clan);  // Fast Ethernet is ~5-10x worse
 }
 
@@ -99,10 +104,10 @@ TEST(VtimeModel, MoreNodesMoreSyncCost) {
       for (int i = 0; i < 30; ++i) team_update(&replica, 1.0, mp::Op::kSum);
     });
   };
-  const double two =
-      run_with(vtime::NodeConfig::k2Thread2Cpu, vtime::clan_via(), sync_heavy, 2);
-  const double eight =
-      run_with(vtime::NodeConfig::k2Thread2Cpu, vtime::clan_via(), sync_heavy, 8);
+  const double two = run_with(vtime::NodeConfig::k2Thread2Cpu,
+                              vtime::clan_via(), sync_heavy, 2, 0.0);
+  const double eight = run_with(vtime::NodeConfig::k2Thread2Cpu,
+                                vtime::clan_via(), sync_heavy, 8, 0.0);
   EXPECT_GT(eight, two);  // log-depth collectives + more arrivals
 }
 
