@@ -56,11 +56,16 @@ class WireBuffer {
   }
 
   // ---- decoding ----
+  //
+  // Decoders never abort on malformed input: an out-of-bounds read marks the
+  // buffer failed() and yields a zero value. Length prefixes are validated
+  // against the bytes actually present BEFORE any allocation, so a frame
+  // claiming 2^32 elements cannot trigger a giant allocation. Callers check
+  // ok() (codec<T> does it for them).
 
   template <TriviallyWirable T>
   T get() {
-    PARADE_CHECK_MSG(cursor_ + sizeof(T) <= bytes_.size(),
-                     "WireBuffer underrun");
+    if (!take_ok(sizeof(T))) return T{};
     T value;
     std::memcpy(&value, bytes_.data() + cursor_, sizeof(T));
     cursor_ += sizeof(T);
@@ -68,13 +73,17 @@ class WireBuffer {
   }
 
   void get_bytes(void* out, std::size_t size) {
-    PARADE_CHECK_MSG(cursor_ + size <= bytes_.size(), "WireBuffer underrun");
+    if (!take_ok(size)) return;
     if (size > 0) std::memcpy(out, bytes_.data() + cursor_, size);
     cursor_ += size;
   }
 
   std::string get_string() {
     const auto size = get<std::uint32_t>();
+    if (failed_ || size > remaining()) {
+      failed_ = true;
+      return {};
+    }
     std::string text(size, '\0');
     get_bytes(text.data(), size);
     return text;
@@ -83,6 +92,10 @@ class WireBuffer {
   template <TriviallyWirable T>
   std::vector<T> get_vector() {
     const auto count = get<std::uint32_t>();
+    if (failed_ || count > remaining() / sizeof(T)) {
+      failed_ = true;
+      return {};
+    }
     std::vector<T> values(count);
     get_bytes(values.data(), count * sizeof(T));
     return values;
@@ -93,13 +106,27 @@ class WireBuffer {
   std::size_t size() const { return bytes_.size(); }
   std::size_t remaining() const { return bytes_.size() - cursor_; }
   bool exhausted() const { return cursor_ == bytes_.size(); }
+  /// False once any decode ran past the available bytes.
+  bool ok() const { return !failed_; }
   std::span<const std::uint8_t> bytes() const { return bytes_; }
   std::vector<std::uint8_t> take() && { return std::move(bytes_); }
-  void rewind() { cursor_ = 0; }
+  void rewind() {
+    cursor_ = 0;
+    failed_ = false;
+  }
 
  private:
+  bool take_ok(std::size_t size) {
+    if (failed_ || size > bytes_.size() - cursor_) {
+      failed_ = true;
+      return false;
+    }
+    return true;
+  }
+
   std::vector<std::uint8_t> bytes_;
   std::size_t cursor_ = 0;
+  bool failed_ = false;
 };
 
 }  // namespace parade

@@ -7,9 +7,27 @@
 namespace parade::dsm {
 
 DsmCluster::DsmCluster(int size, DsmConfig config) : fabric_(size) {
+  init(size, config, net::FaultPlan::from_env());
+}
+
+DsmCluster::DsmCluster(int size, DsmConfig config, net::FaultPlan faults)
+    : fabric_(size) {
+  init(size, config, std::move(faults));
+}
+
+void DsmCluster::init(int size, const DsmConfig& config,
+                      std::optional<net::FaultPlan> faults) {
+  if (faults && faults->active()) {
+    auto epoch = std::make_shared<std::atomic<std::int64_t>>(0);
+    faulty_.reserve(static_cast<std::size_t>(size));
+    for (NodeId rank = 0; rank < size; ++rank) {
+      faulty_.push_back(std::make_unique<net::FaultyChannel>(
+          fabric_.channel(rank), *faults, epoch));
+    }
+  }
   nodes_.reserve(static_cast<std::size_t>(size));
   for (NodeId rank = 0; rank < size; ++rank) {
-    auto node = std::make_unique<DsmNode>(fabric_.channel(rank), config);
+    auto node = std::make_unique<DsmNode>(channel(rank), config);
     Status s = node->start();
     PARADE_CHECK_MSG(s.is_ok(), s.message());
     nodes_.push_back(std::move(node));

@@ -6,22 +6,32 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "dsm/node.hpp"
+#include "net/faulty.hpp"
 #include "net/inproc.hpp"
 
 namespace parade::dsm {
 
 class DsmCluster {
  public:
-  /// Creates and starts `size` nodes with the given configuration.
+  /// Creates and starts `size` nodes with the given configuration. Faults
+  /// are injected when PARADE_FAULT_SEED / PARADE_FAULT_PLAN are set.
   explicit DsmCluster(int size, DsmConfig config = {});
+  /// Same, with an explicit fault plan (chaos tests; overrides the env).
+  DsmCluster(int size, DsmConfig config, net::FaultPlan faults);
   ~DsmCluster();
 
   int size() const { return static_cast<int>(nodes_.size()); }
   DsmNode& node(NodeId rank) { return *nodes_[static_cast<std::size_t>(rank)]; }
-  net::Channel& channel(NodeId rank) { return fabric_.channel(rank); }
+  /// The channel a node sends through: the fault decorator when a plan is
+  /// active, the raw fabric channel otherwise.
+  net::Channel& channel(NodeId rank) {
+    if (!faulty_.empty()) return *faulty_[static_cast<std::size_t>(rank)];
+    return fabric_.channel(rank);
+  }
 
   /// Runs `fn(rank)` on one fresh thread per node and joins them. Exceptions
   /// escaping `fn` abort (the protocol cannot unwind mid-barrier).
@@ -31,7 +41,12 @@ class DsmCluster {
   void shutdown();
 
  private:
+  void init(int size, const DsmConfig& config,
+            std::optional<net::FaultPlan> faults);
+
   net::InProcFabric fabric_;
+  /// One decorator per rank when a fault plan is active; empty otherwise.
+  std::vector<std::unique_ptr<net::FaultyChannel>> faulty_;
   std::vector<std::unique_ptr<DsmNode>> nodes_;
 };
 

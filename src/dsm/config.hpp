@@ -4,6 +4,7 @@
 #include <cstddef>
 
 #include "common/types.hpp"
+#include "net/fault.hpp"
 #include "vtime/cost_model.hpp"
 
 namespace parade::dsm {
@@ -48,6 +49,11 @@ struct DsmConfig {
 
   vtime::NetworkModel net{};
   vtime::MachineModel machine{};
+
+  /// Timeout/retry knobs for the protocol's blocking exchanges (page fetch,
+  /// diff ack, barrier, locks). Defaults never fire on a fault-free fabric;
+  /// chaos tests shorten them to keep runtimes low.
+  net::RetryPolicy retry{};
 
   std::size_t num_pages() const { return pool_bytes / page_bytes; }
 };

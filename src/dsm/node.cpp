@@ -177,6 +177,7 @@ void DsmNode::fetch_page(PageId page, std::unique_lock<std::mutex>& lock,
   entry.state = PageState::kTransient;
   const NodeId home = entry.home;
   PARADE_CHECK_MSG(home != rank(), "home node must never fault INVALID");
+  const std::uint32_t seq = ++entry.fetch_seq;
   lock.unlock();
 
   stats_.inc_page_fetches();
@@ -187,13 +188,27 @@ void DsmNode::fetch_page(PageId page, std::unique_lock<std::mutex>& lock,
     clock->add(config_.net.send_overhead_us);
     stamp = clock->now();
   }
-  post(home, kTagPageRequest, codec<PageRequestMsg>::encode({page}), stamp);
+  const auto payload = codec<PageRequestMsg>::encode({page, seq});
+  post(home, kTagPageRequest, payload, stamp);
 
   lock.lock();
-  entry.cv.wait(lock, [&] {
+  // Only the thread that initiated the fetch retransmits; threads that piled
+  // up behind it (BLOCKED) wait indefinitely — the fetcher either succeeds
+  // and wakes them or aborts the process.
+  const auto ready = [&] {
     return entry.state == PageState::kReadOnly ||
            entry.state == PageState::kDirty;
-  });
+  };
+  int attempts = 1;
+  while (!entry.cv.wait_for(lock, config_.retry.timeout(), ready)) {
+    PARADE_CHECK_MSG(attempts < config_.retry.max_attempts,
+                     "page fetch timed out after max retries");
+    ++attempts;
+    stats_.inc_retries();
+    lock.unlock();
+    post(home, kTagPageRequest, payload, stamp);
+    lock.lock();
+  }
   if (clock != nullptr) {
     clock->sync_cpu();
     clock->merge(entry.ready_vtime);
@@ -233,7 +248,12 @@ void DsmNode::flush_pages(const std::vector<PageId>& pages) {
   std::lock_guard flush_lock(flush_mutex_);
   auto* clock = vtime::thread_clock();
 
-  int pending_acks = 0;
+  struct PendingDiff {
+    NodeId home;
+    std::vector<std::uint8_t> payload;  // kept for retransmission
+    VirtualUs stamp;
+  };
+  std::unordered_map<std::uint32_t, PendingDiff> pending;  // by seq
   for (const PageId page : pages) {
     PageEntry& entry = pages_->entry(page);
     std::unique_lock lock(entry.mutex);
@@ -264,15 +284,35 @@ void DsmNode::flush_pages(const std::vector<PageId>& pages) {
       clock->add(config_.net.send_overhead_us);
       stamp = clock->now();
     }
-    post(home, kTagDiff, codec<DiffMsg>::encode({page, std::move(diff)}),
-         stamp);
-    ++pending_acks;
+    const std::uint32_t seq = next_seq();
+    auto payload = codec<DiffMsg>::encode({page, std::move(diff), seq});
+    post(home, kTagDiff, payload, stamp);
+    pending.emplace(seq, PendingDiff{home, std::move(payload), stamp});
   }
 
-  for (int i = 0; i < pending_acks; ++i) {
-    auto ack = channel_.inbox().recv_match(
-        [](const net::MessageHeader& h) { return h.tag == kTagDiffAck; });
-    PARADE_CHECK_MSG(ack.has_value(), "channel closed waiting for diff ack");
+  int attempts = 1;
+  while (!pending.empty()) {
+    auto ack = channel_.inbox().recv_match_for(
+        [](const net::MessageHeader& h) { return h.tag == kTagDiffAck; },
+        config_.retry.timeout());
+    if (!ack.has_value()) {
+      PARADE_CHECK_MSG(!channel_.inbox().closed(),
+                       "channel closed waiting for diff ack");
+      PARADE_CHECK_MSG(attempts < config_.retry.max_attempts,
+                       "diff ack timed out after max retries");
+      ++attempts;
+      for (const auto& [seq, diff] : pending) {
+        stats_.inc_retries();
+        post(diff.home, kTagDiff, diff.payload, diff.stamp);
+      }
+      continue;
+    }
+    auto acked_r = codec<DiffAckMsg>::try_decode(ack->payload);
+    if (!acked_r.is_ok()) continue;  // malformed frame off the wire
+    const DiffAckMsg acked = std::move(acked_r).value();
+    // Unknown seq: a duplicate ack, or one for a diff a previous flush
+    // retransmitted right before its original ack arrived. Ignore.
+    if (pending.erase(acked.seq) == 0) continue;
     if (clock != nullptr) {
       clock->sync_cpu();
       clock->merge(ack->header.vtime +
@@ -315,17 +355,39 @@ void DsmNode::barrier() {
       clock->add(config_.net.send_overhead_us);
       stamp = clock->now();
     }
-    post(0, kTagBarrierArrive, codec<BarrierArriveMsg>::encode(arrive), stamp);
-    auto msg = channel_.inbox().recv_match(
-        [](const net::MessageHeader& h) { return h.tag == kTagBarrierDepart; });
-    PARADE_CHECK_MSG(msg.has_value(), "channel closed during barrier");
-    BarrierDepartMsg depart = codec<BarrierDepartMsg>::decode(msg->payload);
-    PARADE_CHECK(depart.epoch == epoch_);
-    if (clock != nullptr) {
-      clock->merge(depart.departure_vtime +
-                   config_.net.transfer_us(msg->payload.size()));
+    const auto payload = codec<BarrierArriveMsg>::encode(arrive);
+    post(0, kTagBarrierArrive, payload, stamp);
+    int attempts = 1;
+    for (;;) {
+      auto msg = channel_.inbox().recv_match_for(
+          [](const net::MessageHeader& h) {
+            return h.tag == kTagBarrierDepart;
+          },
+          config_.retry.timeout());
+      if (!msg.has_value()) {
+        PARADE_CHECK_MSG(!channel_.inbox().closed(),
+                         "channel closed during barrier");
+        PARADE_CHECK_MSG(attempts < config_.retry.max_attempts,
+                         "barrier departure timed out after max retries");
+        // Either our arrival or the master's departure was lost; resending
+        // the arrival recovers both (the master re-answers closed epochs).
+        ++attempts;
+        stats_.inc_retries();
+        post(0, kTagBarrierArrive, payload, stamp);
+        continue;
+      }
+      auto depart_r = codec<BarrierDepartMsg>::try_decode(msg->payload);
+      if (!depart_r.is_ok()) continue;  // malformed frame off the wire
+      BarrierDepartMsg depart = std::move(depart_r).value();
+      if (depart.epoch < epoch_) continue;  // duplicate of an older epoch
+      PARADE_CHECK(depart.epoch == epoch_);
+      if (clock != nullptr) {
+        clock->merge(depart.departure_vtime +
+                     config_.net.transfer_us(msg->payload.size()));
+      }
+      process_departure(depart);
+      break;
     }
-    process_departure(depart);
   }
 
   stats_.inc_barriers();
@@ -346,16 +408,41 @@ void DsmNode::master_barrier(const BarrierArriveMsg& own,
   for (const PageId page : own.dirtied_pages) modifiers[page].push_back(0);
 
   VirtualUs latest = clock != nullptr ? clock->now() : 0.0;
-  for (int i = 1; i < size(); ++i) {
-    auto msg = channel_.inbox().recv_match(
-        [](const net::MessageHeader& h) { return h.tag == kTagBarrierArrive; });
-    PARADE_CHECK_MSG(msg.has_value(), "channel closed during barrier gather");
-    const BarrierArriveMsg arr = codec<BarrierArriveMsg>::decode(msg->payload);
+  // The comm thread gathers arrivals (handle_barrier_arrive); wait for the
+  // current epoch's set to complete. Workers drive retransmission, so a
+  // timeout here only bounds how long we tolerate a silent fabric.
+  std::unordered_map<NodeId, std::pair<BarrierArriveMsg, VirtualUs>> gathered;
+  {
+    std::unique_lock lock(barrier_gather_.mutex);
+    const std::size_t needed = static_cast<std::size_t>(size() - 1);
+    int attempts = 1;
+    for (;;) {
+      auto it = barrier_gather_.arrivals.find(epoch_);
+      const std::size_t have =
+          it == barrier_gather_.arrivals.end() ? 0 : it->second.size();
+      if (have == needed) {
+        if (it != barrier_gather_.arrivals.end()) {
+          gathered = std::move(it->second);
+          barrier_gather_.arrivals.erase(it);
+        }
+        break;
+      }
+      PARADE_CHECK_MSG(!barrier_gather_.closed,
+                       "channel closed during barrier gather");
+      if (barrier_gather_.cv.wait_for(lock, config_.retry.timeout()) ==
+          std::cv_status::timeout) {
+        PARADE_CHECK_MSG(attempts < config_.retry.max_attempts,
+                         "barrier gather timed out after max retries");
+        ++attempts;
+      }
+    }
+  }
+  for (const auto& [src, arrival] : gathered) {
+    const auto& [arr, contribution] = arrival;
     PARADE_CHECK_MSG(arr.epoch == epoch_, "barrier epoch mismatch");
-    latest = std::max(latest, msg->header.vtime +
-                                  config_.net.transfer_us(msg->payload.size()));
+    latest = std::max(latest, contribution);
     for (const PageId page : arr.dirtied_pages) {
-      modifiers[page].push_back(msg->header.src);
+      modifiers[page].push_back(src);
     }
   }
 
@@ -383,11 +470,48 @@ void DsmNode::master_barrier(const BarrierArriveMsg& own,
   latest += config_.net.recv_overhead_us;  // master-side gather processing
   depart.departure_vtime = latest;
   const auto payload = codec<BarrierDepartMsg>::encode(depart);
+  {
+    // Cache before sending: a worker's retransmitted arrival for this epoch
+    // may race in on the comm thread the moment the first departure is out.
+    std::lock_guard lock(barrier_gather_.mutex);
+    barrier_gather_.last_depart_epoch = epoch_;
+    barrier_gather_.last_depart_payload = payload;
+    barrier_gather_.last_depart_vtime = latest;
+  }
   for (int i = 1; i < size(); ++i) {
     post(i, kTagBarrierDepart, payload, latest);
   }
   if (clock != nullptr) clock->merge(latest);
   process_departure(depart);
+}
+
+void DsmNode::handle_barrier_arrive(const net::Message& message) {
+  auto arrive_r = codec<BarrierArriveMsg>::try_decode(message.payload);
+  if (!arrive_r.is_ok()) {
+    PLOG_WARN("dropping malformed barrier arrival: "
+              << arrive_r.status().to_string());
+    return;
+  }
+  BarrierArriveMsg arrive = std::move(arrive_r).value();
+  const VirtualUs contribution =
+      message.header.vtime + config_.net.transfer_us(message.payload.size());
+  std::lock_guard lock(barrier_gather_.mutex);
+  if (barrier_gather_.last_depart_epoch &&
+      arrive.epoch <= *barrier_gather_.last_depart_epoch) {
+    // The worker never saw our departure and is retransmitting its arrival.
+    // Workers lag at most one epoch, so the cached payload always matches.
+    if (arrive.epoch == *barrier_gather_.last_depart_epoch) {
+      stats_.inc_retries();
+      post(message.header.src, kTagBarrierDepart,
+           barrier_gather_.last_depart_payload,
+           barrier_gather_.last_depart_vtime);
+    }
+    return;
+  }
+  // Duplicate arrivals for an open epoch simply overwrite their slot.
+  barrier_gather_.arrivals[arrive.epoch][message.header.src] = {
+      std::move(arrive), contribution};
+  barrier_gather_.cv.notify_all();
 }
 
 void DsmNode::process_departure(const BarrierDepartMsg& msg) {
@@ -419,6 +543,9 @@ void DsmNode::process_departure(const BarrierDepartMsg& msg) {
 
 void DsmNode::lock_acquire(int lock_id) {
   PARADE_CHECK_MSG(lock_id >= 0 && lock_id < kMaxDsmLocks, "lock id range");
+  // Serialize this node's threads on the lock before talking to the manager;
+  // released in lock_release (see lock_gate_).
+  lock_gate_[static_cast<std::size_t>(lock_id)].lock();
   stats_.inc_lock_acquires();
   const NodeId home = static_cast<NodeId>(lock_id % size());
   auto* clock = vtime::thread_clock();
@@ -428,17 +555,38 @@ void DsmNode::lock_acquire(int lock_id) {
     clock->add(config_.net.send_overhead_us);
     stamp = clock->now();
   }
-  post(home, kTagLockAcquire, codec<LockAcquireMsg>::encode({lock_id}), stamp);
+  const std::uint32_t seq = next_seq();
+  const auto payload = codec<LockAcquireMsg>::encode({lock_id, seq});
+  post(home, kTagLockAcquire, payload, stamp);
 
-  auto msg = channel_.inbox().recv_match([&](const net::MessageHeader& h) {
-    return h.tag == kTagLockGrantBase + lock_id;
-  });
-  PARADE_CHECK_MSG(msg.has_value(), "channel closed during lock acquire");
-  const LockGrantMsg grant = codec<LockGrantMsg>::decode(msg->payload);
-  if (clock != nullptr) {
-    clock->sync_cpu();
-    clock->merge(msg->header.vtime +
-                 config_.net.transfer_us(msg->payload.size()));
+  LockGrantMsg grant;
+  int attempts = 1;
+  for (;;) {
+    auto msg = channel_.inbox().recv_match_for(
+        [&](const net::MessageHeader& h) {
+          return h.tag == kTagLockGrantBase + lock_id;
+        },
+        config_.retry.timeout());
+    if (!msg.has_value()) {
+      PARADE_CHECK_MSG(!channel_.inbox().closed(),
+                       "channel closed during lock acquire");
+      PARADE_CHECK_MSG(attempts < config_.retry.max_attempts,
+                       "lock grant timed out after max retries");
+      ++attempts;
+      stats_.inc_retries();
+      post(home, kTagLockAcquire, payload, stamp);
+      continue;
+    }
+    auto grant_r = codec<LockGrantMsg>::try_decode(msg->payload);
+    if (!grant_r.is_ok()) continue;  // malformed frame off the wire
+    grant = std::move(grant_r).value();
+    if (grant.seq != seq) continue;  // duplicate grant of an older acquire
+    if (clock != nullptr) {
+      clock->sync_cpu();
+      clock->merge(msg->header.vtime +
+                   config_.net.transfer_us(msg->payload.size()));
+    }
+    break;
   }
 
   // Lazy-release consistency, conservatively: invalidate every cached page
@@ -476,8 +624,38 @@ void DsmNode::lock_release(int lock_id) {
     clock->add(config_.net.send_overhead_us);
     stamp = clock->now();
   }
-  post(home, kTagLockRelease,
-       codec<LockReleaseMsg>::encode({lock_id, std::move(cs_pages)}), stamp);
+  const std::uint32_t seq = next_seq();
+  const auto payload =
+      codec<LockReleaseMsg>::encode({lock_id, std::move(cs_pages), seq});
+  post(home, kTagLockRelease, payload, stamp);
+
+  // Wait for the manager's ack so a lost release cannot strand the lock.
+  // The ack is a reliability artifact, not part of the HLRC cost model
+  // (release is asynchronous in the paper), so its vtime is not merged.
+  int attempts = 1;
+  for (;;) {
+    auto msg = channel_.inbox().recv_match_for(
+        [&](const net::MessageHeader& h) {
+          return h.tag == kTagLockReleaseAckBase + lock_id;
+        },
+        config_.retry.timeout());
+    if (!msg.has_value()) {
+      PARADE_CHECK_MSG(!channel_.inbox().closed(),
+                       "channel closed during lock release");
+      PARADE_CHECK_MSG(attempts < config_.retry.max_attempts,
+                       "lock release ack timed out after max retries");
+      ++attempts;
+      stats_.inc_retries();
+      post(home, kTagLockRelease, payload, stamp);
+      continue;
+    }
+    auto relack_r = codec<LockReleaseAckMsg>::try_decode(msg->payload);
+    if (!relack_r.is_ok()) continue;  // malformed frame off the wire
+    const LockReleaseAckMsg acked = std::move(relack_r).value();
+    if (acked.seq != seq) continue;  // duplicate ack of an older release
+    break;
+  }
+  lock_gate_[static_cast<std::size_t>(lock_id)].unlock();
 }
 
 // ---------------------------------------------------------------------------
@@ -485,10 +663,19 @@ void DsmNode::lock_release(int lock_id) {
 
 void DsmNode::comm_loop() {
   logging::set_thread_node_tag(rank());
-  for (;;) {
+  bool running = true;
+  while (running) {
     auto msg = channel_.inbox().recv_match(
         [](const net::MessageHeader& h) { return comm_thread_tag(h.tag); });
     if (!msg.has_value()) break;  // mailbox closed
+
+    // Barrier arrivals bypass the comm clock: the master's barrier caller
+    // accounts for the gather itself (recv_overhead once per barrier), same
+    // as when it received the arrivals directly.
+    if (msg->header.tag == kTagBarrierArrive) {
+      handle_barrier_arrive(*msg);
+      continue;
+    }
 
     comm_clock_.merge(msg->header.vtime +
                       config_.net.transfer_us(msg->payload.size()));
@@ -497,7 +684,8 @@ void DsmNode::comm_loop() {
 
     switch (msg->header.tag) {
       case kTagShutdown:
-        return;
+        running = false;
+        break;
       case kTagPageRequest:
         serve_page_request(*msg);
         break;
@@ -517,10 +705,23 @@ void DsmNode::comm_loop() {
         PLOG_WARN("comm thread ignoring tag " << msg->header.tag);
     }
   }
+  // No more arrivals will be gathered; wake a master blocked in
+  // master_barrier so it fails loudly instead of hanging.
+  {
+    std::lock_guard lock(barrier_gather_.mutex);
+    barrier_gather_.closed = true;
+  }
+  barrier_gather_.cv.notify_all();
 }
 
 void DsmNode::serve_page_request(const net::Message& message) {
-  const PageRequestMsg request = codec<PageRequestMsg>::decode(message.payload);
+  auto request_r = codec<PageRequestMsg>::try_decode(message.payload);
+  if (!request_r.is_ok()) {
+    PLOG_WARN("dropping malformed page request: "
+              << request_r.status().to_string());
+    return;
+  }
+  const PageRequestMsg request = std::move(request_r).value();
   stats_.inc_page_serves();
   comm_clock_.add(config_.net.page_service_us + config_.net.send_overhead_us);
   comm_ledger_.charge(config_.net.page_service_us +
@@ -528,6 +729,7 @@ void DsmNode::serve_page_request(const net::Message& message) {
 
   PageReplyMsg reply;
   reply.page = request.page;
+  reply.seq = request.seq;
   reply.data.resize(config_.page_bytes);
   {
     // The serving copy is read through the system view; the home invariant
@@ -541,13 +743,20 @@ void DsmNode::serve_page_request(const net::Message& message) {
 }
 
 void DsmNode::install_page(const net::Message& message) {
-  PageReplyMsg reply = codec<PageReplyMsg>::decode(message.payload);
-  PARADE_CHECK(reply.data.size() == config_.page_bytes);
+  auto reply_r = codec<PageReplyMsg>::try_decode(message.payload);
+  if (!reply_r.is_ok() || reply_r.value().data.size() != config_.page_bytes) {
+    PLOG_WARN("dropping malformed page reply");
+    return;
+  }
+  PageReplyMsg reply = std::move(reply_r).value();
   PageEntry& entry = pages_->entry(reply.page);
   std::lock_guard lock(entry.mutex);
-  PARADE_CHECK_MSG(entry.state == PageState::kTransient ||
-                       entry.state == PageState::kBlocked,
-                   "unexpected page reply");
+  // A reply for a page no longer being fetched, or for a superseded fetch,
+  // is a retransmission artifact (the original served both); drop it rather
+  // than overwrite state another path owns.
+  const bool fetching = entry.state == PageState::kTransient ||
+                        entry.state == PageState::kBlocked;
+  if (!fetching || reply.seq != entry.fetch_seq) return;
   // Atomic page update (§5.1): write through the always-writable system view
   // first, only then open the application view.
   std::memcpy(sys_page(reply.page), reply.data.data(), config_.page_bytes);
@@ -560,11 +769,20 @@ void DsmNode::install_page(const net::Message& message) {
 }
 
 void DsmNode::apply_incoming_diff(const net::Message& message) {
-  const DiffMsg diff = codec<DiffMsg>::decode(message.payload);
-  stats_.inc_diffs_applied();
-  comm_clock_.add(config_.net.page_service_us);
-  comm_ledger_.charge(config_.net.page_service_us);
-  {
+  auto diff_r = codec<DiffMsg>::try_decode(message.payload);
+  if (!diff_r.is_ok()) {
+    PLOG_WARN("dropping malformed diff: " << diff_r.status().to_string());
+    return;
+  }
+  const DiffMsg diff = std::move(diff_r).value();
+  // A retransmitted diff whose original already merged must not re-apply (the
+  // page may have moved on since), but the sender is still waiting: re-ack.
+  const bool duplicate =
+      diff_seen_.seen_or_insert(net::seq_key(message.header.src, diff.seq));
+  if (!duplicate) {
+    stats_.inc_diffs_applied();
+    comm_clock_.add(config_.net.page_service_us);
+    comm_ledger_.charge(config_.net.page_service_us);
     PageEntry& entry = pages_->entry(diff.page);
     std::lock_guard lock(entry.mutex);
     const bool ok =
@@ -573,13 +791,14 @@ void DsmNode::apply_incoming_diff(const net::Message& message) {
     PARADE_CHECK_MSG(ok, "malformed diff");
   }
   post(message.header.src, kTagDiffAck,
-       codec<DiffAckMsg>::encode({diff.page}), comm_clock_.now());
+       codec<DiffAckMsg>::encode({diff.page, diff.seq}), comm_clock_.now());
 }
 
 void DsmNode::send_grant(NodeId to, std::int32_t lock_id) {
   ManagedLock& managed = managed_locks_[lock_id];
   LockGrantMsg grant;
   grant.lock_id = lock_id;
+  grant.seq = managed.holder_seq;  // ties the grant to the winning acquire
   grant.notices.reserve(managed.notices.size());
   for (const auto& [page, modifier] : managed.notices) {
     grant.notices.push_back(WriteNotice{page, modifier});
@@ -592,32 +811,67 @@ void DsmNode::send_grant(NodeId to, std::int32_t lock_id) {
 }
 
 void DsmNode::lock_manager_acquire(const net::Message& message) {
-  const LockAcquireMsg request = codec<LockAcquireMsg>::decode(message.payload);
+  auto acquire_r = codec<LockAcquireMsg>::try_decode(message.payload);
+  if (!acquire_r.is_ok()) {
+    PLOG_WARN("dropping malformed lock acquire: "
+              << acquire_r.status().to_string());
+    return;
+  }
+  const LockAcquireMsg request = std::move(acquire_r).value();
   ManagedLock& managed = managed_locks_[request.lock_id];
+  if (managed.acquire_seen.seen_or_insert(
+          net::seq_key(message.header.src, request.seq))) {
+    // Retransmitted acquire. Re-grant only when this exact request currently
+    // holds the lock (its grant was lost); otherwise it is still queued or
+    // was already served and released.
+    if (managed.held && managed.holder == message.header.src &&
+        managed.holder_seq == request.seq) {
+      stats_.inc_retries();
+      send_grant(message.header.src, request.lock_id);
+    }
+    return;
+  }
   if (!managed.held) {
     managed.held = true;
     managed.holder = message.header.src;
+    managed.holder_seq = request.seq;
     send_grant(message.header.src, request.lock_id);
   } else {
-    managed.waiters.push_back(message.header.src);
+    managed.waiters.emplace_back(message.header.src, request.seq);
   }
 }
 
 void DsmNode::lock_manager_release(const net::Message& message) {
-  const LockReleaseMsg release = codec<LockReleaseMsg>::decode(message.payload);
+  auto release_r = codec<LockReleaseMsg>::try_decode(message.payload);
+  if (!release_r.is_ok()) {
+    PLOG_WARN("dropping malformed lock release: "
+              << release_r.status().to_string());
+    return;
+  }
+  const LockReleaseMsg release = std::move(release_r).value();
   ManagedLock& managed = managed_locks_[release.lock_id];
-  for (const PageId page : release.dirtied_pages) {
-    managed.notices[page] = message.header.src;
+  const bool duplicate = managed.release_seen.seen_or_insert(
+      net::seq_key(message.header.src, release.seq));
+  if (!duplicate && managed.held && managed.holder == message.header.src) {
+    for (const PageId page : release.dirtied_pages) {
+      managed.notices[page] = message.header.src;
+    }
+    if (!managed.waiters.empty()) {
+      const auto [next, next_seq] = managed.waiters.front();
+      managed.waiters.erase(managed.waiters.begin());
+      managed.holder = next;
+      managed.holder_seq = next_seq;
+      send_grant(next, release.lock_id);
+    } else {
+      managed.held = false;
+      managed.holder = kAnyNode;
+    }
   }
-  if (!managed.waiters.empty()) {
-    const NodeId next = managed.waiters.front();
-    managed.waiters.erase(managed.waiters.begin());
-    managed.holder = next;
-    send_grant(next, release.lock_id);
-  } else {
-    managed.held = false;
-    managed.holder = kAnyNode;
-  }
+  // Always ack — the releaser blocks until it hears one. The ack is pure
+  // reliability traffic, so it carries the comm clock without extra cost.
+  post(message.header.src, kTagLockReleaseAckBase + release.lock_id,
+       codec<LockReleaseAckMsg>::encode({release.lock_id, release.seq}),
+       comm_clock_.now());
 }
 
 }  // namespace parade::dsm

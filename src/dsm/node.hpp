@@ -15,11 +15,16 @@
 // a time (the runtime's hierarchical barrier guarantees this).
 #pragma once
 
+#include <array>
+#include <atomic>
+#include <condition_variable>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "common/status.hpp"
@@ -101,6 +106,7 @@ class DsmNode {
   void serve_page_request(const net::Message& message);
   void install_page(const net::Message& message);
   void apply_incoming_diff(const net::Message& message);
+  void handle_barrier_arrive(const net::Message& message);
   void lock_manager_acquire(const net::Message& message);
   void lock_manager_release(const net::Message& message);
   void send_grant(NodeId to, std::int32_t lock_id);
@@ -113,6 +119,12 @@ class DsmNode {
 
   void protect(PageId page, int prot);
   std::byte* sys_page(PageId page) const;
+
+  /// Node-wide sequence source for diff and lock messages (page fetches use
+  /// the per-page counter in PageEntry). Never returns 0.
+  std::uint32_t next_seq() {
+    return msg_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
 
   net::Channel& channel_;
   DsmConfig config_;
@@ -137,13 +149,51 @@ class DsmNode {
 
   Epoch epoch_ = 0;
 
+  std::atomic<std::uint32_t> msg_seq_{0};
+
+  // Local per-lock gate: threads of one node take turns doing the remote
+  // acquire/release exchange for a given lock id. This keeps at most one
+  // grant / release-ack wait in flight per (node, lock), which is what lets
+  // those waits match responses by sequence number (a duplicate response can
+  // then only ever be a retransmission artifact, never another thread's).
+  // Held from lock_acquire until lock_release by the same thread.
+  std::array<std::mutex, kMaxDsmLocks> lock_gate_;
+
+  // Master-side barrier gather, fed by the comm thread so retransmitted
+  // arrivals are absorbed even while the barrier caller sleeps. The cached
+  // departure payload answers workers whose departure message was lost (they
+  // retransmit their arrival for the already-closed epoch).
+  struct BarrierGather {
+    std::mutex mutex;
+    std::condition_variable cv;
+    /// epoch -> src -> (decoded arrival, vtime contribution). Keyed by epoch
+    /// because a fast worker's next-epoch arrival can land before the master
+    /// finishes the current one.
+    std::unordered_map<
+        Epoch, std::unordered_map<NodeId, std::pair<BarrierArriveMsg, VirtualUs>>>
+        arrivals;
+    std::optional<Epoch> last_depart_epoch;
+    std::vector<std::uint8_t> last_depart_payload;
+    VirtualUs last_depart_vtime = 0.0;
+    bool closed = false;  ///< comm thread exited; no more arrivals will come
+  };
+  BarrierGather barrier_gather_;
+
+  /// (src, seq) of diffs already merged; duplicates are re-acked, not
+  /// re-applied (touched only by the comm thread).
+  net::SeqWindow diff_seen_{4096};
+
   // Lock-manager state for locks homed here (touched only by comm thread).
   struct ManagedLock {
     bool held = false;
     NodeId holder = kAnyNode;
-    std::vector<NodeId> waiters;
+    std::uint32_t holder_seq = 0;  ///< seq of the acquire that won the lock
+    /// Queued acquirers as (node, acquire seq) in arrival order.
+    std::vector<std::pair<NodeId, std::uint32_t>> waiters;
     /// page -> most recent modifier under this lock.
     std::unordered_map<PageId, NodeId> notices;
+    net::SeqWindow acquire_seen{256};
+    net::SeqWindow release_seen{256};
   };
   std::unordered_map<std::int32_t, ManagedLock> managed_locks_;
 };

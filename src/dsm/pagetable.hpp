@@ -50,6 +50,10 @@ struct PageEntry {
   /// Virtual timestamp at which the latest fetched copy became usable;
   /// merged into the clock of every thread that waited for the fetch.
   VirtualUs ready_vtime = 0.0;
+  /// Sequence number of the outstanding fetch (guarded by `mutex`). Replies
+  /// carrying any other value are stale retransmission artifacts and are
+  /// dropped instead of installed.
+  std::uint32_t fetch_seq = 0;
 };
 
 class PageTable {

@@ -4,12 +4,22 @@
 // Ownership of each tag (who consumes it):
 //   communication thread: PageRequest, Diff, LockAcquire, LockRelease,
 //                         PageReply (it installs pages and wakes waiters),
-//                         Shutdown
-//   barrier caller:       BarrierArrive (master only), BarrierDepart
+//                         BarrierArrive (master gathers on the comm thread so
+//                         retransmitted arrivals are absorbed even while the
+//                         barrier caller is blocked), Shutdown
+//   barrier caller:       BarrierDepart
 //   diff flusher:         DiffAck
 //   lock acquirer:        LockGrant (tag is lock-indexed so concurrent
 //                         acquirers on one node never steal each other's
 //                         grants)
+//   lock releaser:        LockReleaseAck (lock-indexed like grants)
+//
+// Reliability: request/response messages carry a sender-chosen sequence
+// number so the protocol survives a lossy fabric (net/faulty.hpp). Senders
+// retransmit on timeout; receivers treat duplicates as re-requests (serve
+// again or re-ack — every handler is idempotent) and responders echo the
+// sequence number so stale responses are discarded. Barrier messages need no
+// extra field: the epoch already is the sequence number.
 //
 // Serialization is the generic codec<T> at the bottom of this file: each
 // message declares its wire layout with a single wire_fields() one-liner and
@@ -24,6 +34,8 @@
 
 #include "common/serialize.hpp"
 #include "common/types.hpp"
+#include "net/fault.hpp"
+#include "net/message.hpp"
 
 namespace parade::dsm {
 
@@ -38,32 +50,42 @@ inline constexpr Tag kTagLockRelease = 8;
 inline constexpr Tag kTagShutdown = 9;
 /// Grant for lock L arrives with tag kTagLockGrantBase + L.
 inline constexpr Tag kTagLockGrantBase = 100;
+/// Release ack for lock L arrives with tag kTagLockReleaseAckBase + L.
+inline constexpr Tag kTagLockReleaseAckBase = 400;
 
 /// True for tags the communication thread services.
 inline bool comm_thread_tag(Tag tag) {
   return tag == kTagPageRequest || tag == kTagPageReply || tag == kTagDiff ||
-         tag == kTagLockAcquire || tag == kTagLockRelease ||
-         tag == kTagShutdown;
+         tag == kTagBarrierArrive || tag == kTagLockAcquire ||
+         tag == kTagLockRelease || tag == kTagShutdown;
 }
 
 // ---- payload structures ----
 
+// `seq` fields sit last in each struct so existing aggregate initializers
+// (`{page}`, `{page, data}`) keep working and default the sequence to zero;
+// the wire layout below places them right after the leading id.
+
 struct PageRequestMsg {
   PageId page = 0;
+  std::uint32_t seq = 0;  ///< per-page fetch attempt id; echoed by the reply
 };
 
 struct PageReplyMsg {
   PageId page = 0;
   std::vector<std::uint8_t> data;
+  std::uint32_t seq = 0;  ///< copied from the request; stale replies dropped
 };
 
 struct DiffMsg {
   PageId page = 0;
   std::vector<std::uint8_t> diff;
+  std::uint32_t seq = 0;  ///< node-wide diff id; homes dedupe on (src, seq)
 };
 
 struct DiffAckMsg {
   PageId page = 0;
+  std::uint32_t seq = 0;  ///< copied from the diff
 };
 
 /// Write notice: "node `modifier` changed `page` during the closing interval".
@@ -94,6 +116,7 @@ struct BarrierDepartMsg {
 
 struct LockAcquireMsg {
   std::int32_t lock_id = 0;
+  std::uint32_t seq = 0;  ///< node-wide request id; echoed by the grant
 };
 
 struct LockGrantMsg {
@@ -102,11 +125,18 @@ struct LockGrantMsg {
   /// acquirer invalidates stale local copies (lazy-release consistency,
   /// conservatively approximated — see DESIGN.md).
   std::vector<WriteNotice> notices;
+  std::uint32_t seq = 0;  ///< copied from the acquire; stale grants dropped
 };
 
 struct LockReleaseMsg {
   std::int32_t lock_id = 0;
   std::vector<PageId> dirtied_pages;
+  std::uint32_t seq = 0;  ///< node-wide request id; echoed by the ack
+};
+
+struct LockReleaseAckMsg {
+  std::int32_t lock_id = 0;
+  std::uint32_t seq = 0;  ///< copied from the release
 };
 
 // ---- wire layout declarations (one per message kind) ----
@@ -115,26 +145,43 @@ struct LockReleaseMsg {
 // (uint32 count) and element structs are memcpy'd, so they must be packed;
 // the static_asserts below pin the on-wire element sizes.
 
-inline auto wire_fields(PageRequestMsg& m) { return std::tie(m.page); }
-inline auto wire_fields(PageReplyMsg& m) { return std::tie(m.page, m.data); }
-inline auto wire_fields(DiffMsg& m) { return std::tie(m.page, m.diff); }
-inline auto wire_fields(DiffAckMsg& m) { return std::tie(m.page); }
+inline auto wire_fields(PageRequestMsg& m) { return std::tie(m.page, m.seq); }
+inline auto wire_fields(PageReplyMsg& m) {
+  return std::tie(m.page, m.seq, m.data);
+}
+inline auto wire_fields(DiffMsg& m) { return std::tie(m.page, m.seq, m.diff); }
+inline auto wire_fields(DiffAckMsg& m) { return std::tie(m.page, m.seq); }
 inline auto wire_fields(BarrierArriveMsg& m) {
   return std::tie(m.epoch, m.dirtied_pages);
 }
 inline auto wire_fields(BarrierDepartMsg& m) {
   return std::tie(m.epoch, m.departure_vtime, m.entries);
 }
-inline auto wire_fields(LockAcquireMsg& m) { return std::tie(m.lock_id); }
+inline auto wire_fields(LockAcquireMsg& m) {
+  return std::tie(m.lock_id, m.seq);
+}
 inline auto wire_fields(LockGrantMsg& m) {
-  return std::tie(m.lock_id, m.notices);
+  return std::tie(m.lock_id, m.seq, m.notices);
 }
 inline auto wire_fields(LockReleaseMsg& m) {
-  return std::tie(m.lock_id, m.dirtied_pages);
+  return std::tie(m.lock_id, m.seq, m.dirtied_pages);
+}
+inline auto wire_fields(LockReleaseAckMsg& m) {
+  return std::tie(m.lock_id, m.seq);
 }
 
 static_assert(sizeof(WriteNotice) == 8, "WriteNotice wire size changed");
 static_assert(sizeof(DepartEntry) == 12, "DepartEntry wire size changed");
+
+// The fault fabric estimates barrier epochs by watching departure traffic;
+// keep its probe tag in lockstep with the protocol.
+static_assert(net::kFaultEpochProbeTag == kTagBarrierDepart,
+              "fault-fabric epoch probe out of sync with BarrierDepart");
+// Lock-indexed tag ranges must stay inside the DSM tag class and not collide.
+static_assert(kTagLockGrantBase + 256 <= kTagLockReleaseAckBase,
+              "grant tags overlap release-ack tags");
+static_assert(kTagLockReleaseAckBase + 256 <= net::kDsmTagLimit,
+              "release-ack tags escape the DSM tag class");
 
 // ---- generic codec ----
 
@@ -178,6 +225,29 @@ struct codec {
     return std::move(buffer).take();
   }
 
+  /// Soft-fail decode for frames straight off the wire: truncated, trailing,
+  /// or length-inflated bytes yield a Status instead of a crash, and length
+  /// prefixes are validated before any allocation (see WireBuffer).
+  static Result<T> try_decode(const std::vector<std::uint8_t>& bytes) {
+    WireBuffer buffer{bytes};
+    T msg;
+    std::apply(
+        [&buffer](auto&... fields) {
+          (codec_detail::get_field(buffer, fields), ...);
+        },
+        wire_fields(msg));
+    if (!buffer.ok()) {
+      return make_error(ErrorCode::kInvalidArgument, "truncated frame");
+    }
+    if (!buffer.exhausted()) {
+      return make_error(ErrorCode::kInvalidArgument,
+                        "trailing bytes after decode");
+    }
+    return msg;
+  }
+
+  /// Abort-on-malformed decode for frames this process produced itself
+  /// (a failure here is a ParADE bug, not wire corruption).
   static T decode(const std::vector<std::uint8_t>& bytes) {
     WireBuffer buffer{bytes};
     T msg;
@@ -186,6 +256,7 @@ struct codec {
           (codec_detail::get_field(buffer, fields), ...);
         },
         wire_fields(msg));
+    PARADE_CHECK_MSG(buffer.ok(), "truncated frame");
     PARADE_CHECK_MSG(buffer.exhausted(), "trailing bytes after decode");
     return msg;
   }

@@ -9,6 +9,7 @@ DsmStats::DsmStats(NodeId node) {
 #define PARADE_DSM_RESOLVE(name) name##_ = &reg.counter(node, "dsm." #name);
   PARADE_DSM_COUNTERS(PARADE_DSM_RESOLVE)
 #undef PARADE_DSM_RESOLVE
+  retries_ = &reg.counter(node, "dsm.retry.count");
 }
 
 DsmStatsSnapshot DsmStats::snapshot() const {
@@ -16,6 +17,7 @@ DsmStatsSnapshot DsmStats::snapshot() const {
 #define PARADE_DSM_READ(name) s.name = name##_->value();
   PARADE_DSM_COUNTERS(PARADE_DSM_READ)
 #undef PARADE_DSM_READ
+  s.retries = retries_->value();
   return s;
 }
 

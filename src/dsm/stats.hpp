@@ -36,6 +36,9 @@ struct DsmStatsSnapshot {
 #define PARADE_DSM_FIELD(name) std::int64_t name = 0;
   PARADE_DSM_COUNTERS(PARADE_DSM_FIELD)
 #undef PARADE_DSM_FIELD
+  /// Protocol retransmissions (page fetch / diff / lock / barrier timeouts).
+  /// Zero on a fault-free fabric; nonzero proves the retry paths fired.
+  std::int64_t retries = 0;
 };
 
 class DsmStats {
@@ -51,12 +54,17 @@ class DsmStats {
   PARADE_DSM_COUNTERS(PARADE_DSM_INC)
 #undef PARADE_DSM_INC
 
+  /// Registered as "dsm.retry.count" (dotted name: it pairs with
+  /// net.fault.* and mp.retry.count in fault-injection reports).
+  void inc_retries(std::int64_t by = 1) { retries_->add(by); }
+
   DsmStatsSnapshot snapshot() const;
 
  private:
 #define PARADE_DSM_MEMBER(name) obs::Counter* name##_;
   PARADE_DSM_COUNTERS(PARADE_DSM_MEMBER)
 #undef PARADE_DSM_MEMBER
+  obs::Counter* retries_;
 };
 
 }  // namespace parade::dsm

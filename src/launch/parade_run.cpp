@@ -1,7 +1,8 @@
 // parade_run: multi-process cluster launcher.
 //
 //   parade_run -n <nodes> [-t <threads>] [--net clan|fastether|ideal] \
-//              [--sockdir <dir>] <program> [args...]
+//              [--sockdir <dir>] [--fault-seed N] [--fault-plan SPEC] \
+//              <program> [args...]
 //
 // Forks one OS process per node; each process joins the Unix-domain-socket
 // fabric via PARADE_RANK / PARADE_SIZE / PARADE_SOCKDIR. The program must be
@@ -21,7 +22,8 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: parade_run -n <nodes> [-t <threads>] [--net NAME] "
-               "[--sockdir DIR] <program> [args...]\n");
+               "[--sockdir DIR] [--fault-seed N] [--fault-plan SPEC] "
+               "<program> [args...]\n");
   return 2;
 }
 
@@ -32,6 +34,8 @@ int main(int argc, char** argv) {
   int threads = 1;
   std::string net;
   std::string sockdir;
+  std::string fault_seed;
+  std::string fault_plan;
   int prog_at = -1;
 
   for (int i = 1; i < argc; ++i) {
@@ -44,6 +48,10 @@ int main(int argc, char** argv) {
       net = argv[++i];
     } else if (arg == "--sockdir" && i + 1 < argc) {
       sockdir = argv[++i];
+    } else if (arg == "--fault-seed" && i + 1 < argc) {
+      fault_seed = argv[++i];
+    } else if (arg == "--fault-plan" && i + 1 < argc) {
+      fault_plan = argv[++i];
     } else if (!arg.empty() && arg[0] == '-') {
       return usage();
     } else {
@@ -78,6 +86,8 @@ int main(int argc, char** argv) {
       setenv("PARADE_NODES", std::to_string(nodes).c_str(), 1);
       setenv("PARADE_THREADS", std::to_string(threads).c_str(), 1);
       if (!net.empty()) setenv("PARADE_NET", net.c_str(), 1);
+      if (!fault_seed.empty()) setenv("PARADE_FAULT_SEED", fault_seed.c_str(), 1);
+      if (!fault_plan.empty()) setenv("PARADE_FAULT_PLAN", fault_plan.c_str(), 1);
       execvp(argv[prog_at], argv + prog_at);
       std::perror("parade_run: execvp");
       _exit(127);

@@ -16,11 +16,15 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
+#include "common/status.hpp"
 #include "mp/datatypes.hpp"
 #include "net/channel.hpp"
+#include "net/fault.hpp"
 #include "obs/metric.hpp"
 #include "vtime/clock.hpp"
 #include "vtime/cost_model.hpp"
@@ -38,9 +42,21 @@ struct RecvStatus {
   std::size_t bytes = 0;
 };
 
+/// Opt-in reliable-delivery mode for the try_* operations: every data message
+/// carries a 4-byte sequence prefix, the receiver acks it on the dedicated
+/// ack tag (net::kAckTagBase) and suppresses duplicates, and the sender
+/// retransmits unacked messages whenever a bounded wait times out. With
+/// `enabled == false` the try_* operations degrade to their unreliable
+/// counterparts (no framing, no acks) and simply report channel errors.
+struct Reliability {
+  bool enabled = false;
+  net::RetryPolicy retry{};
+};
+
 class Comm {
  public:
-  Comm(net::Channel& channel, vtime::NetworkModel model);
+  Comm(net::Channel& channel, vtime::NetworkModel model,
+       Reliability reliability = {});
 
   NodeId rank() const { return channel_.rank(); }
   int size() const { return channel_.size(); }
@@ -91,6 +107,45 @@ class Comm {
   /// gather to 0 + bcast.
   void allgather(const void* contribution, std::size_t bytes, void* out);
 
+  // ---- reliable / fault-tolerant variants ----
+  //
+  // These return Status instead of aborting: a peer that stays unreachable
+  // past the retry budget yields kUnavailable rather than a hang. When
+  // Reliability.enabled they run over the seq+ack wire protocol described on
+  // struct Reliability, surviving message drops and duplicates.
+  //
+  // Contract: reliable operations must be issued by one thread per node at a
+  // time (same as collectives), and every node of the job must use the try_*
+  // family consistently — plain send()/recv() bypass the seq framing.
+
+  const Reliability& reliability() const { return reliability_; }
+
+  /// Reliable send: blocks until `dst` acked the message (retransmitting on
+  /// timeout) or the retry budget is exhausted. Incoming data that arrives
+  /// while waiting is acked and stashed for later try_recv calls.
+  Status try_send(NodeId dst, Tag tag, const void* data, std::size_t bytes);
+
+  /// Reliable receive into `buffer` (capacity `capacity`). `src` may be
+  /// kAnyNode; `tag` must be concrete. kUnavailable when the channel closes,
+  /// the peer is gone, or nothing arrives within the retry budget.
+  Status try_recv(NodeId src, Tag tag, void* buffer, std::size_t capacity,
+                  RecvStatus* status = nullptr);
+
+  /// Collectives with bounded waits; any unreachable partner surfaces as
+  /// kUnavailable on every node that depended on it.
+  Status try_barrier();
+  Status try_bcast(void* data, std::size_t bytes, NodeId root);
+  Status try_allreduce(void* buffer, std::size_t count, DType dtype, Op op);
+
+  /// Linger after the last reliable operation (MPI_Finalize-style). There is
+  /// no background progress thread, so once a node stops calling try_*
+  /// operations it also stops answering retransmissions — and a peer whose
+  /// final ack was lost in transit would retry into silence forever.
+  /// quiesce() keeps pumping (re-acking duplicate data, absorbing stray acks)
+  /// until the link has stayed silent for a few retry timeouts. Call it once
+  /// per node after the last reliable operation, before fabric teardown.
+  void quiesce();
+
  private:
   Tag next_collective_tag();
   void send_wire(NodeId dst, Tag wire_tag, const void* data, std::size_t bytes);
@@ -99,9 +154,35 @@ class Comm {
                    const std::function<void(void*, const void*)>& combine);
   void count_collective(obs::Counter* which, std::size_t payload_bytes);
 
+  // Reliable wire engine (see Reliability). rel_pump is the single progress
+  // loop: it consumes acks, acks + dedupes + stashes data, retransmits the
+  // unacked window on timeout, and returns when its goal is met.
+  Status rel_send(NodeId dst, Tag wire_tag, const void* data,
+                  std::size_t bytes);
+  Status rel_recv(NodeId src, Tag wire_tag, net::Message* out);
+  Status rel_pump(bool want_data, NodeId want_src, Tag want_tag,
+                  std::uint32_t want_ack_seq, net::Message* out);
+  void post_ack(NodeId dst, std::uint32_t seq);
+  Status try_reduce_with(void* buffer, std::size_t bytes, NodeId root, Tag tag,
+                         const std::function<void(void*, const void*)>& combine);
+
   net::Channel& channel_;
   vtime::NetworkModel model_;
+  Reliability reliability_;
   std::atomic<std::uint32_t> collective_seq_{0};
+
+  // Reliable-mode state; touched only under the one-reliable-op-at-a-time
+  // contract, so unsynchronized.
+  std::uint32_t rel_seq_ = 0;
+  struct PendingSend {
+    NodeId dst;
+    Tag wire_tag;
+    std::vector<std::uint8_t> payload;  // seq-prefixed, for retransmission
+    VirtualUs stamp;
+  };
+  std::unordered_map<std::uint32_t, PendingSend> rel_unacked_;
+  net::SeqWindow rel_seen_{4096};
+  std::deque<net::Message> rel_stash_;  // acked + deduped, seq stripped
 
   // Registry handles (resolved once in the ctor; see docs/OBSERVABILITY.md).
   struct Metrics {
@@ -114,6 +195,7 @@ class Comm {
     obs::Counter* allreduces;
     obs::Counter* gathers;
     obs::Counter* allgathers;
+    obs::Counter* retries;  ///< mp.retry.count: reliable-mode retransmissions
     obs::Timer* recv_wait;
   };
   Metrics metrics_;

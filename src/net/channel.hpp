@@ -32,7 +32,10 @@ class Channel {
   virtual Status send(NodeId dst, Tag tag, std::vector<std::uint8_t> payload,
                       VirtualUs vtime) = 0;
 
-  Mailbox& inbox() { return inbox_; }
+  /// Virtual so decorators (net/faulty.hpp) can expose the wrapped channel's
+  /// mailbox: consumers always receive from the same queue the real
+  /// transport delivers into.
+  virtual Mailbox& inbox() { return inbox_; }
 
   /// Stops delivery and wakes blocked receivers.
   virtual void shutdown() { inbox_.close(); }

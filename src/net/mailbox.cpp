@@ -32,6 +32,52 @@ std::optional<Message> Mailbox::recv_match(const Matcher& match) {
   }
 }
 
+std::optional<Message> Mailbox::recv_match_for(
+    const Matcher& match, std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    if (auto found = take_locked(match)) return found;
+    if (closed_) return std::nullopt;
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      // One final drain: a delivery may have raced the timeout.
+      return take_locked(match);
+    }
+  }
+}
+
+Mailbox::RecvOutcome Mailbox::recv_match_from(
+    NodeId peer, const Matcher& match,
+    std::optional<std::chrono::milliseconds> timeout) {
+  const bool timed = timeout.has_value();
+  const auto deadline = std::chrono::steady_clock::now() +
+                        (timed ? *timeout : std::chrono::milliseconds(0));
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    // Drain queued matches even after close/down so nothing is lost.
+    if (auto found = take_locked(match)) return {std::move(found), Status::ok()};
+    if (closed_) {
+      return {std::nullopt, make_error(ErrorCode::kUnavailable,
+                                       "mailbox closed")};
+    }
+    if (peer != kAnyNode && down_peers_.count(peer) > 0) {
+      return {std::nullopt,
+              make_error(ErrorCode::kUnavailable,
+                         "peer " + std::to_string(peer) + " is down")};
+    }
+    if (timed) {
+      if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+        if (auto found = take_locked(match)) {
+          return {std::move(found), Status::ok()};
+        }
+        return {std::nullopt, make_error(ErrorCode::kTimeout, "recv timeout")};
+      }
+    } else {
+      cv_.wait(lock);
+    }
+  }
+}
+
 std::optional<Message> Mailbox::try_recv_match(const Matcher& match) {
   std::lock_guard lock(mutex_);
   return take_locked(match);
@@ -43,6 +89,19 @@ void Mailbox::close() {
     closed_ = true;
   }
   cv_.notify_all();
+}
+
+void Mailbox::mark_peer_down(NodeId peer) {
+  {
+    std::lock_guard lock(mutex_);
+    down_peers_.insert(peer);
+  }
+  cv_.notify_all();
+}
+
+bool Mailbox::peer_down(NodeId peer) const {
+  std::lock_guard lock(mutex_);
+  return down_peers_.count(peer) > 0;
 }
 
 bool Mailbox::closed() const {

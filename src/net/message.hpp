@@ -15,7 +15,8 @@ namespace parade::net {
 inline constexpr Tag kDsmTagBase = 0;        // DSM protocol: [0, 1000)
 inline constexpr Tag kDsmTagLimit = 1000;
 inline constexpr Tag kMpTagBase = 1000;      // user point-to-point: [1000, 1<<20)
-inline constexpr Tag kCollTagBase = 1 << 20; // collective internals: >= 1<<20
+inline constexpr Tag kCollTagBase = 1 << 20; // collective internals: [1<<20, 1<<29)
+inline constexpr Tag kAckTagBase = 1 << 29;  // reliability acks: >= 1<<29
 
 inline bool is_dsm_tag(Tag tag) { return tag >= kDsmTagBase && tag < kDsmTagLimit; }
 

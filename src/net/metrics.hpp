@@ -1,6 +1,6 @@
 // Per-channel network metrics: message/byte counters split by tag class
-// (dsm / mp / coll) plus per-peer send counters. Handles are resolved from
-// the obs registry once per channel, so the send/recv hot paths only do
+// (dsm / mp / coll / ack) plus per-peer send counters. Handles are resolved
+// from the obs registry once per channel, so the send/recv hot paths only do
 // relaxed atomic adds.
 #pragma once
 
@@ -12,9 +12,11 @@
 
 namespace parade::net {
 
-enum class TagClass : int { kDsm = 0, kMp = 1, kColl = 2 };
+enum class TagClass : int { kDsm = 0, kMp = 1, kColl = 2, kAck = 3 };
+inline constexpr int kTagClassCount = 4;
 
 inline TagClass tag_class(Tag tag) {
+  if (tag >= kAckTagBase) return TagClass::kAck;
   if (tag >= kCollTagBase) return TagClass::kColl;
   if (tag >= kMpTagBase) return TagClass::kMp;
   return TagClass::kDsm;
@@ -25,6 +27,7 @@ inline const char* tag_class_name(TagClass cls) {
     case TagClass::kDsm: return "dsm";
     case TagClass::kMp: return "mp";
     case TagClass::kColl: return "coll";
+    case TagClass::kAck: return "ack";
   }
   return "?";
 }
@@ -33,7 +36,7 @@ class ChannelMetrics {
  public:
   ChannelMetrics(NodeId rank, int size) {
     auto& reg = obs::Registry::instance();
-    for (int cls = 0; cls < 3; ++cls) {
+    for (int cls = 0; cls < kTagClassCount; ++cls) {
       const std::string suffix = tag_class_name(static_cast<TagClass>(cls));
       send_msgs_[cls] = &reg.counter(rank, "net.send_msgs." + suffix);
       send_bytes_[cls] = &reg.counter(rank, "net.send_bytes." + suffix);
@@ -67,10 +70,10 @@ class ChannelMetrics {
   }
 
  private:
-  obs::Counter* send_msgs_[3];
-  obs::Counter* send_bytes_[3];
-  obs::Counter* recv_msgs_[3];
-  obs::Counter* recv_bytes_[3];
+  obs::Counter* send_msgs_[kTagClassCount];
+  obs::Counter* send_bytes_[kTagClassCount];
+  obs::Counter* recv_msgs_[kTagClassCount];
+  obs::Counter* recv_bytes_[kTagClassCount];
   std::vector<obs::Counter*> peer_msgs_;
   std::vector<obs::Counter*> peer_bytes_;
 };

@@ -160,6 +160,9 @@ void SocketFabric::reader_loop(NodeId peer) {
     header.vtime = wire.vtime;
     if (!deliver_local(Message(header, std::move(payload)))) break;
   }
+  // The stream is gone: receivers blocked waiting on this peer must observe
+  // kUnavailable instead of hanging forever.
+  inbox_.mark_peer_down(peer);
 }
 
 Status SocketFabric::send(NodeId dst, Tag tag,

@@ -11,9 +11,18 @@ namespace parade {
 
 VirtualCluster::VirtualCluster(const RuntimeConfig& config)
     : fabric_(config.nodes) {
+  if (const auto faults = net::FaultPlan::from_env();
+      faults && faults->active()) {
+    auto epoch = std::make_shared<std::atomic<std::int64_t>>(0);
+    faulty_.reserve(static_cast<std::size_t>(config.nodes));
+    for (NodeId rank = 0; rank < config.nodes; ++rank) {
+      faulty_.push_back(std::make_unique<net::FaultyChannel>(
+          fabric_.channel(rank), *faults, epoch));
+    }
+  }
   nodes_.reserve(static_cast<std::size_t>(config.nodes));
   for (NodeId rank = 0; rank < config.nodes; ++rank) {
-    auto node = std::make_unique<NodeRuntime>(fabric_.channel(rank), config);
+    auto node = std::make_unique<NodeRuntime>(channel(rank), config);
     Status s = node->start();
     PARADE_CHECK_MSG(s.is_ok(), s.message());
     nodes_.push_back(std::move(node));
@@ -62,8 +71,14 @@ Result<std::unique_ptr<ProcessRuntime>> ProcessRuntime::from_env() {
   runtime->fabric_ = std::move(fabric).value();
   RuntimeConfig config = runtime_config_from_env();
   config.nodes = static_cast<int>(*size);
-  runtime->node_ =
-      std::make_unique<NodeRuntime>(*runtime->fabric_, config);
+  net::Channel* channel = runtime->fabric_.get();
+  if (const auto faults = net::FaultPlan::from_env();
+      faults && faults->active()) {
+    runtime->faulty_ =
+        std::make_unique<net::FaultyChannel>(*runtime->fabric_, *faults);
+    channel = runtime->faulty_.get();
+  }
+  runtime->node_ = std::make_unique<NodeRuntime>(*channel, config);
   if (Status s = runtime->node_->start(); !s) return s;
   return runtime;
 }

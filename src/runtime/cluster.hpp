@@ -15,6 +15,7 @@
 #include <memory>
 #include <vector>
 
+#include "net/faulty.hpp"
 #include "net/inproc.hpp"
 #include "net/socket.hpp"
 #include "runtime/node_runtime.hpp"
@@ -36,7 +37,15 @@ class VirtualCluster {
   void shutdown();
 
  private:
+  net::Channel& channel(NodeId rank) {
+    if (!faulty_.empty()) return *faulty_[static_cast<std::size_t>(rank)];
+    return fabric_.channel(rank);
+  }
+
   net::InProcFabric fabric_;
+  /// Fault decorators, populated when PARADE_FAULT_SEED / PARADE_FAULT_PLAN
+  /// select an active plan; empty (zero overhead) otherwise.
+  std::vector<std::unique_ptr<net::FaultyChannel>> faulty_;
   std::vector<std::unique_ptr<NodeRuntime>> nodes_;
 };
 
@@ -55,6 +64,9 @@ class ProcessRuntime {
  private:
   ProcessRuntime() = default;
   std::unique_ptr<net::SocketFabric> fabric_;
+  /// Fault decorator over the socket fabric (PARADE_FAULT_*); null when
+  /// faults are disabled.
+  std::unique_ptr<net::FaultyChannel> faulty_;
   std::unique_ptr<NodeRuntime> node_;
 };
 

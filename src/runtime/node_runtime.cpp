@@ -24,6 +24,7 @@ RuntimeConfig runtime_config_from_env() {
       env::get_string_or("PARADE_SYNC_MODE", "parade") == "conventional"
           ? dsm::SyncMode::kConventional
           : dsm::SyncMode::kParade;
+  config.dsm.retry = net::RetryPolicy::from_env();
   return config;
 }
 

@@ -1,0 +1,132 @@
+// Wire-codec robustness: frames straight off the wire may be truncated, carry
+// trailing garbage, or have corrupted length prefixes. try_decode must reject
+// them with a Status — never crash, never allocate from a hostile length
+// prefix — and WireBuffer must validate counts against the bytes actually
+// present before reserving memory.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/serialize.hpp"
+#include "dsm/protocol.hpp"
+
+namespace parade::dsm {
+namespace {
+
+template <typename T>
+void expect_rejects_truncations_and_trailing(const T& msg) {
+  const auto bytes = codec<T>::encode(msg);
+  ASSERT_FALSE(bytes.empty());
+
+  // Every proper prefix must fail: fixed-width fields underrun, and a
+  // length-prefixed vector either loses its count or its elements.
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    const std::vector<std::uint8_t> cut(bytes.begin(),
+                                        bytes.begin() + static_cast<long>(len));
+    const auto result = codec<T>::try_decode(cut);
+    EXPECT_FALSE(result.is_ok()) << "accepted truncation at " << len;
+  }
+
+  // Trailing bytes must fail too (a frame is exactly one message).
+  for (std::size_t extra : {1u, 3u, 16u}) {
+    auto padded = bytes;
+    padded.insert(padded.end(), extra, 0xAB);
+    const auto result = codec<T>::try_decode(padded);
+    EXPECT_FALSE(result.is_ok()) << "accepted " << extra << " trailing bytes";
+  }
+
+  // The pristine frame still round-trips.
+  EXPECT_TRUE(codec<T>::try_decode(bytes).is_ok());
+}
+
+TEST(CodecFuzz, TruncationAndTrailingRejected) {
+  expect_rejects_truncations_and_trailing(PageRequestMsg{3, 9});
+  expect_rejects_truncations_and_trailing(
+      PageReplyMsg{3, {0x10, 0x20, 0x30, 0x40}, 9});
+  expect_rejects_truncations_and_trailing(DiffMsg{5, {1, 2, 3, 4, 5}, 11});
+  expect_rejects_truncations_and_trailing(DiffAckMsg{5, 11});
+  expect_rejects_truncations_and_trailing(BarrierArriveMsg{4, {1, 2, 3}});
+  BarrierDepartMsg depart;
+  depart.epoch = 4;
+  depart.departure_vtime = 2.5;
+  depart.entries = {{7, 1, 2}, {9, 0, kAnyNode}};
+  expect_rejects_truncations_and_trailing(depart);
+  expect_rejects_truncations_and_trailing(LockAcquireMsg{2, 13});
+  expect_rejects_truncations_and_trailing(LockGrantMsg{2, {{8, 1}}, 13});
+  expect_rejects_truncations_and_trailing(LockReleaseMsg{2, {8, 9}, 14});
+  expect_rejects_truncations_and_trailing(LockReleaseAckMsg{2, 14});
+}
+
+TEST(CodecFuzz, HostileLengthPrefixFailsWithoutAllocating) {
+  // lock_id + seq + count=0xFFFFFFFF and no element bytes: must reject
+  // instead of attempting a ~32 GiB WriteNotice allocation.
+  WireBuffer hostile;
+  hostile.put<std::int32_t>(1);
+  hostile.put<std::uint32_t>(7);
+  hostile.put<std::uint32_t>(0xFFFFFFFFu);
+  const auto result =
+      codec<LockGrantMsg>::try_decode(std::move(hostile).take());
+  ASSERT_FALSE(result.is_ok());
+
+  // Same through the raw buffer API.
+  WireBuffer raw;
+  raw.put<std::uint32_t>(0xFFFFFFFFu);
+  WireBuffer reader{std::move(raw).take()};
+  const auto values = reader.get_vector<std::uint64_t>();
+  EXPECT_TRUE(values.empty());
+  EXPECT_FALSE(reader.ok());
+}
+
+TEST(CodecFuzz, BitFlipsNeverCrash) {
+  DiffMsg msg{12, {}, 99};
+  msg.diff.resize(64);
+  for (std::size_t i = 0; i < msg.diff.size(); ++i) {
+    msg.diff[i] = static_cast<std::uint8_t>(i * 7);
+  }
+  const auto pristine = codec<DiffMsg>::encode(msg);
+
+  // Single-bit flips across the whole frame: each either still decodes (a
+  // flip inside the payload is a legal different message) or fails cleanly.
+  int rejected = 0;
+  for (std::size_t bit = 0; bit < pristine.size() * 8; ++bit) {
+    auto mutated = pristine;
+    mutated[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    const auto result = codec<DiffMsg>::try_decode(mutated);
+    if (!result.is_ok()) ++rejected;
+  }
+  // Flips inside the count prefix must have produced at least one rejection.
+  EXPECT_GT(rejected, 0);
+}
+
+TEST(CodecFuzz, RandomGarbageNeverCrashes) {
+  std::mt19937_64 rng(20260805);
+  for (int round = 0; round < 2000; ++round) {
+    std::vector<std::uint8_t> garbage(rng() % 96);
+    for (auto& b : garbage) b = static_cast<std::uint8_t>(rng());
+    // Exercise several message shapes; outcomes are irrelevant, surviving is
+    // the property.
+    (void)codec<PageReplyMsg>::try_decode(garbage);
+    (void)codec<BarrierDepartMsg>::try_decode(garbage);
+    (void)codec<LockGrantMsg>::try_decode(garbage);
+    (void)codec<DiffMsg>::try_decode(garbage);
+  }
+}
+
+TEST(CodecFuzz, WireBufferStringValidatesBeforeAllocating) {
+  WireBuffer raw;
+  raw.put<std::uint32_t>(0xFFFFFFF0u);
+  raw.put_bytes("abc", 3);
+  WireBuffer reader{std::move(raw).take()};
+  const std::string text = reader.get_string();
+  EXPECT_TRUE(text.empty());
+  EXPECT_FALSE(reader.ok());
+
+  // rewind clears the failure latch.
+  reader.rewind();
+  EXPECT_TRUE(reader.ok());
+}
+
+}  // namespace
+}  // namespace parade::dsm

@@ -278,15 +278,18 @@ TEST(Protocol, CodecWireFormatStable) {
   // epoch(8) + vtime(8) + count(4) + one 12-byte DepartEntry.
   EXPECT_EQ(bytes.size(), 8u + 8u + 4u + 12u);
 
-  const auto grant_bytes = codec<LockGrantMsg>::encode(LockGrantMsg{1, {{2, 3}}});
-  // lock_id(4) + count(4) + one 8-byte WriteNotice.
-  EXPECT_EQ(grant_bytes.size(), 4u + 4u + 8u);
+  const auto grant_bytes =
+      codec<LockGrantMsg>::encode(LockGrantMsg{1, {{2, 3}}, 9});
+  // lock_id(4) + seq(4) + count(4) + one 8-byte WriteNotice.
+  EXPECT_EQ(grant_bytes.size(), 4u + 4u + 4u + 8u);
 }
 
 TEST(Protocol, CommThreadTagPartition) {
   EXPECT_TRUE(comm_thread_tag(kTagPageRequest));
   EXPECT_TRUE(comm_thread_tag(kTagDiff));
-  EXPECT_FALSE(comm_thread_tag(kTagBarrierArrive));
+  // Barrier arrivals are gathered by the master's comm thread so lost
+  // departures can be re-answered; departures still go to the barrier caller.
+  EXPECT_TRUE(comm_thread_tag(kTagBarrierArrive));
   EXPECT_FALSE(comm_thread_tag(kTagBarrierDepart));
   EXPECT_FALSE(comm_thread_tag(kTagDiffAck));
   EXPECT_FALSE(comm_thread_tag(kTagLockGrantBase + 5));

@@ -72,6 +72,54 @@ TEST(Mailbox, DrainsMatchesAfterClose) {
   EXPECT_FALSE(none.has_value());
 }
 
+TEST(Mailbox, PeerDownWakesBlockedWaiterWithUnavailable) {
+  // Regression: a receiver blocked (no timeout) on a specific peer must not
+  // hang forever when that peer's link dies — mark_peer_down has to wake it
+  // with kUnavailable.
+  Mailbox box;
+  std::atomic<bool> woke_unavailable{false};
+  std::thread waiter([&] {
+    auto outcome = box.recv_match_from(
+        /*peer=*/2, [](const MessageHeader&) { return true; });
+    woke_unavailable.store(!outcome.message.has_value() &&
+                           outcome.status.code() == ErrorCode::kUnavailable);
+  });
+  box.mark_peer_down(2);
+  waiter.join();
+  EXPECT_TRUE(woke_unavailable.load());
+  EXPECT_TRUE(box.peer_down(2));
+  EXPECT_FALSE(box.closed());  // the mailbox itself stays usable
+}
+
+TEST(Mailbox, PeerDownDrainsQueuedMessagesFirst) {
+  Mailbox box;
+  box.deliver(make_msg(2, 0, 7));
+  box.mark_peer_down(2);
+  // The queued message outlives the peer: drain it, then observe the error.
+  auto first = box.recv_match_from(2, [](const MessageHeader& h) {
+    return h.tag == 7;
+  });
+  ASSERT_TRUE(first.message.has_value());
+  EXPECT_TRUE(first.status.is_ok());
+  auto second = box.recv_match_from(2, [](const MessageHeader&) {
+    return true;
+  });
+  EXPECT_FALSE(second.message.has_value());
+  EXPECT_EQ(second.status.code(), ErrorCode::kUnavailable);
+}
+
+TEST(Mailbox, PeerDownLeavesOtherPeersAlone) {
+  Mailbox box;
+  box.mark_peer_down(2);
+  // A bounded wait on a healthy peer times out normally instead of
+  // inheriting the dead peer's error.
+  auto outcome = box.recv_match_from(
+      /*peer=*/3, [](const MessageHeader&) { return true; },
+      std::chrono::milliseconds(10));
+  EXPECT_FALSE(outcome.message.has_value());
+  EXPECT_EQ(outcome.status.code(), ErrorCode::kTimeout);
+}
+
 TEST(InProc, DeliversAcrossChannels) {
   InProcFabric fabric(3);
   ASSERT_TRUE(fabric.channel(0).send(2, 42, {1, 2, 3}, 0.0).is_ok());
