@@ -1,0 +1,1267 @@
+#include "translator/analyze.hpp"
+
+#include <cstdlib>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+
+#include "obs/json.hpp"
+#include "obs/registry.hpp"
+#include "translator/parser.hpp"
+#include "translator/token.hpp"
+
+namespace parade::translator {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Declared-size computation
+
+const std::unordered_map<std::string, std::size_t>& typedef_sizes() {
+  static const std::unordered_map<std::string, std::size_t> sizes = {
+      {"size_t", 8},   {"ssize_t", 8},  {"ptrdiff_t", 8}, {"intptr_t", 8},
+      {"uintptr_t", 8}, {"int8_t", 1},  {"uint8_t", 1},   {"int16_t", 2},
+      {"uint16_t", 2}, {"int32_t", 4},  {"uint32_t", 4},  {"int64_t", 8},
+      {"uint64_t", 8}, {"wchar_t", 4}};
+  return sizes;
+}
+
+/// Size of the base type text ("static unsigned long" -> 8); 0 if unknown.
+std::size_t base_type_size(const std::string& decl_type) {
+  auto tokens_result = lex(decl_type);
+  if (!tokens_result.is_ok()) return 0;
+  const auto tokens = std::move(tokens_result).value();
+  std::vector<std::string> words;
+  for (const Token& t : tokens) {
+    if (t.kind == TokKind::kEof) break;
+    if (t.text == "static" || t.text == "extern" || t.text == "register" ||
+        t.text == "auto" || t.text == "const" || t.text == "volatile") {
+      continue;
+    }
+    words.push_back(t.text);
+  }
+  if (words.empty()) return 0;
+  int longs = 0;
+  bool has_double = false, has_float = false, has_char = false;
+  bool has_short = false, has_int = false, has_sign = false, has_bool = false;
+  bool has_aggregate = false, has_enum = false;
+  for (const std::string& w : words) {
+    if (w == "long") ++longs;
+    else if (w == "double") has_double = true;
+    else if (w == "float") has_float = true;
+    else if (w == "char") has_char = true;
+    else if (w == "short") has_short = true;
+    else if (w == "int") has_int = true;
+    else if (w == "signed" || w == "unsigned") has_sign = true;
+    else if (w == "_Bool" || w == "bool") has_bool = true;
+    else if (w == "struct" || w == "union") has_aggregate = true;
+    else if (w == "enum") has_enum = true;
+  }
+  if (has_aggregate) return 0;  // layout not visible to the translator
+  if (has_enum) return 4;
+  if (has_double) return longs > 0 ? 16 : 8;
+  if (has_float) return 4;
+  if (has_char) return 1;
+  if (has_short) return 2;
+  if (longs >= 2) return 8;
+  if (longs == 1) return 8;
+  if (has_int || has_sign) return 4;
+  if (has_bool) return 1;
+  if (words.size() == 1) {
+    auto it = typedef_sizes().find(words[0]);
+    if (it != typedef_sizes().end()) return it->second;
+  }
+  return 0;
+}
+
+/// Strict positive-integer-literal parse for array dimensions.
+bool parse_dim(const std::string& text, std::size_t* out) {
+  std::string trimmed;
+  for (char c : text) {
+    if (c != ' ') trimmed += c;
+  }
+  if (trimmed.empty()) return false;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(trimmed.c_str(), &end, 0);
+  if (end == nullptr || *end != '\0' || v == 0) return false;
+  *out = static_cast<std::size_t>(v);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Token-level access scanning
+
+struct ScannedAccesses {
+  struct Write {
+    std::string name;
+    bool array = false;   // a[i] = ...
+    bool member = false;  // s.f = ...
+    bool deref = false;   // *p = ...
+  };
+  std::vector<std::string> reads;  // in token order
+  std::vector<Write> writes;
+  bool has_call = false;
+};
+
+bool is_assign_op(const std::string& t) {
+  return t == "=" || t == "+=" || t == "-=" || t == "*=" || t == "/=" ||
+         t == "%=" || t == "&=" || t == "|=" || t == "^=" || t == "<<=" ||
+         t == ">>=";
+}
+
+ScannedAccesses scan_text(const std::string& text) {
+  ScannedAccesses out;
+  auto tokens_result = lex(text);
+  if (!tokens_result.is_ok()) return out;
+  const auto tokens = std::move(tokens_result).value();
+  std::size_t n = tokens.size();
+  while (n > 0 && tokens[n - 1].kind == TokKind::kEof) --n;
+  std::vector<bool> skip_read(n, false);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const Token& t = tokens[i];
+    if (t.kind == TokKind::kIdent && i + 1 < n && tokens[i + 1].is_punct("(")) {
+      out.has_call = true;
+      skip_read[i] = true;  // call target, not a data read
+      continue;
+    }
+    const bool next_assign = i + 1 < n && tokens[i + 1].kind == TokKind::kPunct &&
+                             is_assign_op(tokens[i + 1].text);
+    const bool next_incdec = i + 1 < n && (tokens[i + 1].is_punct("++") ||
+                                           tokens[i + 1].is_punct("--"));
+    if (t.kind == TokKind::kIdent && (next_assign || next_incdec)) {
+      const bool after_member =
+          i > 0 && (tokens[i - 1].is_punct(".") || tokens[i - 1].is_punct("->"));
+      const bool after_deref =
+          i > 0 && tokens[i - 1].is_punct("*") &&
+          (i == 1 || tokens[i - 2].kind == TokKind::kPunct);
+      if (after_member) {
+        // s.f = v: a store into a member of `s` (only the simple one-level
+        // form is attributed; deeper chains are left to page consistency).
+        if (i >= 2 && tokens[i - 1].is_punct(".") &&
+            tokens[i - 2].kind == TokKind::kIdent) {
+          out.writes.push_back({tokens[i - 2].text, false, true, false});
+        }
+        skip_read[i] = true;
+        continue;
+      }
+      if (after_deref) {
+        out.writes.push_back({t.text, false, false, true});
+        continue;
+      }
+      out.writes.push_back({t.text, false, false, false});
+      if (next_assign && tokens[i + 1].text == "=") skip_read[i] = true;
+      continue;
+    }
+    // Prefix ++x / --x.
+    if ((t.is_punct("++") || t.is_punct("--")) && i + 1 < n &&
+        tokens[i + 1].kind == TokKind::kIdent) {
+      const bool postfix_of_prev =
+          i > 0 && (tokens[i - 1].kind == TokKind::kIdent ||
+                    tokens[i - 1].is_punct(")") || tokens[i - 1].is_punct("]"));
+      if (!postfix_of_prev) {
+        out.writes.push_back({tokens[i + 1].text, false, false, false});
+      }
+      continue;
+    }
+    // a[...] = / a[...] op= / a[...]++ : subscript store, attribute the base.
+    if (t.is_punct("]") && i + 1 < n &&
+        ((tokens[i + 1].kind == TokKind::kPunct &&
+          is_assign_op(tokens[i + 1].text)) ||
+         tokens[i + 1].is_punct("++") || tokens[i + 1].is_punct("--"))) {
+      int depth = 0;
+      std::size_t j = i;
+      for (;;) {
+        if (tokens[j].is_punct("]")) ++depth;
+        else if (tokens[j].is_punct("[")) {
+          --depth;
+          if (depth == 0) break;
+        }
+        if (j == 0) break;
+        --j;
+      }
+      if (depth == 0 && j > 0 && tokens[j - 1].kind == TokKind::kIdent) {
+        out.writes.push_back({tokens[j - 1].text, true, false, false});
+      }
+      continue;
+    }
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (tokens[i].kind != TokKind::kIdent || skip_read[i]) continue;
+    if (i > 0 && (tokens[i - 1].is_punct(".") || tokens[i - 1].is_punct("->"))) {
+      continue;  // member name, the base identifier is the read
+    }
+    out.reads.push_back(tokens[i].text);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// The analyzer
+
+enum class Sharing {
+  kShared,
+  kPrivate,
+  kFirstprivate,
+  kLastprivate,
+  kReduction,
+  kThreadprivate,
+  kLocal  // declared inside the parallel region: private by construction
+};
+
+struct SymbolInfo {
+  std::string type;
+  int pointer_depth = 0;
+  bool is_array = false;
+  bool threadprivate = false;
+  bool file_scope = false;
+  std::size_t byte_size = 0;  // 0 = unknown
+  int line = 0;
+};
+
+class Analyzer {
+ public:
+  explicit Analyzer(const AnalyzeOptions& options) : options_(options) {}
+
+  Analysis run(const TranslationUnit& unit);
+
+ private:
+  struct Env {
+    bool in_parallel = false;
+    bool race_guarded = false;      // critical/atomic/single/master/ordered
+    bool placement_managed = false; // single/atomic/collective-critical
+    int divergence = 0;             // conditional / worksharing nesting
+    int region_line = 0;
+    std::size_t region_depth = 0;   // scopes_.size() at region entry
+    bool default_none = false;
+    std::map<std::string, Sharing> attrs;        // explicit clause attributes
+    std::map<std::string, std::string> red_ops;  // reduction var -> C operator
+    std::set<std::string>* race_sink = nullptr;  // sections: defer race checks
+  };
+
+  // --- symbol table ---
+  void declare(const std::string& name, SymbolInfo info) {
+    scopes_.back()[name] = std::move(info);
+  }
+  const SymbolInfo* lookup(const std::string& name, std::size_t* depth) const {
+    for (std::size_t i = scopes_.size(); i-- > 0;) {
+      auto it = scopes_[i].find(name);
+      if (it != scopes_[i].end()) {
+        if (depth != nullptr) *depth = i;
+        return &it->second;
+      }
+    }
+    return nullptr;
+  }
+
+  void diag(const char* code, Severity severity, int line,
+            const std::string& var, std::string message) {
+    out_.diagnostics.push_back(
+        Diagnostic{code, severity, line, var, std::move(message)});
+  }
+
+  Sharing sharing_of(const std::string& name, std::size_t depth,
+                     const SymbolInfo& sym, const Env& env, int line);
+
+  void process_text(const std::string& text, int line, const Env& env);
+  void process_read(const std::string& name, int line, const Env& env);
+  void process_write(const ScannedAccesses::Write& w, const std::string& text,
+                     int line, const Env& env);
+
+  void mark_dsm(const std::string& name, int line, const std::string& why) {
+    dsm_marks_.try_emplace(name, line, why);
+  }
+
+  // --- walking ---
+  void walk_stmt(const Stmt& stmt, Env& env);
+  void walk_block(const Stmt& block, Env& env);
+  void walk_pragma(const Stmt& stmt, Env& env);
+  void register_decl(const Stmt& decl, const Env& env, bool file_scope);
+  void handle_parallel(const Stmt& stmt, Env env);
+  void handle_worksharing_for(const Directive& d, const Stmt& body, Env env);
+  void handle_sections(const Directive& d, const Stmt& body, Env env);
+  void handle_sync(const Stmt& stmt, Env env, bool is_atomic);
+  std::vector<std::string> add_clause_attrs(const Clauses& c, Env* env);
+
+  void collect_writes_rec(const Stmt& stmt, std::set<std::string>* out) const;
+  void collect_reads_rec(const Stmt& stmt, std::set<std::string>* out) const;
+
+  void register_params(const std::string& params);
+
+  AnalyzeOptions options_;
+  Analysis out_;
+  std::vector<std::map<std::string, SymbolInfo>> scopes_;
+  std::set<std::string> uninit_;  // privates not yet written in the region
+  std::map<std::string, std::pair<int, std::string>> dsm_marks_;
+  std::set<std::string> default_none_reported_;  // "line:name"
+};
+
+Sharing Analyzer::sharing_of(const std::string& name, std::size_t depth,
+                             const SymbolInfo& sym, const Env& env, int line) {
+  if (sym.threadprivate) return Sharing::kThreadprivate;
+  if (!env.in_parallel) return Sharing::kShared;
+  if (depth >= env.region_depth) return Sharing::kLocal;
+  auto it = env.attrs.find(name);
+  if (it != env.attrs.end()) return it->second;
+  if (env.default_none) {
+    const std::string key = std::to_string(env.region_line) + ":" + name;
+    if (default_none_reported_.insert(key).second) {
+      diag(kDiagDefaultNoneMissing, Severity::kError, line, name,
+           "'" + name + "' is referenced in a default(none) region (line " +
+               std::to_string(env.region_line) +
+               ") but has no explicit data-sharing attribute");
+    }
+  }
+  return Sharing::kShared;
+}
+
+void Analyzer::process_read(const std::string& name, int line, const Env& env) {
+  std::size_t depth = 0;
+  const SymbolInfo* sym = lookup(name, &depth);
+  if (sym == nullptr) return;
+  if (!env.in_parallel) return;
+  const Sharing sh = sharing_of(name, depth, *sym, env, line);
+  if ((sh == Sharing::kPrivate || sh == Sharing::kLastprivate) &&
+      uninit_.count(name) > 0) {
+    diag(kDiagPrivateUninitRead, Severity::kWarning, line, name,
+         "private '" + name + "' is read before any write in the parallel " +
+             "region at line " + std::to_string(env.region_line) +
+             " (private copies start uninitialized)");
+    uninit_.erase(name);
+  }
+}
+
+void Analyzer::process_write(const ScannedAccesses::Write& w,
+                             const std::string& text, int line,
+                             const Env& env) {
+  std::size_t depth = 0;
+  const SymbolInfo* sym = lookup(w.name, &depth);
+  if (sym == nullptr) return;
+  uninit_.erase(w.name);
+  if (!env.in_parallel) return;
+  if (w.deref) return;  // store through a pointer: target unknown statically
+  const Sharing sh = sharing_of(w.name, depth, *sym, env, line);
+
+  if (w.array || sym->is_array) return;  // per-element stores: not flagged
+
+  if (sh == Sharing::kReduction) {
+    const std::string& op = env.red_ops.at(w.name);
+    if (op != "&&" && op != "||") {  // logical forms aren't update-shaped
+      auto m = match_scalar_update(text);
+      const bool compatible =
+          m.has_value() && m->var == w.name &&
+          (m->apply_op == op || (op == "+" && m->apply_op == "-"));
+      if (!compatible) {
+        diag(kDiagReductionMisuse, Severity::kWarning, line, w.name,
+             "'" + w.name + "' carries a reduction(" + op +
+                 ") clause but this statement is not a matching reduction "
+                 "update; the result is unspecified");
+      }
+    }
+    return;
+  }
+  if (sh != Sharing::kShared) return;
+
+  if (w.member && sym->pointer_depth > 0) return;  // p->f: target unknown
+
+  if (!env.race_guarded) {
+    if (env.race_sink != nullptr) {
+      env.race_sink->insert(w.name);
+    } else {
+      diag(kDiagRaceSharedWrite, Severity::kError, line, w.name,
+           "unsynchronized write to shared '" + w.name +
+               "' in the parallel region at line " +
+               std::to_string(env.region_line) +
+               "; no atomic/critical/reduction guards this store");
+    }
+  }
+  if (!env.placement_managed && sym->file_scope && !w.member &&
+      sym->pointer_depth == 0 && !sym->threadprivate) {
+    mark_dsm(w.name, line,
+             "written by an unmanaged statement in a parallel context "
+             "(line " + std::to_string(line) + "); HLRC page consistency "
+             "must propagate it");
+  }
+}
+
+void Analyzer::process_text(const std::string& text, int line, const Env& env) {
+  const ScannedAccesses acc = scan_text(text);
+  // Reads first: in `x = x + 1` the right-hand read happens before the store.
+  for (const std::string& name : acc.reads) process_read(name, line, env);
+  for (const auto& w : acc.writes) process_write(w, text, line, env);
+}
+
+std::vector<std::string> Analyzer::add_clause_attrs(const Clauses& c,
+                                                    Env* env) {
+  std::vector<std::string> uninit_added;
+  for (const auto& v : c.privates) {
+    env->attrs[v] = Sharing::kPrivate;
+    if (uninit_.insert(v).second) uninit_added.push_back(v);
+  }
+  for (const auto& v : c.firstprivate) env->attrs[v] = Sharing::kFirstprivate;
+  for (const auto& v : c.lastprivate) {
+    env->attrs[v] = Sharing::kLastprivate;
+    if (uninit_.insert(v).second) uninit_added.push_back(v);
+  }
+  for (const auto& [op, v] : c.reductions) {
+    env->attrs[v] = Sharing::kReduction;
+    env->red_ops[v] = reduction_operator(op);
+  }
+  for (const auto& v : c.shared) env->attrs[v] = Sharing::kShared;
+  return uninit_added;
+}
+
+void Analyzer::register_decl(const Stmt& decl, const Env& env,
+                             bool file_scope) {
+  for (const Declarator& d : decl.declarators) {
+    if (!d.init.empty()) process_text(d.init, decl.line, env);
+    for (const std::string& dim : d.array_dims) {
+      process_text(dim, decl.line, env);
+    }
+    if (d.is_function) continue;
+    SymbolInfo info;
+    info.type = decl.decl_type;
+    info.pointer_depth = d.pointer_depth;
+    info.is_array = !d.array_dims.empty();
+    info.file_scope = file_scope;
+    info.byte_size =
+        sizeof_declared(decl.decl_type, d.pointer_depth, d.array_dims);
+    info.line = decl.line;
+    declare(d.name, info);
+  }
+}
+
+void Analyzer::collect_writes_rec(const Stmt& stmt,
+                                  std::set<std::string>* out) const {
+  switch (stmt.kind) {
+    case StmtKind::kRaw: {
+      for (const auto& w : scan_text(stmt.text).writes) {
+        if (!w.deref) out->insert(w.name);
+      }
+      return;
+    }
+    case StmtKind::kFor:
+      for (const auto& w : scan_text(stmt.for_header.init_text).writes) {
+        out->insert(w.name);
+      }
+      for (const auto& w : scan_text(stmt.for_header.incr_text).writes) {
+        out->insert(w.name);
+      }
+      break;
+    default:
+      break;
+  }
+  for (const StmtPtr& child : stmt.children) {
+    if (child) collect_writes_rec(*child, out);
+  }
+}
+
+void Analyzer::collect_reads_rec(const Stmt& stmt,
+                                 std::set<std::string>* out) const {
+  auto add_text = [&](const std::string& text) {
+    for (const std::string& r : scan_text(text).reads) out->insert(r);
+  };
+  switch (stmt.kind) {
+    case StmtKind::kRaw:
+      add_text(stmt.text);
+      return;
+    case StmtKind::kDecl:
+      for (const Declarator& d : stmt.declarators) add_text(d.init);
+      return;
+    case StmtKind::kFor:
+      add_text(stmt.for_header.init_text);
+      add_text(stmt.for_header.cond_text);
+      add_text(stmt.for_header.incr_text);
+      break;
+    case StmtKind::kIf:
+    case StmtKind::kWhile:
+    case StmtKind::kDoWhile:
+    case StmtKind::kSwitch:
+      add_text(stmt.cond);
+      break;
+    default:
+      break;
+  }
+  for (const StmtPtr& child : stmt.children) {
+    if (child) collect_reads_rec(*child, out);
+  }
+}
+
+void Analyzer::walk_block(const Stmt& block, Env& env) {
+  scopes_.emplace_back();
+  struct Pending {
+    std::set<std::string> writes;
+    int line;
+  };
+  std::vector<Pending> pending;  // nowait constructs awaiting a barrier
+  for (const StmtPtr& child : block.children) {
+    // Any read of a name written by a still-unbarriered nowait construct is
+    // a dependence the dropped barrier no longer orders.
+    if (env.in_parallel && !pending.empty()) {
+      std::set<std::string> reads;
+      collect_reads_rec(*child, &reads);
+      for (auto& p : pending) {
+        std::vector<std::string> hit;
+        for (const std::string& name : p.writes) {
+          if (reads.count(name) > 0) hit.push_back(name);
+        }
+        for (const std::string& name : hit) {
+          p.writes.erase(name);
+          diag(kDiagNowaitDependentRead, Severity::kWarning, child->line, name,
+               "'" + name + "' is read here but written by the nowait "
+               "worksharing construct at line " + std::to_string(p.line) +
+               " with no intervening barrier");
+        }
+      }
+    }
+
+    if (child->kind == StmtKind::kDecl) {
+      register_decl(*child, env, /*file_scope=*/false);
+    } else {
+      walk_stmt(*child, env);
+    }
+
+    if (env.in_parallel && child->kind == StmtKind::kPragma) {
+      const Directive& d = child->directive;
+      const bool worksharing = d.kind == DirectiveKind::kFor ||
+                               d.kind == DirectiveKind::kSections ||
+                               d.kind == DirectiveKind::kSingle;
+      if (d.kind == DirectiveKind::kBarrier) {
+        pending.clear();
+      } else if (worksharing) {
+        if (d.clauses.nowait) {
+          // Clause-privates of the construct die at its end; only data
+          // visible to the team can carry the dependence.
+          std::set<std::string> construct_private;
+          for (const auto& v : d.clauses.privates) construct_private.insert(v);
+          for (const auto& v : d.clauses.firstprivate) {
+            construct_private.insert(v);
+          }
+          for (const auto& v : d.clauses.lastprivate) {
+            construct_private.insert(v);
+          }
+          for (const auto& [op, v] : d.clauses.reductions) {
+            (void)op;
+            construct_private.insert(v);
+          }
+          Pending p;
+          p.line = d.line;
+          if (!child->children.empty()) {
+            const Stmt& construct_body = *child->children.front();
+            if (construct_body.kind == StmtKind::kFor &&
+                construct_body.for_header.canonical) {
+              // The worksharing loop variable is implicitly private.
+              construct_private.insert(construct_body.for_header.loop_var);
+            }
+            std::set<std::string> written;
+            collect_writes_rec(construct_body, &written);
+            for (const std::string& name : written) {
+              if (construct_private.count(name) > 0) continue;
+              std::size_t depth = 0;
+              const SymbolInfo* sym = lookup(name, &depth);
+              if (sym == nullptr) continue;
+              if (sharing_of(name, depth, *sym, env, d.line) ==
+                  Sharing::kShared) {
+                p.writes.insert(name);
+              }
+            }
+          }
+          if (!p.writes.empty()) pending.push_back(std::move(p));
+        } else {
+          pending.clear();  // implicit barrier at construct end
+        }
+      }
+    }
+  }
+  scopes_.pop_back();
+}
+
+void Analyzer::handle_worksharing_for(const Directive& d, const Stmt& body,
+                                      Env env) {
+  const std::vector<std::string> uninit_added =
+      add_clause_attrs(d.clauses, &env);
+  if (body.kind != StmtKind::kFor) {
+    // CodeGen rejects this; still scan for diagnostics.
+    walk_stmt(body, env);
+    return;
+  }
+  const ForHeader& h = body.for_header;
+  scopes_.emplace_back();
+  if (h.canonical) {
+    process_text(h.lower, body.line, env);
+    process_text(h.upper, body.line, env);
+    process_text(h.step, body.line, env);
+    if (!h.var_decl_type.empty()) {
+      SymbolInfo info;
+      info.type = h.var_decl_type;
+      info.byte_size = sizeof_declared(h.var_decl_type, 0, {});
+      info.line = body.line;
+      declare(h.loop_var, info);
+    } else {
+      // The worksharing loop variable is private per the OpenMP rules and is
+      // initialized by the scheduler, never uninitialized.
+      env.attrs[h.loop_var] = Sharing::kPrivate;
+      uninit_.erase(h.loop_var);
+    }
+  } else {
+    process_text(h.init_text, body.line, env);
+    process_text(h.cond_text, body.line, env);
+    process_text(h.incr_text, body.line, env);
+  }
+  ++env.divergence;  // a barrier inside a worksharing body is divergent
+  if (!body.children.empty()) walk_stmt(*body.children.front(), env);
+  scopes_.pop_back();
+  for (const std::string& name : uninit_added) uninit_.erase(name);
+}
+
+void Analyzer::handle_sections(const Directive& d, const Stmt& body, Env env) {
+  const std::vector<std::string> uninit_added =
+      add_clause_attrs(d.clauses, &env);
+  std::vector<const Stmt*> sections;
+  if (body.kind == StmtKind::kBlock) {
+    for (const StmtPtr& child : body.children) {
+      if (child->kind == StmtKind::kPragma &&
+          child->directive.kind == DirectiveKind::kSection) {
+        if (!child->children.empty()) {
+          sections.push_back(child->children.front().get());
+        }
+      } else if (child->kind != StmtKind::kEmpty) {
+        sections.push_back(child.get());
+      }
+    }
+  } else {
+    sections.push_back(&body);
+  }
+  // Each section runs on one thread: a write in a single section is not a
+  // race by itself, but the same shared name written from two sections is.
+  std::vector<std::set<std::string>> writes(sections.size());
+  for (std::size_t i = 0; i < sections.size(); ++i) {
+    Env senv = env;
+    ++senv.divergence;
+    senv.race_sink = &writes[i];
+    scopes_.emplace_back();
+    walk_stmt(*sections[i], senv);
+    scopes_.pop_back();
+  }
+  std::map<std::string, int> writers;
+  for (const auto& set : writes) {
+    for (const std::string& name : set) ++writers[name];
+  }
+  for (const auto& [name, count] : writers) {
+    if (count >= 2) {
+      diag(kDiagRaceSharedWrite, Severity::kError, d.line, name,
+           "shared '" + name + "' is written by " + std::to_string(count) +
+               " different sections of the sections construct at line " +
+               std::to_string(d.line) + " (sections run concurrently)");
+    }
+  }
+  for (const std::string& name : uninit_added) uninit_.erase(name);
+}
+
+void Analyzer::handle_sync(const Stmt& stmt, Env env, bool is_atomic) {
+  const Directive& d = stmt.directive;
+  const Stmt* inner =
+      stmt.children.empty() ? nullptr : stmt.children.front().get();
+  if (inner != nullptr && inner->kind == StmtKind::kBlock &&
+      inner->children.size() == 1) {
+    inner = inner->children.front().get();
+  }
+
+  SyncDecision dec;
+  dec.line = d.line;
+  dec.is_atomic = is_atomic;
+  std::string reason;
+  std::optional<UpdateShape> shape;
+  if (inner == nullptr || inner->kind != StmtKind::kRaw) {
+    reason = "body is not a single expression statement";
+  } else if (!(shape = match_scalar_update(inner->text))) {
+    reason = scan_text(inner->text).has_call
+                 ? "update expression calls a function"
+                 : "statement is not a scalar update "
+                   "(x op= expr, x++, x = x op expr)";
+  } else {
+    dec.var = shape->var;
+    std::size_t depth = 0;
+    const SymbolInfo* sym = lookup(shape->var, &depth);
+    if (sym == nullptr) {
+      reason = "no visible declaration for '" + shape->var + "'";
+    } else if (sym->is_array || sym->pointer_depth > 0) {
+      reason = "'" + shape->var + "' is not a scalar";
+    } else {
+      const Sharing sh = sharing_of(shape->var, depth, *sym, env, d.line);
+      if (sh == Sharing::kThreadprivate) {
+        reason = "'" + shape->var + "' is threadprivate; per-thread updates "
+                 "need no collective";
+      } else if (sh != Sharing::kShared) {
+        reason = "'" + shape->var + "' is not shared in the enclosing "
+                 "parallel region; a collective would merge private copies";
+      } else if (sym->byte_size == 0) {
+        reason = "declared type '" + sym->type + "' has no statically known "
+                 "size; page consistency is the safe fallback";
+      } else if (sym->byte_size > options_.mp_threshold_bytes) {
+        reason = "declared size " + std::to_string(sym->byte_size) +
+                 " B exceeds the update-collective threshold " +
+                 std::to_string(options_.mp_threshold_bytes) + " B";
+      } else {
+        dec.collective = true;
+      }
+    }
+  }
+  dec.reason = reason;
+  out_.sync_sites[d.line] = dec;
+
+  const char* construct = is_atomic ? "atomic" : "critical";
+  if (is_atomic && !shape.has_value()) {
+    diag(kDiagAtomicNotUpdate, Severity::kError, d.line, "",
+         "atomic statement is not a supported update "
+         "(x op= expr, x++, x = x op expr): " + reason);
+  } else if (!dec.collective) {
+    diag(kDiagSyncDsmFallback, Severity::kNote, d.line, dec.var,
+         std::string(construct) + " at line " + std::to_string(d.line) +
+             " maps to the DSM lock path, not update-by-collective: " +
+             reason);
+  }
+
+  if (inner != nullptr) {
+    Env benv = env;
+    benv.race_guarded = true;
+    benv.placement_managed = dec.collective;
+    benv.race_sink = nullptr;
+    walk_stmt(*stmt.children.front(), benv);
+  }
+}
+
+void Analyzer::handle_parallel(const Stmt& stmt, Env env) {
+  const Directive& d = stmt.directive;
+  // firstprivate snapshots read the outer values before the fork.
+  for (const std::string& v : d.clauses.firstprivate) {
+    process_read(v, d.line, env);
+  }
+  const std::set<std::string> saved_uninit = std::move(uninit_);
+  uninit_.clear();
+
+  Env penv;
+  penv.in_parallel = true;
+  penv.region_line = d.line;
+  penv.region_depth = scopes_.size();
+  penv.default_none = d.clauses.has_default && !d.clauses.default_shared;
+  penv.divergence = 0;
+  add_clause_attrs(d.clauses, &penv);
+
+  if (stmt.children.empty()) {
+    uninit_ = saved_uninit;
+    return;
+  }
+  const Stmt& body = *stmt.children.front();
+  switch (d.kind) {
+    case DirectiveKind::kParallel:
+      walk_stmt(body, penv);
+      break;
+    case DirectiveKind::kParallelFor:
+      handle_worksharing_for(d, body, penv);
+      break;
+    case DirectiveKind::kParallelSections:
+      handle_sections(d, body, penv);
+      break;
+    default:
+      walk_stmt(body, penv);
+      break;
+  }
+  uninit_ = saved_uninit;
+}
+
+void Analyzer::walk_pragma(const Stmt& stmt, Env& env) {
+  const Directive& d = stmt.directive;
+  switch (d.kind) {
+    case DirectiveKind::kParallel:
+    case DirectiveKind::kParallelFor:
+    case DirectiveKind::kParallelSections:
+      handle_parallel(stmt, env);
+      return;
+    case DirectiveKind::kFor:
+      if (!stmt.children.empty()) {
+        handle_worksharing_for(d, *stmt.children.front(), env);
+      }
+      return;
+    case DirectiveKind::kSections:
+      if (!stmt.children.empty()) {
+        handle_sections(d, *stmt.children.front(), env);
+      }
+      return;
+    case DirectiveKind::kSection:
+      if (!stmt.children.empty()) walk_stmt(*stmt.children.front(), env);
+      return;
+    case DirectiveKind::kSingle: {
+      if (stmt.children.empty()) return;
+      Env senv = env;
+      senv.race_guarded = true;
+      senv.placement_managed = true;  // results travel in the broadcast
+      senv.race_sink = nullptr;
+      walk_stmt(*stmt.children.front(), senv);
+      return;
+    }
+    case DirectiveKind::kMaster:
+    case DirectiveKind::kOrdered: {
+      if (stmt.children.empty()) return;
+      Env menv = env;
+      menv.race_guarded = true;  // one thread executes
+      menv.race_sink = nullptr;
+      // placement stays unmanaged: nothing propagates these stores except
+      // the DSM, so the written globals must live on pages.
+      walk_stmt(*stmt.children.front(), menv);
+      return;
+    }
+    case DirectiveKind::kCritical:
+      handle_sync(stmt, env, /*is_atomic=*/false);
+      return;
+    case DirectiveKind::kAtomic:
+      handle_sync(stmt, env, /*is_atomic=*/true);
+      return;
+    case DirectiveKind::kBarrier:
+      if (env.in_parallel && (env.divergence > 0 || env.race_guarded)) {
+        diag(kDiagBarrierDivergence, Severity::kError, d.line, "",
+             "barrier inside a conditional or worksharing construct: not "
+             "all threads are guaranteed to reach it");
+      }
+      return;
+    case DirectiveKind::kFlush:
+    case DirectiveKind::kThreadprivate:
+      return;
+  }
+}
+
+void Analyzer::walk_stmt(const Stmt& stmt, Env& env) {
+  switch (stmt.kind) {
+    case StmtKind::kBlock:
+      walk_block(stmt, env);
+      return;
+    case StmtKind::kRaw:
+      process_text(stmt.text, stmt.line, env);
+      return;
+    case StmtKind::kDecl:
+      // Reached for decls outside block child lists (e.g. loop bodies that
+      // are bare declarations); register into the current scope.
+      register_decl(stmt, env, /*file_scope=*/false);
+      return;
+    case StmtKind::kFor: {
+      const ForHeader& h = stmt.for_header;
+      scopes_.emplace_back();
+      if (h.canonical && !h.var_decl_type.empty()) {
+        SymbolInfo info;
+        info.type = h.var_decl_type;
+        info.byte_size = sizeof_declared(h.var_decl_type, 0, {});
+        info.line = stmt.line;
+        declare(h.loop_var, info);
+      }
+      process_text(h.init_text, stmt.line, env);
+      process_text(h.cond_text, stmt.line, env);
+      process_text(h.incr_text, stmt.line, env);
+      Env benv = env;
+      ++benv.divergence;
+      if (!stmt.children.empty()) walk_stmt(*stmt.children.front(), benv);
+      scopes_.pop_back();
+      return;
+    }
+    case StmtKind::kIf:
+    case StmtKind::kWhile:
+    case StmtKind::kDoWhile:
+    case StmtKind::kSwitch: {
+      process_text(stmt.cond, stmt.line, env);
+      Env benv = env;
+      ++benv.divergence;
+      for (const StmtPtr& child : stmt.children) {
+        if (child) walk_stmt(*child, benv);
+      }
+      return;
+    }
+    case StmtKind::kPragma:
+      walk_pragma(stmt, env);
+      return;
+    case StmtKind::kHashLine:
+    case StmtKind::kEmpty:
+      return;
+  }
+}
+
+void Analyzer::register_params(const std::string& params) {
+  if (params.empty() || params == "void") return;
+  auto tokens_result = lex(params + " ,");
+  if (!tokens_result.is_ok()) return;
+  const auto tokens = std::move(tokens_result).value();
+  std::vector<Token> current;
+  for (const Token& t : tokens) {
+    if (t.is_punct(",") || t.kind == TokKind::kEof) {
+      for (std::size_t i = current.size(); i-- > 0;) {
+        if (current[i].kind == TokKind::kIdent) {
+          SymbolInfo info;
+          std::vector<Token> type_run(current.begin(),
+                                      current.begin() + static_cast<long>(i));
+          info.type = render_tokens(type_run, 0, type_run.size());
+          for (const Token& tr : type_run) {
+            if (tr.is_punct("*")) ++info.pointer_depth;
+          }
+          info.is_array =
+              i + 1 < current.size() && current[i + 1].is_punct("[");
+          info.byte_size = info.pointer_depth > 0 || info.is_array
+                               ? sizeof(void*)
+                               : base_type_size(info.type);
+          declare(current[i].text, info);
+          break;
+        }
+      }
+      current.clear();
+    } else {
+      current.push_back(t);
+    }
+  }
+}
+
+Analysis Analyzer::run(const TranslationUnit& unit) {
+  scopes_.emplace_back();  // file scope
+
+  // threadprivate(list) pragmas may follow the declaration they mark.
+  std::set<std::string> threadprivate_names;
+  for (const TopItem& item : unit.items) {
+    if (item.kind == TopItem::Kind::kPragma &&
+        item.stmt->directive.kind == DirectiveKind::kThreadprivate) {
+      for (const std::string& name : item.stmt->directive.clauses.flush_list) {
+        threadprivate_names.insert(name);
+      }
+    }
+  }
+
+  Env file_env;
+  for (const TopItem& item : unit.items) {
+    if (item.kind != TopItem::Kind::kDecl) continue;
+    const Stmt& decl = *item.stmt;
+    register_decl(decl, file_env, /*file_scope=*/true);
+    for (const Declarator& d : decl.declarators) {
+      if (d.is_function) continue;
+      SymbolInfo& info = scopes_.front()[d.name];
+      info.threadprivate = threadprivate_names.count(d.name) > 0;
+      VarClass vc;
+      vc.type = decl.decl_type;
+      vc.byte_size = info.byte_size;
+      vc.line = decl.line;
+      if (info.threadprivate) {
+        vc.placement = Placement::kThreadprivate;
+        vc.reason = "threadprivate: one instance per thread, never shared";
+      } else if (info.is_array) {
+        vc.placement = Placement::kDsmArray;
+        vc.reason = "file-scope array: page-granularity DSM placement";
+      } else if (info.pointer_depth > 0) {
+        vc.placement = Placement::kReplicated;
+        vc.reason = "file-scope pointer: node-replicated handle";
+      } else {
+        vc.placement = Placement::kReplicated;  // provisional
+      }
+      out_.globals[d.name] = std::move(vc);
+    }
+  }
+
+  for (const TopItem& item : unit.items) {
+    if (item.kind != TopItem::Kind::kFunction) continue;
+    scopes_.emplace_back();
+    register_params(item.function.params);
+    Env env;
+    if (item.function.body) walk_stmt(*item.function.body, env);
+    scopes_.resize(1);
+    uninit_.clear();
+  }
+
+  // Finalize scalar placements from the unmanaged-write marks.
+  for (auto& [name, vc] : out_.globals) {
+    if (vc.placement != Placement::kReplicated || !vc.reason.empty()) continue;
+    auto it = dsm_marks_.find(name);
+    if (it != dsm_marks_.end()) {
+      vc.placement = Placement::kDsmScalar;
+      vc.reason = it->second.second;
+    } else {
+      vc.reason =
+          "all parallel-context writes are synchronization-managed; "
+          "node-replicated with update-by-collective";
+    }
+  }
+  return out_;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Shared update-shape matcher (the decision layer lives in the analyzer; this
+// is only the syntax).
+
+std::optional<UpdateShape> match_scalar_update(const std::string& text) {
+  auto tokens_result = lex(text);
+  if (!tokens_result.is_ok()) return std::nullopt;
+  const auto tokens = std::move(tokens_result).value();
+  std::size_t n = tokens.size();
+  while (n > 0 && (tokens[n - 1].kind == TokKind::kEof ||
+                   tokens[n - 1].is_punct(";"))) {
+    --n;
+  }
+  if (n < 2 || tokens[0].kind != TokKind::kIdent) return std::nullopt;
+  const std::string var = tokens[0].text;
+
+  auto expr_from = [&](std::size_t begin) -> std::optional<std::string> {
+    std::string expr;
+    for (std::size_t i = begin; i < n; ++i) {
+      // Function calls in the contribution are not analyzable (paper §7).
+      if (tokens[i].kind == TokKind::kIdent && i + 1 < n &&
+          tokens[i + 1].is_punct("(")) {
+        return std::nullopt;
+      }
+      expr += (expr.empty() ? "" : " ") + tokens[i].text;
+    }
+    if (expr.empty()) return std::nullopt;
+    return expr;
+  };
+
+  UpdateShape p;
+  p.var = var;
+  if (n == 2 && (tokens[1].is_punct("++") || tokens[1].is_punct("--"))) {
+    p.combine_op = "+";
+    p.apply_op = tokens[1].text == "++" ? "+" : "-";
+    p.expr = "1";
+    return p;
+  }
+  const std::string& op = tokens[1].text;
+  if (op == "+=" || op == "-=" || op == "*=" || op == "&=" || op == "|=" ||
+      op == "^=") {
+    auto expr = expr_from(2);
+    if (!expr) return std::nullopt;
+    p.apply_op = op.substr(0, 1);
+    p.combine_op = op == "-=" ? "+" : p.apply_op;
+    p.expr = *expr;
+    return p;
+  }
+  if (op == "=" && n >= 5 && tokens[2].text == var &&
+      tokens[3].kind == TokKind::kPunct) {
+    const std::string& binop = tokens[3].text;
+    if (binop == "+" || binop == "-" || binop == "*" || binop == "&" ||
+        binop == "|" || binop == "^") {
+      auto expr = expr_from(4);
+      if (!expr) return std::nullopt;
+      p.apply_op = binop;
+      p.combine_op = binop == "-" ? "+" : binop;
+      p.expr = *expr;
+      return p;
+    }
+  }
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// Public surface
+
+const char* to_string(Severity severity) {
+  switch (severity) {
+    case Severity::kNote: return "note";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "unknown";
+}
+
+const char* to_string(Placement placement) {
+  switch (placement) {
+    case Placement::kReplicated: return "replicated";
+    case Placement::kDsmScalar: return "dsm_scalar";
+    case Placement::kDsmArray: return "dsm_array";
+    case Placement::kThreadprivate: return "threadprivate";
+  }
+  return "unknown";
+}
+
+std::size_t sizeof_declared(const std::string& decl_type, int pointer_depth,
+                            const std::vector<std::string>& array_dims) {
+  if (pointer_depth > 0) return sizeof(void*);
+  const std::size_t base = base_type_size(decl_type);
+  if (base == 0) return 0;
+  std::size_t total = base;
+  for (const std::string& dim : array_dims) {
+    std::size_t v = 0;
+    if (!parse_dim(dim, &v)) return 0;  // symbolic dimension: unknown
+    total *= v;
+  }
+  return total;
+}
+
+std::size_t Analysis::count(Severity severity) const {
+  std::size_t n = 0;
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity == severity) ++n;
+  }
+  return n;
+}
+
+std::size_t Analysis::vars_collective() const {
+  std::size_t n = 0;
+  for (const auto& [name, vc] : globals) {
+    (void)name;
+    if (vc.placement == Placement::kReplicated) ++n;
+  }
+  return n;
+}
+
+std::size_t Analysis::vars_dsm() const {
+  std::size_t n = 0;
+  for (const auto& [name, vc] : globals) {
+    (void)name;
+    if (vc.placement == Placement::kDsmScalar ||
+        vc.placement == Placement::kDsmArray) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::string Analysis::to_text(const std::string& file) const {
+  std::ostringstream out;
+  for (const Diagnostic& d : diagnostics) {
+    out << file << ":" << d.line << ": " << to_string(d.severity) << " ["
+        << d.code << "] " << d.message << "\n";
+  }
+  for (const auto& [name, vc] : globals) {
+    out << file << ": global '" << name << "' -> " << to_string(vc.placement);
+    if (vc.byte_size > 0) out << " (" << vc.byte_size << " B)";
+    out << ": " << vc.reason << "\n";
+  }
+  for (const auto& [line, dec] : sync_sites) {
+    out << file << ": " << (dec.is_atomic ? "atomic" : "critical")
+        << " at line " << line << " -> "
+        << (dec.collective ? "update-by-collective" : "DSM lock");
+    if (!dec.var.empty()) out << " on '" << dec.var << "'";
+    if (!dec.reason.empty()) out << " (" << dec.reason << ")";
+    out << "\n";
+  }
+  out << file << ": " << count(Severity::kError) << " error(s), "
+      << count(Severity::kWarning) << " warning(s), " << count(Severity::kNote)
+      << " note(s)\n";
+  return out.str();
+}
+
+std::string Analysis::to_json(const std::string& file) const {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("file");
+  w.value(file);
+  w.key("summary");
+  w.begin_object();
+  w.key("errors");
+  w.value(static_cast<std::int64_t>(count(Severity::kError)));
+  w.key("warnings");
+  w.value(static_cast<std::int64_t>(count(Severity::kWarning)));
+  w.key("notes");
+  w.value(static_cast<std::int64_t>(count(Severity::kNote)));
+  w.key("vars_collective");
+  w.value(static_cast<std::int64_t>(vars_collective()));
+  w.key("vars_dsm");
+  w.value(static_cast<std::int64_t>(vars_dsm()));
+  w.end_object();
+  w.key("diagnostics");
+  w.begin_array();
+  for (const Diagnostic& d : diagnostics) {
+    w.begin_object();
+    w.key("code");
+    w.value(d.code);
+    w.key("severity");
+    w.value(to_string(d.severity));
+    w.key("line");
+    w.value(static_cast<std::int64_t>(d.line));
+    w.key("var");
+    w.value(d.var);
+    w.key("message");
+    w.value(d.message);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("globals");
+  w.begin_array();
+  for (const auto& [name, vc] : globals) {
+    w.begin_object();
+    w.key("name");
+    w.value(name);
+    w.key("placement");
+    w.value(to_string(vc.placement));
+    w.key("type");
+    w.value(vc.type);
+    w.key("bytes");
+    w.value(static_cast<std::int64_t>(vc.byte_size));
+    w.key("line");
+    w.value(static_cast<std::int64_t>(vc.line));
+    w.key("reason");
+    w.value(vc.reason);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("sync_sites");
+  w.begin_array();
+  for (const auto& [line, dec] : sync_sites) {
+    w.begin_object();
+    w.key("line");
+    w.value(static_cast<std::int64_t>(line));
+    w.key("construct");
+    w.value(dec.is_atomic ? "atomic" : "critical");
+    w.key("collective");
+    w.value(dec.collective);
+    w.key("var");
+    w.value(dec.var);
+    w.key("reason");
+    w.value(dec.reason);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+Analysis analyze(const TranslationUnit& unit, const AnalyzeOptions& options) {
+  Analyzer analyzer(options);
+  Analysis out = analyzer.run(unit);
+  // Observability: translation decisions show up in the standard exports
+  // (docs/OBSERVABILITY.md); the translator runs as node 0.
+  auto& registry = obs::Registry::instance();
+  registry.counter(0, "xlat.analyze.diagnostics")
+      .add(static_cast<std::int64_t>(out.diagnostics.size()));
+  registry.counter(0, "xlat.analyze.vars_collective")
+      .add(static_cast<std::int64_t>(out.vars_collective()));
+  registry.counter(0, "xlat.analyze.vars_dsm")
+      .add(static_cast<std::int64_t>(out.vars_dsm()));
+  return out;
+}
+
+Result<Analysis> analyze_source(const std::string& source,
+                                const AnalyzeOptions& options) {
+  auto tokens = lex(source);
+  if (!tokens.is_ok()) return tokens.status();
+  auto unit = parse(tokens.value());
+  if (!unit.is_ok()) return unit.status();
+  return analyze(unit.value(), options);
+}
+
+Result<std::size_t> parse_threshold_bytes(const std::string& text) {
+  if (text.empty()) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "--threshold needs a value in bytes");
+  }
+  for (char c : text) {
+    if (c < '0' || c > '9') {
+      return make_error(ErrorCode::kInvalidArgument,
+                        "invalid --threshold value '" + text +
+                            "' (expected a positive integer byte count)");
+    }
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (errno != 0 || end == nullptr || *end != '\0' || v == 0 ||
+      v > static_cast<unsigned long long>(~std::size_t{0})) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "invalid --threshold value '" + text +
+                          "' (must be a positive byte count)");
+  }
+  return static_cast<std::size_t>(v);
+}
+
+}  // namespace parade::translator

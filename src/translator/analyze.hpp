@@ -1,0 +1,130 @@
+// Semantic analysis pass over the translator AST (paper §5.2: which
+// synchronization constructs are "lexically analyzable" and which shared
+// data can live in node-replicated storage). Builds a real symbol table
+// (file/function/block scopes with declared types and byte sizes), infers
+// per-variable sharing attributes in every parallel context, and runs a
+// def-use walk that produces structured diagnostics plus the placement and
+// update-vs-invalidate decisions CodeGen consumes. See docs/ANALYZER.md.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "translator/ast.hpp"
+
+namespace parade::translator {
+
+struct AnalyzeOptions {
+  /// Paper §5.2.1 small-data threshold: a synchronization-managed scalar
+  /// whose declared size fits maps to update-by-collective, larger (or
+  /// unknown-size) data falls back to DSM page consistency.
+  std::size_t mp_threshold_bytes = 256;
+};
+
+enum class Severity { kNote, kWarning, kError };
+
+const char* to_string(Severity severity);
+
+/// One structured finding. `code` is a stable dotted identifier (see
+/// docs/ANALYZER.md for the full table); `line` refers to the input source.
+struct Diagnostic {
+  std::string code;
+  Severity severity = Severity::kWarning;
+  int line = 0;
+  std::string var;  // primary variable, empty when not variable-specific
+  std::string message;
+};
+
+// Diagnostic codes (stable identifiers; tests assert on them).
+inline constexpr const char* kDiagRaceSharedWrite = "race.shared_write";
+inline constexpr const char* kDiagPrivateUninitRead = "private.uninit_read";
+inline constexpr const char* kDiagReductionMisuse = "reduction.nonreduction_write";
+inline constexpr const char* kDiagBarrierDivergence = "barrier.divergence";
+inline constexpr const char* kDiagNowaitDependentRead = "nowait.dependent_read";
+inline constexpr const char* kDiagSyncDsmFallback = "sync.dsm_fallback";
+inline constexpr const char* kDiagAtomicNotUpdate = "sync.atomic_invalid";
+inline constexpr const char* kDiagDefaultNoneMissing = "default.none_missing";
+
+/// Where a file-scope variable is placed by the hybrid protocol selection.
+enum class Placement {
+  kReplicated,    // node-replicated, synchronization via collectives
+  kDsmScalar,     // DSM pool scalar (HLRC page consistency)
+  kDsmArray,      // DSM pool array
+  kThreadprivate  // one instance per thread, never shared
+};
+
+const char* to_string(Placement placement);
+
+struct VarClass {
+  Placement placement = Placement::kReplicated;
+  std::string type;          // declared base type text
+  std::size_t byte_size = 0; // 0 = statically unknown
+  std::string reason;        // why this placement was chosen
+  int line = 0;              // declaration line
+};
+
+/// Per critical/atomic site (keyed by directive line): collective fast path
+/// or DSM-lock fallback, with the reason recorded for diagnostics.
+struct SyncDecision {
+  bool collective = false;
+  bool is_atomic = false;
+  std::string var;     // update target when the pattern matched
+  std::string reason;  // why the fallback was taken ("" when collective)
+  int line = 0;
+};
+
+/// A scalar-update statement shape shared by the analyzer and CodeGen:
+/// `x op= expr`, `x++`/`x--`, or `x = x op expr`, with no function calls in
+/// the contribution expression.
+struct UpdateShape {
+  std::string var;
+  std::string combine_op;  // operator combining per-thread contributions
+  std::string apply_op;    // operator applying the combined value to var
+  std::string expr;        // contribution expression text
+};
+
+/// Purely syntactic matcher for UpdateShape (no symbol information; the
+/// analyzer layers type/size/sharing checks on top of it).
+std::optional<UpdateShape> match_scalar_update(const std::string& text);
+
+struct Analysis {
+  std::vector<Diagnostic> diagnostics;
+  std::map<std::string, VarClass> globals;  // file-scope variables
+  std::map<int, SyncDecision> sync_sites;   // critical/atomic, by line
+
+  std::size_t count(Severity severity) const;
+  bool has_errors() const { return count(Severity::kError) > 0; }
+  std::size_t vars_collective() const;  // globals kept node-replicated
+  std::size_t vars_dsm() const;         // globals placed in the DSM pool
+
+  /// Human-readable report, one diagnostic per line:
+  ///   <file>:<line>: <severity> [<code>] <message>
+  std::string to_text(const std::string& file) const;
+  /// JSON document (schema in docs/ANALYZER.md).
+  std::string to_json(const std::string& file) const;
+};
+
+/// Analyzes a parsed unit. Total: diagnostics (including error severity) are
+/// reported in the result, never as a failed Status.
+Analysis analyze(const TranslationUnit& unit, const AnalyzeOptions& options = {});
+
+/// Convenience wrapper: lex + parse + analyze. Fails only when the source
+/// does not lex/parse.
+Result<Analysis> analyze_source(const std::string& source,
+                                const AnalyzeOptions& options = {});
+
+/// Strict parser for the CLIs' --threshold=BYTES flag: rejects empty,
+/// non-numeric, zero, and overflowing values (satellite fix: strtoul used to
+/// accept garbage as 0, silently forcing everything onto the DSM path).
+Result<std::size_t> parse_threshold_bytes(const std::string& text);
+
+/// Declared byte size of `decl_type` (+ pointer/array shape); 0 if unknown.
+/// Array sizes multiply out only when every dimension is an integer literal.
+std::size_t sizeof_declared(const std::string& decl_type, int pointer_depth,
+                            const std::vector<std::string>& array_dims);
+
+}  // namespace parade::translator

@@ -55,199 +55,16 @@ struct Symbol {
   bool threadprivate = false;
 };
 
-// ---------------------------------------------------------------------------
-// Global classification pre-pass (paper §5.2): a file-scope scalar stays
-// node-replicated (update-by-collective) only while every parallel-context
-// write to it goes through a managed construct (reduction clause, analyzable
-// atomic/critical, single). Scalars written by plain statements inside
-// parallel regions — sections bodies, lock-fallback criticals, master blocks,
-// ad-hoc assignments — must live in the DSM pool so HLRC propagates them.
-
-/// Syntactic version of the analyzable-update check (no symbol table):
-/// `x op= expr` / `x++` / `x = x op expr`, no function calls.
-bool looks_like_scalar_update(const std::string& text, std::string* var) {
-  auto tokens_result = lex(text);
-  if (!tokens_result.is_ok()) return false;
-  const auto tokens = std::move(tokens_result).value();
-  std::size_t n = tokens.size();
-  while (n > 0 && (tokens[n - 1].kind == TokKind::kEof ||
-                   tokens[n - 1].is_punct(";"))) {
-    --n;
-  }
-  if (n < 2 || tokens[0].kind != TokKind::kIdent) return false;
-  for (std::size_t i = 1; i < n; ++i) {
-    if (tokens[i].kind == TokKind::kIdent && i + 1 < n &&
-        tokens[i + 1].is_punct("(")) {
-      return false;
-    }
-  }
-  const std::string& op = tokens[1].text;
-  const bool shape_ok =
-      (n == 2 && (op == "++" || op == "--")) || op == "+=" || op == "-=" ||
-      op == "*=" || op == "&=" || op == "|=" || op == "^=" ||
-      (op == "=" && n >= 5 && tokens[2].text == tokens[0].text);
-  if (shape_ok && var != nullptr) *var = tokens[0].text;
-  return shape_ok;
-}
-
-class GlobalClassifier {
- public:
-  explicit GlobalClassifier(std::unordered_set<std::string> global_scalars)
-      : globals_(std::move(global_scalars)) {}
-
-  void walk_unit(const TranslationUnit& unit) {
-    for (const TopItem& item : unit.items) {
-      if (item.kind == TopItem::Kind::kFunction) {
-        std::unordered_set<std::string> shadowed;
-        walk(*item.function.body, /*in_parallel=*/false, shadowed);
-      }
-    }
-  }
-
-  const std::unordered_set<std::string>& dsm_scalars() const {
-    return dsm_scalars_;
-  }
-
- private:
-  void note_raw_writes(const std::string& text,
-                       const std::unordered_set<std::string>& shadowed) {
-    auto tokens_result = lex(text);
-    if (!tokens_result.is_ok()) return;
-    const auto tokens = std::move(tokens_result).value();
-    for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
-      const bool write_next =
-          tokens[i + 1].is_punct("=") || tokens[i + 1].is_punct("+=") ||
-          tokens[i + 1].is_punct("-=") || tokens[i + 1].is_punct("*=") ||
-          tokens[i + 1].is_punct("/=") || tokens[i + 1].is_punct("%=") ||
-          tokens[i + 1].is_punct("&=") || tokens[i + 1].is_punct("|=") ||
-          tokens[i + 1].is_punct("^=") || tokens[i + 1].is_punct("++") ||
-          tokens[i + 1].is_punct("--");
-      const bool inc_prev =
-          tokens[i].is_punct("++") || tokens[i].is_punct("--");
-      const Token& candidate = write_next ? tokens[i] : tokens[i + 1];
-      if (!(write_next || inc_prev) || candidate.kind != TokKind::kIdent) {
-        continue;
-      }
-      if (write_next && i > 0 &&
-          (tokens[i - 1].is_punct("]") || tokens[i - 1].is_punct(".") ||
-           tokens[i - 1].is_punct("->"))) {
-        continue;  // subscript/member store, not a scalar
-      }
-      if (shadowed.count(candidate.text) > 0) continue;
-      if (globals_.count(candidate.text) > 0) {
-        dsm_scalars_.insert(candidate.text);
-      }
-    }
-  }
-
-  void add_clause_shadows(const Clauses& c,
-                          std::unordered_set<std::string>* shadowed) {
-    for (const auto& v : c.privates) shadowed->insert(v);
-    for (const auto& v : c.firstprivate) shadowed->insert(v);
-    for (const auto& v : c.lastprivate) shadowed->insert(v);
-    for (const auto& [op, v] : c.reductions) {
-      (void)op;
-      shadowed->insert(v);
-    }
-  }
-
-  void walk(const Stmt& stmt, bool in_parallel,
-            std::unordered_set<std::string> shadowed) {
-    switch (stmt.kind) {
-      case StmtKind::kBlock:
-        for (const StmtPtr& child : stmt.children) {
-          if (child->kind == StmtKind::kDecl) {
-            for (const Declarator& d : child->declarators) {
-              shadowed.insert(d.name);
-            }
-            continue;
-          }
-          walk(*child, in_parallel, shadowed);
-        }
-        return;
-      case StmtKind::kRaw:
-        if (in_parallel) note_raw_writes(stmt.text, shadowed);
-        return;
-      case StmtKind::kFor: {
-        auto inner = shadowed;
-        if (stmt.for_header.canonical) {
-          inner.insert(stmt.for_header.loop_var);
-        }
-        walk(*stmt.children.front(), in_parallel, inner);
-        return;
-      }
-      case StmtKind::kIf:
-      case StmtKind::kWhile:
-      case StmtKind::kDoWhile:
-      case StmtKind::kSwitch:
-        for (const StmtPtr& child : stmt.children) {
-          walk(*child, in_parallel, shadowed);
-        }
-        return;
-      case StmtKind::kPragma: {
-        const Directive& d = stmt.directive;
-        auto inner = shadowed;
-        switch (d.kind) {
-          case DirectiveKind::kParallel:
-          case DirectiveKind::kParallelSections:
-            add_clause_shadows(d.clauses, &inner);
-            walk(*stmt.children.front(), /*in_parallel=*/true, inner);
-            return;
-          case DirectiveKind::kParallelFor:
-          case DirectiveKind::kFor:
-            add_clause_shadows(d.clauses, &inner);
-            walk(*stmt.children.front(),
-                 d.kind == DirectiveKind::kFor ? in_parallel : true, inner);
-            return;
-          case DirectiveKind::kSingle:
-            // Writes inside single are managed (broadcast payload).
-            return;
-          case DirectiveKind::kAtomic:
-            return;  // analyzable by definition (or a hard error later)
-          case DirectiveKind::kCritical: {
-            const Stmt* body = stmt.children.front().get();
-            if (body->kind == StmtKind::kBlock &&
-                body->children.size() == 1) {
-              body = body->children.front().get();
-            }
-            std::string var;
-            if (body->kind == StmtKind::kRaw &&
-                looks_like_scalar_update(body->text, &var) &&
-                shadowed.count(var) == 0) {
-              return;  // collective fast path: managed
-            }
-            // DSM-lock fallback: body writes need page consistency.
-            walk(*stmt.children.front(), in_parallel, shadowed);
-            return;
-          }
-          default:
-            if (!stmt.children.empty()) {
-              walk(*stmt.children.front(), in_parallel, shadowed);
-            }
-            return;
-        }
-      }
-      default:
-        return;
-    }
-  }
-
-  std::unordered_set<std::string> globals_;
-  std::unordered_set<std::string> dsm_scalars_;
-};
-
-/// A scalar-update statement matched for the hybrid critical/atomic path:
-/// var <combine-op>= expr with no function calls.
-struct UpdatePattern {
-  std::string var;
-  std::string combine_op;  // C operator combining contributions: + * & | ^
-  std::string apply_op;    // operator applying the combined value to var
-  std::string expr;        // contribution expression
-};
+// The update-vs-invalidate classification (paper §5.2) used to live here as
+// a token-pattern pre-pass; it now comes from the semantic analyzer
+// (translator/analyze.hpp), which resolves shadowing through a real symbol
+// table and checks declared sizes against the collective threshold. CodeGen
+// only reads the recorded decisions.
 
 class CodeGen {
  public:
-  explicit CodeGen(const TranslateOptions& options) : options_(options) {}
+  CodeGen(const TranslateOptions& options, const Analysis& analysis)
+      : options_(options), analysis_(analysis) {}
 
   Result<std::string> run(const TranslationUnit& unit);
 
@@ -305,11 +122,10 @@ class CodeGen {
   Status emit_data_env_prologue(const Clauses& c,
                                 std::vector<std::string>* fp_tmp_names);
   void emit_reduction_epilogue(const Clauses& c);
-  std::optional<UpdatePattern> match_update(const std::string& text) const;
+  std::optional<UpdateShape> match_update(const std::string& text) const;
   std::string type_of(const std::string& var) const;
   void collect_written_scalars(const Stmt& stmt,
                                std::set<std::string>* names) const;
-  std::string stmt_to_string(const Stmt& stmt);
   int critical_lock_id(const std::string& name);
 
   Status err(int line, const std::string& message) const {
@@ -318,6 +134,7 @@ class CodeGen {
   }
 
   TranslateOptions options_;
+  const Analysis& analysis_;
   std::ostringstream out_;
   int indent_ = 0;
   int counter_ = 0;
@@ -368,71 +185,15 @@ int CodeGen::critical_lock_id(const std::string& name) {
   return it->second;
 }
 
-std::optional<UpdatePattern> CodeGen::match_update(
+std::optional<UpdateShape> CodeGen::match_update(
     const std::string& text) const {
-  auto tokens_result = lex(text);
-  if (!tokens_result.is_ok()) return std::nullopt;
-  const auto tokens = std::move(tokens_result).value();
-  // Strip trailing ';' / EOF.
-  std::size_t n = tokens.size();
-  while (n > 0 && (tokens[n - 1].kind == TokKind::kEof ||
-                   tokens[n - 1].is_punct(";"))) {
-    --n;
-  }
-  if (n < 2 || tokens[0].kind != TokKind::kIdent) return std::nullopt;
-  const std::string var = tokens[0].text;
-  const Symbol* symbol = lookup(var);
+  auto shape = match_scalar_update(text);
+  if (!shape) return std::nullopt;
+  const Symbol* symbol = lookup(shape->var);
   if (symbol == nullptr || symbol->is_array || symbol->pointer_depth > 0) {
     return std::nullopt;
   }
-
-  auto expr_from = [&](std::size_t begin) -> std::optional<std::string> {
-    std::string expr;
-    for (std::size_t i = begin; i < n; ++i) {
-      // Reject function calls in the contribution (paper §7: only criticals
-      // without function calls map to collectives).
-      if (tokens[i].kind == TokKind::kIdent && i + 1 < n &&
-          tokens[i + 1].is_punct("(")) {
-        return std::nullopt;
-      }
-      expr += (expr.empty() ? "" : " ") + tokens[i].text;
-    }
-    if (expr.empty()) return std::nullopt;
-    return expr;
-  };
-
-  UpdatePattern p;
-  p.var = var;
-  if (n == 2 && (tokens[1].is_punct("++") || tokens[1].is_punct("--"))) {
-    p.combine_op = "+";
-    p.apply_op = tokens[1].text == "++" ? "+" : "-";
-    p.expr = "1";
-    return p;
-  }
-  const std::string& op = tokens[1].text;
-  if (op == "+=" || op == "-=" || op == "*=" || op == "&=" || op == "|=" ||
-      op == "^=") {
-    auto expr = expr_from(2);
-    if (!expr) return std::nullopt;
-    p.apply_op = op.substr(0, 1);
-    p.combine_op = op == "-=" ? "+" : p.apply_op;
-    p.expr = *expr;
-    return p;
-  }
-  if (op == "=" && n >= 5 && tokens[2].text == var &&
-      tokens[3].kind == TokKind::kPunct) {
-    const std::string& binop = tokens[3].text;
-    if (binop == "+" || binop == "-" || binop == "*" || binop == "&" ||
-        binop == "|" || binop == "^") {
-      auto expr = expr_from(4);
-      if (!expr) return std::nullopt;
-      p.apply_op = binop;
-      p.combine_op = binop == "-" ? "+" : binop;
-      p.expr = *expr;
-      return p;
-    }
-  }
-  return std::nullopt;
+  return shape;
 }
 
 void CodeGen::collect_written_scalars(const Stmt& stmt,
@@ -469,18 +230,6 @@ void CodeGen::collect_written_scalars(const Stmt& stmt,
   for (const StmtPtr& child : stmt.children) {
     if (child) collect_written_scalars(*child, names);
   }
-}
-
-std::string CodeGen::stmt_to_string(const Stmt& stmt) {
-  std::ostringstream saved;
-  saved.swap(out_);
-  const int saved_indent = indent_;
-  indent_ = 0;
-  (void)emit_stmt(stmt);
-  std::string text = out_.str();
-  out_ = std::move(saved);
-  indent_ = saved_indent;
-  return text;
 }
 
 Status CodeGen::emit_decl(const Stmt& decl) {
@@ -841,12 +590,17 @@ Status CodeGen::emit_single(const Directive& d, const Stmt& body) {
 
 Status CodeGen::emit_critical(const Directive& d, const Stmt& body) {
   // Lexically analyzable single-update criticals map to collectives
-  // (Figure 2 right); everything else falls back to the DSM lock.
+  // (Figure 2 right); everything else falls back to the DSM lock. The
+  // analyzer already made the call per site (type-, sharing- and size-aware:
+  // declared size vs mp_threshold_bytes); follow its decision when present.
   const Stmt* stmt = &body;
   if (stmt->kind == StmtKind::kBlock && stmt->children.size() == 1) {
     stmt = stmt->children.front().get();
   }
-  if (stmt->kind == StmtKind::kRaw) {
+  auto site = analysis_.sync_sites.find(d.line);
+  const bool want_collective =
+      site != analysis_.sync_sites.end() ? site->second.collective : true;
+  if (want_collective && stmt->kind == StmtKind::kRaw) {
     if (auto pattern = match_update(stmt->text)) {
       const std::string type = type_of(pattern->var);
       open("{");
@@ -1031,29 +785,15 @@ Status CodeGen::emit_block_children(const Stmt& block) {
 }
 
 Result<std::string> CodeGen::run(const TranslationUnit& unit) {
-  // Pre-pass: which file-scope scalars are written by unmanaged statements
-  // inside parallel regions (they must live in the DSM pool)?
-  std::unordered_set<std::string> global_scalars;
-  for (const TopItem& item : unit.items) {
-    if (item.kind != TopItem::Kind::kDecl) continue;
-    for (const Declarator& d : item.stmt->declarators) {
-      if (!d.is_function && d.array_dims.empty() && d.pointer_depth == 0) {
-        global_scalars.insert(d.name);
-      }
-    }
-  }
-  GlobalClassifier classifier(global_scalars);
-  classifier.walk_unit(unit);
-  const auto& dsm_scalars = classifier.dsm_scalars();
-
-  // threadprivate(list) pragmas at file scope mark per-thread globals.
+  // Placement comes from the semantic analysis: which file-scope scalars are
+  // written by unmanaged statements inside parallel regions (DSM pool), and
+  // which globals are threadprivate.
+  std::unordered_set<std::string> dsm_scalars;
   std::unordered_set<std::string> threadprivate_names;
-  for (const TopItem& item : unit.items) {
-    if (item.kind == TopItem::Kind::kPragma &&
-        item.stmt->directive.kind == DirectiveKind::kThreadprivate) {
-      for (const std::string& name : item.stmt->directive.clauses.flush_list) {
-        threadprivate_names.insert(name);
-      }
+  for (const auto& [name, vc] : analysis_.globals) {
+    if (vc.placement == Placement::kDsmScalar) dsm_scalars.insert(name);
+    if (vc.placement == Placement::kThreadprivate) {
+      threadprivate_names.insert(name);
     }
   }
 
@@ -1253,7 +993,16 @@ Result<std::string> CodeGen::run(const TranslationUnit& unit) {
 
 Result<std::string> generate(const TranslationUnit& unit,
                              const TranslateOptions& options) {
-  CodeGen codegen(options);
+  AnalyzeOptions analyze_options;
+  analyze_options.mp_threshold_bytes = options.mp_threshold_bytes;
+  const Analysis analysis = analyze(unit, analyze_options);
+  return generate(unit, options, analysis);
+}
+
+Result<std::string> generate(const TranslationUnit& unit,
+                             const TranslateOptions& options,
+                             const Analysis& analysis) {
+  CodeGen codegen(options, analysis);
   return codegen.run(unit);
 }
 

@@ -5,6 +5,7 @@
 #pragma once
 
 #include "common/status.hpp"
+#include "translator/analyze.hpp"
 #include "translator/ast.hpp"
 
 namespace parade::translator {
@@ -20,7 +21,15 @@ struct TranslateOptions {
   bool emit_main_wrapper = true;
 };
 
+/// Runs the semantic analysis pass internally, then emits code from it.
 Result<std::string> generate(const TranslationUnit& unit,
                              const TranslateOptions& options);
+
+/// Emits code from an analysis the caller already ran (the placement and
+/// critical/atomic collective-vs-lock decisions are read from `analysis`,
+/// which must come from the same unit and threshold).
+Result<std::string> generate(const TranslationUnit& unit,
+                             const TranslateOptions& options,
+                             const Analysis& analysis);
 
 }  // namespace parade::translator

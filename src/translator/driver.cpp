@@ -1,15 +1,19 @@
 // parade_omcc: the ParADE OpenMP translator CLI.
 //
 //   parade_omcc input.c [-o output.cpp] [--threshold=BYTES] [--no-main]
+//   parade_omcc input.c --analyze[=json] [--threshold=BYTES]
 //
 // Translates an OpenMP C program into a ParADE C++ program. Compile the
 // output against the ParADE runtime (see README "Translator" section).
+// With --analyze the translator runs diagnose-only: the semantic analysis
+// report (docs/ANALYZER.md) goes to stdout and the exit code is 1 when any
+// error-severity finding exists.
 #include <cstdio>
-#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
 
+#include "translator/analyze.hpp"
 #include "translator/translate.hpp"
 
 namespace {
@@ -17,7 +21,7 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: parade_omcc <input.c> [-o <output.cpp>] "
-               "[--threshold=BYTES] [--no-main]\n");
+               "[--threshold=BYTES] [--no-main] [--analyze[=json]]\n");
   return 2;
 }
 
@@ -26,6 +30,8 @@ int usage() {
 int main(int argc, char** argv) {
   std::string input;
   std::string output;
+  bool analyze_only = false;
+  bool analyze_json = false;
   parade::translator::TranslateOptions options;
 
   for (int i = 1; i < argc; ++i) {
@@ -34,8 +40,19 @@ int main(int argc, char** argv) {
       if (i + 1 >= argc) return usage();
       output = argv[++i];
     } else if (arg.rfind("--threshold=", 0) == 0) {
-      options.mp_threshold_bytes =
-          static_cast<std::size_t>(std::strtoul(arg.c_str() + 12, nullptr, 10));
+      auto bytes =
+          parade::translator::parse_threshold_bytes(arg.substr(12));
+      if (!bytes.is_ok()) {
+        std::fprintf(stderr, "parade_omcc: %s\n",
+                     bytes.status().to_string().c_str());
+        return 2;
+      }
+      options.mp_threshold_bytes = bytes.value();
+    } else if (arg == "--analyze") {
+      analyze_only = true;
+    } else if (arg == "--analyze=json") {
+      analyze_only = true;
+      analyze_json = true;
     } else if (arg == "--no-main") {
       options.emit_main_wrapper = false;
     } else if (arg.rfind("-", 0) == 0) {
@@ -54,6 +71,24 @@ int main(int argc, char** argv) {
   }
   std::ostringstream source;
   source << in.rdbuf();
+
+  if (analyze_only) {
+    parade::translator::AnalyzeOptions analyze_options;
+    analyze_options.mp_threshold_bytes = options.mp_threshold_bytes;
+    auto analysis =
+        parade::translator::analyze_source(source.str(), analyze_options);
+    if (!analysis.is_ok()) {
+      std::fprintf(stderr, "parade_omcc: %s: %s\n", input.c_str(),
+                   analysis.status().to_string().c_str());
+      return 1;
+    }
+    const std::string report = analyze_json
+                                   ? analysis.value().to_json(input)
+                                   : analysis.value().to_text(input);
+    std::fputs(report.c_str(), stdout);
+    if (analyze_json) std::fputs("\n", stdout);
+    return analysis.value().has_errors() ? 1 : 0;
+  }
 
   auto translated = parade::translator::translate_source(source.str(), options);
   if (!translated.is_ok()) {

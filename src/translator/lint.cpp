@@ -1,0 +1,91 @@
+// parade_lint: standalone OpenMP correctness linter over the ParADE
+// semantic analyzer (docs/ANALYZER.md).
+//
+//   parade_lint [--json] [--threshold=BYTES] [--werror] <input.c>...
+//
+// Prints one report per input. Exit codes: 0 all files clean of errors,
+// 1 at least one error-severity finding (or warning with --werror),
+// 2 usage / unreadable input / parse failure.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/registry.hpp"
+#include "translator/analyze.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: parade_lint [--json] [--threshold=BYTES] [--werror] "
+               "<input.c>...\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  bool werror = false;
+  std::vector<std::string> inputs;
+  parade::translator::AnalyzeOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--werror") {
+      werror = true;
+    } else if (arg.rfind("--threshold=", 0) == 0) {
+      auto bytes = parade::translator::parse_threshold_bytes(arg.substr(12));
+      if (!bytes.is_ok()) {
+        std::fprintf(stderr, "parade_lint: %s\n",
+                     bytes.status().to_string().c_str());
+        return 2;
+      }
+      options.mp_threshold_bytes = bytes.value();
+    } else if (arg.rfind("-", 0) == 0) {
+      return usage();
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  if (inputs.empty()) return usage();
+
+  bool failed = false;
+  bool broken = false;
+  for (const std::string& input : inputs) {
+    std::ifstream in(input);
+    if (!in) {
+      std::fprintf(stderr, "parade_lint: cannot open %s\n", input.c_str());
+      broken = true;
+      continue;
+    }
+    std::ostringstream source;
+    source << in.rdbuf();
+    auto analysis =
+        parade::translator::analyze_source(source.str(), options);
+    if (!analysis.is_ok()) {
+      std::fprintf(stderr, "parade_lint: %s: %s\n", input.c_str(),
+                   analysis.status().to_string().c_str());
+      broken = true;
+      continue;
+    }
+    const auto& result = analysis.value();
+    std::fputs(json ? (result.to_json(input) + "\n").c_str()
+                    : result.to_text(input).c_str(),
+               stdout);
+    if (result.has_errors() ||
+        (werror &&
+         result.count(parade::translator::Severity::kWarning) > 0)) {
+      failed = true;
+    }
+  }
+  // Translation-decision counters (xlat.analyze.*) flow to the standard
+  // JSON/CSV exports when PARADE_METRICS is set.
+  parade::obs::Registry::instance().export_if_configured("parade_lint");
+  if (broken) return 2;
+  return failed ? 1 : 0;
+}

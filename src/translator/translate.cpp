@@ -11,7 +11,10 @@ Result<std::string> translate_source(const std::string& source,
   if (!tokens.is_ok()) return tokens.status();
   auto unit = parse(tokens.value());
   if (!unit.is_ok()) return unit.status();
-  return generate(unit.value(), options);
+  AnalyzeOptions analyze_options;
+  analyze_options.mp_threshold_bytes = options.mp_threshold_bytes;
+  const Analysis analysis = analyze(unit.value(), analyze_options);
+  return generate(unit.value(), options, analysis);
 }
 
 }  // namespace parade::translator

@@ -1,0 +1,603 @@
+// Semantic-analyzer tests: golden diagnostics over a small OpenMP corpus
+// (racy, clean, shadowed, threadprivate, reduction-misuse, ...), the
+// size-aware hybrid collective-vs-DSM selection in both directions, the
+// strict --threshold parser, and a regression check that placement matches
+// the old syntactic classifier's decisions on representative programs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "obs/json.hpp"
+#include "translator/analyze.hpp"
+#include "translator/translate.hpp"
+
+namespace parade::translator {
+namespace {
+
+Analysis analyze_ok(const std::string& source, AnalyzeOptions options = {}) {
+  return analyze_source(source, options).value_or_die();
+}
+
+const Diagnostic* find_diag(const Analysis& analysis, const char* code) {
+  for (const Diagnostic& d : analysis.diagnostics) {
+    if (d.code == code) return &d;
+  }
+  return nullptr;
+}
+
+std::size_t count_diags(const Analysis& analysis, const char* code) {
+  return static_cast<std::size_t>(std::count_if(
+      analysis.diagnostics.begin(), analysis.diagnostics.end(),
+      [&](const Diagnostic& d) { return d.code == code; }));
+}
+
+// ---------------------------------------------------------------------------
+// Golden diagnostics
+
+TEST(Analyze, RacySharedWriteIsErrorWithLine) {
+  const Analysis a = analyze_ok(
+      "int counter;\n"                      // 1
+      "int main(void) {\n"                  // 2
+      "  int i;\n"                          // 3
+      "  #pragma omp parallel for\n"        // 4
+      "  for (i = 0; i < 10; i++) {\n"      // 5
+      "    counter = counter + 1;\n"        // 6
+      "  }\n"
+      "  return 0;\n"
+      "}\n");
+  const Diagnostic* d = find_diag(a, kDiagRaceSharedWrite);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kError);
+  EXPECT_EQ(d->line, 6);
+  EXPECT_EQ(d->var, "counter");
+  EXPECT_TRUE(a.has_errors());
+  ASSERT_EQ(a.globals.count("counter"), 1u);
+  EXPECT_EQ(a.globals.at("counter").placement, Placement::kDsmScalar);
+}
+
+TEST(Analyze, CleanReductionProgramHasNoDiagnostics) {
+  const Analysis a = analyze_ok(
+      "static long num_steps = 100;\n"
+      "double step;\n"
+      "int main(void) {\n"
+      "  double x, pi, sum = 0.0;\n"
+      "  long i;\n"
+      "  step = 1.0 / (double)num_steps;\n"
+      "  #pragma omp parallel for private(x) reduction(+:sum)\n"
+      "  for (i = 0; i < num_steps; i++) {\n"
+      "    x = (i + 0.5) * step;\n"
+      "    sum = sum + 4.0 / (1.0 + x * x);\n"
+      "  }\n"
+      "  pi = step * sum;\n"
+      "  return pi > 0 ? 0 : 1;\n"
+      "}\n");
+  EXPECT_TRUE(a.diagnostics.empty()) << a.to_text("clean.c");
+  EXPECT_FALSE(a.has_errors());
+  EXPECT_EQ(a.globals.at("num_steps").placement, Placement::kReplicated);
+  EXPECT_EQ(a.globals.at("step").placement, Placement::kReplicated);
+}
+
+TEST(Analyze, ShadowingLocalSuppressesRace) {
+  const Analysis a = analyze_ok(
+      "int total;\n"
+      "int main(void) {\n"
+      "  #pragma omp parallel\n"
+      "  {\n"
+      "    int total = 0;\n"
+      "    total = total + 1;\n"
+      "  }\n"
+      "  return 0;\n"
+      "}\n");
+  EXPECT_EQ(find_diag(a, kDiagRaceSharedWrite), nullptr)
+      << a.to_text("shadow.c");
+  // The global was never written in a parallel context: stays replicated.
+  EXPECT_EQ(a.globals.at("total").placement, Placement::kReplicated);
+}
+
+TEST(Analyze, ThreadprivateWritesAreNotRaces) {
+  const Analysis a = analyze_ok(
+      "int tp_counter;\n"
+      "#pragma omp threadprivate(tp_counter)\n"
+      "int main(void) {\n"
+      "  #pragma omp parallel\n"
+      "  {\n"
+      "    tp_counter = tp_counter + 1;\n"
+      "  }\n"
+      "  return 0;\n"
+      "}\n");
+  EXPECT_EQ(find_diag(a, kDiagRaceSharedWrite), nullptr) << a.to_text("tp.c");
+  EXPECT_EQ(a.globals.at("tp_counter").placement, Placement::kThreadprivate);
+}
+
+TEST(Analyze, ReductionVarWrittenOutsideReductionShape) {
+  const Analysis a = analyze_ok(
+      "int main(void) {\n"                        // 1
+      "  double sum = 0.0;\n"                     // 2
+      "  long i;\n"                               // 3
+      "  #pragma omp parallel for reduction(+:sum)\n"  // 4
+      "  for (i = 0; i < 10; i++) {\n"            // 5
+      "    sum = i * 2.0;\n"                      // 6
+      "  }\n"
+      "  return 0;\n"
+      "}\n");
+  const Diagnostic* d = find_diag(a, kDiagReductionMisuse);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kWarning);
+  EXPECT_EQ(d->line, 6);
+  EXPECT_EQ(d->var, "sum");
+}
+
+TEST(Analyze, CompatibleReductionUpdateIsClean) {
+  const Analysis a = analyze_ok(
+      "int main(void) {\n"
+      "  double sum = 0.0;\n"
+      "  long i;\n"
+      "  #pragma omp parallel for reduction(+:sum)\n"
+      "  for (i = 0; i < 10; i++) {\n"
+      "    sum += 2.0;\n"
+      "    sum = sum - 1.0;\n"  // minus folds into a + reduction
+      "  }\n"
+      "  return 0;\n"
+      "}\n");
+  EXPECT_EQ(find_diag(a, kDiagReductionMisuse), nullptr)
+      << a.to_text("red.c");
+}
+
+TEST(Analyze, PrivateReadBeforeInit) {
+  const Analysis a = analyze_ok(
+      "int main(void) {\n"                 // 1
+      "  double x = 1.0;\n"                // 2
+      "  double y = 0.0;\n"                // 3
+      "  #pragma omp parallel private(x)\n"  // 4
+      "  {\n"                              // 5
+      "    y = x + 1.0;\n"                 // 6
+      "  }\n"
+      "  return 0;\n"
+      "}\n");
+  const Diagnostic* d = find_diag(a, kDiagPrivateUninitRead);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kWarning);
+  EXPECT_EQ(d->line, 6);
+  EXPECT_EQ(d->var, "x");
+}
+
+TEST(Analyze, FirstprivateReadIsNotUninit) {
+  const Analysis a = analyze_ok(
+      "int main(void) {\n"
+      "  double x = 1.0;\n"
+      "  double y = 0.0;\n"
+      "  #pragma omp parallel firstprivate(x)\n"
+      "  {\n"
+      "    y = x + 1.0;\n"
+      "  }\n"
+      "  return 0;\n"
+      "}\n");
+  EXPECT_EQ(find_diag(a, kDiagPrivateUninitRead), nullptr)
+      << a.to_text("fp.c");
+}
+
+TEST(Analyze, BarrierUnderConditionalDiverges) {
+  const Analysis a = analyze_ok(
+      "int main(void) {\n"              // 1
+      "  int flag = 0;\n"               // 2
+      "  #pragma omp parallel\n"        // 3
+      "  {\n"                           // 4
+      "    if (flag) {\n"               // 5
+      "      #pragma omp barrier\n"     // 6
+      "    }\n"
+      "  }\n"
+      "  return 0;\n"
+      "}\n");
+  const Diagnostic* d = find_diag(a, kDiagBarrierDivergence);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kError);
+  EXPECT_EQ(d->line, 6);
+}
+
+TEST(Analyze, TopLevelBarrierInParallelIsFine) {
+  const Analysis a = analyze_ok(
+      "int main(void) {\n"
+      "  #pragma omp parallel\n"
+      "  {\n"
+      "    #pragma omp barrier\n"
+      "  }\n"
+      "  return 0;\n"
+      "}\n");
+  EXPECT_EQ(find_diag(a, kDiagBarrierDivergence), nullptr)
+      << a.to_text("barrier.c");
+}
+
+TEST(Analyze, NowaitFollowedByDependentRead) {
+  const Analysis a = analyze_ok(
+      "double acc;\n"                       // 1
+      "int main(void) {\n"                  // 2
+      "  long i;\n"                         // 3
+      "  double out = 0.0;\n"               // 4
+      "  #pragma omp parallel\n"            // 5
+      "  {\n"                               // 6
+      "    #pragma omp single nowait\n"     // 7
+      "    {\n"                             // 8
+      "      acc = 42.0;\n"                 // 9
+      "    }\n"                             // 10
+      "    out = acc + 1.0;\n"              // 11
+      "  }\n"
+      "  return 0;\n"
+      "}\n");
+  const Diagnostic* d = find_diag(a, kDiagNowaitDependentRead);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kWarning);
+  EXPECT_EQ(d->line, 11);
+  EXPECT_EQ(d->var, "acc");
+}
+
+TEST(Analyze, BarrierClearsNowaitDependence) {
+  const Analysis a = analyze_ok(
+      "double acc;\n"
+      "int main(void) {\n"
+      "  double out = 0.0;\n"
+      "  #pragma omp parallel\n"
+      "  {\n"
+      "    #pragma omp single nowait\n"
+      "    {\n"
+      "      acc = 42.0;\n"
+      "    }\n"
+      "    #pragma omp barrier\n"
+      "    out = acc + 1.0;\n"
+      "  }\n"
+      "  return 0;\n"
+      "}\n");
+  EXPECT_EQ(find_diag(a, kDiagNowaitDependentRead), nullptr)
+      << a.to_text("nowait.c");
+}
+
+TEST(Analyze, DefaultNoneRequiresExplicitAttributes) {
+  const Analysis a = analyze_ok(
+      "int main(void) {\n"                        // 1
+      "  double z = 0.0;\n"                       // 2
+      "  #pragma omp parallel default(none)\n"    // 3
+      "  {\n"                                     // 4
+      "    double w = z;\n"                       // 5
+      "  }\n"
+      "  return 0;\n"
+      "}\n");
+  const Diagnostic* d = find_diag(a, kDiagDefaultNoneMissing);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kError);
+  EXPECT_EQ(d->var, "z");
+  // Reported once per (region, variable) even with repeated references.
+  EXPECT_EQ(count_diags(a, kDiagDefaultNoneMissing), 1u);
+}
+
+TEST(Analyze, AtomicNonUpdateIsError) {
+  const Analysis a = analyze_ok(
+      "int main(void) {\n"             // 1
+      "  double v = 0.0;\n"            // 2
+      "  #pragma omp parallel\n"       // 3
+      "  {\n"                          // 4
+      "    #pragma omp atomic\n"       // 5
+      "    v = 2.0 * 3.0;\n"           // 6
+      "  }\n"
+      "  return 0;\n"
+      "}\n");
+  const Diagnostic* d = find_diag(a, kDiagAtomicNotUpdate);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kError);
+  EXPECT_EQ(d->line, 5);
+}
+
+TEST(Analyze, CriticalWithCallExplainsFallback) {
+  const Analysis a = analyze_ok(
+      "double total;\n"
+      "double f(double v);\n"
+      "int main(void) {\n"             // 3
+      "  #pragma omp parallel\n"       // 4
+      "  {\n"                          // 5
+      "    #pragma omp critical\n"     // 6
+      "    total = total + f(1.0);\n"  // 7
+      "  }\n"
+      "  return 0;\n"
+      "}\n");
+  const Diagnostic* d = find_diag(a, kDiagSyncDsmFallback);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kNote);
+  EXPECT_EQ(d->line, 6);
+  EXPECT_NE(d->message.find("function"), std::string::npos);
+  ASSERT_EQ(a.sync_sites.count(6), 1u);
+  EXPECT_FALSE(a.sync_sites.at(6).collective);
+  // Fallback criticals leave their written globals on the DSM path.
+  EXPECT_EQ(a.globals.at("total").placement, Placement::kDsmScalar);
+}
+
+TEST(Analyze, SectionsWritingSameSharedScalarRace) {
+  const Analysis a = analyze_ok(
+      "int shared_v;\n"                       // 1
+      "int main(void) {\n"                    // 2
+      "  #pragma omp parallel sections\n"     // 3
+      "  {\n"                                 // 4
+      "    #pragma omp section\n"             // 5
+      "    shared_v = 1;\n"                   // 6
+      "    #pragma omp section\n"             // 7
+      "    shared_v = 2;\n"                   // 8
+      "  }\n"
+      "  return 0;\n"
+      "}\n");
+  const Diagnostic* d = find_diag(a, kDiagRaceSharedWrite);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->var, "shared_v");
+  EXPECT_EQ(a.globals.at("shared_v").placement, Placement::kDsmScalar);
+}
+
+TEST(Analyze, SingleSectionWriteIsNotARace) {
+  const Analysis a = analyze_ok(
+      "int shared_v;\n"
+      "int main(void) {\n"
+      "  #pragma omp parallel sections\n"
+      "  {\n"
+      "    #pragma omp section\n"
+      "    shared_v = 1;\n"
+      "    #pragma omp section\n"
+      "    { int local_v = 2; local_v = local_v + 1; }\n"
+      "  }\n"
+      "  return 0;\n"
+      "}\n");
+  EXPECT_EQ(find_diag(a, kDiagRaceSharedWrite), nullptr)
+      << a.to_text("sections.c");
+}
+
+// ---------------------------------------------------------------------------
+// Size-aware hybrid protocol selection (paper §5.2: 256 B rule)
+
+const char* kGuardedCritical =
+    "double total;\n"                // 1
+    "int main(void) {\n"             // 2
+    "  #pragma omp parallel\n"       // 3
+    "  {\n"                          // 4
+    "    #pragma omp critical\n"     // 5
+    "    total = total + 1.5;\n"     // 6
+    "  }\n"
+    "  return 0;\n"
+    "}\n";
+
+TEST(Analyze, SmallGuardedScalarGoesCollective) {
+  const Analysis a = analyze_ok(kGuardedCritical);  // default 256 B threshold
+  ASSERT_EQ(a.sync_sites.count(5), 1u);
+  EXPECT_TRUE(a.sync_sites.at(5).collective);
+  EXPECT_EQ(a.sync_sites.at(5).var, "total");
+  EXPECT_EQ(a.globals.at("total").placement, Placement::kReplicated);
+  EXPECT_EQ(a.globals.at("total").byte_size, 8u);
+
+  TranslateOptions options;
+  options.emit_main_wrapper = false;
+  const std::string code =
+      translate_source(kGuardedCritical, options).value_or_die();
+  EXPECT_NE(code.find("team_allreduce_bytes"), std::string::npos);
+  EXPECT_EQ(code.find("dsm_lock"), std::string::npos);
+  EXPECT_NE(code.find("__prep_total"), std::string::npos);
+}
+
+TEST(Analyze, OverThresholdScalarFallsBackToDsm) {
+  AnalyzeOptions options;
+  options.mp_threshold_bytes = 4;  // a double no longer fits
+  const Analysis a = analyze_ok(kGuardedCritical, options);
+  ASSERT_EQ(a.sync_sites.count(5), 1u);
+  EXPECT_FALSE(a.sync_sites.at(5).collective);
+  EXPECT_NE(a.sync_sites.at(5).reason.find("threshold"), std::string::npos);
+  EXPECT_EQ(a.globals.at("total").placement, Placement::kDsmScalar);
+
+  TranslateOptions xoptions;
+  xoptions.emit_main_wrapper = false;
+  xoptions.mp_threshold_bytes = 4;
+  const std::string code =
+      translate_source(kGuardedCritical, xoptions).value_or_die();
+  EXPECT_NE(code.find("dsm_lock"), std::string::npos);
+  EXPECT_NE(code.find("__pdsm_total"), std::string::npos);
+  EXPECT_EQ(code.find("team_allreduce_bytes"), std::string::npos);
+}
+
+TEST(Analyze, UnknownSizeTypeFallsBackWithReason) {
+  const Analysis a = analyze_ok(
+      "struct big_t state;\n"
+      "int main(void) {\n"
+      "  #pragma omp parallel\n"
+      "  {\n"
+      "    #pragma omp critical\n"
+      "    state += 1;\n"
+      "  }\n"
+      "  return 0;\n"
+      "}\n");
+  ASSERT_EQ(a.sync_sites.count(5), 1u);
+  EXPECT_FALSE(a.sync_sites.at(5).collective);
+  EXPECT_NE(a.sync_sites.at(5).reason.find("size"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Classification regression vs the old syntactic classifier
+
+TEST(AnalyzeRegression, MasterBlockWritesStayOnDsm) {
+  const Analysis a = analyze_ok(
+      "int m_count;\n"
+      "int main(void) {\n"
+      "  #pragma omp parallel\n"
+      "  {\n"
+      "    #pragma omp master\n"
+      "    m_count = m_count + 1;\n"
+      "  }\n"
+      "  return 0;\n"
+      "}\n");
+  // One thread executes: no race, but nothing propagates the store except
+  // the DSM (same decision the old classifier made).
+  EXPECT_EQ(find_diag(a, kDiagRaceSharedWrite), nullptr);
+  EXPECT_EQ(a.globals.at("m_count").placement, Placement::kDsmScalar);
+}
+
+TEST(AnalyzeRegression, SingleWritesStayReplicated) {
+  const Analysis a = analyze_ok(
+      "int s_value;\n"
+      "int main(void) {\n"
+      "  #pragma omp parallel\n"
+      "  {\n"
+      "    #pragma omp single\n"
+      "    s_value = 7;\n"
+      "  }\n"
+      "  return 0;\n"
+      "}\n");
+  // single results travel in the broadcast payload: managed, replicated.
+  EXPECT_EQ(find_diag(a, kDiagRaceSharedWrite), nullptr);
+  EXPECT_EQ(a.globals.at("s_value").placement, Placement::kReplicated);
+}
+
+TEST(AnalyzeRegression, FileArraysAlwaysDsm) {
+  const Analysis a = analyze_ok(
+      "double grid[64][64];\n"
+      "int main(void) { return 0; }\n");
+  EXPECT_EQ(a.globals.at("grid").placement, Placement::kDsmArray);
+}
+
+TEST(AnalyzeRegression, SerialWritesDoNotForceDsm) {
+  const Analysis a = analyze_ok(
+      "double step;\n"
+      "int main(void) {\n"
+      "  step = 0.5;\n"  // serial context: no parallel write
+      "  return 0;\n"
+      "}\n");
+  EXPECT_TRUE(a.diagnostics.empty());
+  EXPECT_EQ(a.globals.at("step").placement, Placement::kReplicated);
+}
+
+TEST(AnalyzeRegression, DivisionUpdateNoLongerSplitsDecision) {
+  // Old bug: the classifier accepted `x = x / n` as managed (any binop) but
+  // the emitter rejected it (no `/` collective), leaving a replicated
+  // variable updated behind a lock — lost updates. The unified analysis
+  // makes one decision: not analyzable, DSM placement.
+  const Analysis a = analyze_ok(
+      "double ratio;\n"
+      "int main(void) {\n"
+      "  #pragma omp parallel\n"
+      "  {\n"
+      "    #pragma omp critical\n"
+      "    ratio = ratio / 2.0;\n"
+      "  }\n"
+      "  return 0;\n"
+      "}\n");
+  ASSERT_EQ(a.sync_sites.count(5), 1u);
+  EXPECT_FALSE(a.sync_sites.at(5).collective);
+  EXPECT_EQ(a.globals.at("ratio").placement, Placement::kDsmScalar);
+}
+
+// ---------------------------------------------------------------------------
+// Update-shape matcher
+
+TEST(MatchScalarUpdate, Shapes) {
+  auto m = match_scalar_update("sum += x * 2;");
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->var, "sum");
+  EXPECT_EQ(m->combine_op, "+");
+
+  m = match_scalar_update("n++;");
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->apply_op, "+");
+  EXPECT_EQ(m->expr, "1");
+
+  m = match_scalar_update("v = v - 3;");
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->combine_op, "+");  // subtraction combines additively
+  EXPECT_EQ(m->apply_op, "-");
+
+  EXPECT_FALSE(match_scalar_update("v = w + 3;").has_value());
+  EXPECT_FALSE(match_scalar_update("v = v / 3;").has_value());
+  EXPECT_FALSE(match_scalar_update("v += f(3);").has_value());
+  EXPECT_FALSE(match_scalar_update("if (v) v++;").has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Declared sizes and the strict threshold parser
+
+TEST(SizeofDeclared, BaseTypesPointersArrays) {
+  EXPECT_EQ(sizeof_declared("double", 0, {}), 8u);
+  EXPECT_EQ(sizeof_declared("static unsigned long", 0, {}), 8u);
+  EXPECT_EQ(sizeof_declared("long double", 0, {}), 16u);
+  EXPECT_EQ(sizeof_declared("char", 0, {}), 1u);
+  EXPECT_EQ(sizeof_declared("short", 0, {}), 2u);
+  EXPECT_EQ(sizeof_declared("float", 0, {}), 4u);
+  EXPECT_EQ(sizeof_declared("int32_t", 0, {}), 4u);
+  EXPECT_EQ(sizeof_declared("struct point", 0, {}), 0u);  // unknown layout
+  EXPECT_EQ(sizeof_declared("struct point", 1, {}), sizeof(void*));
+  EXPECT_EQ(sizeof_declared("double", 0, {"8", "4"}), 256u);
+  EXPECT_EQ(sizeof_declared("double", 0, {"N"}), 0u);  // symbolic dim
+}
+
+TEST(ParseThreshold, StrictValidation) {
+  EXPECT_EQ(parse_threshold_bytes("256").value_or_die(), 256u);
+  EXPECT_EQ(parse_threshold_bytes("1").value_or_die(), 1u);
+  EXPECT_FALSE(parse_threshold_bytes("").is_ok());
+  EXPECT_FALSE(parse_threshold_bytes("0").is_ok());
+  EXPECT_FALSE(parse_threshold_bytes("abc").is_ok());
+  EXPECT_FALSE(parse_threshold_bytes("12abc").is_ok());
+  EXPECT_FALSE(parse_threshold_bytes("-5").is_ok());
+  EXPECT_FALSE(parse_threshold_bytes("1e3").is_ok());
+  EXPECT_FALSE(parse_threshold_bytes("99999999999999999999999").is_ok());
+}
+
+// ---------------------------------------------------------------------------
+// Report formats
+
+TEST(AnalyzeReport, JsonIsValidAndCarriesSummary) {
+  const Analysis a = analyze_ok(
+      "int counter;\n"
+      "int main(void) {\n"
+      "  #pragma omp parallel\n"
+      "  {\n"
+      "    counter = counter + 1;\n"
+      "  }\n"
+      "  return 0;\n"
+      "}\n");
+  const std::string json = a.to_json("racy.c");
+  auto doc = obs::parse_json(json).value_or_die();
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.at("file").string, "racy.c");
+  EXPECT_EQ(doc.at("summary").at("errors").as_int(), 1);
+  EXPECT_EQ(doc.at("summary").at("vars_dsm").as_int(), 1);
+  ASSERT_TRUE(doc.at("diagnostics").is_array());
+  ASSERT_EQ(doc.at("diagnostics").array.size(), 1u);
+  EXPECT_EQ(doc.at("diagnostics").array[0].at("code").string,
+            "race.shared_write");
+  EXPECT_EQ(doc.at("diagnostics").array[0].at("line").as_int(), 5);
+  ASSERT_TRUE(doc.at("globals").is_array());
+  ASSERT_TRUE(doc.at("sync_sites").is_array());
+}
+
+TEST(AnalyzeReport, TextFormatHasFileLineCode) {
+  const Analysis a = analyze_ok(
+      "int counter;\n"
+      "int main(void) {\n"
+      "  #pragma omp parallel\n"
+      "  { counter = counter + 1; }\n"
+      "  return 0;\n"
+      "}\n");
+  const std::string text = a.to_text("racy.c");
+  EXPECT_NE(text.find("racy.c:4: error [race.shared_write]"),
+            std::string::npos)
+      << text;
+}
+
+// ---------------------------------------------------------------------------
+// Diagnostics never fail translation (lint is advisory for codegen)
+
+TEST(Analyze, RacyProgramStillTranslates) {
+  TranslateOptions options;
+  options.emit_main_wrapper = false;
+  auto code = translate_source(
+      "int counter;\n"
+      "int main(void) {\n"
+      "  #pragma omp parallel\n"
+      "  { counter = counter + 1; }\n"
+      "  return 0;\n"
+      "}\n",
+      options);
+  ASSERT_TRUE(code.is_ok()) << code.status().to_string();
+  // The racy scalar lands in the DSM pool, as before the analyzer rewire.
+  EXPECT_NE(code.value().find("__pdsm_counter"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace parade::translator
