@@ -7,9 +7,37 @@
 
 #include "common/log.hpp"
 #include "dsm/diff.hpp"
+#include "dsm/rules.hpp"
 #include "dsm/sigsegv.hpp"
+#include "obs/registry.hpp"
 
 namespace parade::dsm {
+
+// ---------------------------------------------------------------------------
+// Runtime invariant checking (PARADE_CHECKED): the protocol rules consulted
+// below are pure functions (dsm/rules.hpp) shared with the model checker;
+// these hooks re-assert their preconditions in the live engine and surface
+// violations as `dsm.invariant.violations` instead of aborting, so chaos
+// runs can finish and report every violation they hit.
+
+void DsmNode::check_invariant(bool ok, const char* invariant, PageId page) {
+#ifdef PARADE_CHECKED
+  if (ok) return;
+  if (invariant_violations_ != nullptr) invariant_violations_->add(1);
+  PLOG_ERROR("DSM invariant violated: " << invariant << " (page " << page
+                                        << ")");
+#else
+  (void)ok;
+  (void)invariant;
+  (void)page;
+#endif
+}
+
+void DsmNode::set_state(PageEntry& entry, PageId page, PageState to) {
+  check_invariant(rules::transition_allowed(entry.state, to), "fig5.edge",
+                  page);
+  entry.state = to;
+}
 
 // ---------------------------------------------------------------------------
 // Critical-section dirty tracking (thread-local; a thread belongs to exactly
@@ -57,6 +85,8 @@ Status DsmNode::start() {
   // Fresh metrics per cluster run: tests and benches build consecutive
   // virtual clusters in one process and assert exact protocol counts.
   obs::Registry::instance().reset_node(rank());
+  invariant_violations_ =
+      &obs::Registry::instance().counter(rank(), "dsm.invariant.violations");
   auto mapping = DoubleMapping::create(config_.pool_bytes, config_.map_method);
   if (!mapping.is_ok()) return mapping.status();
   mapping_ = std::move(mapping).value();
@@ -142,15 +172,15 @@ bool DsmNode::handle_fault(void* addr, bool is_write) {
   }
 
   for (;;) {
-    switch (entry.state) {
-      case PageState::kInvalid:
+    switch (rules::fault_action(entry.state, is_write)) {
+      case rules::FaultAction::kStartFetch:
         fetch_page(page, lock, entry);
         continue;  // re-dispatch (a write fault still needs the upgrade)
 
-      case PageState::kTransient:
-        entry.state = PageState::kBlocked;
+      case rules::FaultAction::kJoinWaiters:
+        set_state(entry, page, PageState::kBlocked);
         [[fallthrough]];
-      case PageState::kBlocked:
+      case rules::FaultAction::kWaitForFetch:
         entry.cv.wait(lock, [&] {
           return entry.state == PageState::kReadOnly ||
                  entry.state == PageState::kDirty;
@@ -161,20 +191,19 @@ bool DsmNode::handle_fault(void* addr, bool is_write) {
         }
         continue;
 
-      case PageState::kReadOnly:
-        if (!is_write) return true;  // fetch completed; retry will succeed
+      case rules::FaultAction::kUpgradeToDirty:
         upgrade_to_dirty(page, entry);
         return true;
 
-      case PageState::kDirty:
-        return true;  // another thread already upgraded
+      case rules::FaultAction::kDone:
+        return true;
     }
   }
 }
 
 void DsmNode::fetch_page(PageId page, std::unique_lock<std::mutex>& lock,
                          PageEntry& entry) {
-  entry.state = PageState::kTransient;
+  set_state(entry, page, PageState::kTransient);
   const NodeId home = entry.home;
   PARADE_CHECK_MSG(home != rank(), "home node must never fault INVALID");
   const std::uint32_t seq = ++entry.fetch_seq;
@@ -216,7 +245,7 @@ void DsmNode::fetch_page(PageId page, std::unique_lock<std::mutex>& lock,
 }
 
 void DsmNode::upgrade_to_dirty(PageId page, PageEntry& entry) {
-  if (entry.home != rank()) {
+  if (rules::needs_twin(entry.home, rank())) {
     // Non-home writers keep a twin so the flush can diff (§5.2.1: the home
     // itself needs no twin — all diffs merge into its copy).
     entry.twin.resize(config_.page_bytes);
@@ -224,7 +253,7 @@ void DsmNode::upgrade_to_dirty(PageId page, PageEntry& entry) {
     stats_.inc_twins_created();
   }
   protect(page, PROT_READ | PROT_WRITE);
-  entry.state = PageState::kDirty;
+  set_state(entry, page, PageState::kDirty);
   {
     std::lock_guard dirty_lock(dirty_mutex_);
     dirty_now_.push_back(page);
@@ -261,7 +290,7 @@ void DsmNode::flush_pages(const std::vector<PageId>& pages) {
 
     if (entry.home == rank()) {
       protect(page, PROT_READ);
-      entry.state = PageState::kReadOnly;
+      set_state(entry, page, PageState::kReadOnly);
       continue;
     }
 
@@ -271,7 +300,7 @@ void DsmNode::flush_pages(const std::vector<PageId>& pages) {
     entry.twin.clear();
     entry.twin.shrink_to_fit();
     protect(page, PROT_READ);
-    entry.state = PageState::kReadOnly;
+    set_state(entry, page, PageState::kReadOnly);
     const NodeId home = entry.home;
     lock.unlock();
 
@@ -379,8 +408,10 @@ void DsmNode::barrier() {
       auto depart_r = codec<BarrierDepartMsg>::try_decode(msg->payload);
       if (!depart_r.is_ok()) continue;  // malformed frame off the wire
       BarrierDepartMsg depart = std::move(depart_r).value();
-      if (depart.epoch < epoch_) continue;  // duplicate of an older epoch
-      PARADE_CHECK(depart.epoch == epoch_);
+      const auto action = rules::classify_barrier_depart(depart.epoch, epoch_);
+      if (action == rules::DepartAction::kIgnoreStale) continue;
+      PARADE_CHECK_MSG(action == rules::DepartAction::kProcess,
+                       "barrier departure from a future epoch");
       if (clock != nullptr) {
         clock->merge(depart.departure_vtime +
                      config_.net.transfer_us(msg->payload.size()));
@@ -453,17 +484,14 @@ void DsmNode::master_barrier(const BarrierArriveMsg& own,
     DepartEntry entry;
     entry.page = page;
     const NodeId home = pages_->home_of(page);
-    if (mods.size() == 1) {
-      // §5.2.2: a unique modifier becomes the new home (if migration is on).
-      entry.sole_modifier = mods.front();
-      entry.new_home = config_.home_migration ? mods.front() : home;
-      if (entry.new_home != home) stats_.inc_home_migrations();
-    } else {
-      // Several modifiers: only the old home holds the merged page, and the
-      // paper gives the current home the highest retention priority.
-      entry.sole_modifier = kAnyNode;
-      entry.new_home = home;
-    }
+    // §5.2.2 tie-break (rules::choose_home): unique modifier → current home
+    // → smallest node id. Only a unique modifier ever migrates the page —
+    // with several modifiers the old home holds the only merged copy.
+    const rules::HomeDecision decision =
+        rules::choose_home(home, mods, config_.home_migration);
+    entry.sole_modifier = decision.sole_modifier;
+    entry.new_home = decision.new_home;
+    if (entry.new_home != home) stats_.inc_home_migrations();
     depart.entries.push_back(entry);
   }
 
@@ -496,17 +524,28 @@ void DsmNode::handle_barrier_arrive(const net::Message& message) {
   const VirtualUs contribution =
       message.header.vtime + config_.net.transfer_us(message.payload.size());
   std::lock_guard lock(barrier_gather_.mutex);
-  if (barrier_gather_.last_depart_epoch &&
-      arrive.epoch <= *barrier_gather_.last_depart_epoch) {
-    // The worker never saw our departure and is retransmitting its arrival.
-    // Workers lag at most one epoch, so the cached payload always matches.
-    if (arrive.epoch == *barrier_gather_.last_depart_epoch) {
+  switch (rules::classify_barrier_arrival(arrive.epoch,
+                                          barrier_gather_.last_depart_epoch)) {
+    case rules::ArrivalAction::kReAnswerClosedEpoch:
+      // The worker never saw our departure and is retransmitting its
+      // arrival. Workers lag at most one epoch, so the cached payload
+      // always matches.
       stats_.inc_retries();
       post(message.header.src, kTagBarrierDepart,
            barrier_gather_.last_depart_payload,
            barrier_gather_.last_depart_vtime);
-    }
-    return;
+      return;
+    case rules::ArrivalAction::kIgnoreStale:
+      return;
+    case rules::ArrivalAction::kRecord:
+      // barrier.epoch: a recordable arrival is always for the one epoch the
+      // last departure left open (workers lag or lead by at most one).
+      check_invariant(
+          arrive.epoch == (barrier_gather_.last_depart_epoch.has_value()
+                               ? *barrier_gather_.last_depart_epoch + 1
+                               : 0),
+          "barrier.epoch", /*page=*/-1);
+      break;
   }
   // Duplicate arrivals for an open epoch simply overwrite their slot.
   barrier_gather_.arrivals[arrive.epoch][message.header.src] = {
@@ -524,15 +563,15 @@ void DsmNode::process_departure(const BarrierDepartMsg& msg) {
     // Keep the copy when it is provably current: we are the new home, we
     // were the old home (all diffs merged into us), or we were the interval's
     // only modifier.
-    const bool keep = e.new_home == rank() || old_home == rank() ||
-                      e.sole_modifier == rank();
-    if (keep) continue;
-    if (entry.state == PageState::kReadOnly ||
-        entry.state == PageState::kDirty) {
+    if (rules::keep_copy_on_departure(rank(), e.new_home, old_home,
+                                      e.sole_modifier)) {
+      continue;
+    }
+    if (rules::invalidate_applies(entry.state)) {
       entry.twin.clear();
       entry.twin.shrink_to_fit();
       protect(e.page, PROT_NONE);
-      entry.state = PageState::kInvalid;
+      set_state(entry, e.page, PageState::kInvalid);
       stats_.inc_invalidations();
     }
   }
@@ -580,7 +619,8 @@ void DsmNode::lock_acquire(int lock_id) {
     auto grant_r = codec<LockGrantMsg>::try_decode(msg->payload);
     if (!grant_r.is_ok()) continue;  // malformed frame off the wire
     grant = std::move(grant_r).value();
-    if (grant.seq != seq) continue;  // duplicate grant of an older acquire
+    // Duplicate grant of an older acquire: drop and keep waiting.
+    if (!rules::accept_response_seq(seq, grant.seq)) continue;
     if (clock != nullptr) {
       clock->sync_cpu();
       clock->merge(msg->header.vtime +
@@ -591,15 +631,14 @@ void DsmNode::lock_acquire(int lock_id) {
 
   // Lazy-release consistency, conservatively: invalidate every cached page
   // another node modified under this lock so the critical section sees the
-  // most up-to-date values.
+  // most up-to-date values (unless we are its home — diffs merged into us).
   for (const WriteNotice& notice : grant.notices) {
-    if (notice.modifier == rank()) continue;
     PageEntry& entry = pages_->entry(notice.page);
     std::lock_guard lock(entry.mutex);
-    if (entry.home == rank()) continue;  // diffs were merged into us
-    if (entry.state == PageState::kReadOnly) {
+    if (rules::invalidate_on_lock_notice(entry.state, entry.home, rank(),
+                                         notice.modifier)) {
       protect(notice.page, PROT_NONE);
-      entry.state = PageState::kInvalid;
+      set_state(entry, notice.page, PageState::kInvalid);
       stats_.inc_invalidations();
     }
   }
@@ -652,7 +691,8 @@ void DsmNode::lock_release(int lock_id) {
     auto relack_r = codec<LockReleaseAckMsg>::try_decode(msg->payload);
     if (!relack_r.is_ok()) continue;  // malformed frame off the wire
     const LockReleaseAckMsg acked = std::move(relack_r).value();
-    if (acked.seq != seq) continue;  // duplicate ack of an older release
+    // Duplicate ack of an older release: drop and keep waiting.
+    if (!rules::accept_response_seq(seq, acked.seq)) continue;
     break;
   }
   lock_gate_[static_cast<std::size_t>(lock_id)].unlock();
@@ -736,6 +776,15 @@ void DsmNode::serve_page_request(const net::Message& message) {
     // (see DESIGN.md) guarantees it is current.
     PageEntry& entry = pages_->entry(request.page);
     std::lock_guard lock(entry.mutex);
+    // home.holds_copy: a node that believes it is home must hold page data.
+    // (A retransmitted request can land after migration moved the home away;
+    // the requester's seq gate discards the reply, so only the home case is
+    // checkable here.)
+    if (entry.home == rank()) {
+      check_invariant(entry.state == PageState::kReadOnly ||
+                          entry.state == PageState::kDirty,
+                      "home.holds_copy", request.page);
+    }
     std::memcpy(reply.data.data(), sys_page(request.page), config_.page_bytes);
   }
   post(message.header.src, kTagPageReply,
@@ -754,9 +803,9 @@ void DsmNode::install_page(const net::Message& message) {
   // A reply for a page no longer being fetched, or for a superseded fetch,
   // is a retransmission artifact (the original served both); drop it rather
   // than overwrite state another path owns.
-  const bool fetching = entry.state == PageState::kTransient ||
-                        entry.state == PageState::kBlocked;
-  if (!fetching || reply.seq != entry.fetch_seq) return;
+  if (!rules::accept_page_reply(entry.state, entry.fetch_seq, reply.seq)) {
+    return;
+  }
   // Atomic page update (§5.1): write through the always-writable system view
   // first, only then open the application view.
   std::memcpy(sys_page(reply.page), reply.data.data(), config_.page_bytes);
@@ -764,7 +813,7 @@ void DsmNode::install_page(const net::Message& message) {
   entry.ready_vtime = message.header.vtime +
                       config_.net.transfer_us(message.payload.size()) +
                       config_.net.recv_overhead_us;
-  entry.state = PageState::kReadOnly;
+  set_state(entry, reply.page, PageState::kReadOnly);
   entry.cv.notify_all();
 }
 
@@ -777,9 +826,7 @@ void DsmNode::apply_incoming_diff(const net::Message& message) {
   const DiffMsg diff = std::move(diff_r).value();
   // A retransmitted diff whose original already merged must not re-apply (the
   // page may have moved on since), but the sender is still waiting: re-ack.
-  const bool duplicate =
-      diff_seen_.seen_or_insert(net::seq_key(message.header.src, diff.seq));
-  if (!duplicate) {
+  if (rules::accept_diff(diff_seen_, message.header.src, diff.seq)) {
     stats_.inc_diffs_applied();
     comm_clock_.add(config_.net.page_service_us);
     comm_ledger_.charge(config_.net.page_service_us);

@@ -32,9 +32,14 @@
 #include "dsm/mapping.hpp"
 #include "dsm/pagetable.hpp"
 #include "dsm/protocol.hpp"
+#include "dsm/rules.hpp"
 #include "dsm/stats.hpp"
 #include "net/channel.hpp"
 #include "vtime/clock.hpp"
+
+namespace parade::obs {
+class Counter;
+}
 
 namespace parade::dsm {
 
@@ -120,6 +125,14 @@ class DsmNode {
   void protect(PageId page, int prot);
   std::byte* sys_page(PageId page) const;
 
+  /// The single funnel for page-state changes: asserts the change is a legal
+  /// Figure-5 edge (rules::transition_allowed) before assigning. The check
+  /// only compiles in under the PARADE_CHECKED cmake option.
+  void set_state(PageEntry& entry, PageId page, PageState to);
+  /// Runtime invariant hook: under PARADE_CHECKED a failed check logs and
+  /// bumps the `dsm.invariant.violations` obs counter; otherwise a no-op.
+  void check_invariant(bool ok, const char* invariant, PageId page);
+
   /// Node-wide sequence source for diff and lock messages (page fetches use
   /// the per-page counter in PageEntry). Never returns 0.
   std::uint32_t next_seq() {
@@ -132,6 +145,9 @@ class DsmNode {
   std::unique_ptr<PageTable> pages_;
   DsmStats stats_;
   vtime::CommLedger comm_ledger_;
+  /// `dsm.invariant.violations`: registered unconditionally (so tests can
+  /// assert it is zero) but only ever incremented under PARADE_CHECKED.
+  obs::Counter* invariant_violations_ = nullptr;
 
   std::thread comm_thread_;
   vtime::ThreadClock comm_clock_;

@@ -13,28 +13,6 @@ const char* to_string(PageState state) {
   return "?";
 }
 
-bool transition_allowed(PageState from, PageState to) {
-  switch (from) {
-    case PageState::kInvalid:
-      // First faulting thread starts the fetch.
-      return to == PageState::kTransient;
-    case PageState::kTransient:
-      // Another thread joins the wait, or the fetch completes.
-      return to == PageState::kBlocked || to == PageState::kReadOnly ||
-             to == PageState::kDirty;
-    case PageState::kBlocked:
-      // Fetch completes; waiters are woken.
-      return to == PageState::kReadOnly || to == PageState::kDirty;
-    case PageState::kReadOnly:
-      // Write fault dirties; an incoming write notice invalidates.
-      return to == PageState::kDirty || to == PageState::kInvalid;
-    case PageState::kDirty:
-      // Flush downgrades; a lock-grant write notice may invalidate.
-      return to == PageState::kReadOnly || to == PageState::kInvalid;
-  }
-  return false;
-}
-
 PageTable::PageTable(std::size_t num_pages, NodeId initial_home) {
   entries_.reserve(num_pages);
   for (std::size_t i = 0; i < num_pages; ++i) {

@@ -24,21 +24,14 @@
 
 #include "common/status.hpp"
 #include "common/types.hpp"
+#include "dsm/rules.hpp"
 
 namespace parade::dsm {
 
-enum class PageState : std::uint8_t {
-  kInvalid,
-  kTransient,
-  kBlocked,
-  kReadOnly,
-  kDirty,
-};
-
-const char* to_string(PageState state);
-
-/// Pure state-transition validity check (exercised by property tests).
-bool transition_allowed(PageState from, PageState to);
+// PageState and the legal-edge table live in dsm/rules.hpp alongside the
+// rest of the pure protocol rules; this alias keeps existing callers of the
+// unqualified name working.
+using rules::transition_allowed;
 
 struct PageEntry {
   std::mutex mutex;

@@ -2,10 +2,11 @@
 // semantic analyzer (docs/ANALYZER.md).
 //
 //   parade_lint [--json] [--threshold=BYTES] [--werror] <input.c>...
+//   parade_lint --version
 //
 // Prints one report per input. Exit codes: 0 all files clean of errors,
 // 1 at least one error-severity finding (or warning with --werror),
-// 2 usage / unreadable input / parse failure.
+// 2 usage (including no input files) / unreadable input / parse failure.
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -34,6 +35,10 @@ int main(int argc, char** argv) {
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    if (arg == "--version") {
+      std::fprintf(stdout, "parade_lint 0.4.0\n");
+      return 0;
+    }
     if (arg == "--json") {
       json = true;
     } else if (arg == "--werror") {

@@ -1,0 +1,203 @@
+#include "verify/checker.hpp"
+
+#include <sstream>
+#include <unordered_set>
+
+namespace parade::verify {
+
+namespace {
+
+/// FNV-1a over the canonical state encoding. The visited set stores 64-bit
+/// fingerprints instead of full encodings (SPIN's hash-compaction trade:
+/// at the few-million-state scale the collision probability is ~1e-6,
+/// acceptable for a checker whose counterexamples are replay-verified).
+std::uint64_t fingerprint(const std::string& bytes) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+ExploreResult explore(const Model& model, const Budget& budget) {
+  ExploreResult result;
+
+  struct Frame {
+    State state;
+    Action via;  ///< action that produced this state (unused at the root)
+    std::vector<Action> actions;
+    std::size_t next = 0;
+  };
+
+  std::unordered_set<std::uint64_t> visited;
+  std::vector<Frame> stack;
+
+  auto trace_to = [&stack](const Action& last) {
+    std::vector<Action> trace;
+    trace.reserve(stack.size());
+    for (std::size_t i = 1; i < stack.size(); ++i) {
+      trace.push_back(stack[i].via);
+    }
+    trace.push_back(last);
+    return trace;
+  };
+
+  State init = model.initial();
+  visited.insert(fingerprint(model.encode(init)));
+  {
+    Frame root;
+    root.actions = model.enabled(init);
+    if (root.actions.empty() && !model.done(init)) {
+      result.violation = Violation{"deadlock", "initial state has no actions"};
+      return result;
+    }
+    root.state = std::move(init);
+    stack.push_back(std::move(root));
+  }
+
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    if (frame.next >= frame.actions.size()) {
+      stack.pop_back();
+      continue;
+    }
+    const Action action = frame.actions[frame.next++];
+    State child = frame.state;
+    result.transitions += 1;
+    if (auto violation = model.apply(child, action)) {
+      result.violation = std::move(violation);
+      result.trace = trace_to(action);
+      return result;
+    }
+    if (!visited.insert(fingerprint(model.encode(child))).second) continue;
+    result.states += 1;
+    if (result.states >= budget.max_states) {
+      result.states_exhausted = true;
+      return result;
+    }
+    if (model.done(child)) continue;
+    std::vector<Action> actions = model.enabled(child);
+    if (actions.empty()) {
+      result.violation =
+          Violation{"deadlock", "reachable state with no enabled actions"};
+      result.trace = trace_to(action);
+      return result;
+    }
+    if (stack.size() >= budget.max_depth) {
+      result.depth_pruned = true;
+      continue;
+    }
+    Frame next;
+    next.state = std::move(child);
+    next.via = action;
+    next.actions = std::move(actions);
+    stack.push_back(std::move(next));
+  }
+  return result;
+}
+
+ReplayResult replay(const Model& model, const std::vector<Action>& trace) {
+  ReplayResult result;
+  State state = model.initial();
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    if (!model.applicable(state, trace[i])) {
+      result.feasible = false;
+      result.violation_index = i;
+      return result;
+    }
+    if (auto violation = model.apply(state, trace[i])) {
+      result.violation = std::move(violation);
+      result.violation_index = i;
+      return result;
+    }
+  }
+  result.violation_index = trace.size();
+  return result;
+}
+
+std::vector<Action> minimize(const Model& model,
+                             const std::vector<Action>& trace) {
+  std::vector<Action> best = trace;
+  // First cut anything after the violation the full trace already hits.
+  {
+    ReplayResult r = replay(model, best);
+    if (r.violation) best.resize(r.violation_index + 1);
+  }
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    for (std::size_t i = best.size(); i-- > 0;) {
+      std::vector<Action> candidate = best;
+      candidate.erase(candidate.begin() + static_cast<std::ptrdiff_t>(i));
+      ReplayResult r = replay(model, candidate);
+      if (!r.feasible || !r.violation) continue;
+      candidate.resize(r.violation_index + 1);
+      best = std::move(candidate);
+      improved = true;
+    }
+  }
+  return best;
+}
+
+// ---------------------------------------------------------------------------
+// Trace files.
+
+std::string format_trace(const TraceFile& trace) {
+  std::ostringstream os;
+  os << "# parade_model trace v1\n";
+  os << "scenario " << trace.scenario << '\n';
+  os << "mutation " << trace.mutation << '\n';
+  os << "violation " << trace.violation << '\n';
+  for (const Action& action : trace.actions) {
+    os << to_string(action) << '\n';
+  }
+  return os.str();
+}
+
+std::optional<TraceFile> parse_trace(const std::string& text,
+                                     std::string* error) {
+  TraceFile out;
+  std::istringstream is(text);
+  std::string line;
+  int lineno = 0;
+  auto fail = [&](const std::string& what) {
+    if (error != nullptr) {
+      std::ostringstream os;
+      os << "line " << lineno << ": " << what;
+      *error = os.str();
+    }
+    return std::nullopt;
+  };
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string word;
+    ls >> word;
+    if (word == "scenario" || word == "mutation" || word == "violation") {
+      std::string value;
+      if (!(ls >> value)) return fail("missing value after '" + word + "'");
+      if (word == "scenario") {
+        out.scenario = value;
+      } else if (word == "mutation") {
+        out.mutation = value;
+      } else {
+        out.violation = value;
+      }
+      continue;
+    }
+    std::optional<Action> action = parse_action(line);
+    if (!action) return fail("unparsable action: " + line);
+    out.actions.push_back(*action);
+  }
+  if (out.scenario.empty()) {
+    lineno = 0;
+    return fail("trace names no scenario");
+  }
+  return out;
+}
+
+}  // namespace parade::verify

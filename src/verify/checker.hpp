@@ -1,0 +1,78 @@
+// Explicit-state DFS explorer over verify::Model, plus counterexample
+// minimization and trace (de)serialization for the parade_model CLI.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "verify/model.hpp"
+
+namespace parade::verify {
+
+struct Budget {
+  std::uint64_t max_states = 1'000'000;
+  std::size_t max_depth = 4000;
+};
+
+struct ExploreResult {
+  /// Set when an invariant violation (or deadlock) was reached.
+  std::optional<Violation> violation;
+  /// Action sequence from the initial state to the violation (minimized by
+  /// the caller via minimize()).
+  std::vector<Action> trace;
+  /// True when max_states was hit before the frontier emptied.
+  bool states_exhausted = false;
+  /// True when some path was cut at max_depth (exploration is then a
+  /// bounded under-approximation, not a fixed point).
+  bool depth_pruned = false;
+  std::uint64_t states = 1;  ///< distinct states reached (incl. initial)
+  std::uint64_t transitions = 0;
+
+  /// Exhaustive, violation-free exploration reached its fixed point.
+  bool clean_fixed_point() const {
+    return !violation && !states_exhausted && !depth_pruned;
+  }
+};
+
+/// Depth-first exploration with full-state hashing. Stops at the first
+/// violation (returning its trace) or at the budget.
+ExploreResult explore(const Model& model, const Budget& budget);
+
+struct ReplayResult {
+  /// Violation hit while replaying, and how many actions ran before it.
+  std::optional<Violation> violation;
+  std::size_t violation_index = 0;
+  /// False when some action was not applicable in sequence (the trace does
+  /// not match the model; nothing beyond violation_index was run).
+  bool feasible = true;
+};
+
+/// Replays a trace from the initial state, stopping at the first violation
+/// or infeasible action.
+ReplayResult replay(const Model& model, const std::vector<Action>& trace);
+
+/// Greedy counterexample minimization: repeatedly drops actions that keep
+/// the trace feasible and still violating (not necessarily the same
+/// invariant — any violation counts), until a fixed point.
+std::vector<Action> minimize(const Model& model,
+                             const std::vector<Action>& trace);
+
+// ---------------------------------------------------------------------------
+// Trace files.
+
+struct TraceFile {
+  std::string scenario;
+  std::string mutation = "none";
+  std::string violation;  ///< invariant name the trace demonstrates
+  std::vector<Action> actions;
+};
+
+std::string format_trace(const TraceFile& trace);
+/// Parses format_trace output; returns nullopt (with a diagnostic in
+/// *error) on malformed input.
+std::optional<TraceFile> parse_trace(const std::string& text,
+                                     std::string* error);
+
+}  // namespace parade::verify

@@ -4,8 +4,10 @@
 // strict --threshold parser, and a regression check that placement matches
 // the old syntactic classifier's decisions on representative programs.
 #include <gtest/gtest.h>
+#include <sys/wait.h>
 
 #include <algorithm>
+#include <cstdio>
 
 #include "obs/json.hpp"
 #include "translator/analyze.hpp"
@@ -582,6 +584,44 @@ TEST(AnalyzeReport, TextFormatHasFileLineCode) {
 
 // ---------------------------------------------------------------------------
 // Diagnostics never fail translation (lint is advisory for codegen)
+
+// parade_lint CLI contract (the binary the lint CI tier runs)
+
+std::string run_lint(const std::string& args, int* exit_code) {
+  const std::string command =
+      std::string(PARADE_BINARY_DIR) + "/src/translator/parade_lint " + args;
+  std::string output;
+  FILE* pipe = popen((command + " 2>&1").c_str(), "r");
+  if (pipe == nullptr) {
+    *exit_code = -1;
+    return output;
+  }
+  char buffer[4096];
+  while (fgets(buffer, sizeof(buffer), pipe) != nullptr) output += buffer;
+  const int status = pclose(pipe);
+  *exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return output;
+}
+
+TEST(LintCli, NoInputFilesIsAUsageError) {
+  int exit_code = 0;
+  const std::string output = run_lint("", &exit_code);
+  EXPECT_EQ(exit_code, 2);
+  EXPECT_NE(output.find("usage:"), std::string::npos);
+}
+
+TEST(LintCli, VersionFlagPrintsAndSucceeds) {
+  int exit_code = -1;
+  const std::string output = run_lint("--version", &exit_code);
+  EXPECT_EQ(exit_code, 0);
+  EXPECT_NE(output.find("parade_lint"), std::string::npos);
+}
+
+TEST(LintCli, UnknownFlagIsAUsageError) {
+  int exit_code = 0;
+  run_lint("--no-such-flag", &exit_code);
+  EXPECT_EQ(exit_code, 2);
+}
 
 TEST(Analyze, RacyProgramStillTranslates) {
   TranslateOptions options;

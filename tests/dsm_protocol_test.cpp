@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "dsm/cluster.hpp"
+#include "obs/registry.hpp"
 
 namespace parade::dsm {
 namespace {
@@ -290,6 +291,35 @@ TEST(DsmProtocol, AllocatorAlignmentAndDeterminism) {
   for (int i = 0; i < 3; ++i) EXPECT_EQ(offsets[0][i], offsets[1][i]);
   EXPECT_EQ(offsets[0][1] % 4096, 0u);
   cluster.shutdown();
+}
+
+TEST(DsmProtocol, InvariantViolationCounterStaysZero) {
+  // Exercise fetch, migration, invalidation, and concurrent faulting, then
+  // read back `dsm.invariant.violations`. The counter is registered
+  // unconditionally; under PARADE_CHECKED builds every rules.hpp decision is
+  // re-checked at runtime and any disagreement would show up here.
+  DsmCluster cluster(3, config_mb());
+  cluster.run([&](NodeId rank) {
+    auto* data = static_cast<int*>(cluster.node(rank).shmalloc(8192, 4096));
+    if (rank == 0) data[0] = 1;
+    cluster.node(rank).barrier();
+    EXPECT_EQ(data[0], 1);
+    cluster.node(rank).barrier();
+    if (rank == 1) data[0] = 2;          // sole modifier: home migrates
+    if (rank == 2) data[1024] = 3;       // second page, different owner
+    cluster.node(rank).barrier();
+    EXPECT_EQ(data[0], 2);
+    EXPECT_EQ(data[1024], 3);
+    cluster.node(rank).barrier();
+  });
+  cluster.shutdown();
+  for (NodeId rank = 0; rank < 3; ++rank) {
+    EXPECT_EQ(obs::Registry::instance()
+                  .counter(rank, "dsm.invariant.violations")
+                  .value(),
+              0)
+        << "rank " << rank;
+  }
 }
 
 }  // namespace

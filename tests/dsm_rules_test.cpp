@@ -1,0 +1,236 @@
+// Unit tests for the pure protocol-transition rules (dsm/rules.hpp): the
+// Figure 5 edge table, fault-path dispatch, reliability-layer acceptance,
+// barrier classification, home-migration tie-breaking, and write-notice
+// application — plus the behavior flips of each planted mutation.
+#include "dsm/rules.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+namespace parade::dsm {
+namespace {
+
+using rules::Mutation;
+
+constexpr PageState kAllStates[] = {
+    PageState::kInvalid, PageState::kTransient, PageState::kBlocked,
+    PageState::kReadOnly, PageState::kDirty,
+};
+
+TEST(TransitionAllowed, MatchesFigure5EdgeTable) {
+  // Exhaustive 5x5 table; rows are from-states in declaration order.
+  const bool expected[5][5] = {
+      // to:  INV    TRANS  BLOCK  RO     DIRTY
+      {false, true, false, false, false},   // INVALID
+      {false, false, true, true, true},     // TRANSIENT
+      {false, false, false, true, true},    // BLOCKED
+      {true, false, false, false, true},    // READ_ONLY
+      {true, false, false, true, false},    // DIRTY
+  };
+  for (int from = 0; from < 5; ++from) {
+    for (int to = 0; to < 5; ++to) {
+      EXPECT_EQ(rules::transition_allowed(kAllStates[from], kAllStates[to]),
+                expected[from][to])
+          << to_string(kAllStates[from]) << " -> "
+          << to_string(kAllStates[to]);
+    }
+  }
+}
+
+TEST(FaultAction, DispatchesByStateAndAccess) {
+  EXPECT_EQ(rules::fault_action(PageState::kInvalid, false),
+            rules::FaultAction::kStartFetch);
+  EXPECT_EQ(rules::fault_action(PageState::kInvalid, true),
+            rules::FaultAction::kStartFetch);
+  EXPECT_EQ(rules::fault_action(PageState::kTransient, false),
+            rules::FaultAction::kJoinWaiters);
+  EXPECT_EQ(rules::fault_action(PageState::kBlocked, true),
+            rules::FaultAction::kWaitForFetch);
+  EXPECT_EQ(rules::fault_action(PageState::kReadOnly, false),
+            rules::FaultAction::kDone);
+  EXPECT_EQ(rules::fault_action(PageState::kReadOnly, true),
+            rules::FaultAction::kUpgradeToDirty);
+  EXPECT_EQ(rules::fault_action(PageState::kDirty, false),
+            rules::FaultAction::kDone);
+  EXPECT_EQ(rules::fault_action(PageState::kDirty, true),
+            rules::FaultAction::kDone);
+}
+
+TEST(FaultAction, IllegalStateEdgeMutationSkipsTheFetch) {
+  EXPECT_EQ(rules::fault_action(PageState::kInvalid, true,
+                                Mutation::kIllegalStateEdge),
+            rules::FaultAction::kUpgradeToDirty);
+  // Reads are unaffected; the mutant only corrupts the write path.
+  EXPECT_EQ(rules::fault_action(PageState::kInvalid, false,
+                                Mutation::kIllegalStateEdge),
+            rules::FaultAction::kStartFetch);
+}
+
+TEST(NeedsTwin, OnlyNonHomeWritersTwin) {
+  EXPECT_FALSE(rules::needs_twin(/*home=*/2, /*self=*/2));
+  EXPECT_TRUE(rules::needs_twin(/*home=*/0, /*self=*/2));
+}
+
+TEST(AcceptPageReply, RequiresOutstandingFetchWithMatchingSeq) {
+  EXPECT_TRUE(rules::accept_page_reply(PageState::kTransient, 7, 7));
+  EXPECT_TRUE(rules::accept_page_reply(PageState::kBlocked, 7, 7));
+  // Superseded fetch: the reply echoes an older sequence number.
+  EXPECT_FALSE(rules::accept_page_reply(PageState::kTransient, 7, 6));
+  // No fetch outstanding at all.
+  EXPECT_FALSE(rules::accept_page_reply(PageState::kReadOnly, 7, 7));
+  EXPECT_FALSE(rules::accept_page_reply(PageState::kInvalid, 7, 7));
+  EXPECT_FALSE(rules::accept_page_reply(PageState::kDirty, 7, 7));
+}
+
+TEST(AcceptPageReply, SkipReplySeqCheckMutationInstallsStaleReplies) {
+  EXPECT_TRUE(rules::accept_page_reply(PageState::kTransient, 7, 6,
+                                       Mutation::kSkipReplySeqCheck));
+  // Still requires a fetch to be outstanding.
+  EXPECT_FALSE(rules::accept_page_reply(PageState::kReadOnly, 7, 6,
+                                        Mutation::kSkipReplySeqCheck));
+}
+
+TEST(AcceptResponseSeq, ExactEchoOnly) {
+  EXPECT_TRUE(rules::accept_response_seq(3, 3));
+  EXPECT_FALSE(rules::accept_response_seq(3, 2));
+  EXPECT_FALSE(rules::accept_response_seq(3, 4));
+}
+
+struct TestWindow {
+  std::set<std::uint64_t> seen;
+  bool seen_or_insert(std::uint64_t key) { return !seen.insert(key).second; }
+};
+
+TEST(AcceptDiff, FirstDeliveryAppliesDuplicatesDoNot) {
+  TestWindow window;
+  EXPECT_TRUE(rules::accept_diff(window, /*src=*/1, /*seq=*/5));
+  EXPECT_FALSE(rules::accept_diff(window, 1, 5));
+  // Distinct senders and sequence numbers are independent.
+  EXPECT_TRUE(rules::accept_diff(window, 2, 5));
+  EXPECT_TRUE(rules::accept_diff(window, 1, 6));
+}
+
+TEST(AcceptDiff, SkipDiffDedupMutationReappliesDuplicates) {
+  TestWindow window;
+  EXPECT_TRUE(rules::accept_diff(window, 1, 5, Mutation::kSkipDiffDedup));
+  EXPECT_TRUE(rules::accept_diff(window, 1, 5, Mutation::kSkipDiffDedup));
+}
+
+TEST(BarrierArrival, ClassifiesAgainstLastClosedEpoch) {
+  // Before any departure, everything records.
+  EXPECT_EQ(rules::classify_barrier_arrival(0, std::nullopt),
+            rules::ArrivalAction::kRecord);
+  // Fresh arrival for the open epoch.
+  EXPECT_EQ(rules::classify_barrier_arrival(3, std::optional<Epoch>(2)),
+            rules::ArrivalAction::kRecord);
+  // The worker missed our departure: answer it again.
+  EXPECT_EQ(rules::classify_barrier_arrival(2, std::optional<Epoch>(2)),
+            rules::ArrivalAction::kReAnswerClosedEpoch);
+  // Older duplicates are dropped.
+  EXPECT_EQ(rules::classify_barrier_arrival(1, std::optional<Epoch>(2)),
+            rules::ArrivalAction::kIgnoreStale);
+}
+
+TEST(BarrierDepart, ClassifiesAgainstCurrentEpoch) {
+  EXPECT_EQ(rules::classify_barrier_depart(2, 2),
+            rules::DepartAction::kProcess);
+  EXPECT_EQ(rules::classify_barrier_depart(1, 2),
+            rules::DepartAction::kIgnoreStale);
+  EXPECT_EQ(rules::classify_barrier_depart(3, 2),
+            rules::DepartAction::kImpossibleFuture);
+}
+
+TEST(ChooseHome, NoModifiersNoChange) {
+  const auto d = rules::choose_home(2, {}, /*migration_enabled=*/true);
+  EXPECT_EQ(d.new_home, 2);
+  EXPECT_EQ(d.sole_modifier, kAnyNode);
+}
+
+TEST(ChooseHome, UniqueModifierWinsWhenMigrationEnabled) {
+  const auto d = rules::choose_home(0, {3}, true);
+  EXPECT_EQ(d.new_home, 3);
+  EXPECT_EQ(d.sole_modifier, 3);
+}
+
+TEST(ChooseHome, UniqueModifierStaysPutWhenMigrationDisabled) {
+  const auto d = rules::choose_home(0, {3}, false);
+  EXPECT_EQ(d.new_home, 0);
+  // sole_modifier is still reported so departure keep-rules see it.
+  EXPECT_EQ(d.sole_modifier, 3);
+}
+
+TEST(ChooseHome, MultiModifierRetainsCurrentHome) {
+  // With several modifiers the current home holds the only merged copy.
+  const auto d = rules::choose_home(2, {1, 3}, true);
+  EXPECT_EQ(d.new_home, 2);
+  EXPECT_EQ(d.sole_modifier, kAnyNode);
+}
+
+TEST(ChooseHome, SmallestModifierIsTheFallbackWithoutAValidHome) {
+  const auto d = rules::choose_home(kAnyNode, {3, 1, 2}, true);
+  EXPECT_EQ(d.new_home, 1);
+}
+
+TEST(ChooseHome, WrongTieBreakMutationMigratesToSmallestModifier) {
+  const auto d =
+      rules::choose_home(2, {1, 3}, true, Mutation::kWrongHomeTieBreak);
+  EXPECT_EQ(d.new_home, 1);
+}
+
+TEST(KeepCopyOnDeparture, KeepsOnlyProvablyCurrentCopies) {
+  // New home keeps.
+  EXPECT_TRUE(rules::keep_copy_on_departure(/*self=*/1, /*new_home=*/1,
+                                            /*old_home=*/0,
+                                            /*sole_modifier=*/kAnyNode));
+  // Old home keeps: every diff merged into it.
+  EXPECT_TRUE(rules::keep_copy_on_departure(0, 1, 0, kAnyNode));
+  // The interval's only modifier holds the complete page.
+  EXPECT_TRUE(rules::keep_copy_on_departure(2, 1, 0, 2));
+  // Everyone else invalidates.
+  EXPECT_FALSE(rules::keep_copy_on_departure(3, 1, 0, 2));
+}
+
+TEST(KeepCopyOnDeparture, KeepStaleCopyMutationNeverInvalidates) {
+  EXPECT_TRUE(
+      rules::keep_copy_on_departure(3, 1, 0, 2, Mutation::kKeepStaleCopy));
+}
+
+TEST(InvalidateApplies, OnlyDataBearingStates) {
+  EXPECT_TRUE(rules::invalidate_applies(PageState::kReadOnly));
+  EXPECT_TRUE(rules::invalidate_applies(PageState::kDirty));
+  EXPECT_FALSE(rules::invalidate_applies(PageState::kInvalid));
+  EXPECT_FALSE(rules::invalidate_applies(PageState::kTransient));
+  EXPECT_FALSE(rules::invalidate_applies(PageState::kBlocked));
+}
+
+TEST(InvalidateOnLockNotice, RemoteModificationInvalidatesCachedReaders) {
+  // Cached read-only copy, modified remotely, we are not the home: drop it.
+  EXPECT_TRUE(
+      rules::invalidate_on_lock_notice(PageState::kReadOnly, 0, 1, 2));
+  // Our own modification never invalidates us.
+  EXPECT_FALSE(
+      rules::invalidate_on_lock_notice(PageState::kReadOnly, 0, 1, 1));
+  // The home keeps its merged copy.
+  EXPECT_FALSE(
+      rules::invalidate_on_lock_notice(PageState::kReadOnly, 1, 1, 2));
+  // Nothing cached, nothing to invalidate.
+  EXPECT_FALSE(
+      rules::invalidate_on_lock_notice(PageState::kInvalid, 0, 1, 2));
+}
+
+TEST(MutationNames, RoundTripThroughTheRegistry) {
+  EXPECT_EQ(rules::mutation_from_name("none"), Mutation::kNone);
+  for (const auto& info : rules::kMutations) {
+    const auto parsed = rules::mutation_from_name(info.name);
+    ASSERT_TRUE(parsed.has_value()) << info.name;
+    EXPECT_EQ(*parsed, info.mutation);
+    EXPECT_STREQ(rules::to_string(info.mutation), info.name);
+  }
+  EXPECT_FALSE(rules::mutation_from_name("not-a-mutation").has_value());
+}
+
+}  // namespace
+}  // namespace parade::dsm
