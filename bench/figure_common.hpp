@@ -17,10 +17,12 @@
 
 namespace parade::bench {
 
-/// Dumps the metrics registry (counters, epoch slices, trace) to the path in
-/// PARADE_METRICS, no-op otherwise. Every bench calls this after printing its
-/// table — either via print_figure or directly — so each figure's run comes
-/// with a machine-readable sidecar.
+/// Dumps the metrics registry (counters, epoch slices, hists, trace) to the
+/// path in PARADE_METRICS and, under PARADE_TRACE=1 with PARADE_TRACE_OUT,
+/// a trace sidecar that parade_trace merges into span trees and Chrome JSON.
+/// No-op otherwise. Every bench calls this after printing its table — either
+/// via print_figure or directly — so each figure's run comes with a
+/// machine-readable sidecar.
 inline void export_metrics(const std::string& label) {
   obs::Registry::instance().export_if_configured(label);
 }

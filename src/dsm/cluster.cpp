@@ -3,6 +3,7 @@
 #include <thread>
 
 #include "common/log.hpp"
+#include "obs/registry.hpp"
 
 namespace parade::dsm {
 
@@ -53,6 +54,9 @@ void DsmCluster::shutdown() {
     if (node) node->shutdown();
   }
   fabric_.shutdown();
+  // DSM-only workloads (chaos_test and friends) get metrics/trace dumps too;
+  // no-op unless PARADE_METRICS / PARADE_TRACE_OUT are set.
+  obs::Registry::instance().export_if_configured("dsm_cluster");
 }
 
 }  // namespace parade::dsm

@@ -9,7 +9,9 @@
 #include "dsm/diff.hpp"
 #include "dsm/rules.hpp"
 #include "dsm/sigsegv.hpp"
+#include "obs/hist.hpp"
 #include "obs/registry.hpp"
+#include "obs/span.hpp"
 
 namespace parade::dsm {
 
@@ -26,6 +28,9 @@ void DsmNode::check_invariant(bool ok, const char* invariant, PageId page) {
   if (invariant_violations_ != nullptr) invariant_violations_->add(1);
   PLOG_ERROR("DSM invariant violated: " << invariant << " (page " << page
                                         << ")");
+  // Dump the trace ring while the evidence is still in it.
+  obs::Registry::instance().flight_record(std::string("dsm.invariant.") +
+                                          invariant);
 #else
   (void)ok;
   (void)invariant;
@@ -87,6 +92,11 @@ Status DsmNode::start() {
   obs::Registry::instance().reset_node(rank());
   invariant_violations_ =
       &obs::Registry::instance().counter(rank(), "dsm.invariant.violations");
+  fetch_hist_ = &obs::Registry::instance().hist(rank(), "dsm.fetch_ns");
+  lock_grant_hist_ =
+      &obs::Registry::instance().hist(rank(), "dsm.lock_grant_ns");
+  barrier_wait_hist_ =
+      &obs::Registry::instance().hist(rank(), "dsm.barrier_wait_ns");
   auto mapping = DoubleMapping::create(config_.pool_bytes, config_.map_method);
   if (!mapping.is_ok()) return mapping.status();
   mapping_ = std::move(mapping).value();
@@ -210,6 +220,12 @@ void DsmNode::fetch_page(PageId page, std::unique_lock<std::mutex>& lock,
   lock.unlock();
 
   stats_.inc_page_fetches();
+  // Root span of the fetch trace: the request below carries its context, so
+  // the home's page_serve span (and the reply's delivery) link back here.
+  // Inert when tracing is off — the fault fast path gains no atomics.
+  obs::ScopedSpan span(obs::TraceKind::kPageFault, rank(),
+                       static_cast<Tag>(page));
+  obs::ScopedHistTimer fetch_scope(fetch_hist_);
   VirtualUs stamp = 0.0;
   auto* clock = vtime::thread_clock();
   if (clock != nullptr) {
@@ -357,6 +373,15 @@ void DsmNode::barrier() {
   auto* clock = vtime::thread_clock();
   if (clock != nullptr) clock->sync_cpu();
 
+  // Every node's span for this barrier shares the deterministic epoch trace
+  // id, so parade_trace can line them up without any extra communication;
+  // arrive/depart messages sent inside carry this span as the cross-node
+  // parent.
+  obs::ScopedSpan span(obs::TraceKind::kBarrier, rank(),
+                       static_cast<Tag>(epoch_),
+                       obs::SpanContext{obs::epoch_trace_id(epoch_), 0});
+  obs::ScopedHistTimer wait_scope(barrier_wait_hist_);
+
   flush_pages(drain_dirty_now());
 
   BarrierArriveMsg arrive;
@@ -422,12 +447,7 @@ void DsmNode::barrier() {
   }
 
   stats_.inc_barriers();
-  auto& reg = obs::Registry::instance();
-  reg.close_epoch(rank(), epoch_);
-  if (reg.trace_enabled()) {
-    reg.emit(obs::TraceKind::kBarrier, rank(), kTagBarrierArrive,
-             clock != nullptr ? clock->now() : 0.0);
-  }
+  obs::Registry::instance().close_epoch(rank(), epoch_);
   ++epoch_;
   if (clock != nullptr) clock->discard_cpu();
 }
@@ -596,37 +616,44 @@ void DsmNode::lock_acquire(int lock_id) {
   }
   const std::uint32_t seq = next_seq();
   const auto payload = codec<LockAcquireMsg>::encode({lock_id, seq});
-  post(home, kTagLockAcquire, payload, stamp);
-
   LockGrantMsg grant;
-  int attempts = 1;
-  for (;;) {
-    auto msg = channel_.inbox().recv_match_for(
-        [&](const net::MessageHeader& h) {
-          return h.tag == kTagLockGrantBase + lock_id;
-        },
-        config_.retry.timeout());
-    if (!msg.has_value()) {
-      PARADE_CHECK_MSG(!channel_.inbox().closed(),
-                       "channel closed during lock acquire");
-      PARADE_CHECK_MSG(attempts < config_.retry.max_attempts,
-                       "lock grant timed out after max retries");
-      ++attempts;
-      stats_.inc_retries();
-      post(home, kTagLockAcquire, payload, stamp);
-      continue;
+  {
+    // Root span of the lock trace: the manager's lock_serve span and the
+    // grant's delivery link back to it. The histogram measures
+    // request-to-grant latency, retries included.
+    obs::ScopedSpan span(obs::TraceKind::kLock, rank(), lock_id);
+    obs::ScopedHistTimer grant_scope(lock_grant_hist_);
+    post(home, kTagLockAcquire, payload, stamp);
+
+    int attempts = 1;
+    for (;;) {
+      auto msg = channel_.inbox().recv_match_for(
+          [&](const net::MessageHeader& h) {
+            return h.tag == kTagLockGrantBase + lock_id;
+          },
+          config_.retry.timeout());
+      if (!msg.has_value()) {
+        PARADE_CHECK_MSG(!channel_.inbox().closed(),
+                         "channel closed during lock acquire");
+        PARADE_CHECK_MSG(attempts < config_.retry.max_attempts,
+                         "lock grant timed out after max retries");
+        ++attempts;
+        stats_.inc_retries();
+        post(home, kTagLockAcquire, payload, stamp);
+        continue;
+      }
+      auto grant_r = codec<LockGrantMsg>::try_decode(msg->payload);
+      if (!grant_r.is_ok()) continue;  // malformed frame off the wire
+      grant = std::move(grant_r).value();
+      // Duplicate grant of an older acquire: drop and keep waiting.
+      if (!rules::accept_response_seq(seq, grant.seq)) continue;
+      if (clock != nullptr) {
+        clock->sync_cpu();
+        clock->merge(msg->header.vtime +
+                     config_.net.transfer_us(msg->payload.size()));
+      }
+      break;
     }
-    auto grant_r = codec<LockGrantMsg>::try_decode(msg->payload);
-    if (!grant_r.is_ok()) continue;  // malformed frame off the wire
-    grant = std::move(grant_r).value();
-    // Duplicate grant of an older acquire: drop and keep waiting.
-    if (!rules::accept_response_seq(seq, grant.seq)) continue;
-    if (clock != nullptr) {
-      clock->sync_cpu();
-      clock->merge(msg->header.vtime +
-                   config_.net.transfer_us(msg->payload.size()));
-    }
-    break;
   }
 
   // Lazy-release consistency, conservatively: invalidate every cached page
@@ -666,6 +693,8 @@ void DsmNode::lock_release(int lock_id) {
   const std::uint32_t seq = next_seq();
   const auto payload =
       codec<LockReleaseMsg>::encode({lock_id, std::move(cs_pages), seq});
+  // Root span of the release trace (the manager-side hand-off links here).
+  obs::ScopedSpan span(obs::TraceKind::kLock, rank(), lock_id);
   post(home, kTagLockRelease, payload, stamp);
 
   // Wait for the manager's ack so a lost release cannot strand the lock.
@@ -762,6 +791,11 @@ void DsmNode::serve_page_request(const net::Message& message) {
     return;
   }
   const PageRequestMsg request = std::move(request_r).value();
+  // Child of the requester's page_fault span (context off the wire); the
+  // reply posted below inherits this span, closing the causal loop.
+  obs::ScopedSpan span(
+      obs::TraceKind::kPageServe, rank(), static_cast<Tag>(request.page),
+      obs::SpanContext{message.header.trace_id, message.header.span_id});
   stats_.inc_page_serves();
   comm_clock_.add(config_.net.page_service_us + config_.net.send_overhead_us);
   comm_ledger_.charge(config_.net.page_service_us +
@@ -865,6 +899,10 @@ void DsmNode::lock_manager_acquire(const net::Message& message) {
     return;
   }
   const LockAcquireMsg request = std::move(acquire_r).value();
+  // Child of the requester's lock span; a grant sent here inherits it.
+  obs::ScopedSpan span(
+      obs::TraceKind::kLockServe, rank(), request.lock_id,
+      obs::SpanContext{message.header.trace_id, message.header.span_id});
   ManagedLock& managed = managed_locks_[request.lock_id];
   if (managed.acquire_seen.seen_or_insert(
           net::seq_key(message.header.src, request.seq))) {
@@ -896,6 +934,11 @@ void DsmNode::lock_manager_release(const net::Message& message) {
     return;
   }
   const LockReleaseMsg release = std::move(release_r).value();
+  // Child of the releaser's lock span; a handed-off grant inherits it, so a
+  // waiter's grant traces back to the release that unblocked it.
+  obs::ScopedSpan span(
+      obs::TraceKind::kLockServe, rank(), release.lock_id,
+      obs::SpanContext{message.header.trace_id, message.header.span_id});
   ManagedLock& managed = managed_locks_[release.lock_id];
   const bool duplicate = managed.release_seen.seen_or_insert(
       net::seq_key(message.header.src, release.seq));

@@ -148,6 +148,11 @@ class DsmNode {
   /// `dsm.invariant.violations`: registered unconditionally (so tests can
   /// assert it is zero) but only ever incremented under PARADE_CHECKED.
   obs::Counter* invariant_violations_ = nullptr;
+  /// Latency distributions (docs/OBSERVABILITY.md): remote fetch round-trip,
+  /// lock request-to-grant, and barrier arrive-to-depart wait.
+  obs::Histogram* fetch_hist_ = nullptr;
+  obs::Histogram* lock_grant_hist_ = nullptr;
+  obs::Histogram* barrier_wait_hist_ = nullptr;
 
   std::thread comm_thread_;
   vtime::ThreadClock comm_clock_;

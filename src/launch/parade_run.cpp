@@ -2,12 +2,13 @@
 //
 //   parade_run -n <nodes> [-t <threads>] [--net clan|fastether|ideal] \
 //              [--sockdir <dir>] [--fault-seed N] [--fault-plan SPEC] \
-//              <program> [args...]
+//              [--metrics=PATH] [--trace=PATH] <program> [args...]
 //
 // Forks one OS process per node; each process joins the Unix-domain-socket
 // fabric via PARADE_RANK / PARADE_SIZE / PARADE_SOCKDIR. The program must be
 // built against the ParADE runtime (ProcessRuntime::from_env or a translated
 // program's generated main). Exit status: first non-zero child status, else 0.
+#include <sys/stat.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -23,8 +24,22 @@ int usage() {
   std::fprintf(stderr,
                "usage: parade_run -n <nodes> [-t <threads>] [--net NAME] "
                "[--sockdir DIR] [--fault-seed N] [--fault-plan SPEC] "
-               "<program> [args...]\n");
+               "[--metrics=PATH] [--trace=PATH] <program> [args...]\n");
   return 2;
+}
+
+/// Strict output-path validation (same contract as parade_omcc's --threshold
+/// parsing: a bad value is exit 2 up front, not a warning at teardown). The
+/// path must be nonempty and its parent directory must already exist —
+/// per-rank suffixing happens inside the runtime, so only the directory is
+/// checkable here.
+bool valid_out_path(const std::string& path) {
+  if (path.empty()) return false;
+  const std::size_t slash = path.rfind('/');
+  if (slash == std::string::npos) return true;  // cwd-relative file
+  const std::string dir = slash == 0 ? "/" : path.substr(0, slash);
+  struct stat st{};
+  return ::stat(dir.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
 }
 
 }  // namespace
@@ -36,6 +51,10 @@ int main(int argc, char** argv) {
   std::string sockdir;
   std::string fault_seed;
   std::string fault_plan;
+  std::string metrics_path;
+  std::string trace_path;
+  bool saw_metrics = false;
+  bool saw_trace = false;
   int prog_at = -1;
 
   for (int i = 1; i < argc; ++i) {
@@ -52,6 +71,30 @@ int main(int argc, char** argv) {
       fault_seed = argv[++i];
     } else if (arg == "--fault-plan" && i + 1 < argc) {
       fault_plan = argv[++i];
+    } else if (arg.rfind("--metrics=", 0) == 0) {
+      if (saw_metrics) {
+        std::fprintf(stderr, "parade_run: duplicate --metrics flag\n");
+        return 2;
+      }
+      saw_metrics = true;
+      metrics_path = arg.substr(std::strlen("--metrics="));
+      if (!valid_out_path(metrics_path)) {
+        std::fprintf(stderr, "parade_run: bad --metrics path '%s'\n",
+                     metrics_path.c_str());
+        return 2;
+      }
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      if (saw_trace) {
+        std::fprintf(stderr, "parade_run: duplicate --trace flag\n");
+        return 2;
+      }
+      saw_trace = true;
+      trace_path = arg.substr(std::strlen("--trace="));
+      if (!valid_out_path(trace_path)) {
+        std::fprintf(stderr, "parade_run: bad --trace path '%s'\n",
+                     trace_path.c_str());
+        return 2;
+      }
     } else if (!arg.empty() && arg[0] == '-') {
       return usage();
     } else {
@@ -88,6 +131,13 @@ int main(int argc, char** argv) {
       if (!net.empty()) setenv("PARADE_NET", net.c_str(), 1);
       if (!fault_seed.empty()) setenv("PARADE_FAULT_SEED", fault_seed.c_str(), 1);
       if (!fault_plan.empty()) setenv("PARADE_FAULT_PLAN", fault_plan.c_str(), 1);
+      // CLI flags mirror the env vars (the env route still works for programs
+      // launched by other means); each rank's dump gets a .rankN suffix.
+      if (saw_metrics) setenv("PARADE_METRICS", metrics_path.c_str(), 1);
+      if (saw_trace) {
+        setenv("PARADE_TRACE", "1", 1);
+        setenv("PARADE_TRACE_OUT", trace_path.c_str(), 1);
+      }
       execvp(argv[prog_at], argv + prog_at);
       std::perror("parade_run: execvp");
       _exit(127);

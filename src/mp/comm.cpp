@@ -6,6 +6,7 @@
 #include "common/log.hpp"
 #include "common/status.hpp"
 #include "obs/registry.hpp"
+#include "obs/span.hpp"
 
 namespace parade::mp {
 namespace {
@@ -30,16 +31,12 @@ Comm::Comm(net::Channel& channel, vtime::NetworkModel model,
   metrics_.allgathers = &reg.counter(node, "mp.allgathers");
   metrics_.retries = &reg.counter(node, "mp.retry.count");
   metrics_.recv_wait = &reg.timer(node, "mp.recv_wait");
+  metrics_.collective_ns = &reg.hist(node, "mp.collective_ns");
 }
 
 void Comm::count_collective(obs::Counter* which, std::size_t payload_bytes) {
   which->add();
   metrics_.coll_payload_bytes->add(static_cast<std::int64_t>(payload_bytes));
-  auto& reg = obs::Registry::instance();
-  if (reg.trace_enabled()) {
-    reg.emit(obs::TraceKind::kCollective, channel_.rank(), 0,
-             t_clock_get() != nullptr ? t_clock_get()->now() : 0.0);
-  }
 }
 
 Tag Comm::next_collective_tag() {
@@ -148,6 +145,8 @@ std::optional<std::vector<std::uint8_t>> Comm::try_recv_bytes(
 
 void Comm::barrier() {
   count_collective(metrics_.barriers, 0);
+  obs::ScopedSpan span(obs::TraceKind::kCollective, rank(), 0);
+  obs::ScopedHistTimer coll_scope(metrics_.collective_ns);
   const int n = size();
   if (n == 1) return;
   const Tag tag = next_collective_tag();
@@ -163,6 +162,8 @@ void Comm::barrier() {
 
 void Comm::bcast(void* data, std::size_t bytes, NodeId root) {
   count_collective(metrics_.bcasts, bytes);
+  obs::ScopedSpan span(obs::TraceKind::kCollective, rank(), 0);
+  obs::ScopedHistTimer coll_scope(metrics_.collective_ns);
   const int n = size();
   if (n == 1) return;
   const Tag tag = next_collective_tag();
@@ -215,6 +216,8 @@ void Comm::reduce_with(void* buffer, std::size_t bytes, NodeId root, Tag tag,
 void Comm::reduce(void* buffer, std::size_t count, DType dtype, Op op,
                   NodeId root) {
   count_collective(metrics_.reduces, count * dtype_size(dtype));
+  obs::ScopedSpan span(obs::TraceKind::kCollective, rank(), 0);
+  obs::ScopedHistTimer coll_scope(metrics_.collective_ns);
   if (size() == 1) return;
   const Tag tag = next_collective_tag();
   const std::size_t bytes = count * dtype_size(dtype);
@@ -225,6 +228,8 @@ void Comm::reduce(void* buffer, std::size_t count, DType dtype, Op op,
 
 void Comm::allreduce(void* buffer, std::size_t count, DType dtype, Op op) {
   count_collective(metrics_.allreduces, count * dtype_size(dtype));
+  obs::ScopedSpan span(obs::TraceKind::kCollective, rank(), 0);
+  obs::ScopedHistTimer coll_scope(metrics_.collective_ns);
   reduce(buffer, count, dtype, op, /*root=*/0);
   bcast(buffer, count * dtype_size(dtype), /*root=*/0);
 }
@@ -242,6 +247,8 @@ void Comm::allreduce_user(void* buffer, std::size_t bytes,
 void Comm::gather(const void* contribution, std::size_t bytes, void* out,
                   NodeId root) {
   count_collective(metrics_.gathers, bytes);
+  obs::ScopedSpan span(obs::TraceKind::kCollective, rank(), 0);
+  obs::ScopedHistTimer coll_scope(metrics_.collective_ns);
   const Tag tag = next_collective_tag();
   if (rank() == root) {
     PARADE_CHECK_MSG(out != nullptr, "gather root needs an output buffer");
@@ -262,6 +269,8 @@ void Comm::gather(const void* contribution, std::size_t bytes, void* out,
 
 void Comm::allgather(const void* contribution, std::size_t bytes, void* out) {
   count_collective(metrics_.allgathers, bytes);
+  obs::ScopedSpan span(obs::TraceKind::kCollective, rank(), 0);
+  obs::ScopedHistTimer coll_scope(metrics_.collective_ns);
   gather(contribution, bytes, out, /*root=*/0);
   bcast(out, bytes * static_cast<std::size_t>(size()), /*root=*/0);
 }
@@ -327,6 +336,9 @@ Status Comm::rel_pump(bool want_data, NodeId want_src, Tag want_tag,
         return make_error(ErrorCode::kUnavailable, "channel closed");
       }
       if (attempts >= retry.max_attempts) {
+        // Unhealed partition: dump the trace ring before reporting, so the
+        // message chain leading up to the silence is preserved.
+        obs::Registry::instance().flight_record("mp.partition");
         return make_error(ErrorCode::kUnavailable,
                           want_data ? "peer silent past the retry budget"
                                     : "message never acked: peer unreachable");
@@ -492,6 +504,8 @@ Status Comm::try_recv(NodeId src, Tag tag, void* buffer, std::size_t capacity,
 
 Status Comm::try_barrier() {
   count_collective(metrics_.barriers, 0);
+  obs::ScopedSpan span(obs::TraceKind::kCollective, rank(), 0);
+  obs::ScopedHistTimer coll_scope(metrics_.collective_ns);
   const int n = size();
   if (n == 1) return Status::ok();
   const Tag tag = next_collective_tag();
@@ -507,6 +521,8 @@ Status Comm::try_barrier() {
 
 Status Comm::try_bcast(void* data, std::size_t bytes, NodeId root) {
   count_collective(metrics_.bcasts, bytes);
+  obs::ScopedSpan span(obs::TraceKind::kCollective, rank(), 0);
+  obs::ScopedHistTimer coll_scope(metrics_.collective_ns);
   const int n = size();
   if (n == 1) return Status::ok();
   const Tag tag = next_collective_tag();
@@ -567,6 +583,8 @@ Status Comm::try_reduce_with(
 Status Comm::try_allreduce(void* buffer, std::size_t count, DType dtype,
                            Op op) {
   count_collective(metrics_.allreduces, count * dtype_size(dtype));
+  obs::ScopedSpan span(obs::TraceKind::kCollective, rank(), 0);
+  obs::ScopedHistTimer coll_scope(metrics_.collective_ns);
   const std::size_t bytes = count * dtype_size(dtype);
   if (size() > 1) {
     const Tag tag = next_collective_tag();

@@ -197,6 +197,10 @@ class Comm {
     obs::Counter* allgathers;
     obs::Counter* retries;  ///< mp.retry.count: reliable-mode retransmissions
     obs::Timer* recv_wait;
+    /// mp.collective_ns: wall latency distribution of every collective entry
+    /// (nested internal collectives record their own samples, matching the
+    /// nested counter convention above).
+    obs::Histogram* collective_ns;
   };
   Metrics metrics_;
 };

@@ -12,6 +12,7 @@
 #include "net/mailbox.hpp"
 #include "net/message.hpp"
 #include "net/metrics.hpp"
+#include "obs/span.hpp"
 
 namespace parade::net {
 
@@ -45,21 +46,29 @@ class Channel {
       : rank_(rank), size_(size), metrics_(rank, size) {}
 
   /// Records send-side metrics and the trace event. Implementations call this
-  /// once per accepted message, before handing it to the transport.
+  /// once per accepted message, before handing it to the transport. The emit
+  /// carries the sending thread's ambient span so the send shows up as a
+  /// child of whatever protocol operation issued it.
   void record_send(NodeId dst, Tag tag, std::size_t bytes, VirtualUs vtime) {
     metrics_.on_send(dst, tag, bytes);
     auto& reg = obs::Registry::instance();
     if (reg.trace_enabled()) {
-      reg.emit(obs::TraceKind::kSend, rank_, tag, vtime);
+      const obs::SpanContext ctx = obs::current_span_context();
+      reg.emit_with_context(obs::TraceKind::kSend, rank_, tag, vtime,
+                            ctx.trace_id, ctx.span_id);
     }
   }
 
   /// Records recv-side metrics and enqueues into this channel's inbox.
-  /// Returns kUnavailable if the inbox is already closed.
+  /// Returns kUnavailable if the inbox is already closed. The emit links the
+  /// delivery to the *sender's* span via the header's trace context — this is
+  /// the cross-node edge parade_trace reconstructs.
   Status deliver_local(Message message) {
     const Tag tag = message.header.tag;
     const std::size_t bytes = message.payload.size();
     const double vtime = message.header.vtime;
+    const std::uint64_t trace_id = message.header.trace_id;
+    const std::uint64_t parent_span = message.header.span_id;
     if (!inbox_.deliver(std::move(message))) {
       return make_error(ErrorCode::kUnavailable,
                         "rank " + std::to_string(rank_) + " inbox closed");
@@ -67,7 +76,8 @@ class Channel {
     metrics_.on_recv(tag, bytes);
     auto& reg = obs::Registry::instance();
     if (reg.trace_enabled()) {
-      reg.emit(obs::TraceKind::kRecv, rank_, tag, vtime);
+      reg.emit_with_context(obs::TraceKind::kRecv, rank_, tag, vtime, trace_id,
+                            parent_span);
     }
     return Status::ok();
   }

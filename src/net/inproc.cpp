@@ -17,6 +17,11 @@ class InProcFabric::InProcChannel final : public Channel {
     header.dst = dst;
     header.tag = tag;
     header.vtime = vtime;
+    if (obs::Registry::instance().trace_enabled()) {
+      const obs::SpanContext ctx = obs::current_span_context();
+      header.trace_id = ctx.trace_id;
+      header.span_id = ctx.span_id;
+    }
     record_send(dst, tag, payload.size(), vtime);
     return fabric_->channels_[static_cast<std::size_t>(dst)]->deliver_local(
         Message(header, std::move(payload)));

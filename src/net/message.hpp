@@ -28,6 +28,12 @@ struct MessageHeader {
   /// Sender's virtual timestamp at send time (microseconds). Consumers merge
   /// `vtime + transfer_us(payload_size)` into their own clock.
   VirtualUs vtime = 0.0;
+  /// Causal trace context (docs/OBSERVABILITY.md): the sender's ambient span,
+  /// stamped by the fabrics when PARADE_TRACE is on, 0 otherwise. On the
+  /// socket wire these travel in a version-gated frame extension so pre-trace
+  /// peers and old captures still decode (docs/PROTOCOL.md).
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
 };
 
 struct Message {

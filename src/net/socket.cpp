@@ -22,6 +22,22 @@ struct WireHeader {
   double vtime;
 };
 
+// Version gate for the trace-context frame extension. A v2 frame is
+// [kWireMagicV2][WireHeader][WireTraceExt][payload]; a v1 frame starts
+// directly with WireHeader. The first 4 bytes disambiguate: they are either
+// the magic or WireHeader.src, and src is a rank in [0, size) which can
+// never equal the magic — so pre-trace peers' frames (and old captures)
+// still decode. Traced sends only: an untraced process keeps writing v1.
+inline constexpr std::uint32_t kWireMagicV2 = 0x32444150;  // "PAD2", LE
+
+struct WireTraceExt {
+  std::uint64_t trace_id;
+  std::uint64_t span_id;
+};
+
+static_assert(sizeof(WireHeader) == 24, "v1 frame layout is wire ABI");
+static_assert(sizeof(WireTraceExt) == 16, "v2 extension layout is wire ABI");
+
 std::string socket_path(const std::string& dir, NodeId rank) {
   return dir + "/node-" + std::to_string(rank) + ".sock";
 }
@@ -146,8 +162,23 @@ Status SocketFabric::establish(const std::string& dir, int timeout_ms) {
 void SocketFabric::reader_loop(NodeId peer) {
   const int fd = peers_[static_cast<std::size_t>(peer)]->fd;
   for (;;) {
+    // Peek the version gate: magic → v2 frame with a trace extension,
+    // anything else is WireHeader.src of a v1 frame (ranks never alias the
+    // magic), so the remaining 20 header bytes follow.
+    std::uint32_t first = 0;
+    if (!read_all(fd, &first, sizeof(first))) break;
     WireHeader wire{};
-    if (!read_all(fd, &wire, sizeof(wire))) break;
+    WireTraceExt ext{};
+    if (first == kWireMagicV2) {
+      if (!read_all(fd, &wire, sizeof(wire))) break;
+      if (!read_all(fd, &ext, sizeof(ext))) break;
+    } else {
+      std::memcpy(&wire, &first, sizeof(first));
+      if (!read_all(fd, reinterpret_cast<char*>(&wire) + sizeof(first),
+                    sizeof(wire) - sizeof(first))) {
+        break;
+      }
+    }
     std::vector<std::uint8_t> payload(wire.payload_size);
     if (wire.payload_size > 0 &&
         !read_all(fd, payload.data(), payload.size())) {
@@ -158,6 +189,8 @@ void SocketFabric::reader_loop(NodeId peer) {
     header.dst = wire.dst;
     header.tag = wire.tag;
     header.vtime = wire.vtime;
+    header.trace_id = ext.trace_id;
+    header.span_id = ext.span_id;
     if (!deliver_local(Message(header, std::move(payload)))) break;
   }
   // The stream is gone: receivers blocked waiting on this peer must observe
@@ -168,12 +201,17 @@ void SocketFabric::reader_loop(NodeId peer) {
 Status SocketFabric::send(NodeId dst, Tag tag,
                           std::vector<std::uint8_t> payload, VirtualUs vtime) {
   PARADE_CHECK_MSG(dst >= 0 && dst < size_, "send to invalid rank");
+  const bool traced = obs::Registry::instance().trace_enabled();
+  const obs::SpanContext ctx =
+      traced ? obs::current_span_context() : obs::SpanContext{};
   if (dst == rank_) {
     MessageHeader header;
     header.src = rank_;
     header.dst = dst;
     header.tag = tag;
     header.vtime = vtime;
+    header.trace_id = ctx.trace_id;
+    header.span_id = ctx.span_id;
     record_send(dst, tag, payload.size(), vtime);
     return deliver_local(Message(header, std::move(payload)));
   }
@@ -183,6 +221,9 @@ Status SocketFabric::send(NodeId dst, Tag tag,
   wire.tag = tag;
   wire.payload_size = static_cast<std::uint32_t>(payload.size());
   wire.vtime = vtime;
+  WireTraceExt ext{};
+  ext.trace_id = ctx.trace_id;
+  ext.span_id = ctx.span_id;
 
   Peer& peer = *peers_[static_cast<std::size_t>(dst)];
   std::lock_guard lock(peer.send_mutex);
@@ -190,7 +231,12 @@ Status SocketFabric::send(NodeId dst, Tag tag,
     return make_error(ErrorCode::kUnavailable,
                       "peer " + std::to_string(dst) + " is down");
   }
-  if (!write_all(peer.fd, &wire, sizeof(wire)) ||
+  const bool header_ok =
+      traced ? write_all(peer.fd, &kWireMagicV2, sizeof(kWireMagicV2)) &&
+                   write_all(peer.fd, &wire, sizeof(wire)) &&
+                   write_all(peer.fd, &ext, sizeof(ext))
+             : write_all(peer.fd, &wire, sizeof(wire));
+  if (!header_ok ||
       (!payload.empty() && !write_all(peer.fd, payload.data(), payload.size()))) {
     return make_error(ErrorCode::kIoError,
                       "socket send to node " + std::to_string(dst) +

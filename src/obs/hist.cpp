@@ -1,0 +1,34 @@
+#include "obs/hist.hpp"
+
+namespace parade::obs {
+
+std::int64_t Histogram::percentile_ns(double q) const {
+  const std::int64_t total = count();
+  if (total <= 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // ceil(q * total) samples must fall at or below the reported value.
+  auto target = static_cast<std::int64_t>(q * static_cast<double>(total));
+  if (static_cast<double>(target) < q * static_cast<double>(total)) ++target;
+  if (target < 1) target = 1;
+  std::int64_t seen = 0;
+  for (int i = 0; i < 64; ++i) {
+    seen += buckets_[static_cast<std::size_t>(i)].load(
+        std::memory_order_relaxed);
+    if (seen >= target) {
+      const std::int64_t edge = hist_bucket_upper_ns(i);
+      const std::int64_t cap = max_ns();
+      return edge < cap ? edge : cap;
+    }
+  }
+  return max_ns();
+}
+
+void Histogram::reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  total_ns_.store(0, std::memory_order_relaxed);
+  max_ns_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace parade::obs

@@ -25,7 +25,9 @@ Registry& Registry::instance() {
 }
 
 Registry::Registry(Options options)
-    : options_(options), ring_(options.ring_capacity) {}
+    : options_(options), ring_(options.ring_capacity) {
+  trace_dropped_ = &counter(0, "obs.trace.dropped");
+}
 
 Registry::NodeState& Registry::state_locked(NodeId node) {
   return nodes_[node];
@@ -45,7 +47,20 @@ Timer& Registry::timer(NodeId node, const std::string& name) {
   return *slot;
 }
 
+Histogram& Registry::hist(NodeId node, const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = state_locked(node).hists[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
 void Registry::emit(TraceKind kind, NodeId node, Tag tag, double vtime) {
+  emit_with_context(kind, node, tag, vtime, 0, 0);
+}
+
+void Registry::emit_with_context(TraceKind kind, NodeId node, Tag tag,
+                                 double vtime, std::uint64_t trace_id,
+                                 std::uint64_t parent_span) {
   if (!options_.trace_enabled) return;
   TraceEvent event;
   event.kind = kind;
@@ -53,7 +68,21 @@ void Registry::emit(TraceKind kind, NodeId node, Tag tag, double vtime) {
   event.tag = tag;
   event.vtime = vtime;
   event.wall_ns = wall_ns();
-  ring_.emit(event);
+  event.trace_id = trace_id;
+  event.parent_span = parent_span;
+  if (ring_.emit(event)) trace_dropped_->add();
+}
+
+void Registry::emit_event(const TraceEvent& event) {
+  if (!options_.trace_enabled) return;
+  if (ring_.emit(event)) trace_dropped_->add();
+}
+
+std::int64_t Registry::trace_dropped() const { return trace_dropped_->value(); }
+
+void Registry::reset_trace() {
+  ring_.reset();
+  trace_dropped_->reset();
 }
 
 void Registry::reset_node(NodeId node) {
@@ -62,6 +91,7 @@ void Registry::reset_node(NodeId node) {
   if (it == nodes_.end()) return;
   for (auto& [name, counter] : it->second.counters) counter->reset();
   for (auto& [name, timer] : it->second.timers) timer->reset();
+  for (auto& [name, hist] : it->second.hists) hist->reset();
   it->second.epoch_baseline.clear();
   it->second.epochs.clear();
   it->second.epochs_dropped = 0;
@@ -77,6 +107,14 @@ NodeSnapshot Registry::snapshot(NodeId node) const {
   }
   for (const auto& [name, timer] : it->second.timers) {
     snap.timers[name] = {timer->total_ns(), timer->count()};
+  }
+  for (const auto& [name, hist] : it->second.hists) {
+    snap.hists[name] = {hist->count(),
+                        hist->total_ns(),
+                        hist->max_ns(),
+                        hist->percentile_ns(0.50),
+                        hist->percentile_ns(0.95),
+                        hist->percentile_ns(0.99)};
   }
   return snap;
 }
@@ -151,6 +189,26 @@ std::string Registry::to_json(const std::string& label) const {
       w.end_object();
     }
     w.end_object();
+    w.key("hists");
+    w.begin_object();
+    for (const auto& [name, hist] : state.hists) {
+      w.key(name);
+      w.begin_object();
+      w.key("count");
+      w.value(hist->count());
+      w.key("total_ns");
+      w.value(hist->total_ns());
+      w.key("max_ns");
+      w.value(hist->max_ns());
+      w.key("p50_ns");
+      w.value(hist->percentile_ns(0.50));
+      w.key("p95_ns");
+      w.value(hist->percentile_ns(0.95));
+      w.key("p99_ns");
+      w.value(hist->percentile_ns(0.99));
+      w.end_object();
+    }
+    w.end_object();
     w.key("epochs");
     w.begin_array();
     for (const auto& slice : state.epochs) {
@@ -180,6 +238,8 @@ std::string Registry::to_json(const std::string& label) const {
   w.value(static_cast<std::uint64_t>(ring_.capacity()));
   w.key("emitted");
   w.value(ring_.emitted());
+  w.key("dropped");
+  w.value(trace_dropped_->value());
   w.key("events");
   w.begin_array();
   for (const TraceEvent& event : ring_.drain()) {
@@ -194,6 +254,14 @@ std::string Registry::to_json(const std::string& label) const {
     w.value(event.vtime);
     w.key("wall_ns");
     w.value(event.wall_ns);
+    w.key("end_wall_ns");
+    w.value(event.end_wall_ns);
+    w.key("trace_id");
+    w.value(event.trace_id);
+    w.key("span_id");
+    w.value(event.span_id);
+    w.key("parent_span");
+    w.value(event.parent_span);
     w.end_object();
   }
   w.end_array();
@@ -215,6 +283,20 @@ std::string Registry::to_csv() const {
       out += std::to_string(node) + ",timer_ns," + name + "," +
              std::to_string(timer->total_ns()) + "," +
              std::to_string(timer->count()) + "\n";
+    }
+    // Histogram percentiles mirror the JSON "hists" block; the count column
+    // is the sample count so JSON/CSV parity is checkable row by row.
+    for (const auto& [name, hist] : state.hists) {
+      const std::string prefix = std::to_string(node);
+      const std::string samples = std::to_string(hist->count());
+      out += prefix + ",hist_p50_ns," + name + "," +
+             std::to_string(hist->percentile_ns(0.50)) + "," + samples + "\n";
+      out += prefix + ",hist_p95_ns," + name + "," +
+             std::to_string(hist->percentile_ns(0.95)) + "," + samples + "\n";
+      out += prefix + ",hist_p99_ns," + name + "," +
+             std::to_string(hist->percentile_ns(0.99)) + "," + samples + "\n";
+      out += prefix + ",hist_max_ns," + name + "," +
+             std::to_string(hist->max_ns()) + "," + samples + "\n";
     }
   }
   return out;
@@ -238,24 +320,60 @@ Status Registry::export_to(const std::string& path,
   return Status::ok();
 }
 
-void Registry::export_if_configured(const std::string& label) const {
-  auto path = env::get_string("PARADE_METRICS");
-  if (!path) return;
-  // Multi-process launches: suffix the rank so each process gets its own file.
+namespace {
+
+/// Multi-process launches: suffix the rank before the extension so the
+/// launcher's processes get distinct files (out.json → out.rank2.json).
+std::string rank_suffixed(std::string path) {
   if (auto rank = env::get_int("PARADE_RANK")) {
-    const std::size_t dot = path->rfind('.');
+    const std::size_t dot = path.rfind('.');
     const std::string suffix = ".rank" + std::to_string(*rank);
     if (dot == std::string::npos || dot == 0) {
-      *path += suffix;
+      path += suffix;
     } else {
-      path->insert(dot, suffix);
+      path.insert(dot, suffix);
     }
   }
-  Status s = export_to(*path, label);
+  return path;
+}
+
+}  // namespace
+
+void Registry::export_if_configured(const std::string& label) const {
+  if (auto path = env::get_string("PARADE_METRICS")) {
+    const std::string target = rank_suffixed(*path);
+    Status s = export_to(target, label);
+    if (!s.is_ok()) {
+      PLOG_WARN("metrics export failed: " << s.to_string());
+    } else {
+      PLOG_INFO("metrics exported to " << target);
+    }
+  }
+  // The trace sidecar is the same full document (parade_trace reads the
+  // "trace" block and ignores the rest); a separate path keeps Chrome-bound
+  // dumps apart from metrics post-processing.
+  if (auto path = env::get_string("PARADE_TRACE_OUT")) {
+    const std::string target = rank_suffixed(*path);
+    Status s = export_to(target, label);
+    if (!s.is_ok()) {
+      PLOG_WARN("trace export failed: " << s.to_string());
+    } else {
+      PLOG_INFO("trace exported to " << target);
+    }
+  }
+}
+
+void Registry::flight_record(const std::string& reason) {
+  auto path = env::get_string("PARADE_FLIGHT_PATH");
+  if (!path && !trace_enabled()) return;
+  if (flight_tripped_.exchange(true)) return;
+  const std::string target =
+      rank_suffixed(path.value_or("parade-flight.json"));
+  Status s = export_to(target, "flight:" + reason);
   if (!s.is_ok()) {
-    PLOG_WARN("metrics export failed: " << s.to_string());
+    PLOG_WARN("flight record (" << reason << ") failed: " << s.to_string());
   } else {
-    PLOG_INFO("metrics exported to " << *path);
+    PLOG_WARN("flight record (" << reason << ") dumped to " << target);
   }
 }
 

@@ -13,8 +13,11 @@
 #include <string>
 #include <vector>
 
+#include <atomic>
+
 #include "common/status.hpp"
 #include "common/types.hpp"
+#include "obs/hist.hpp"
 #include "obs/metric.hpp"
 #include "obs/trace.hpp"
 
@@ -28,6 +31,15 @@ struct NodeSnapshot {
     std::int64_t count = 0;
   };
   std::map<std::string, TimerValue> timers;
+  struct HistValue {
+    std::int64_t count = 0;
+    std::int64_t total_ns = 0;
+    std::int64_t max_ns = 0;
+    std::int64_t p50_ns = 0;
+    std::int64_t p95_ns = 0;
+    std::int64_t p99_ns = 0;
+  };
+  std::map<std::string, HistValue> hists;
 };
 
 /// Counter deltas accumulated between two epoch closes (i.e. one barrier
@@ -59,9 +71,38 @@ class Registry {
   /// lifetime; reset_node zeroes values without invalidating pointers.
   Counter& counter(NodeId node, const std::string& name);
   Timer& timer(NodeId node, const std::string& name);
+  Histogram& hist(NodeId node, const std::string& name);
 
   void emit(TraceKind kind, NodeId node, Tag tag, double vtime);
+  /// Instantaneous event carrying a causal context: `trace_id`/`parent_span`
+  /// come from the ambient span (send side) or the message header (receive
+  /// side), linking the event into a possibly remote span tree.
+  void emit_with_context(TraceKind kind, NodeId node, Tag tag, double vtime,
+                         std::uint64_t trace_id, std::uint64_t parent_span);
+  /// Fully-formed event (ScopedSpan's destructor). Counts ring overwrites in
+  /// the `obs.trace.dropped` counter.
+  void emit_event(const TraceEvent& event);
   bool trace_enabled() const { return options_.trace_enabled; }
+  /// Flips tracing at runtime (tests and the launcher; the singleton's
+  /// initial value comes from PARADE_TRACE). Plain bool write: callers
+  /// toggle only while the cluster is quiescent.
+  void set_trace_enabled(bool enabled) { options_.trace_enabled = enabled; }
+
+  /// Oldest-first copy of the retained trace window (quiescent-time only).
+  std::vector<TraceEvent> trace_events() const { return ring_.drain(); }
+  /// Ring overwrites since start/reset (mirrors the obs.trace.dropped
+  /// counter on node 0).
+  std::int64_t trace_dropped() const;
+  /// Empties the trace ring and zeroes the dropped count.
+  void reset_trace();
+
+  /// Flight recorder: dumps the full metrics + trace document to
+  /// PARADE_FLIGHT_PATH (default "parade-flight.json", rank-suffixed) the
+  /// first time a fatal protocol condition fires — an invariant violation
+  /// under PARADE_CHECKED or an unhealed-partition Status. No-op unless
+  /// tracing is enabled or PARADE_FLIGHT_PATH is set, and after the first
+  /// trip.
+  void flight_record(const std::string& reason);
 
   /// Zeroes all metrics, epochs, and the epoch baseline for one node. Called
   /// when a node (re)starts so consecutive virtual clusters in one process
@@ -81,9 +122,10 @@ class Registry {
   /// chosen by extension: ".csv" → CSV, anything else → JSON.
   Status export_to(const std::string& path, const std::string& label) const;
 
-  /// export_to(PARADE_METRICS) if that env var is set; no-op otherwise.
-  /// Under PARADE_RANK the rank is suffixed before the extension so the
-  /// launcher's processes do not clobber each other.
+  /// export_to(PARADE_METRICS) if that env var is set, and likewise
+  /// PARADE_TRACE_OUT (the trace sidecar parade_trace consumes); no-op when
+  /// neither is set. Under PARADE_RANK the rank is suffixed before the
+  /// extension so the launcher's processes do not clobber each other.
   void export_if_configured(const std::string& label) const;
 
   /// JSON document string as written by export_to (for tests).
@@ -93,9 +135,10 @@ class Registry {
  private:
   struct NodeState {
     // unique_ptr keeps handle addresses stable across map growth, since
-    // layers cache Counter*/Timer* for lock-free hot-path updates.
+    // layers cache Counter*/Timer*/Histogram* for lock-free hot-path updates.
     std::map<std::string, std::unique_ptr<Counter>> counters;
     std::map<std::string, std::unique_ptr<Timer>> timers;
+    std::map<std::string, std::unique_ptr<Histogram>> hists;
     std::map<std::string, std::int64_t> epoch_baseline;
     std::vector<EpochSlice> epochs;
     std::int64_t epochs_dropped = 0;
@@ -107,6 +150,10 @@ class Registry {
   mutable std::mutex mu_;
   std::map<NodeId, NodeState> nodes_;
   TraceRing ring_;
+  /// Ring-overwrite counter, registered as "obs.trace.dropped" on node 0 so
+  /// it rides along in every export format.
+  Counter* trace_dropped_ = nullptr;
+  std::atomic<bool> flight_tripped_{false};
 };
 
 }  // namespace parade::obs

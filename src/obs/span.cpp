@@ -1,0 +1,63 @@
+#include "obs/span.hpp"
+
+#include <atomic>
+
+#include "common/timing.hpp"
+#include "obs/registry.hpp"
+
+namespace parade::obs {
+namespace {
+
+thread_local SpanContext tls_span_context;
+
+std::atomic<std::uint64_t> span_id_counter{0};
+
+}  // namespace
+
+SpanContext current_span_context() { return tls_span_context; }
+
+std::uint64_t next_span_id(NodeId node) {
+  const std::uint64_t seq =
+      span_id_counter.fetch_add(1, std::memory_order_relaxed) + 1;
+  const auto salt = static_cast<std::uint64_t>(node) + 1;
+  return (salt << 40U) | (seq & ((std::uint64_t{1} << 40U) - 1));
+}
+
+ScopedSpan::ScopedSpan(TraceKind kind, NodeId node, Tag tag) {
+  open(kind, node, tag, tls_span_context, tls_span_context.valid());
+}
+
+ScopedSpan::ScopedSpan(TraceKind kind, NodeId node, Tag tag,
+                       SpanContext parent) {
+  open(kind, node, tag, parent, parent.valid());
+}
+
+void ScopedSpan::open(TraceKind kind, NodeId node, Tag tag, SpanContext parent,
+                      bool have_parent) {
+  if (!Registry::instance().trace_enabled()) return;
+  active_ = true;
+  ctx_.span_id = next_span_id(node);
+  if (have_parent) {
+    ctx_.trace_id = parent.trace_id;
+    event_.parent_span = parent.span_id;
+  } else {
+    ctx_.trace_id = ctx_.span_id;  // this span roots a new trace
+  }
+  event_.kind = kind;
+  event_.node = node;
+  event_.tag = tag;
+  event_.trace_id = ctx_.trace_id;
+  event_.span_id = ctx_.span_id;
+  event_.wall_ns = wall_ns();
+  saved_ = tls_span_context;
+  tls_span_context = ctx_;
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  tls_span_context = saved_;
+  event_.end_wall_ns = wall_ns();
+  Registry::instance().emit_event(event_);
+}
+
+}  // namespace parade::obs

@@ -1,0 +1,75 @@
+// Distributed causal spans over the trace ring. A ScopedSpan opens a timed
+// interval on the current thread; its context (trace id + span id) becomes
+// the thread's ambient parent, is stamped onto outgoing net::MessageHeaders
+// by the fabrics, and re-enters as the explicit parent of the span a remote
+// node opens while serving the message — so a page reply, lock grant, or
+// barrier departure on node B links causally back to the fault or barrier
+// arrival on node A. See docs/OBSERVABILITY.md for the span model.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "obs/trace.hpp"
+
+namespace parade::obs {
+
+/// Compact trace context piggybacked on the wire (16 bytes). All ids stay
+/// below 2^53 so they survive double-based JSON parsers.
+struct SpanContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+
+  bool valid() const { return trace_id != 0; }
+};
+
+/// The calling thread's ambient span context ({0,0} outside any span). The
+/// fabrics stamp this onto outgoing headers when tracing is enabled.
+SpanContext current_span_context();
+
+/// Allocates a process-unique span/trace id: ((node+1) << 40) | counter.
+/// Node-salted so ids from different launcher ranks never collide in a
+/// merged dump. Always < 2^53.
+std::uint64_t next_span_id(NodeId node);
+
+/// Deterministic trace id shared by every node's spans for barrier `epoch`:
+/// (0xBA << 44) | epoch, computed identically cluster-wide with no
+/// communication. Always < 2^53.
+inline std::uint64_t epoch_trace_id(std::int64_t epoch) {
+  return (std::uint64_t{0xBA} << 44U) | static_cast<std::uint64_t>(epoch);
+}
+
+/// RAII span. When tracing is disabled the constructor reads one plain bool
+/// and the object is inert — no atomics, no clock reads (the page-fault fast
+/// path stays unchanged). When enabled, destruction emits one TraceEvent
+/// carrying begin/end wall time and the causal ids.
+class ScopedSpan {
+ public:
+  /// Parent = the thread's current span if any, else this span roots a new
+  /// trace (trace_id == span_id).
+  ScopedSpan(TraceKind kind, NodeId node, Tag tag);
+
+  /// Explicit parent, for spans caused by a remote message (pass the header's
+  /// context) or an epoch-scoped trace (pass {epoch_trace_id(e), 0}).
+  ScopedSpan(TraceKind kind, NodeId node, Tag tag, SpanContext parent);
+
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  bool active() const { return active_; }
+  /// This span's context ({0,0} when tracing is disabled).
+  SpanContext context() const { return ctx_; }
+
+ private:
+  void open(TraceKind kind, NodeId node, Tag tag, SpanContext parent,
+            bool have_parent);
+
+  bool active_ = false;
+  SpanContext ctx_;
+  SpanContext saved_;
+  TraceEvent event_;
+};
+
+}  // namespace parade::obs

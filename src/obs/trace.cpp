@@ -11,6 +11,8 @@ const char* trace_kind_name(TraceKind kind) {
     case TraceKind::kPageFault: return "page_fault";
     case TraceKind::kRegion: return "region";
     case TraceKind::kCollective: return "collective";
+    case TraceKind::kPageServe: return "page_serve";
+    case TraceKind::kLockServe: return "lock_serve";
   }
   return "unknown";
 }

@@ -19,6 +19,8 @@ enum class TraceKind : std::uint8_t {
   kPageFault = 4,
   kRegion = 5,
   kCollective = 6,
+  kPageServe = 7,
+  kLockServe = 8,
 };
 
 const char* trace_kind_name(TraceKind kind);
@@ -28,7 +30,13 @@ struct TraceEvent {
   NodeId node = 0;
   Tag tag = 0;
   double vtime = 0.0;       // virtual µs at emit, 0 when not on a clocked path
-  std::int64_t wall_ns = 0;  // wall clock at emit, for cross-node ordering
+  std::int64_t wall_ns = 0;  // wall clock at begin, for cross-node ordering
+  std::int64_t end_wall_ns = 0;  // span end; 0 for instantaneous events
+  // Causal identity (docs/OBSERVABILITY.md). All ids stay below 2^53 so they
+  // survive a round-trip through double-based JSON parsers.
+  std::uint64_t trace_id = 0;     // 0 = event predates tracing / untraced
+  std::uint64_t span_id = 0;      // 0 for instantaneous leaf events
+  std::uint64_t parent_span = 0;  // 0 = root of its trace
 };
 
 class TraceRing {
@@ -36,9 +44,12 @@ class TraceRing {
   explicit TraceRing(std::size_t capacity)
       : slots_(capacity > 0 ? capacity : 1) {}
 
-  void emit(const TraceEvent& event) {
+  /// Returns true when the claimed slot overwrote a retained event (the ring
+  /// has wrapped), so callers can count drops.
+  bool emit(const TraceEvent& event) {
     const std::uint64_t seq = next_.fetch_add(1, std::memory_order_relaxed);
     slots_[seq % slots_.size()] = event;
+    return seq >= slots_.size();
   }
 
   std::size_t capacity() const { return slots_.size(); }

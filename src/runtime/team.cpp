@@ -6,6 +6,7 @@
 #include "common/log.hpp"
 #include "common/status.hpp"
 #include "obs/registry.hpp"
+#include "obs/span.hpp"
 #include "runtime/node_runtime.hpp"
 
 namespace parade {
@@ -99,10 +100,9 @@ void Team::run_region(const std::function<void()>& body) {
   PARADE_CHECK_MSG(ctx.local_id == 0, "only the node main thread forks");
   ctx.clock.sync_cpu();
   regions_metric_->add();
-  auto& reg = obs::Registry::instance();
-  if (reg.trace_enabled()) {
-    reg.emit(obs::TraceKind::kRegion, node_.node_id(), 0, ctx.clock.now());
-  }
+  // Root span for the work-sharing region: every DSM fetch, lock, or barrier
+  // the region body triggers on this thread nests under it.
+  obs::ScopedSpan span(obs::TraceKind::kRegion, node_.node_id(), 0);
   {
     // Construct-instance state is per region; all workers are idle here.
     std::lock_guard single_lock(single_mutex_);

@@ -1,0 +1,368 @@
+// parade_trace: merge per-rank trace dumps into one causal view.
+//
+//   parade_trace [--check] [--chrome=PATH] DUMP.json...
+//
+// Each DUMP is a parade.metrics.v1 document (PARADE_METRICS /
+// PARADE_TRACE_OUT / flight-recorder output); only the "trace" block and the
+// per-node timer/hist blocks are read. The tool
+//   * reconstructs span trees across dumps (span_id / parent_span),
+//   * prints the per-epoch barrier critical path (last arriver + per-node
+//     slack) in machine-greppable `barrier-critical-path epoch=` lines,
+//   * surfaces obs.trace.dropped so wrapped-ring traces are never mistaken
+//     for complete ones,
+//   * with --chrome=PATH writes Chrome trace_event JSON (load via
+//     chrome://tracing or https://ui.perfetto.dev); cross-node parent links
+//     become flow arrows,
+//   * with --check validates causal integrity: every non-zero parent_span
+//     must resolve to a merged span and spans must not end before they begin.
+//
+// Exit status: 0 ok, 1 --check found violations, 2 usage / unreadable input.
+#include <algorithm>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace {
+
+using parade::obs::JsonValue;
+using parade::obs::JsonWriter;
+using parade::obs::parse_json;
+
+struct Event {
+  std::string kind;
+  std::int64_t node = 0;
+  std::int64_t tag = 0;
+  double vtime = 0.0;
+  std::int64_t wall_ns = 0;
+  std::int64_t end_wall_ns = 0;  // 0 = instant event
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span = 0;
+  std::string source;  // dump file the event came from
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: parade_trace [--check] [--chrome=PATH] DUMP.json...\n");
+  return 2;
+}
+
+std::uint64_t as_u64(const JsonValue& v) {
+  return static_cast<std::uint64_t>(v.number);
+}
+
+/// Loads one dump; appends its trace events and adds its dropped count.
+/// Returns false (after printing a diagnostic) on unreadable/invalid input.
+bool load_dump(const std::string& path, std::vector<Event>* events,
+               std::int64_t* dropped) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    std::fprintf(stderr, "parade_trace: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  auto parsed = parse_json(buffer.str());
+  if (!parsed.is_ok()) {
+    std::fprintf(stderr, "parade_trace: %s: %s\n", path.c_str(),
+                 parsed.status().message().c_str());
+    return false;
+  }
+  const JsonValue& doc = parsed.value();
+  if (!doc.is_object() || !doc.has("trace")) {
+    std::fprintf(stderr, "parade_trace: %s: not a parade metrics dump\n",
+                 path.c_str());
+    return false;
+  }
+  const JsonValue& trace = doc.at("trace");
+  if (trace.has("dropped")) *dropped += trace.at("dropped").as_int();
+  if (!trace.has("events") || !trace.at("events").is_array()) return true;
+  for (const JsonValue& ev : trace.at("events").array) {
+    Event out;
+    if (ev.has("kind")) out.kind = ev.at("kind").string;
+    if (ev.has("node")) out.node = ev.at("node").as_int();
+    if (ev.has("tag")) out.tag = ev.at("tag").as_int();
+    if (ev.has("vtime")) out.vtime = ev.at("vtime").number;
+    if (ev.has("wall_ns")) out.wall_ns = ev.at("wall_ns").as_int();
+    if (ev.has("end_wall_ns")) out.end_wall_ns = ev.at("end_wall_ns").as_int();
+    if (ev.has("trace_id")) out.trace_id = as_u64(ev.at("trace_id"));
+    if (ev.has("span_id")) out.span_id = as_u64(ev.at("span_id"));
+    if (ev.has("parent_span")) out.parent_span = as_u64(ev.at("parent_span"));
+    out.source = path;
+    events->push_back(std::move(out));
+  }
+  return true;
+}
+
+/// Chrome trace_event JSON array-of-events form. Complete spans become "X"
+/// slices, instants "i" marks; a parent on another node gets an "s"/"f" flow
+/// arrow so cross-node causality is visible in the timeline.
+bool write_chrome(const std::string& path, const std::vector<Event>& events,
+                  const std::map<std::uint64_t, const Event*>& by_span) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("traceEvents");
+  w.begin_array();
+  std::uint64_t flow_id = 0;
+  for (const Event& ev : events) {
+    const double ts_us = static_cast<double>(ev.wall_ns) / 1000.0;
+    w.begin_object();
+    w.key("name");
+    w.value(ev.kind);
+    w.key("cat");
+    w.value("parade");
+    w.key("ph");
+    if (ev.end_wall_ns > 0) {
+      w.value("X");
+      w.key("dur");
+      w.value(static_cast<double>(ev.end_wall_ns - ev.wall_ns) / 1000.0);
+    } else {
+      w.value("i");
+      w.key("s");
+      w.value("t");
+    }
+    w.key("ts");
+    w.value(ts_us);
+    w.key("pid");
+    w.value(ev.node);
+    w.key("tid");
+    w.value(ev.node);
+    w.key("args");
+    w.begin_object();
+    w.key("trace_id");
+    w.value(ev.trace_id);
+    w.key("span_id");
+    w.value(ev.span_id);
+    w.key("parent_span");
+    w.value(ev.parent_span);
+    w.key("tag");
+    w.value(ev.tag);
+    w.key("vtime_us");
+    w.value(ev.vtime);
+    w.end_object();
+    w.end_object();
+
+    // Flow arrow for cross-node parent → child edges.
+    auto parent = ev.parent_span != 0 ? by_span.find(ev.parent_span)
+                                      : by_span.end();
+    if (parent != by_span.end() && parent->second->node != ev.node) {
+      const Event& p = *parent->second;
+      ++flow_id;
+      w.begin_object();
+      w.key("name");
+      w.value("causal");
+      w.key("cat");
+      w.value("parade.flow");
+      w.key("ph");
+      w.value("s");
+      w.key("id");
+      w.value(flow_id);
+      w.key("ts");
+      w.value(static_cast<double>(p.wall_ns) / 1000.0);
+      w.key("pid");
+      w.value(p.node);
+      w.key("tid");
+      w.value(p.node);
+      w.end_object();
+      w.begin_object();
+      w.key("name");
+      w.value("causal");
+      w.key("cat");
+      w.value("parade.flow");
+      w.key("ph");
+      w.value("f");
+      w.key("bp");
+      w.value("e");
+      w.key("id");
+      w.value(flow_id);
+      w.key("ts");
+      w.value(ts_us);
+      w.key("pid");
+      w.value(ev.node);
+      w.key("tid");
+      w.value(ev.node);
+      w.end_object();
+    }
+  }
+  w.end_array();
+  w.key("displayTimeUnit");
+  w.value("ns");
+  w.end_object();
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "parade_trace: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << w.str();
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+/// Per-epoch barrier critical path: every node's barrier span for epoch E
+/// shares trace id epoch_trace_id(E) and tag E; the critical node is the last
+/// arriver (max begin wall time) and every other node's slack is how much
+/// earlier it arrived — i.e. how long it sat waiting for the critical node.
+/// One process may run several clusters back to back (bench sweeps, the
+/// chaos tests' fault-free + faulty pair), making an epoch tag recur. Spans
+/// of one barrier *instance* mutually overlap in wall time (every node's
+/// span ends after the last arrival), while sequential runs do not, so each
+/// epoch's spans are split into runs by interval overlap.
+void print_critical_path(const std::vector<Event>& events) {
+  std::map<std::int64_t, std::vector<const Event*>> by_epoch;
+  for (const Event& ev : events) {
+    if (ev.kind == "barrier" && ev.span_id != 0) {
+      by_epoch[ev.tag].push_back(&ev);
+    }
+  }
+  for (auto& [epoch, spans] : by_epoch) {
+    std::sort(spans.begin(), spans.end(), [](const Event* a, const Event* b) {
+      return a->wall_ns < b->wall_ns;
+    });
+    std::vector<std::vector<const Event*>> runs;
+    std::int64_t group_min_end = 0;
+    for (const Event* span : spans) {
+      const std::int64_t end =
+          span->end_wall_ns > 0 ? span->end_wall_ns : span->wall_ns;
+      if (runs.empty() || span->wall_ns > group_min_end) {
+        runs.emplace_back();
+        group_min_end = end;
+      }
+      runs.back().push_back(span);
+      group_min_end = std::min(group_min_end, end);
+    }
+    for (std::size_t run = 0; run < runs.size(); ++run) {
+      const std::vector<const Event*>& group = runs[run];
+      const Event* critical = nullptr;
+      for (const Event* span : group) {
+        if (critical == nullptr || span->wall_ns > critical->wall_ns) {
+          critical = span;
+        }
+      }
+      std::printf(
+          "barrier-critical-path epoch=%" PRId64 " run=%zu critical_node=%"
+          PRId64 " nodes=%zu wait_ns=%" PRId64 "\n",
+          epoch, run, critical->node, group.size(),
+          critical->end_wall_ns > 0 ? critical->end_wall_ns - critical->wall_ns
+                                    : 0);
+      std::vector<const Event*> ordered(group);
+      std::sort(ordered.begin(), ordered.end(),
+                [](const Event* a, const Event* b) {
+                  return a->node < b->node;
+                });
+      for (const Event* span : ordered) {
+        const std::int64_t wait =
+            span->end_wall_ns > 0 ? span->end_wall_ns - span->wall_ns : 0;
+        std::printf("  node=%" PRId64 " wait_ns=%" PRId64 " slack_ns=%" PRId64
+                    "%s\n",
+                    span->node, wait, critical->wall_ns - span->wall_ns,
+                    span == critical ? " critical" : "");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool check = false;
+  std::string chrome_path;
+  std::vector<std::string> dumps;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--check") {
+      check = true;
+    } else if (arg.rfind("--chrome=", 0) == 0) {
+      chrome_path = arg.substr(std::strlen("--chrome="));
+      if (chrome_path.empty()) return usage();
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else {
+      dumps.push_back(arg);
+    }
+  }
+  if (dumps.empty()) return usage();
+
+  std::vector<Event> events;
+  std::int64_t dropped = 0;
+  for (const std::string& path : dumps) {
+    if (!load_dump(path, &events, &dropped)) return 2;
+  }
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    return a.wall_ns < b.wall_ns;
+  });
+
+  // Index spans; count the cross-node causal links that make the merge
+  // worthwhile (a child or instant whose parent span lives on another node).
+  std::map<std::uint64_t, const Event*> by_span;
+  std::set<std::int64_t> nodes;
+  for (const Event& ev : events) {
+    if (ev.span_id != 0) by_span[ev.span_id] = &ev;
+    nodes.insert(ev.node);
+  }
+  std::size_t cross_links = 0;
+  std::size_t spans = 0;
+  for (const Event& ev : events) {
+    if (ev.span_id != 0) ++spans;
+    if (ev.parent_span == 0) continue;
+    auto it = by_span.find(ev.parent_span);
+    if (it != by_span.end() && it->second->node != ev.node) ++cross_links;
+  }
+  std::printf("parade_trace: %zu events (%zu spans) from %zu dump(s), "
+              "%zu node(s), %zu cross-node link(s)\n",
+              events.size(), spans, dumps.size(), nodes.size(), cross_links);
+  if (dropped > 0) {
+    std::printf("parade_trace: warning: %" PRId64
+                " event(s) dropped by ring wrap (obs.trace.dropped) — trace "
+                "is incomplete; raise PARADE_TRACE_RING\n",
+                dropped);
+  }
+
+  print_critical_path(events);
+
+  if (!chrome_path.empty() &&
+      !write_chrome(chrome_path, events, by_span)) {
+    return 2;
+  }
+  if (!chrome_path.empty()) {
+    std::printf("parade_trace: wrote Chrome trace to %s\n",
+                chrome_path.c_str());
+  }
+
+  if (check) {
+    std::size_t orphans = 0;
+    std::size_t negative = 0;
+    for (const Event& ev : events) {
+      if (ev.parent_span != 0 && by_span.count(ev.parent_span) == 0) {
+        ++orphans;
+        if (orphans <= 10) {
+          std::fprintf(stderr,
+                       "parade_trace: orphan parent_span=%" PRIu64
+                       " (kind=%s node=%" PRId64 " from %s)\n",
+                       ev.parent_span, ev.kind.c_str(), ev.node,
+                       ev.source.c_str());
+        }
+      }
+      if (ev.end_wall_ns != 0 && ev.end_wall_ns < ev.wall_ns) ++negative;
+    }
+    if (orphans > 0 || negative > 0) {
+      std::fprintf(stderr,
+                   "parade_trace: check FAILED: %zu orphan parent(s), %zu "
+                   "span(s) ending before they begin\n",
+                   orphans, negative);
+      return 1;
+    }
+    std::printf("parade_trace: check OK — all parents resolve, all spans "
+                "well-ordered\n");
+  }
+  return 0;
+}

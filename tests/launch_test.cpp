@@ -1,8 +1,12 @@
 // End-to-end multi-process deployment: parade_run forks node processes that
-// rendezvous over Unix-domain sockets and run the full DSM + runtime stack.
+// rendezvous over Unix-domain sockets and run the full DSM + runtime stack,
+// including the --trace pipeline into the parade_trace merger.
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
+
 #include <cstdio>
+#include <filesystem>
 #include <string>
 
 namespace {
@@ -18,6 +22,14 @@ std::string run_command(const std::string& command, int* exit_code) {
   while (fgets(buffer, sizeof(buffer), pipe) != nullptr) output += buffer;
   *exit_code = pclose(pipe);
   return output;
+}
+
+/// Exit code (0-255) of a command, -1 when it died on a signal.
+int run_exit_code(const std::string& command, std::string* output = nullptr) {
+  int status = 0;
+  const std::string out = run_command(command, &status);
+  if (output != nullptr) *output = out;
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
 }
 
 std::string binary(const char* name) {
@@ -64,6 +76,65 @@ TEST(ParadeRun, PropagatesChildFailure) {
   EXPECT_NE(code, 0);
 }
 
+
+// --trace / --metrics validation mirrors parade_omcc's --threshold contract:
+// a bad value exits 2 immediately, before any process is forked.
+TEST(ParadeRun, TraceAndMetricsFlagValidation) {
+  const std::string base = binary("/src/launch/parade_run") + " -n 1 ";
+  const std::string helper = binary("/tests/launch_helper");
+  EXPECT_EQ(run_exit_code(base + "--trace= " + helper), 2);
+  EXPECT_EQ(run_exit_code(base + "--metrics= " + helper), 2);
+  EXPECT_EQ(run_exit_code(
+                base + "--trace=/no-such-dir-parade/t.json " + helper),
+            2);
+  EXPECT_EQ(run_exit_code(
+                base + "--metrics=/no-such-dir-parade/m.json " + helper),
+            2);
+  EXPECT_EQ(run_exit_code(
+                base + "--trace=/tmp/a.json --trace=/tmp/b.json " + helper),
+            2);
+  EXPECT_EQ(
+      run_exit_code(
+          base + "--metrics=/tmp/a.json --metrics=/tmp/b.json " + helper),
+      2);
+  // Space-separated form is not accepted for these flags (unknown arg).
+  EXPECT_EQ(run_exit_code(base + "--trace /tmp/a.json " + helper), 2);
+}
+
+// Full tracing pipeline: parade_run --trace makes every rank dump a trace
+// sidecar, and parade_trace merges them into one causally-consistent view
+// with at least one cross-node parent→child link.
+TEST(ParadeRun, TraceFlagProducesMergeableRankDumps) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "parade-launch-trace";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const std::string trace = (dir / "trace.json").string();
+
+  std::string out;
+  const int code = run_exit_code(binary("/src/launch/parade_run") +
+                                     " -n 2 -t 2 --trace=" + trace + " " +
+                                     binary("/tests/launch_helper"),
+                                 &out);
+  EXPECT_EQ(code, 0) << out;
+  const std::string rank0 = (dir / "trace.rank0.json").string();
+  const std::string rank1 = (dir / "trace.rank1.json").string();
+  ASSERT_TRUE(std::filesystem::exists(rank0)) << out;
+  ASSERT_TRUE(std::filesystem::exists(rank1)) << out;
+
+  std::string merged;
+  const int trace_code = run_exit_code(
+      binary("/src/verify/parade_trace") + " --check --chrome=" +
+          (dir / "chrome.json").string() + " " + rank0 + " " + rank1,
+      &merged);
+  EXPECT_EQ(trace_code, 0) << merged;
+  EXPECT_NE(merged.find("2 node(s)"), std::string::npos) << merged;
+  EXPECT_EQ(merged.find("0 cross-node link(s)"), std::string::npos) << merged;
+  EXPECT_NE(merged.find("check OK"), std::string::npos) << merged;
+  EXPECT_NE(merged.find("barrier-critical-path"), std::string::npos) << merged;
+  EXPECT_TRUE(std::filesystem::exists(dir / "chrome.json"));
+  std::filesystem::remove_all(dir);
+}
 
 TEST(ParadeRun, TranslatedProgramOnSocketCluster) {
   // Full toolchain x full deployment: the build-time-translated OpenMP pi

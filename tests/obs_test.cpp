@@ -1,17 +1,27 @@
 // Observability layer tests: registry snapshot/epoch-delta semantics, the
-// trace ring, JSON export round-trips through the bundled parser, and a
-// cross-layer consistency check that the counters reported by net, dsm, and
-// runtime agree with each other on a real 4-node virtual cluster run.
+// trace ring, histograms, span propagation across a real DSM cluster (fault
+// free and under fault injection), JSON export round-trips through the
+// bundled parser, the parade_trace CLI contract, and a cross-layer
+// consistency check that the counters reported by net, dsm, and runtime
+// agree with each other on a real 4-node virtual cluster run.
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
+
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iterator>
+#include <set>
 #include <string>
 
+#include "dsm/cluster.hpp"
+#include "net/fault.hpp"
+#include "obs/hist.hpp"
 #include "obs/json.hpp"
 #include "obs/registry.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 #include "runtime/api.hpp"
 #include "runtime/cluster.hpp"
@@ -262,6 +272,383 @@ TEST(CrossLayer, CountersAgreeOnVirtualCluster) {
     EXPECT_EQ(node.at("counters").at("dsm.barriers").as_int(),
               value_or0(snaps[static_cast<std::size_t>(id)], "dsm.barriers"));
   }
+}
+
+TEST(Hist, BucketEdgesAndPercentiles) {
+  EXPECT_EQ(hist_bucket_index(0), 0);
+  EXPECT_EQ(hist_bucket_index(1), 1);
+  EXPECT_EQ(hist_bucket_index(2), 2);
+  EXPECT_EQ(hist_bucket_index(3), 2);
+  EXPECT_EQ(hist_bucket_index(4), 3);
+  EXPECT_EQ(hist_bucket_index(INT64_MAX), 63);
+  EXPECT_EQ(hist_bucket_upper_ns(0), 0);
+  EXPECT_EQ(hist_bucket_upper_ns(2), 3);
+  EXPECT_EQ(hist_bucket_upper_ns(63), INT64_MAX);
+
+  Histogram h;
+  EXPECT_EQ(h.percentile_ns(0.50), 0);  // empty
+  // 90 fast samples and 10 slow ones: the p50 lands in the fast bucket, the
+  // p99 in the slow one, and every percentile is capped at the observed max.
+  for (int i = 0; i < 90; ++i) h.record_ns(100);   // bucket [64, 127]
+  for (int i = 0; i < 10; ++i) h.record_ns(9000);  // bucket [8192, 16383]
+  EXPECT_EQ(h.count(), 100);
+  EXPECT_EQ(h.max_ns(), 9000);
+  EXPECT_EQ(h.total_ns(), 90 * 100 + 10 * 9000);
+  EXPECT_EQ(h.percentile_ns(0.50), 127);
+  EXPECT_EQ(h.percentile_ns(0.99), 9000);  // bucket edge 16383, capped at max
+  h.reset();
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.max_ns(), 0);
+  EXPECT_EQ(h.percentile_ns(0.95), 0);
+}
+
+TEST(Hist, ScopedHistTimerRecordsBothHandles) {
+  Histogram h;
+  Timer t;
+  {
+    ScopedHistTimer scope(&h, &t);
+  }
+  {
+    ScopedHistTimer scope(nullptr);  // inert, mirrors ScopedTimer
+  }
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_EQ(t.count(), 1);
+  EXPECT_GE(h.total_ns(), 0);
+}
+
+TEST(Registry, TraceDroppedCountsRingOverwrites) {
+  Registry::Options options;
+  options.trace_enabled = true;
+  options.ring_capacity = 4;
+  Registry reg(options);
+  for (int i = 0; i < 10; ++i) reg.emit(TraceKind::kSend, 0, i, 0.0);
+  EXPECT_EQ(reg.trace_dropped(), 6);
+  EXPECT_EQ(reg.snapshot(0).counters.at("obs.trace.dropped"), 6);
+
+  auto doc = parse_json(reg.to_json("dropped"));
+  ASSERT_TRUE(doc.is_ok()) << doc.status().to_string();
+  EXPECT_EQ(doc.value().at("trace").at("dropped").as_int(), 6);
+
+  reg.reset_trace();
+  EXPECT_EQ(reg.trace_dropped(), 0);
+  EXPECT_TRUE(reg.trace_events().empty());
+}
+
+// The CSV rows for timers and histogram percentiles must carry the same
+// numbers as the JSON export (docs/OBSERVABILITY.md promises row-by-row
+// parity so downstream tooling can consume either).
+TEST(Registry, CsvMatchesJsonForTimersAndHists) {
+  Registry reg;
+  reg.timer(1, "mp.recv_wait").add_ns(12345);
+  Histogram& h = reg.hist(1, "dsm.fetch_ns");
+  for (int i = 0; i < 8; ++i) h.record_ns(1000);
+  h.record_ns(70000);
+
+  auto doc = parse_json(reg.to_json("parity"));
+  ASSERT_TRUE(doc.is_ok()) << doc.status().to_string();
+  const JsonValue* node1 = nullptr;
+  for (const JsonValue& node : doc.value().at("nodes").array) {
+    if (node.at("node").as_int() == 1) node1 = &node;
+  }
+  ASSERT_NE(node1, nullptr);
+  const JsonValue& jh = node1->at("hists").at("dsm.fetch_ns");
+  EXPECT_EQ(jh.at("count").as_int(), 9);
+  EXPECT_EQ(jh.at("max_ns").as_int(), 70000);
+
+  const std::string csv = reg.to_csv();
+  EXPECT_NE(csv.find("1,timer_ns,mp.recv_wait,12345,1"), std::string::npos)
+      << csv;
+  for (const char* row : {"hist_p50_ns", "hist_p95_ns", "hist_p99_ns"}) {
+    const std::string jkey = std::string(row).substr(5);  // -> p50_ns ...
+    const std::string expect = std::string("1,") + row + ",dsm.fetch_ns," +
+                               std::to_string(jh.at(jkey).as_int()) + ",9";
+    EXPECT_NE(csv.find(expect), std::string::npos) << expect << "\n" << csv;
+  }
+  EXPECT_NE(csv.find("1,hist_max_ns,dsm.fetch_ns,70000,9"), std::string::npos)
+      << csv;
+}
+
+// PARADE_RANK makes every export path rank-suffixed before the extension so
+// the launcher's processes write distinct files; PARADE_TRACE_OUT gets the
+// same treatment as PARADE_METRICS.
+TEST(Registry, ExportIfConfiguredSuffixesRank) {
+  const auto dir = std::filesystem::temp_directory_path() / "parade-obs-rank";
+  std::filesystem::create_directories(dir);
+  setenv("PARADE_RANK", "3", 1);
+  setenv("PARADE_METRICS", (dir / "m.json").string().c_str(), 1);
+  setenv("PARADE_TRACE_OUT", (dir / "t.json").string().c_str(), 1);
+  Registry reg;
+  reg.counter(0, "dsm.barriers").add(1);
+  reg.export_if_configured("rank_suffix");
+  unsetenv("PARADE_RANK");
+  unsetenv("PARADE_METRICS");
+  unsetenv("PARADE_TRACE_OUT");
+  EXPECT_TRUE(std::filesystem::exists(dir / "m.rank3.json"));
+  EXPECT_TRUE(std::filesystem::exists(dir / "t.rank3.json"));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Span, NestingAndAmbientContext) {
+  auto& reg = Registry::instance();
+  reg.set_trace_enabled(true);
+  reg.reset_trace();
+  EXPECT_FALSE(current_span_context().valid());
+  std::uint64_t outer_id = 0;
+  std::uint64_t inner_id = 0;
+  {
+    ScopedSpan outer(TraceKind::kRegion, 0, 0);
+    ASSERT_TRUE(outer.active());
+    outer_id = outer.context().span_id;
+    EXPECT_EQ(current_span_context().span_id, outer_id);
+    EXPECT_EQ(outer.context().trace_id, outer_id);  // roots its own trace
+    {
+      ScopedSpan inner(TraceKind::kLock, 0, 7);
+      inner_id = inner.context().span_id;
+      EXPECT_EQ(inner.context().trace_id, outer_id);  // inherits the trace
+      EXPECT_EQ(current_span_context().span_id, inner_id);
+    }
+    EXPECT_EQ(current_span_context().span_id, outer_id);  // restored
+  }
+  EXPECT_FALSE(current_span_context().valid());
+
+  const auto events = reg.trace_events();
+  ASSERT_EQ(events.size(), 2u);  // inner closes first
+  EXPECT_EQ(events[0].span_id, inner_id);
+  EXPECT_EQ(events[0].parent_span, outer_id);
+  EXPECT_EQ(events[1].span_id, outer_id);
+  EXPECT_EQ(events[1].parent_span, 0u);
+  for (const TraceEvent& e : events) EXPECT_GE(e.end_wall_ns, e.wall_ns);
+
+  reg.reset_trace();
+  reg.set_trace_enabled(false);
+  {
+    ScopedSpan inert(TraceKind::kRegion, 0, 0);
+    EXPECT_FALSE(inert.active());
+    EXPECT_FALSE(current_span_context().valid());
+  }
+  EXPECT_TRUE(reg.trace_events().empty());
+}
+
+// Shared workload for the span-propagation tests: rank 0 seeds a page, the
+// other ranks fault it in remotely, and two more barriers close the run.
+void run_span_workload(dsm::DsmCluster& cluster) {
+  cluster.run([&](NodeId rank) {
+    auto* data = static_cast<int*>(cluster.node(rank).shmalloc(4096, 4096));
+    if (rank == 0) *data = 17;
+    cluster.node(rank).barrier();
+    EXPECT_EQ(*data, 17);
+    cluster.node(rank).barrier();
+  });
+  cluster.shutdown();
+}
+
+/// True when some page_serve span's parent is a page_fault span on a
+/// *different* node sharing the same trace id — the cross-node causal edge
+/// the wire-context piggyback exists to create.
+bool has_cross_node_fetch_link(const std::vector<TraceEvent>& events) {
+  for (const TraceEvent& serve : events) {
+    if (serve.kind != TraceKind::kPageServe || serve.parent_span == 0) {
+      continue;
+    }
+    for (const TraceEvent& fault : events) {
+      if (fault.kind == TraceKind::kPageFault &&
+          fault.span_id == serve.parent_span && fault.node != serve.node &&
+          fault.trace_id == serve.trace_id) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+TEST(SpanPropagation, RemoteFetchLinksRequesterAndServer) {
+  auto& reg = Registry::instance();
+  reg.set_trace_enabled(true);
+  reg.reset_trace();
+
+  dsm::DsmConfig config;
+  config.pool_bytes = 4 << 20;
+  dsm::DsmCluster cluster(4, config);
+  run_span_workload(cluster);
+
+  const auto events = reg.trace_events();
+  reg.reset_trace();
+  reg.set_trace_enabled(false);
+
+  EXPECT_TRUE(has_cross_node_fetch_link(events));
+
+  // Every node's barrier span for epoch E shares the deterministic epoch
+  // trace id, computed with no communication.
+  for (std::int64_t epoch = 0; epoch < 2; ++epoch) {
+    std::set<NodeId> nodes_seen;
+    for (const TraceEvent& e : events) {
+      if (e.kind == TraceKind::kBarrier && e.tag == epoch) {
+        EXPECT_EQ(e.trace_id, epoch_trace_id(epoch));
+        nodes_seen.insert(e.node);
+      }
+    }
+    EXPECT_EQ(nodes_seen.size(), 4u) << "epoch " << epoch;
+  }
+}
+
+TEST(SpanPropagation, SurvivesDropAndReorderFaults) {
+  auto& reg = Registry::instance();
+  reg.set_trace_enabled(true);
+  reg.reset_trace();
+
+  dsm::DsmConfig config;
+  config.pool_bytes = 4 << 20;
+  dsm::DsmCluster cluster(4, config, net::default_chaos_plan(11));
+  run_span_workload(cluster);
+
+  const auto events = reg.trace_events();
+  reg.reset_trace();
+  reg.set_trace_enabled(false);
+
+  // Retransmissions and reordering must not corrupt causality: the remote
+  // fetch still links, and no span ends before it begins.
+  EXPECT_TRUE(has_cross_node_fetch_link(events));
+  for (const TraceEvent& e : events) {
+    if (e.end_wall_ns != 0) EXPECT_GE(e.end_wall_ns, e.wall_ns);
+  }
+}
+
+// ---- parade_trace CLI contract ----
+
+std::string run_command(const std::string& command, int* exit_code) {
+  std::string output;
+  FILE* pipe = popen((command + " 2>&1").c_str(), "r");
+  if (pipe == nullptr) {
+    *exit_code = -1;
+    return output;
+  }
+  char buffer[4096];
+  while (fgets(buffer, sizeof(buffer), pipe) != nullptr) output += buffer;
+  const int status = pclose(pipe);
+  *exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return output;
+}
+
+std::string parade_trace_bin() {
+  return std::string(PARADE_BINARY_DIR) + "/src/verify/parade_trace";
+}
+
+TraceEvent make_span(TraceKind kind, NodeId node, Tag tag,
+                     std::uint64_t trace_id, std::uint64_t span_id,
+                     std::uint64_t parent, std::int64_t begin,
+                     std::int64_t end) {
+  TraceEvent e;
+  e.kind = kind;
+  e.node = node;
+  e.tag = tag;
+  e.trace_id = trace_id;
+  e.span_id = span_id;
+  e.parent_span = parent;
+  e.wall_ns = begin;
+  e.end_wall_ns = end;
+  return e;
+}
+
+TEST(ParadeTraceCli, MergesDumpsChecksAndEmitsChrome) {
+  const auto dir = std::filesystem::temp_directory_path() / "parade-trace-cli";
+  std::filesystem::create_directories(dir);
+
+  // Dump A: node 0's fault span plus its epoch-0 barrier span.
+  Registry::Options options;
+  options.trace_enabled = true;
+  {
+    Registry reg(options);
+    reg.emit_event(
+        make_span(TraceKind::kPageFault, 0, 5, 0x100, 0x100, 0, 1000, 9000));
+    reg.emit_event(make_span(TraceKind::kBarrier, 0, 0, epoch_trace_id(0),
+                             0x101, 0, 10000, 30000));
+    ASSERT_TRUE(reg.export_to((dir / "a.json").string(), "a").is_ok());
+  }
+  // Dump B: node 1 serves node 0's fault (cross-node child) and arrives last
+  // at the same barrier.
+  {
+    Registry reg(options);
+    reg.emit_event(
+        make_span(TraceKind::kPageServe, 1, 5, 0x100, 0x200, 0x100, 2000,
+                  3000));
+    reg.emit_event(make_span(TraceKind::kBarrier, 1, 0, epoch_trace_id(0),
+                             0x201, 0, 25000, 30000));
+    ASSERT_TRUE(reg.export_to((dir / "b.json").string(), "b").is_ok());
+  }
+
+  int code = -1;
+  const std::string chrome = (dir / "chrome.json").string();
+  const std::string out = run_command(
+      parade_trace_bin() + " --check --chrome=" + chrome + " " +
+          (dir / "a.json").string() + " " + (dir / "b.json").string(),
+      &code);
+  EXPECT_EQ(code, 0) << out;
+  EXPECT_NE(out.find("cross-node link"), std::string::npos) << out;
+  EXPECT_NE(out.find("check OK"), std::string::npos) << out;
+  // Node 1 arrived last, so it is the barrier critical path; node 0's slack
+  // is its 15 µs head start.
+  EXPECT_NE(out.find("barrier-critical-path epoch=0 run=0 critical_node=1"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("node=0 wait_ns=20000 slack_ns=15000"), std::string::npos)
+      << out;
+
+  // The Chrome artifact parses and contains complete slices plus one
+  // flow-start/flow-finish pair for the cross-node edge.
+  std::ifstream in(chrome);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  auto doc = parse_json(text);
+  ASSERT_TRUE(doc.is_ok()) << doc.status().to_string();
+  int slices = 0, flow_starts = 0, flow_ends = 0;
+  for (const JsonValue& ev : doc.value().at("traceEvents").array) {
+    const std::string& ph = ev.at("ph").string;
+    if (ph == "X") ++slices;
+    if (ph == "s") ++flow_starts;
+    if (ph == "f") ++flow_ends;
+  }
+  EXPECT_EQ(slices, 4);
+  EXPECT_EQ(flow_starts, 1);
+  EXPECT_EQ(flow_ends, 1);
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ParadeTraceCli, CheckFailsOnOrphanParent) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "parade-trace-orphan";
+  std::filesystem::create_directories(dir);
+  Registry::Options options;
+  options.trace_enabled = true;
+  Registry reg(options);
+  reg.emit_event(
+      make_span(TraceKind::kPageServe, 2, 0, 0x900, 0x901, 0x999, 100, 200));
+  ASSERT_TRUE(reg.export_to((dir / "orphan.json").string(), "o").is_ok());
+
+  int code = -1;
+  const std::string out = run_command(
+      parade_trace_bin() + " --check " + (dir / "orphan.json").string(),
+      &code);
+  EXPECT_EQ(code, 1) << out;
+  EXPECT_NE(out.find("orphan parent"), std::string::npos) << out;
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ParadeTraceCli, RejectsGarbageInput) {
+  const auto dir = std::filesystem::temp_directory_path() / "parade-trace-bad";
+  std::filesystem::create_directories(dir);
+  std::ofstream(dir / "bad.json") << "{ not json";
+  int code = -1;
+  run_command(parade_trace_bin() + " " + (dir / "bad.json").string(), &code);
+  EXPECT_EQ(code, 2);
+  run_command(parade_trace_bin() + " " + (dir / "missing.json").string(),
+              &code);
+  EXPECT_EQ(code, 2);
+  run_command(parade_trace_bin(), &code);  // no dumps
+  EXPECT_EQ(code, 2);
+  run_command(parade_trace_bin() + " --bogus x.json", &code);
+  EXPECT_EQ(code, 2);
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace
