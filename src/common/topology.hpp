@@ -1,0 +1,124 @@
+// parade::Topology — the one place a cluster's communication shape lives.
+//
+// Every layer that used to carry loose `int rank, int nodes` pairs (net, mp,
+// dsm, runtime) now takes a Topology value: rank, node count, and the barrier
+// tree fan-out, plus the derived neighbor sets (parent / children) of the
+// k-ary gather/scatter tree rooted at node 0.
+//
+// The tree is heap-shaped: parent(r) = (r-1)/k, children(r) = k*r+1 .. k*r+k
+// (clipped to the node count). `fanout <= 0` selects the *flat* topology —
+// the degenerate tree where node 0 is the direct parent of every other node —
+// so flat vs tree barriers are one code path parameterized by fan-out, not
+// two implementations (docs/SCALING.md).
+#pragma once
+
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace parade {
+
+struct Topology {
+  NodeId rank = 0;
+  int nodes = 1;
+  /// Barrier-tree fan-out. <= 0 means flat: the root gathers from everyone.
+  int fanout = 0;
+
+  static Topology flat(NodeId rank, int nodes) { return {rank, nodes, 0}; }
+  static Topology tree(NodeId rank, int nodes, int fanout) {
+    return {rank, nodes, fanout};
+  }
+  /// Cluster-level shape (rank unset); combine with with_rank() per node.
+  static Topology cluster(int nodes, int fanout = 0) {
+    return {0, nodes, fanout};
+  }
+
+  Topology with_rank(NodeId r) const { return {r, nodes, fanout}; }
+
+  bool valid() const {
+    return nodes >= 1 && rank >= 0 && rank < nodes &&
+           fanout <= 1000000;  // no meaningful upper bound; reject nonsense
+  }
+
+  /// The fan-out actually used for neighbor math: flat == (nodes - 1)-ary.
+  int effective_fanout() const {
+    if (fanout > 0) return fanout;
+    return nodes > 1 ? nodes - 1 : 1;
+  }
+
+  bool is_root() const { return rank == 0; }
+
+  /// Parent in the gather tree; kAnyNode for the root.
+  NodeId parent() const {
+    if (rank == 0) return kAnyNode;
+    return (rank - 1) / effective_fanout();
+  }
+
+  /// Direct children in the gather tree, ascending rank order.
+  std::vector<NodeId> children() const {
+    std::vector<NodeId> out;
+    const int k = effective_fanout();
+    const long long first = static_cast<long long>(rank) * k + 1;
+    for (long long c = first; c < first + k && c < nodes; ++c) {
+      out.push_back(static_cast<NodeId>(c));
+    }
+    return out;
+  }
+
+  int num_children() const {
+    const int k = effective_fanout();
+    const long long first = static_cast<long long>(rank) * k + 1;
+    if (first >= nodes) return 0;
+    const long long last = first + k < nodes ? first + k : nodes;
+    return static_cast<int>(last - first);
+  }
+
+  /// Levels between this rank and the root (root depth 0).
+  int depth() const {
+    int d = 0;
+    for (NodeId r = rank; r != 0; r = Topology{r, nodes, fanout}.parent()) ++d;
+    return d;
+  }
+
+  /// Depth of the deepest rank — the number of gather hops a barrier takes.
+  int height() const {
+    return nodes > 1 ? Topology{static_cast<NodeId>(nodes - 1), nodes, fanout}
+                           .depth()
+                     : 0;
+  }
+
+  std::string describe() const {
+    if (fanout <= 0) return "flat";
+    return "tree:" + std::to_string(fanout);
+  }
+
+  friend bool operator==(const Topology&, const Topology&) = default;
+};
+
+/// Parses a `--barrier=` / PARADE_BARRIER spec: "flat" -> 0,
+/// "tree:<k>" with k >= 1 -> k. Returns nullopt on anything else.
+inline std::optional<int> parse_barrier_spec(std::string_view spec) {
+  if (spec == "flat") return 0;
+  constexpr std::string_view kPrefix = "tree:";
+  if (spec.size() <= kPrefix.size() ||
+      spec.substr(0, kPrefix.size()) != kPrefix) {
+    return std::nullopt;
+  }
+  const std::string digits(spec.substr(kPrefix.size()));
+  if (digits.empty()) return std::nullopt;
+  for (char c : digits) {
+    if (c < '0' || c > '9') return std::nullopt;
+  }
+  char* end = nullptr;
+  const long k = std::strtol(digits.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || k < 1 || k > 1000000) {
+    return std::nullopt;
+  }
+  return static_cast<int>(k);
+}
+
+}  // namespace parade

@@ -7,17 +7,27 @@
 
 namespace parade::dsm {
 
-DsmCluster::DsmCluster(int size, DsmConfig config) : fabric_(size) {
-  init(size, config, net::FaultPlan::from_env());
+DsmCluster::DsmCluster(const Topology& topology, DsmConfig config)
+    : fabric_(topology.nodes) {
+  init(topology, config, net::FaultPlan::from_env());
 }
+
+DsmCluster::DsmCluster(const Topology& topology, DsmConfig config,
+                       net::FaultPlan faults)
+    : fabric_(topology.nodes) {
+  init(topology, config, std::move(faults));
+}
+
+DsmCluster::DsmCluster(int size, DsmConfig config)
+    : DsmCluster(Topology::cluster(size, config.barrier_fanout), config) {}
 
 DsmCluster::DsmCluster(int size, DsmConfig config, net::FaultPlan faults)
-    : fabric_(size) {
-  init(size, config, std::move(faults));
-}
+    : DsmCluster(Topology::cluster(size, config.barrier_fanout), config,
+                 std::move(faults)) {}
 
-void DsmCluster::init(int size, const DsmConfig& config,
+void DsmCluster::init(const Topology& topology, const DsmConfig& config,
                       std::optional<net::FaultPlan> faults) {
+  const int size = topology.nodes;
   if (faults && faults->active()) {
     auto epoch = std::make_shared<std::atomic<std::int64_t>>(0);
     faulty_.reserve(static_cast<std::size_t>(size));
@@ -28,7 +38,8 @@ void DsmCluster::init(int size, const DsmConfig& config,
   }
   nodes_.reserve(static_cast<std::size_t>(size));
   for (NodeId rank = 0; rank < size; ++rank) {
-    auto node = std::make_unique<DsmNode>(channel(rank), config);
+    auto node = std::make_unique<DsmNode>(topology.with_rank(rank),
+                                          channel(rank), config);
     Status s = node->start();
     PARADE_CHECK_MSG(s.is_ok(), s.message());
     nodes_.push_back(std::move(node));

@@ -17,10 +17,16 @@ namespace parade::dsm {
 
 class DsmCluster {
  public:
-  /// Creates and starts `size` nodes with the given configuration. Faults
-  /// are injected when PARADE_FAULT_SEED / PARADE_FAULT_PLAN are set.
-  explicit DsmCluster(int size, DsmConfig config = {});
+  /// Primary constructor: the cluster-level Topology (rank ignored) carries
+  /// the node count and barrier-tree fan-out; each node gets
+  /// `topology.with_rank(r)`. Faults are injected when PARADE_FAULT_SEED /
+  /// PARADE_FAULT_PLAN are set.
+  explicit DsmCluster(const Topology& topology, DsmConfig config = {});
   /// Same, with an explicit fault plan (chaos tests; overrides the env).
+  DsmCluster(const Topology& topology, DsmConfig config, net::FaultPlan faults);
+  /// Deprecation shims for callers still passing a loose node count; the
+  /// fan-out falls back to config.barrier_fanout.
+  explicit DsmCluster(int size, DsmConfig config = {});
   DsmCluster(int size, DsmConfig config, net::FaultPlan faults);
   ~DsmCluster();
 
@@ -41,7 +47,7 @@ class DsmCluster {
   void shutdown();
 
  private:
-  void init(int size, const DsmConfig& config,
+  void init(const Topology& topology, const DsmConfig& config,
             std::optional<net::FaultPlan> faults);
 
   net::InProcFabric fabric_;

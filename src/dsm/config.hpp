@@ -47,6 +47,16 @@ struct DsmConfig {
   std::size_t mp_threshold_bytes = 256;
   SyncMode sync_mode = SyncMode::kParade;
 
+  /// Barrier gather/scatter tree fan-out (Topology::fanout). <= 0 selects
+  /// the flat shape: node 0 gathers every arrival directly. Small fan-outs
+  /// trade root-side O(nodes) overhead for O(log_k nodes) latency hops —
+  /// the scaleout bench shows tree winning from ~32 nodes (docs/SCALING.md).
+  int barrier_fanout = 0;
+  /// Stripe initial page homes round-robin across nodes instead of homing
+  /// everything at node 0 (rules::default_home). Off by default: single-home
+  /// start matches the paper's setup and many tests pin home 0.
+  bool sharded_homes = false;
+
   vtime::NetworkModel net{};
   vtime::MachineModel machine{};
 

@@ -4,9 +4,11 @@
 
 #include <algorithm>
 #include <cstring>
+#include <map>
 
 #include "common/log.hpp"
 #include "dsm/diff.hpp"
+#include "dsm/notice.hpp"
 #include "dsm/rules.hpp"
 #include "dsm/sigsegv.hpp"
 #include "obs/hist.hpp"
@@ -71,8 +73,21 @@ bool active() { return t_depth > 0; }
 
 // ---------------------------------------------------------------------------
 
+DsmNode::DsmNode(const Topology& topology, net::Channel& channel,
+                 DsmConfig config)
+    : channel_(channel),
+      topo_(topology),
+      config_(config),
+      stats_(topology.rank) {
+  PARADE_CHECK_MSG(topo_.valid(), "invalid topology");
+  PARADE_CHECK_MSG(topo_.rank == channel.rank() &&
+                       topo_.nodes == channel.size(),
+                   "topology disagrees with channel rank/size");
+}
+
 DsmNode::DsmNode(net::Channel& channel, DsmConfig config)
-    : channel_(channel), config_(config), stats_(channel.rank()) {}
+    : DsmNode(Topology{channel.rank(), channel.size(), config.barrier_fanout},
+              channel, config) {}
 
 void DsmNode::post(NodeId dst, Tag tag, std::vector<std::uint8_t> payload,
                    VirtualUs vtime) {
@@ -102,14 +117,33 @@ Status DsmNode::start() {
   mapping_ = std::move(mapping).value();
 
   pages_ = std::make_unique<PageTable>(config_.num_pages(), /*initial_home=*/0);
-  if (rank() == 0) {
-    // The master starts as home of every page with a zero-filled, readable
-    // copy; everyone else faults pages in on first access.
-    if (Status s = mapping_->protect_app(0, config_.pool_bytes, PROT_READ); !s) {
-      return s;
+  if (!config_.sharded_homes) {
+    if (rank() == 0) {
+      // The master starts as home of every page with a zero-filled, readable
+      // copy; everyone else faults pages in on first access.
+      if (Status s = mapping_->protect_app(0, config_.pool_bytes, PROT_READ);
+          !s) {
+        return s;
+      }
+      for (std::size_t p = 0; p < config_.num_pages(); ++p) {
+        pages_->entry(static_cast<PageId>(p)).state = PageState::kReadOnly;
+      }
     }
+  } else {
+    // Sharded directory: homes stripe round-robin (rules::default_home), so
+    // every node seeds its own shard with a zero-filled, readable copy and
+    // first-touch traffic spreads instead of storming node 0.
     for (std::size_t p = 0; p < config_.num_pages(); ++p) {
-      pages_->entry(static_cast<PageId>(p)).state = PageState::kReadOnly;
+      const PageId page = static_cast<PageId>(p);
+      PageEntry& entry = pages_->entry(page);
+      entry.home = rules::default_home(page, size(), /*sharded=*/true);
+      if (entry.home != rank()) continue;
+      if (Status s = mapping_->protect_app(p * config_.page_bytes,
+                                           config_.page_bytes, PROT_READ);
+          !s) {
+        return s;
+      }
+      entry.state = PageState::kReadOnly;
     }
   }
 
@@ -368,6 +402,15 @@ void DsmNode::flush_pages(const std::vector<PageId>& pages) {
 
 // ---------------------------------------------------------------------------
 // Barrier (one caller per node)
+//
+// The inter-node barrier runs over the k-ary gather/scatter tree described
+// by topo_ (docs/SCALING.md). Every node gathers its direct children's
+// aggregated subtree arrivals, merges their write-notice streams with its
+// own, and — unless it is the root — forwards one coalesced arrival to its
+// parent. The root closes the epoch (home migration, §5.2.2) and the
+// departure is re-stamped hop by hop back down the same edges. The flat
+// barrier is the degenerate fan-out where the root parents everyone, so
+// flat vs tree is configuration, not a second code path.
 
 void DsmNode::barrier() {
   auto* clock = vtime::thread_clock();
@@ -384,15 +427,15 @@ void DsmNode::barrier() {
 
   flush_pages(drain_dirty_now());
 
-  BarrierArriveMsg arrive;
-  arrive.epoch = epoch_;
+  // This node's own write notices for the closing interval.
+  std::vector<PageId> own_pages;
   {
     std::lock_guard lock(dirty_mutex_);
-    arrive.dirtied_pages.assign(interval_dirty_.begin(), interval_dirty_.end());
+    own_pages.assign(interval_dirty_.begin(), interval_dirty_.end());
     interval_dirty_.clear();
   }
-  stats_.inc_write_notices_sent(
-      static_cast<std::int64_t>(arrive.dirtied_pages.size()));
+  std::sort(own_pages.begin(), own_pages.end());
+  stats_.inc_write_notices_sent(static_cast<std::int64_t>(own_pages.size()));
 
   // Communication-thread CPU spent this phase either overlapped (dedicated
   // CPU) or serialized with computation (paper's 1T-1CPU / 2T-2CPU).
@@ -401,16 +444,80 @@ void DsmNode::barrier() {
     clock->add(phase_comm);
   }
 
-  if (rank() == 0) {
-    master_barrier(arrive, clock);
+  const std::vector<NodeId> children = topo_.children();
+  auto gathered = gather_children(children.size());
+
+  // Merge the children's streams with our own notices. Subtrees are
+  // disjoint, so each modifier appears in at most one source; the map keeps
+  // blocks modifier-sorted for re-packing and page order deterministic.
+  std::map<NodeId, std::vector<PageId>> subtree_notices;
+  if (!own_pages.empty()) subtree_notices[rank()] = std::move(own_pages);
+  VirtualUs latest = clock != nullptr ? clock->now() : 0.0;
+  const PageId num_pages = static_cast<PageId>(config_.num_pages());
+  for (auto& [src, arrival] : gathered) {
+    auto& [arr, contribution] = arrival;
+    PARADE_CHECK_MSG(arr.epoch == epoch_, "barrier epoch mismatch");
+    latest = std::max(latest, contribution);
+    auto blocks =
+        notice::try_unpack_notices(arr.notice_stream, size(), num_pages);
+    // handle_barrier_arrive validated the stream before recording it.
+    PARADE_CHECK_MSG(blocks.has_value(), "gathered notice stream malformed");
+    for (auto& block : *blocks) {
+      subtree_notices[block.modifier] = std::move(block.pages);
+    }
+  }
+  // Gather-side processing: one receive overhead per direct child. At a
+  // flat root this is the O(nodes) term the tree caps at O(fanout).
+  latest +=
+      static_cast<double>(children.size()) * config_.net.recv_overhead_us;
+
+  BarrierDepartMsg depart;
+  if (topo_.is_root()) {
+    // The root closes the epoch: page -> modifiers across the whole tree,
+    // then the §5.2.2 tie-break (rules::choose_home): unique modifier →
+    // current home → smallest node id. Only a unique modifier ever migrates
+    // the page — with several modifiers the old home holds the only merged
+    // copy.
+    std::map<PageId, std::vector<NodeId>> modifiers;
+    for (const auto& [modifier, pages] : subtree_notices) {
+      for (const PageId page : pages) modifiers[page].push_back(modifier);
+    }
+    depart.epoch = epoch_;
+    depart.entries.reserve(modifiers.size());
+    for (const auto& [page, mods] : modifiers) {
+      DepartEntry entry;
+      entry.page = page;
+      const NodeId home = pages_->home_of(page);
+      const rules::HomeDecision decision =
+          rules::choose_home(home, mods, config_.home_migration);
+      entry.sole_modifier = decision.sole_modifier;
+      entry.new_home = decision.new_home;
+      if (entry.new_home != home) stats_.inc_home_migrations();
+      depart.entries.push_back(entry);
+    }
+    depart.departure_vtime = latest;
+    if (clock != nullptr) clock->merge(latest);
   } else {
-    VirtualUs stamp = 0.0;
+    // Interior node or leaf: forward one coalesced subtree arrival to the
+    // parent, then wait for the departure to come back down this edge.
+    std::vector<notice::NoticeBlock> blocks;
+    blocks.reserve(subtree_notices.size());
+    for (auto& [modifier, pages] : subtree_notices) {
+      blocks.push_back({modifier, std::move(pages)});
+    }
+    BarrierArriveMsg arrive;
+    arrive.epoch = epoch_;
+    arrive.notice_stream = notice::pack_notices(blocks);
+
+    VirtualUs stamp = latest;
     if (clock != nullptr) {
+      clock->merge(latest);
       clock->add(config_.net.send_overhead_us);
       stamp = clock->now();
     }
-    const auto payload = codec<BarrierArriveMsg>::encode(arrive);
-    post(0, kTagBarrierArrive, payload, stamp);
+    const NodeId parent = topo_.parent();
+    const auto payload = codec<BarrierArriveMsg>::encode(std::move(arrive));
+    post(parent, kTagBarrierArrive, payload, stamp);
     int attempts = 1;
     for (;;) {
       auto msg = channel_.inbox().recv_match_for(
@@ -423,28 +530,41 @@ void DsmNode::barrier() {
                          "channel closed during barrier");
         PARADE_CHECK_MSG(attempts < config_.retry.max_attempts,
                          "barrier departure timed out after max retries");
-        // Either our arrival or the master's departure was lost; resending
-        // the arrival recovers both (the master re-answers closed epochs).
+        // Either our arrival or the parent's departure was lost; resending
+        // the arrival recovers both (every gather node re-answers closed
+        // epochs on its child edges).
         ++attempts;
         stats_.inc_retries();
-        post(0, kTagBarrierArrive, payload, stamp);
+        post(parent, kTagBarrierArrive, payload, stamp);
         continue;
       }
       auto depart_r = codec<BarrierDepartMsg>::try_decode(msg->payload);
       if (!depart_r.is_ok()) continue;  // malformed frame off the wire
-      BarrierDepartMsg depart = std::move(depart_r).value();
-      const auto action = rules::classify_barrier_depart(depart.epoch, epoch_);
+      BarrierDepartMsg got = std::move(depart_r).value();
+      const auto action = rules::classify_barrier_depart(got.epoch, epoch_);
       if (action == rules::DepartAction::kIgnoreStale) continue;
       PARADE_CHECK_MSG(action == rules::DepartAction::kProcess,
                        "barrier departure from a future epoch");
       if (clock != nullptr) {
-        clock->merge(depart.departure_vtime +
+        clock->merge(got.departure_vtime +
                      config_.net.transfer_us(msg->payload.size()));
       }
-      process_departure(depart);
+      depart = std::move(got);
       break;
     }
   }
+
+  // Scatter the departure to our direct children, then apply it locally.
+  if (!children.empty()) {
+    forward_departure(depart, children,
+                      clock != nullptr ? clock->now()
+                                       : depart.departure_vtime);
+    if (clock != nullptr) {
+      clock->add(static_cast<double>(children.size()) *
+                 config_.net.send_overhead_us);
+    }
+  }
+  process_departure(depart);
 
   stats_.inc_barriers();
   obs::Registry::instance().close_epoch(rank(), epoch_);
@@ -452,85 +572,59 @@ void DsmNode::barrier() {
   if (clock != nullptr) clock->discard_cpu();
 }
 
-void DsmNode::master_barrier(const BarrierArriveMsg& own,
-                             vtime::ThreadClock* clock) {
-  // page -> modifiers this interval.
-  std::unordered_map<PageId, std::vector<NodeId>> modifiers;
-  for (const PageId page : own.dirtied_pages) modifiers[page].push_back(0);
-
-  VirtualUs latest = clock != nullptr ? clock->now() : 0.0;
-  // The comm thread gathers arrivals (handle_barrier_arrive); wait for the
-  // current epoch's set to complete. Workers drive retransmission, so a
-  // timeout here only bounds how long we tolerate a silent fabric.
+std::unordered_map<NodeId, std::pair<BarrierArriveMsg, VirtualUs>>
+DsmNode::gather_children(std::size_t needed) {
   std::unordered_map<NodeId, std::pair<BarrierArriveMsg, VirtualUs>> gathered;
-  {
-    std::unique_lock lock(barrier_gather_.mutex);
-    const std::size_t needed = static_cast<std::size_t>(size() - 1);
-    int attempts = 1;
-    for (;;) {
-      auto it = barrier_gather_.arrivals.find(epoch_);
-      const std::size_t have =
-          it == barrier_gather_.arrivals.end() ? 0 : it->second.size();
-      if (have == needed) {
-        if (it != barrier_gather_.arrivals.end()) {
-          gathered = std::move(it->second);
-          barrier_gather_.arrivals.erase(it);
-        }
-        break;
-      }
-      PARADE_CHECK_MSG(!barrier_gather_.closed,
-                       "channel closed during barrier gather");
-      if (barrier_gather_.cv.wait_for(lock, config_.retry.timeout()) ==
-          std::cv_status::timeout) {
-        PARADE_CHECK_MSG(attempts < config_.retry.max_attempts,
-                         "barrier gather timed out after max retries");
-        ++attempts;
-      }
+  if (needed == 0) return gathered;
+  // The comm thread records arrivals (handle_barrier_arrive); wait for the
+  // current epoch's set to complete. Children drive retransmission, so a
+  // timeout here only bounds how long we tolerate a silent fabric.
+  std::unique_lock lock(barrier_gather_.mutex);
+  int attempts = 1;
+  for (;;) {
+    auto it = barrier_gather_.arrivals.find(epoch_);
+    const std::size_t have =
+        it == barrier_gather_.arrivals.end() ? 0 : it->second.size();
+    if (have == needed) {
+      gathered = std::move(it->second);
+      barrier_gather_.arrivals.erase(it);
+      break;
+    }
+    PARADE_CHECK_MSG(!barrier_gather_.closed,
+                     "channel closed during barrier gather");
+    if (barrier_gather_.cv.wait_for(lock, config_.retry.timeout()) ==
+        std::cv_status::timeout) {
+      PARADE_CHECK_MSG(attempts < config_.retry.max_attempts,
+                       "barrier gather timed out after max retries");
+      ++attempts;
     }
   }
-  for (const auto& [src, arrival] : gathered) {
-    const auto& [arr, contribution] = arrival;
-    PARADE_CHECK_MSG(arr.epoch == epoch_, "barrier epoch mismatch");
-    latest = std::max(latest, contribution);
-    for (const PageId page : arr.dirtied_pages) {
-      modifiers[page].push_back(src);
-    }
-  }
+  return gathered;
+}
 
-  BarrierDepartMsg depart;
-  depart.epoch = epoch_;
-  depart.entries.reserve(modifiers.size());
-  for (const auto& [page, mods] : modifiers) {
-    DepartEntry entry;
-    entry.page = page;
-    const NodeId home = pages_->home_of(page);
-    // §5.2.2 tie-break (rules::choose_home): unique modifier → current home
-    // → smallest node id. Only a unique modifier ever migrates the page —
-    // with several modifiers the old home holds the only merged copy.
-    const rules::HomeDecision decision =
-        rules::choose_home(home, mods, config_.home_migration);
-    entry.sole_modifier = decision.sole_modifier;
-    entry.new_home = decision.new_home;
-    if (entry.new_home != home) stats_.inc_home_migrations();
-    depart.entries.push_back(entry);
-  }
-
-  latest += config_.net.recv_overhead_us;  // master-side gather processing
-  depart.departure_vtime = latest;
-  const auto payload = codec<BarrierDepartMsg>::encode(depart);
+void DsmNode::forward_departure(const BarrierDepartMsg& depart,
+                                const std::vector<NodeId>& children,
+                                VirtualUs base_vtime) {
+  // Re-stamp at this hop: children merge our forwarding time (plus their own
+  // transfer), not the root's, so a deep tree pays per-level latency
+  // honestly. Send overheads serialize on this node's clock.
+  const VirtualUs stamp =
+      base_vtime +
+      static_cast<double>(children.size()) * config_.net.send_overhead_us;
+  BarrierDepartMsg down = depart;
+  down.departure_vtime = stamp;
+  const auto payload = codec<BarrierDepartMsg>::encode(std::move(down));
   {
-    // Cache before sending: a worker's retransmitted arrival for this epoch
+    // Cache before sending: a child's retransmitted arrival for this epoch
     // may race in on the comm thread the moment the first departure is out.
     std::lock_guard lock(barrier_gather_.mutex);
-    barrier_gather_.last_depart_epoch = epoch_;
+    barrier_gather_.last_depart_epoch = depart.epoch;
     barrier_gather_.last_depart_payload = payload;
-    barrier_gather_.last_depart_vtime = latest;
+    barrier_gather_.last_depart_vtime = stamp;
   }
-  for (int i = 1; i < size(); ++i) {
-    post(i, kTagBarrierDepart, payload, latest);
+  for (const NodeId child : children) {
+    post(child, kTagBarrierDepart, payload, stamp);
   }
-  if (clock != nullptr) clock->merge(latest);
-  process_departure(depart);
 }
 
 void DsmNode::handle_barrier_arrive(const net::Message& message) {
@@ -541,15 +635,24 @@ void DsmNode::handle_barrier_arrive(const net::Message& message) {
     return;
   }
   BarrierArriveMsg arrive = std::move(arrive_r).value();
+  // Semantic validation of the coalesced notice stream happens here, off the
+  // wire, so the barrier caller can trust every recorded arrival (its own
+  // re-unpack is a hard check, not a soft-fail).
+  if (!notice::try_unpack_notices(arrive.notice_stream, size(),
+                                  static_cast<PageId>(config_.num_pages()))
+           .has_value()) {
+    PLOG_WARN("dropping barrier arrival with malformed notice stream");
+    return;
+  }
   const VirtualUs contribution =
       message.header.vtime + config_.net.transfer_us(message.payload.size());
   std::lock_guard lock(barrier_gather_.mutex);
   switch (rules::classify_barrier_arrival(arrive.epoch,
                                           barrier_gather_.last_depart_epoch)) {
     case rules::ArrivalAction::kReAnswerClosedEpoch:
-      // The worker never saw our departure and is retransmitting its
-      // arrival. Workers lag at most one epoch, so the cached payload
-      // always matches.
+      // The child never saw our departure and is retransmitting its
+      // arrival. A child lags its parent by at most one epoch, so the
+      // cached payload always matches.
       stats_.inc_retries();
       post(message.header.src, kTagBarrierDepart,
            barrier_gather_.last_depart_payload,
@@ -559,11 +662,11 @@ void DsmNode::handle_barrier_arrive(const net::Message& message) {
       return;
     case rules::ArrivalAction::kRecord:
       // barrier.epoch: a recordable arrival is always for the one epoch the
-      // last departure left open (workers lag or lead by at most one).
+      // last departure on this edge left open (children lag or lead by at
+      // most one).
       check_invariant(
-          arrive.epoch == (barrier_gather_.last_depart_epoch.has_value()
-                               ? *barrier_gather_.last_depart_epoch + 1
-                               : 0),
+          rules::arrival_epoch_plausible(arrive.epoch,
+                                         barrier_gather_.last_depart_epoch),
           "barrier.epoch", /*page=*/-1);
       break;
   }
@@ -738,8 +841,8 @@ void DsmNode::comm_loop() {
         [](const net::MessageHeader& h) { return comm_thread_tag(h.tag); });
     if (!msg.has_value()) break;  // mailbox closed
 
-    // Barrier arrivals bypass the comm clock: the master's barrier caller
-    // accounts for the gather itself (recv_overhead once per barrier), same
+    // Barrier arrivals bypass the comm clock: the gathering barrier caller
+    // accounts for them itself (one recv_overhead per direct child), same
     // as when it received the arrivals directly.
     if (msg->header.tag == kTagBarrierArrive) {
       handle_barrier_arrive(*msg);
@@ -774,8 +877,8 @@ void DsmNode::comm_loop() {
         PLOG_WARN("comm thread ignoring tag " << msg->header.tag);
     }
   }
-  // No more arrivals will be gathered; wake a master blocked in
-  // master_barrier so it fails loudly instead of hanging.
+  // No more arrivals will be gathered; wake a barrier caller blocked in
+  // gather_children so it fails loudly instead of hanging.
   {
     std::lock_guard lock(barrier_gather_.mutex);
     barrier_gather_.closed = true;

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "common/status.hpp"
+#include "common/topology.hpp"
 #include "dsm/config.hpp"
 #include "dsm/mapping.hpp"
 #include "dsm/pagetable.hpp"
@@ -45,6 +46,12 @@ namespace parade::dsm {
 
 class DsmNode {
  public:
+  /// Primary constructor: `topology` carries this node's rank, the cluster
+  /// size, and the barrier-tree fan-out. Must agree with the channel's
+  /// rank/size (checked).
+  DsmNode(const Topology& topology, net::Channel& channel, DsmConfig config);
+  /// Deprecation shim for callers still passing shape via the channel; the
+  /// fan-out falls back to config.barrier_fanout.
   DsmNode(net::Channel& channel, DsmConfig config);
   ~DsmNode();
 
@@ -56,8 +63,9 @@ class DsmNode {
   /// Stops the comm thread and unregisters the pool (idempotent).
   void shutdown();
 
-  NodeId rank() const { return channel_.rank(); }
-  int size() const { return channel_.size(); }
+  NodeId rank() const { return topo_.rank; }
+  int size() const { return topo_.nodes; }
+  const Topology& topology() const { return topo_; }
   const DsmConfig& config() const { return config_; }
 
   /// Application view base of the shared pool (fault-managed).
@@ -102,8 +110,18 @@ class DsmNode {
   void flush_pages(const std::vector<PageId>& pages);
   std::vector<PageId> drain_dirty_now();
 
-  // --- barrier internals ---
-  void master_barrier(const BarrierArriveMsg& own, vtime::ThreadClock* clock);
+  // --- barrier internals (k-ary gather/scatter tree; flat == degenerate
+  // tree where the root parents everyone — see docs/SCALING.md) ---
+  /// Waits until every direct child's arrival for epoch_ is gathered;
+  /// returns (and removes) the epoch's slot. `needed` == children count.
+  std::unordered_map<NodeId, std::pair<BarrierArriveMsg, VirtualUs>>
+  gather_children(std::size_t needed);
+  /// Forwards the closing departure to the direct children (re-stamped so
+  /// each hop pays its own latency) and caches it for re-answering lost
+  /// departures on any child edge.
+  void forward_departure(const BarrierDepartMsg& depart,
+                         const std::vector<NodeId>& children,
+                         VirtualUs base_vtime);
   void process_departure(const BarrierDepartMsg& msg);
 
   // --- communication thread ---
@@ -140,6 +158,7 @@ class DsmNode {
   }
 
   net::Channel& channel_;
+  Topology topo_;
   DsmConfig config_;
   std::unique_ptr<DoubleMapping> mapping_;
   std::unique_ptr<PageTable> pages_;
@@ -180,15 +199,17 @@ class DsmNode {
   // Held from lock_acquire until lock_release by the same thread.
   std::array<std::mutex, kMaxDsmLocks> lock_gate_;
 
-  // Master-side barrier gather, fed by the comm thread so retransmitted
-  // arrivals are absorbed even while the barrier caller sleeps. The cached
-  // departure payload answers workers whose departure message was lost (they
+  // Gather state for this node's direct children in the barrier tree, fed
+  // by the comm thread so retransmitted arrivals are absorbed even while the
+  // barrier caller sleeps. Every node with children runs the same per-edge
+  // protocol the flat master ran against all workers; the cached departure
+  // payload answers children whose departure message was lost (they
   // retransmit their arrival for the already-closed epoch).
   struct BarrierGather {
     std::mutex mutex;
     std::condition_variable cv;
     /// epoch -> src -> (decoded arrival, vtime contribution). Keyed by epoch
-    /// because a fast worker's next-epoch arrival can land before the master
+    /// because a fast child's next-epoch arrival can land before this node
     /// finishes the current one.
     std::unordered_map<
         Epoch, std::unordered_map<NodeId, std::pair<BarrierArriveMsg, VirtualUs>>>

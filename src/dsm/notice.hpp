@@ -1,0 +1,122 @@
+// Coalesced, delta-encoded write notices (docs/SCALING.md).
+//
+// A flat barrier ships one PageId per dirtied page per node. At 128 nodes
+// that is O(nodes x pages) words through the root every epoch. Instead each
+// arrival now carries one compact stream for its whole barrier subtree:
+//
+//   stream := block*            (blocks in strictly ascending modifier order)
+//   block  := modifier run_count (gap len)*run_count
+//
+// Runs describe sorted page intervals against a per-block cursor that starts
+// at 0: a run covers [cursor + gap, cursor + gap + len), then the cursor
+// advances past it. The first run's gap may be 0; later gaps must be >= 1
+// (adjacent runs are always merged by the encoder), so a valid stream is
+// canonical. Dense page ranges collapse to two words per modifier.
+//
+// The stream rides inside BarrierArriveMsg as a std::vector<std::uint32_t>,
+// so the existing codec<T> length-prefix validation applies; this header
+// adds the semantic validation (modifier/page bounds, monotonicity) with
+// every bound checked before any allocation is sized from stream content.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace parade::dsm::notice {
+
+/// One modifier's sorted, unique dirty-page set.
+struct NoticeBlock {
+  NodeId modifier = 0;
+  std::vector<PageId> pages;
+};
+
+/// Packs blocks into the wire stream. Blocks must be sorted by modifier and
+/// each page list sorted and unique (the barrier gather path guarantees
+/// both); adjacent pages coalesce into single runs.
+inline std::vector<std::uint32_t> pack_notices(
+    const std::vector<NoticeBlock>& blocks) {
+  std::vector<std::uint32_t> stream;
+  for (const NoticeBlock& block : blocks) {
+    if (block.pages.empty()) continue;
+    stream.push_back(static_cast<std::uint32_t>(block.modifier));
+    const std::size_t count_slot = stream.size();
+    stream.push_back(0);  // run_count, patched below
+    std::uint32_t runs = 0;
+    std::uint32_t cursor = 0;
+    std::size_t i = 0;
+    while (i < block.pages.size()) {
+      const std::uint32_t start = static_cast<std::uint32_t>(block.pages[i]);
+      std::uint32_t len = 1;
+      while (i + len < block.pages.size() &&
+             static_cast<std::uint32_t>(block.pages[i + len]) == start + len) {
+        ++len;
+      }
+      stream.push_back(start - cursor);
+      stream.push_back(len);
+      cursor = start + len;
+      i += len;
+      ++runs;
+    }
+    stream[count_slot] = runs;
+  }
+  return stream;
+}
+
+/// Validates and expands a stream. `max_nodes` bounds modifiers, `num_pages`
+/// bounds page indices; malformed input (truncated block, hostile run count,
+/// out-of-range modifier or page, non-canonical ordering) yields nullopt.
+/// Run counts and page ranges are checked against the remaining stream and
+/// `num_pages` before any vector is sized from them.
+inline std::optional<std::vector<NoticeBlock>> try_unpack_notices(
+    const std::vector<std::uint32_t>& stream, int max_nodes, PageId num_pages) {
+  std::vector<NoticeBlock> blocks;
+  std::size_t i = 0;
+  std::int64_t prev_modifier = -1;
+  while (i < stream.size()) {
+    if (stream.size() - i < 2) return std::nullopt;
+    const std::uint32_t modifier = stream[i];
+    const std::uint32_t run_count = stream[i + 1];
+    i += 2;
+    if (modifier >= static_cast<std::uint32_t>(max_nodes)) return std::nullopt;
+    if (static_cast<std::int64_t>(modifier) <= prev_modifier) {
+      return std::nullopt;
+    }
+    prev_modifier = modifier;
+    if (run_count == 0) return std::nullopt;  // empty blocks are not encoded
+    // A hostile run_count must fail here, against the bytes actually
+    // present, before it can size anything.
+    if (run_count > (stream.size() - i) / 2) return std::nullopt;
+    NoticeBlock block;
+    block.modifier = static_cast<NodeId>(modifier);
+    std::uint64_t cursor = 0;
+    for (std::uint32_t r = 0; r < run_count; ++r) {
+      const std::uint32_t gap = stream[i];
+      const std::uint32_t len = stream[i + 1];
+      i += 2;
+      if (len == 0) return std::nullopt;
+      if (r > 0 && gap == 0) return std::nullopt;  // non-canonical split run
+      const std::uint64_t start = cursor + gap;
+      const std::uint64_t end = start + len;
+      if (end > static_cast<std::uint64_t>(num_pages)) return std::nullopt;
+      for (std::uint64_t p = start; p < end; ++p) {
+        block.pages.push_back(static_cast<PageId>(p));
+      }
+      cursor = end;
+    }
+    blocks.push_back(std::move(block));
+  }
+  return blocks;
+}
+
+/// Total pages named by a block list (for stats / compaction ratios).
+inline std::size_t notice_page_count(const std::vector<NoticeBlock>& blocks) {
+  std::size_t total = 0;
+  for (const NoticeBlock& b : blocks) total += b.pages.size();
+  return total;
+}
+
+}  // namespace parade::dsm::notice

@@ -96,7 +96,13 @@ struct WriteNotice {
 
 struct BarrierArriveMsg {
   Epoch epoch = 0;
-  std::vector<PageId> dirtied_pages;
+  /// Coalesced write notices for the sender's whole barrier subtree in the
+  /// delta/run-length form of dsm/notice.hpp: one block per modifier, each
+  /// block a run-length-encoded sorted page-interval vector. Replaces the
+  /// flat per-page PageId list — a node's dense dirty range now costs two
+  /// words instead of one word per page, and interior tree nodes forward one
+  /// merged stream instead of every descendant's list.
+  std::vector<std::uint32_t> notice_stream;
 };
 
 /// Departure entry for one write-noticed page: everyone updates the home and
@@ -152,7 +158,7 @@ inline auto wire_fields(PageReplyMsg& m) {
 inline auto wire_fields(DiffMsg& m) { return std::tie(m.page, m.seq, m.diff); }
 inline auto wire_fields(DiffAckMsg& m) { return std::tie(m.page, m.seq); }
 inline auto wire_fields(BarrierArriveMsg& m) {
-  return std::tie(m.epoch, m.dirtied_pages);
+  return std::tie(m.epoch, m.notice_stream);
 }
 inline auto wire_fields(BarrierDepartMsg& m) {
   return std::tie(m.epoch, m.departure_vtime, m.entries);

@@ -196,15 +196,21 @@ bool accept_diff(SeenWindow& seen, NodeId src, std::uint32_t seq,
 
 // ---------------------------------------------------------------------------
 // Barrier message classification.
+//
+// With the k-ary tree barrier these rules apply *per gather edge*: every
+// node with children is the "master" of its own subtree and classifies each
+// child's arrival against the departure it last forwarded down that edge.
+// The flat barrier is the degenerate tree where node 0 parents everyone, so
+// there is exactly one rule set for both shapes (docs/SCALING.md).
 
 enum class ArrivalAction : std::uint8_t {
   kRecord,             ///< fresh arrival for an open epoch: gather it
-  kReAnswerClosedEpoch,///< worker missed our departure: resend it
+  kReAnswerClosedEpoch,///< child missed our departure: resend it
   kIgnoreStale,        ///< duplicate of an epoch older than the last close
 };
 
-/// Master-side classification of an incoming BarrierArrive against the most
-/// recently closed epoch (nullopt before the first departure).
+/// Gather-side classification of an incoming BarrierArrive against the most
+/// recently closed epoch on this edge (nullopt before the first departure).
 constexpr ArrivalAction classify_barrier_arrival(
     Epoch arrive_epoch, const std::optional<Epoch>& last_depart_epoch) {
   if (last_depart_epoch.has_value() && arrive_epoch <= *last_depart_epoch) {
@@ -213,6 +219,18 @@ constexpr ArrivalAction classify_barrier_arrival(
                : ArrivalAction::kIgnoreStale;
   }
   return ArrivalAction::kRecord;
+}
+
+/// The barrier.epoch invariant, per gather edge: a recordable arrival must
+/// open exactly the epoch after the last one departed on this edge (or epoch
+/// 0 before any departure). A child can lag its parent by at most one epoch
+/// — it cannot enter epoch e+1 before receiving the parent's departure for
+/// epoch e — so anything else is a protocol bug, not reordering.
+constexpr bool arrival_epoch_plausible(
+    Epoch arrive_epoch, const std::optional<Epoch>& last_depart_epoch) {
+  const Epoch expected =
+      last_depart_epoch.has_value() ? *last_depart_epoch + 1 : 0;
+  return arrive_epoch == expected;
 }
 
 enum class DepartAction : std::uint8_t {
@@ -228,6 +246,21 @@ constexpr DepartAction classify_barrier_depart(Epoch depart_epoch,
   if (depart_epoch < current_epoch) return DepartAction::kIgnoreStale;
   return depart_epoch == current_epoch ? DepartAction::kProcess
                                        : DepartAction::kImpossibleFuture;
+}
+
+// ---------------------------------------------------------------------------
+// Home directory placement.
+
+/// Initial home of a page before any migration. Historically every page
+/// homed at node 0, which makes the first interval an O(nodes) fetch storm
+/// against one node. Sharded placement stripes homes round-robin so the
+/// directory load (and the first-touch traffic) spreads evenly; resolution
+/// stays a pure O(1) function either way — no broadcast, no lookup table.
+/// Both the live PageTable seed and the model checker's initial state call
+/// this, so the checker verifies the placement the runtime ships.
+constexpr NodeId default_home(PageId page, int nodes, bool sharded) {
+  if (!sharded || nodes <= 1) return 0;
+  return static_cast<NodeId>(page % nodes);
 }
 
 // ---------------------------------------------------------------------------

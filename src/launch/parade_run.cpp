@@ -1,7 +1,8 @@
 // parade_run: multi-process cluster launcher.
 //
 //   parade_run -n <nodes> [-t <threads>] [--net clan|fastether|ideal] \
-//              [--sockdir <dir>] [--fault-seed N] [--fault-plan SPEC] \
+//              [--barrier=flat|tree:<k>] [--sockdir <dir>] \
+//              [--fault-seed N] [--fault-plan SPEC] \
 //              [--metrics=PATH] [--trace=PATH] <program> [args...]
 //
 // Forks one OS process per node; each process joins the Unix-domain-socket
@@ -18,12 +19,15 @@
 #include <string>
 #include <vector>
 
+#include "common/topology.hpp"
+
 namespace {
 
 int usage() {
   std::fprintf(stderr,
                "usage: parade_run -n <nodes> [-t <threads>] [--net NAME] "
-               "[--sockdir DIR] [--fault-seed N] [--fault-plan SPEC] "
+               "[--barrier=flat|tree:<k>] [--sockdir DIR] "
+               "[--fault-seed N] [--fault-plan SPEC] "
                "[--metrics=PATH] [--trace=PATH] <program> [args...]\n");
   return 2;
 }
@@ -53,6 +57,7 @@ int main(int argc, char** argv) {
   std::string fault_plan;
   std::string metrics_path;
   std::string trace_path;
+  std::string barrier_spec;
   bool saw_metrics = false;
   bool saw_trace = false;
   int prog_at = -1;
@@ -71,6 +76,17 @@ int main(int argc, char** argv) {
       fault_seed = argv[++i];
     } else if (arg == "--fault-plan" && i + 1 < argc) {
       fault_plan = argv[++i];
+    } else if (arg.rfind("--barrier=", 0) == 0) {
+      // Strict validation, same contract as the output-path flags: a bad
+      // spec is exit 2 up front, before any node process forks.
+      barrier_spec = arg.substr(std::strlen("--barrier="));
+      if (!parade::parse_barrier_spec(barrier_spec).has_value()) {
+        std::fprintf(stderr,
+                     "parade_run: bad --barrier spec '%s' "
+                     "(want flat or tree:<k>)\n",
+                     barrier_spec.c_str());
+        return 2;
+      }
     } else if (arg.rfind("--metrics=", 0) == 0) {
       if (saw_metrics) {
         std::fprintf(stderr, "parade_run: duplicate --metrics flag\n");
@@ -102,7 +118,7 @@ int main(int argc, char** argv) {
       break;
     }
   }
-  if (nodes < 1 || nodes > 64 || threads < 1 || prog_at < 0) return usage();
+  if (nodes < 1 || nodes > 128 || threads < 1 || prog_at < 0) return usage();
 
   char dir_template[] = "/tmp/parade-run-XXXXXX";
   if (sockdir.empty()) {
@@ -129,6 +145,7 @@ int main(int argc, char** argv) {
       setenv("PARADE_NODES", std::to_string(nodes).c_str(), 1);
       setenv("PARADE_THREADS", std::to_string(threads).c_str(), 1);
       if (!net.empty()) setenv("PARADE_NET", net.c_str(), 1);
+      if (!barrier_spec.empty()) setenv("PARADE_BARRIER", barrier_spec.c_str(), 1);
       if (!fault_seed.empty()) setenv("PARADE_FAULT_SEED", fault_seed.c_str(), 1);
       if (!fault_plan.empty()) setenv("PARADE_FAULT_PLAN", fault_plan.c_str(), 1);
       // CLI flags mirror the env vars (the env route still works for programs

@@ -15,11 +15,18 @@ vtime::ThreadClock* t_clock_get() { return vtime::thread_clock(); }
 
 }  // namespace
 
-Comm::Comm(net::Channel& channel, vtime::NetworkModel model,
-           Reliability reliability)
-    : channel_(channel), model_(model), reliability_(reliability) {
+Comm::Comm(const Topology& topology, net::Channel& channel,
+           vtime::NetworkModel model, Reliability reliability)
+    : channel_(channel),
+      topo_(topology),
+      model_(model),
+      reliability_(reliability) {
+  PARADE_CHECK_MSG(topo_.valid(), "invalid topology");
+  PARADE_CHECK_MSG(topo_.rank == channel.rank() &&
+                       topo_.nodes == channel.size(),
+                   "topology disagrees with channel rank/size");
   auto& reg = obs::Registry::instance();
-  const NodeId node = channel_.rank();
+  const NodeId node = topo_.rank;
   metrics_.p2p_sends = &reg.counter(node, "mp.p2p_sends");
   metrics_.p2p_send_bytes = &reg.counter(node, "mp.p2p_send_bytes");
   metrics_.coll_payload_bytes = &reg.counter(node, "mp.coll_payload_bytes");
@@ -33,6 +40,11 @@ Comm::Comm(net::Channel& channel, vtime::NetworkModel model,
   metrics_.recv_wait = &reg.timer(node, "mp.recv_wait");
   metrics_.collective_ns = &reg.hist(node, "mp.collective_ns");
 }
+
+Comm::Comm(net::Channel& channel, vtime::NetworkModel model,
+           Reliability reliability)
+    : Comm(Topology::flat(channel.rank(), channel.size()), channel, model,
+           reliability) {}
 
 void Comm::count_collective(obs::Counter* which, std::size_t payload_bytes) {
   which->add();

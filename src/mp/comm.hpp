@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "common/status.hpp"
+#include "common/topology.hpp"
 #include "mp/datatypes.hpp"
 #include "net/channel.hpp"
 #include "net/fault.hpp"
@@ -55,11 +56,18 @@ struct Reliability {
 
 class Comm {
  public:
+  /// Primary constructor: `topology` carries this node's rank, the cluster
+  /// size, and the tree fan-out. Must agree with the channel's rank/size
+  /// (checked).
+  Comm(const Topology& topology, net::Channel& channel,
+       vtime::NetworkModel model, Reliability reliability = {});
+  /// Deprecation shim for callers still passing shape via the channel.
   Comm(net::Channel& channel, vtime::NetworkModel model,
        Reliability reliability = {});
 
-  NodeId rank() const { return channel_.rank(); }
-  int size() const { return channel_.size(); }
+  NodeId rank() const { return topo_.rank; }
+  int size() const { return topo_.nodes; }
+  const Topology& topology() const { return topo_; }
   const vtime::NetworkModel& model() const { return model_; }
   net::Channel& channel() { return channel_; }
 
@@ -167,6 +175,7 @@ class Comm {
                          const std::function<void(void*, const void*)>& combine);
 
   net::Channel& channel_;
+  Topology topo_;
   vtime::NetworkModel model_;
   Reliability reliability_;
   std::atomic<std::uint32_t> collective_seq_{0};

@@ -54,8 +54,9 @@ void parallel(const std::function<void()>& body) {
   ctx.node->team().run_region(body);
 }
 
-void barrier() { current_ctx().node->team().barrier_global(); }
-void node_barrier() { current_ctx().node->team().barrier_node(); }
+void barrier(BarrierScope scope) { current_ctx().node->team().barrier(scope); }
+void barrier() { barrier(BarrierScope::kGlobal); }
+void node_barrier() { barrier(BarrierScope::kNode); }
 
 void static_slice(long begin, long end, long* lo, long* hi) {
   ThreadCtx& ctx = current_ctx();

@@ -54,9 +54,15 @@ T* shmalloc_array(std::size_t count) {
 /// implicit global barrier.
 void parallel(const std::function<void()>& body);
 
-/// Full hierarchical barrier (intra-node + inter-node HLRC barrier).
+/// Consolidated barrier entry point: `barrier(BarrierScope::kGlobal)` is the
+/// full hierarchical barrier (intra-node combine + inter-node HLRC tree
+/// barrier), `barrier(BarrierScope::kNode)` synchronizes this node's team
+/// only. The tree shape comes from the runtime's Topology
+/// (--barrier=flat|tree:<k> / PARADE_BARRIER); see docs/SCALING.md.
+void barrier(BarrierScope scope);
+/// Full hierarchical barrier — shorthand for barrier(BarrierScope::kGlobal).
 void barrier();
-/// Intra-node barrier only.
+/// Deprecation shim for barrier(BarrierScope::kNode).
 void node_barrier();
 
 // ---- worksharing loops ----

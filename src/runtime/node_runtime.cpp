@@ -25,14 +25,28 @@ RuntimeConfig runtime_config_from_env() {
           ? dsm::SyncMode::kConventional
           : dsm::SyncMode::kParade;
   config.dsm.retry = net::RetryPolicy::from_env();
+  const std::string barrier_spec = env::get_string_or("PARADE_BARRIER", "flat");
+  if (const auto fanout = parse_barrier_spec(barrier_spec)) {
+    config.dsm.barrier_fanout = *fanout;
+  } else {
+    // parade_run rejects bad specs up front (exit 2); a bare binary falls
+    // back to the flat barrier rather than aborting mid-launch.
+    PLOG_WARN("ignoring unparsable PARADE_BARRIER='" << barrier_spec
+                                                     << "' (want flat|tree:<k>)");
+  }
+  config.dsm.sharded_homes = env::get_bool_or("PARADE_HOME_SHARDING", false);
   return config;
 }
 
 NodeRuntime::NodeRuntime(net::Channel& channel, const RuntimeConfig& config)
     : config_(config) {
-  dsm_ = std::make_unique<dsm::DsmNode>(channel, config_.dsm);
-  comm_ = std::make_unique<mp::Comm>(channel, config_.dsm.net);
-  team_ = std::make_unique<Team>(*this, config_.threads_per_node);
+  // One Topology value per node, shared by every layer: the DSM barrier tree,
+  // the communicator, and the thread team all see the same shape.
+  const Topology topology{channel.rank(), channel.size(),
+                          config_.dsm.barrier_fanout};
+  dsm_ = std::make_unique<dsm::DsmNode>(topology, channel, config_.dsm);
+  comm_ = std::make_unique<mp::Comm>(topology, channel, config_.dsm.net);
+  team_ = std::make_unique<Team>(*this, topology, config_.threads_per_node);
 }
 
 NodeRuntime::~NodeRuntime() { shutdown(); }

@@ -29,6 +29,8 @@ class NodeRuntime {
 
   NodeId node_id() const { return dsm_->rank(); }
   int num_nodes() const { return dsm_->size(); }
+  /// The cluster shape every layer of this node was built with.
+  const Topology& topology() const { return dsm_->topology(); }
   int threads_per_node() const { return config_.threads_per_node; }
   const RuntimeConfig& config() const { return config_; }
 

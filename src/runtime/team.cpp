@@ -27,13 +27,18 @@ VirtualUs CombiningBarrier::arrive(VirtualUs value) {
   return released_max_;
 }
 
-Team::Team(NodeRuntime& node, int num_threads)
+Team::Team(NodeRuntime& node, const Topology& topology, int num_threads)
     : node_(node),
+      topo_(topology),
       num_threads_(num_threads),
       gather_barrier_(num_threads),
       release_barrier_(num_threads),
       join_barrier_(num_threads) {
   PARADE_CHECK_MSG(num_threads >= 1, "team needs at least one thread");
+  PARADE_CHECK_MSG(topo_.valid(), "invalid team topology");
+  PARADE_CHECK_MSG(
+      topo_.rank == node.node_id() && topo_.nodes == node.num_nodes(),
+      "team topology disagrees with the node runtime");
   auto& reg = obs::Registry::instance();
   const NodeId node_id = node.node_id();
   regions_metric_ = &reg.counter(node_id, "rt.parallel_regions");
@@ -45,6 +50,10 @@ Team::Team(NodeRuntime& node, int num_threads)
     loop_chunks_.push_back(&reg.counter(node_id, "rt.loop_chunks.t" + id));
   }
 }
+
+Team::Team(NodeRuntime& node, int num_threads)
+    : Team(node, Topology::flat(node.node_id(), node.num_nodes()),
+           num_threads) {}
 
 Team::~Team() { stop(); }
 
@@ -135,9 +144,15 @@ void Team::run_region(const std::function<void()>& body) {
   in_region_ = false;
 }
 
-void Team::barrier_global() {
+void Team::barrier(BarrierScope scope) {
   ThreadCtx& ctx = current_ctx();
   ctx.clock.sync_cpu();
+  if (scope == BarrierScope::kNode) {
+    if (!in_region_) return;  // serial section: nothing to synchronize with
+    const VirtualUs team_max = gather_barrier_.arrive(ctx.clock.now());
+    ctx.clock.merge(team_max);
+    return;
+  }
   // Wall time from arrival to departure: dominated by waiting for the
   // slowest teammate plus the inter-node DSM barrier.
   obs::ScopedTimer wait(
@@ -156,14 +171,6 @@ void Team::barrier_global() {
   const VirtualUs departure =
       release_barrier_.arrive(ctx.local_id == 0 ? ctx.clock.now() : 0.0);
   ctx.clock.merge(departure);
-}
-
-void Team::barrier_node() {
-  ThreadCtx& ctx = current_ctx();
-  ctx.clock.sync_cpu();
-  if (!in_region_) return;  // serial section: nothing to synchronize with
-  const VirtualUs team_max = gather_barrier_.arrive(ctx.clock.now());
-  ctx.clock.merge(team_max);
 }
 
 bool Team::single_try_claim(long seq) {

@@ -11,6 +11,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/topology.hpp"
 #include "common/types.hpp"
 #include "obs/metric.hpp"
 #include "runtime/context.hpp"
@@ -18,6 +19,15 @@
 namespace parade {
 
 class NodeRuntime;
+
+/// Which levels a barrier synchronizes. The runtime exposes one consolidated
+/// entry point, `Team::barrier(BarrierScope)` (mirrored by the public
+/// `parade::barrier(BarrierScope)`); the former `barrier_global` /
+/// `barrier_node` names remain as shims.
+enum class BarrierScope {
+  kNode,    ///< intra-node pthread barrier only (clock max-combined)
+  kGlobal,  ///< intra-node combine + inter-node DSM tree barrier
+};
 
 /// Reusable cyclic barrier that additionally max-combines a value carried by
 /// each arriving thread and hands the combined value to every participant.
@@ -40,10 +50,16 @@ class CombiningBarrier {
 
 class Team {
  public:
+  /// Primary constructor: `topology` is this node's view of the cluster
+  /// (rank, node count, barrier fan-out) and must agree with the owning
+  /// NodeRuntime's DSM engine (checked).
+  Team(NodeRuntime& node, const Topology& topology, int num_threads);
+  /// Deprecation shim: derives a flat Topology from the node runtime.
   Team(NodeRuntime& node, int num_threads);
   ~Team();
 
   int num_threads() const { return num_threads_; }
+  const Topology& topology() const { return topo_; }
 
   /// Spawns the persistent workers (local ids 1..T-1).
   void start();
@@ -54,12 +70,15 @@ class Team {
   /// and finishes with the implicit global join barrier.
   void run_region(const std::function<void()>& body);
 
-  /// Hierarchical global barrier: intra-node max-combine, then the DSM
-  /// barrier by local thread 0, then distribution of the departure time.
-  void barrier_global();
+  /// Consolidated barrier entry point. kGlobal: intra-node max-combine, then
+  /// the DSM tree barrier by local thread 0, then distribution of the
+  /// departure time. kNode: intra-node combine only.
+  void barrier(BarrierScope scope);
 
-  /// Intra-node barrier only (clock max-combined across the team).
-  void barrier_node();
+  /// Shim for barrier(BarrierScope::kGlobal).
+  void barrier_global() { barrier(BarrierScope::kGlobal); }
+  /// Shim for barrier(BarrierScope::kNode).
+  void barrier_node() { barrier(BarrierScope::kNode); }
 
   // --- single construct support (see api.cpp) ---
   struct SingleSlot {
@@ -106,6 +125,7 @@ class Team {
   void worker_loop(LocalThreadId local_id);
 
   NodeRuntime& node_;
+  Topology topo_;
   int num_threads_;
 
   std::vector<std::thread> workers_;

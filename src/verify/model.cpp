@@ -198,11 +198,13 @@ State Model::initial() const {
   for (int n = 0; n < scenario_.nodes; ++n) {
     NodeM& nm = state.nodes[n];
     nm.pages.resize(scenario_.pages);
-    for (PageView& v : nm.pages) {
-      v.home = 0;
-      // Node 0 initializes the shared pool and starts as home of every page
-      // with an installed copy; everyone else faults in on first touch.
-      v.state = n == 0 ? PageState::kReadOnly : PageState::kInvalid;
+    for (PageId p = 0; p < static_cast<PageId>(scenario_.pages); ++p) {
+      PageView& v = nm.pages[p];
+      // The initial directory placement mirrors DsmNode::start(): node 0
+      // owns everything, or each node seeds its own shard; the home starts
+      // with an installed copy, everyone else faults in on first touch.
+      v.home = rules::default_home(p, scenario_.nodes, scenario_.sharded_homes);
+      v.state = n == v.home ? PageState::kReadOnly : PageState::kInvalid;
     }
     nm.threads.resize(scenario_.programs[n].size());
   }
@@ -378,8 +380,15 @@ std::vector<Action> Model::enabled(const State& state) const {
         }
       }
     }
-    if (nm.phase == NodePhase::kArrived && n != 0) {
-      const bool recorded = state.nodes[0].arrivals.count(n) != 0;
+    // Arrival retransmission up one tree edge: enabled only for a node whose
+    // whole subtree has arrived (a child that lags retransmits on its own
+    // edge) but whose parent shows no record of it, with neither the arrival
+    // nor the departure in flight.
+    const Topology topo = topo_of(n);
+    if (nm.phase == NodePhase::kArrived && !topo.is_root() &&
+        static_cast<int>(nm.arrivals.size()) == topo.num_children()) {
+      const NodeId parent = topo.parent();
+      const bool recorded = state.nodes[parent].arrivals.count(n) != 0;
       const bool stuck =
           !recorded &&
           std::none_of(state.net.begin(), state.net.end(), [&](const Msg& m) {
@@ -398,7 +407,7 @@ std::vector<Action> Model::enabled(const State& state) const {
 
   const NodeM& master = state.nodes[0];
   if (master.phase == NodePhase::kArrived &&
-      static_cast<int>(master.arrivals.size()) == scenario_.nodes - 1) {
+      static_cast<int>(master.arrivals.size()) == topo_of(0).num_children()) {
     Action a;
     a.kind = ActionKind::kMasterDepart;
     out.push_back(a);
@@ -486,14 +495,9 @@ std::optional<Violation> Model::apply_action(State& state,
       return std::nullopt;
     }
     case ActionKind::kResendArrive: {
-      const NodeM& nm = state.nodes[action.node];
-      Msg arr;
-      arr.kind = MsgKind::kBarrierArrive;
-      arr.src = action.node;
-      arr.dst = 0;
-      arr.epoch = nm.epoch;
-      arr.mask = nm.interval_dirty;
-      send(state, std::move(arr));
+      // Children's arrivals are kept until the departure, so the aggregated
+      // message can be rebuilt bit-for-bit.
+      send(state, build_arrive(state, action.node));
       return std::nullopt;
     }
     case ActionKind::kDeliver:
@@ -647,33 +651,67 @@ std::optional<Violation> Model::start_flush(State& state, NodeId node) const {
 }
 
 void Model::arrive(State& state, NodeId node) const {
-  NodeM& nm = state.nodes[node];
-  nm.phase = NodePhase::kArrived;
-  if (node == 0) return;  // master's own arrival is local
+  state.nodes[node].phase = NodePhase::kArrived;
+  maybe_forward_arrival(state, node);
+}
+
+std::vector<std::uint8_t> Model::subtree_notices(const State& state,
+                                                 NodeId node) const {
+  const NodeM& nm = state.nodes[node];
+  std::vector<std::uint8_t> per_page(
+      static_cast<std::size_t>(scenario_.pages), 0);
+  for (PageId p = 0; p < static_cast<PageId>(scenario_.pages); ++p) {
+    if ((nm.interval_dirty & bit(p)) != 0) per_page[p] |= bit(node);
+  }
+  for (const auto& [child, masks] : nm.arrivals) {
+    for (PageId p = 0; p < static_cast<PageId>(scenario_.pages); ++p) {
+      per_page[p] |= masks[p];
+    }
+  }
+  return per_page;
+}
+
+Msg Model::build_arrive(const State& state, NodeId node) const {
+  const NodeM& nm = state.nodes[node];
   Msg arr;
   arr.kind = MsgKind::kBarrierArrive;
   arr.src = node;
-  arr.dst = 0;
+  arr.dst = topo_of(node).parent();
   arr.epoch = nm.epoch;
-  arr.mask = nm.interval_dirty;
-  send(state, std::move(arr));
+  const std::vector<std::uint8_t> per_page = subtree_notices(state, node);
+  for (PageId p = 0; p < static_cast<PageId>(scenario_.pages); ++p) {
+    if (per_page[p] == 0) continue;
+    arr.mask |= bit(p);
+    DepartEntryM e;
+    e.page = p;
+    e.modifiers = per_page[p];
+    arr.entries.push_back(e);
+  }
+  return arr;
+}
+
+void Model::maybe_forward_arrival(State& state, NodeId node) const {
+  NodeM& nm = state.nodes[node];
+  if (nm.phase != NodePhase::kArrived) return;
+  const Topology topo = topo_of(node);
+  if (static_cast<int>(nm.arrivals.size()) < topo.num_children()) return;
+  if (topo.is_root()) return;  // completion enables kMasterDepart instead
+  send(state, build_arrive(state, node));
 }
 
 std::optional<Violation> Model::master_depart(State& state) const {
   NodeM& master = state.nodes[0];
   const std::uint8_t closed_epoch = master.epoch;
 
-  // Gather per-page modifier sets: the master's own notices plus every
-  // worker's arrival mask, in ascending node order (matches the live
-  // gather, which iterates ranks).
+  // Expand the gathered per-page modifier masks into ascending node lists
+  // (matches the live gather, whose std::map merge iterates ranks).
+  const std::vector<std::uint8_t> per_page = subtree_notices(state, 0);
   std::vector<std::vector<NodeId>> modifiers(scenario_.pages);
-  auto note = [&](NodeId n, std::uint8_t mask) {
-    for (PageId p = 0; p < static_cast<PageId>(scenario_.pages); ++p) {
-      if ((mask & bit(p)) != 0) modifiers[p].push_back(n);
+  for (PageId p = 0; p < static_cast<PageId>(scenario_.pages); ++p) {
+    for (NodeId n = 0; n < static_cast<NodeId>(scenario_.nodes); ++n) {
+      if ((per_page[p] & bit(n)) != 0) modifiers[p].push_back(n);
     }
-  };
-  note(0, master.interval_dirty);
-  for (const auto& [n, mask] : master.arrivals) note(n, mask);
+  }
 
   std::vector<DepartEntryM> entries;
   std::optional<Violation> viol;
@@ -706,18 +744,6 @@ std::optional<Violation> Model::master_depart(State& state) const {
     state.wrote[p] = 0;
   }
 
-  master.last_depart_epoch = closed_epoch;
-  master.last_entries = entries;
-  master.arrivals.clear();
-  for (NodeId w = 1; w < static_cast<NodeId>(state.nodes.size()); ++w) {
-    Msg dep;
-    dep.kind = MsgKind::kBarrierDepart;
-    dep.src = 0;
-    dep.dst = w;
-    dep.epoch = closed_epoch;
-    dep.entries = entries;
-    send(state, std::move(dep));
-  }
   auto dviol = process_depart(state, 0, closed_epoch, entries);
   return viol ? viol : dviol;
 }
@@ -726,6 +752,22 @@ std::optional<Violation> Model::process_depart(
     State& state, NodeId node, std::uint8_t closed_epoch,
     const std::vector<DepartEntryM>& entries) const {
   NodeM& nm = state.nodes[node];
+  // Cache the departure before forwarding down each child edge: a
+  // retransmitted child arrival for the just-closed epoch is re-answered
+  // from this cache (the per-edge kReAnswerClosedEpoch path). Gathered
+  // arrivals are consumed by this epoch.
+  nm.last_depart_epoch = closed_epoch;
+  nm.last_entries = entries;
+  nm.arrivals.clear();
+  for (NodeId child : topo_of(node).children()) {
+    Msg dep;
+    dep.kind = MsgKind::kBarrierDepart;
+    dep.src = node;
+    dep.dst = child;
+    dep.epoch = closed_epoch;
+    dep.entries = entries;
+    send(state, std::move(dep));
+  }
   std::optional<Violation> viol;
   for (const DepartEntryM& e : entries) {
     PageView& v = nm.pages[e.page];
@@ -907,29 +949,39 @@ std::optional<Violation> Model::deliver(State& state, const Msg& msg) const {
       return std::nullopt;
     }
     case MsgKind::kBarrierArrive: {
-      NodeM& master = state.nodes[msg.dst];
+      // The receiver is the sender's tree parent; it runs the same per-edge
+      // classification whether it is the root or an interior gather node.
+      NodeM& gather = state.nodes[msg.dst];
       const std::optional<Epoch> last =
-          master.last_depart_epoch >= 0
-              ? std::optional<Epoch>(master.last_depart_epoch)
+          gather.last_depart_epoch >= 0
+              ? std::optional<Epoch>(gather.last_depart_epoch)
               : std::nullopt;
       switch (rules::classify_barrier_arrival(msg.epoch, last)) {
-        case rules::ArrivalAction::kRecord:
-          if (msg.epoch != master.epoch) {
+        case rules::ArrivalAction::kRecord: {
+          if (msg.epoch != gather.epoch) {
             std::ostringstream os;
             os << "arrival from node " << msg.src << " for epoch "
-               << int(msg.epoch) << " while master gathers epoch "
-               << int(master.epoch);
+               << int(msg.epoch) << " while node " << msg.dst
+               << " gathers epoch " << int(gather.epoch);
             return Violation{"barrier.epoch", os.str()};
           }
-          master.arrivals[msg.src] = msg.mask;
+          std::vector<std::uint8_t> masks(
+              static_cast<std::size_t>(scenario_.pages), 0);
+          for (const DepartEntryM& e : msg.entries) {
+            masks[static_cast<std::size_t>(e.page)] = e.modifiers;
+          }
+          gather.arrivals[msg.src] = std::move(masks);
+          // This may have completed the subtree while the parent edge idles.
+          maybe_forward_arrival(state, msg.dst);
           return std::nullopt;
+        }
         case rules::ArrivalAction::kReAnswerClosedEpoch: {
           Msg dep;
           dep.kind = MsgKind::kBarrierDepart;
           dep.src = msg.dst;
           dep.dst = msg.src;
-          dep.epoch = static_cast<std::uint8_t>(master.last_depart_epoch);
-          dep.entries = master.last_entries;
+          dep.epoch = static_cast<std::uint8_t>(gather.last_depart_epoch);
+          dep.entries = gather.last_entries;
           send(state, std::move(dep));
           return std::nullopt;
         }
@@ -998,9 +1050,9 @@ std::string Model::encode(const State& state) const {
     sink.u8(static_cast<std::uint8_t>(nm.diff_seen.size()));
     for (std::uint64_t key : nm.diff_seen) sink.u64(key);
     sink.u8(static_cast<std::uint8_t>(nm.arrivals.size()));
-    for (const auto& [n, mask] : nm.arrivals) {
+    for (const auto& [n, masks] : nm.arrivals) {
       sink.u8(static_cast<std::uint8_t>(n));
-      sink.u8(mask);
+      for (std::uint8_t mask : masks) sink.u8(mask);
     }
     sink.u16(static_cast<std::uint16_t>(nm.last_depart_epoch + 1));
     sink.u8(static_cast<std::uint8_t>(nm.last_entries.size()));
@@ -1132,6 +1184,84 @@ std::vector<Scenario> make_standard_scenarios() {
     s.home_migration = false;  // keep the home remote so every flush diffs
     s.programs = {
         {ThreadProgram{Intervals{{}, {R(0)}}}},
+        {ThreadProgram{Intervals{{W(0)}, {}}}},
+    };
+    out.push_back(std::move(s));
+  }
+  {
+    // Tree chain 0 <- 1 <- 2 (fanout=1): node 1 is an interior gather node
+    // that merges the leaf's notices with its own and forwards one
+    // aggregated arrival; the departure re-fans down the same edges. Both
+    // non-root nodes write, so the root's tie-break runs over modifier
+    // attributions that traveled different depths.
+    Scenario s;
+    s.name = "tree-chain";
+    s.description = "3 nodes in a fanout=1 chain: subtree writes, root reads";
+    s.nodes = 3;
+    s.pages = 1;
+    s.intervals = 2;
+    s.fanout = 1;
+    s.programs = {
+        {ThreadProgram{Intervals{{}, {R(0)}}}},
+        {ThreadProgram{Intervals{{W(0)}, {}}}},
+        {ThreadProgram{Intervals{{W(0)}, {}}}},
+    };
+    out.push_back(std::move(s));
+  }
+  {
+    // Fanout=2 heap over 4 nodes (0 <- {1, 2}, 1 <- {3}): disjoint subtrees
+    // merge at different depths, and the deep leaf's write notice crosses
+    // two gather edges before the root decides the migration.
+    Scenario s;
+    s.name = "tree-fanout2";
+    s.description = "4 nodes, fanout=2: depth-2 leaf writes, root reads back";
+    s.nodes = 4;
+    s.pages = 1;
+    s.intervals = 2;
+    s.fanout = 2;
+    s.programs = {
+        {ThreadProgram{Intervals{{}, {R(0)}}}},
+        {ThreadProgram{Intervals{{}, {}}}},
+        {ThreadProgram{Intervals{{W(0)}, {}}}},
+        {ThreadProgram{Intervals{{W(0)}, {}}}},
+    };
+    out.push_back(std::move(s));
+  }
+  {
+    // The chain under drop=1 dup=1: a dropped departure on the lower edge
+    // forces the leaf's resend-arrive and node 1's re-answer from its cached
+    // departure; duplicated arrivals exercise the per-edge epoch rules.
+    Scenario s;
+    s.name = "tree-chaos";
+    s.description = "fanout=1 chain, leaf writer under drop=1 dup=1";
+    s.nodes = 3;
+    s.pages = 1;
+    s.intervals = 2;
+    s.fanout = 1;
+    s.drop_budget = 1;
+    s.dup_budget = 1;
+    s.programs = {
+        {ThreadProgram{Intervals{{}, {R(0)}}}},
+        {ThreadProgram{Intervals{{}, {}}}},
+        {ThreadProgram{Intervals{{W(0)}, {}}}},
+    };
+    out.push_back(std::move(s));
+  }
+  {
+    // Sharded home directory: page p starts at node p % N (the
+    // rules::default_home shard) instead of all-on-node-0; the boundary
+    // invariants now run against the sharded placement and migration moves
+    // pages off their seed shard.
+    Scenario s;
+    s.name = "sharded";
+    s.description = "3 nodes, 2 sharded pages: cross-shard writes and reads";
+    s.nodes = 3;
+    s.pages = 2;
+    s.intervals = 2;
+    s.sharded_homes = true;
+    s.programs = {
+        {ThreadProgram{Intervals{{W(1)}, {R(0)}}}},
+        {ThreadProgram{Intervals{{}, {R(1)}}}},
         {ThreadProgram{Intervals{{W(0)}, {}}}},
     };
     out.push_back(std::move(s));

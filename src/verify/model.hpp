@@ -1,9 +1,12 @@
 // Explicit-state model of the HLRC/migratory-home DSM protocol.
 //
-// The model is a small-world abstraction of src/dsm/node.cpp: N nodes (2-3),
-// P pages (1-2), T threads per node, B barrier intervals, with every
-// protocol *decision* delegated to the exact rule functions the live engine
-// uses (dsm/rules.hpp) — the checker explores the same code that ships.
+// The model is a small-world abstraction of src/dsm/node.cpp: N nodes (2-4),
+// P pages (1-2), T threads per node, B barrier intervals, a barrier-tree
+// fan-out (0 = flat), with every protocol *decision* delegated to the exact
+// rule functions the live engine uses (dsm/rules.hpp) — the checker explores
+// the same code that ships. Tree barriers reuse the flat machinery per edge:
+// every node with children runs the gather protocol against its children and
+// the non-root nodes forward one aggregated arrival to their parent.
 // What the model abstracts away is data representation: a page copy is
 // summarized as (base, contribs) — the barrier-stable version it derives
 // from plus the bitmask of nodes whose current-interval writes are merged
@@ -42,6 +45,7 @@
 #include <string>
 #include <vector>
 
+#include "common/topology.hpp"
 #include "common/types.hpp"
 #include "dsm/rules.hpp"
 
@@ -72,6 +76,13 @@ struct Scenario {
   int pages = 1;
   int intervals = 1;
   bool home_migration = true;
+  /// Barrier-tree fan-out (Topology semantics: <= 0 is the flat barrier,
+  /// where the root parents every other node). Interior nodes gather their
+  /// children's aggregated arrivals and forward one merged arrival up.
+  int fanout = 0;
+  /// Initial home placement: false pins every page to node 0 (the legacy
+  /// directory), true uses rules::default_home's page -> page % nodes shard.
+  bool sharded_homes = false;
   /// Fault budget folded into the transition relation: how many messages
   /// may be dropped / duplicated across one execution.
   int drop_budget = 0;
@@ -120,7 +131,10 @@ struct Msg {
   /// Reply/diff: contribs bitmask of the copy; arrive: write-notice page
   /// bitmask.
   std::uint8_t mask = 0;
-  std::vector<DepartEntryM> entries;  ///< migration decisions (depart)
+  /// Depart: migration decisions. Arrive: the sending subtree's per-page
+  /// modifier attribution (page + modifiers fields only) — an interior
+  /// gather node cannot recover who-wrote-what from the union mask alone.
+  std::vector<DepartEntryM> entries;
 
   /// Identity used by trace actions to name a message. Excludes `mask` and
   /// `entries`, which are functionally determined by the rest within one
@@ -164,7 +178,7 @@ struct PendingDiff {
 enum class NodePhase : std::uint8_t {
   kComputing,  ///< threads executing ops
   kFlushing,   ///< all threads in barrier; diffs await acks
-  kArrived,    ///< arrival sent (worker) / recorded (master); awaiting depart
+  kArrived,    ///< own arrival done; gathering children / awaiting depart
   kDone,       ///< final interval closed
 };
 
@@ -180,8 +194,10 @@ struct NodeM {
   std::uint16_t next_seq = 0;
   std::vector<PendingDiff> pending;  ///< diffs awaiting ack (flush order)
   std::set<std::uint64_t> diff_seen;  ///< merged (src,seq) keys (home role)
-  // Master-only barrier gather state.
-  std::map<NodeId, std::uint8_t> arrivals;  ///< src -> write-notice mask
+  // Barrier gather state, live on every node with tree children (in flat
+  // mode that is just the root). arrivals maps a direct child to its
+  // subtree's per-page modifier masks.
+  std::map<NodeId, std::vector<std::uint8_t>> arrivals;
   std::int16_t last_depart_epoch = -1;      ///< -1: nothing closed yet
   std::vector<DepartEntryM> last_entries;
 
@@ -215,8 +231,8 @@ enum class ActionKind : std::uint8_t {
   // a duplicate, which the dup budget already explores.
   kResendFetch,   ///< fetch initiator retransmits its PageRequest
   kResendDiff,    ///< flusher retransmits an unacked Diff
-  kResendArrive,  ///< worker retransmits its BarrierArrive
-  kMasterDepart,  ///< master computes and broadcasts the departure
+  kResendArrive,  ///< node retransmits its aggregated BarrierArrive upward
+  kMasterDepart,  ///< root closes the epoch and sends departures down
 };
 
 struct Action {
@@ -276,6 +292,17 @@ class Model {
                                        int thread) const;
   std::optional<Violation> start_flush(State& state, NodeId node) const;
   void arrive(State& state, NodeId node) const;
+  /// Sends the aggregated arrival up the tree once `node` has arrived itself
+  /// and recorded every direct child's subtree (no-op at the root, whose
+  /// completion enables kMasterDepart instead).
+  void maybe_forward_arrival(State& state, NodeId node) const;
+  /// Per-page modifier masks of `node`'s whole subtree: its own open-interval
+  /// notices merged with every recorded child arrival.
+  std::vector<std::uint8_t> subtree_notices(const State& state,
+                                            NodeId node) const;
+  /// The aggregated BarrierArrive `node` sends to its parent (also used by
+  /// kResendArrive, which must rebuild an identical message).
+  Msg build_arrive(const State& state, NodeId node) const;
   std::optional<Violation> master_depart(State& state) const;
   std::optional<Violation> process_depart(
       State& state, NodeId node, std::uint8_t closed_epoch,
@@ -303,6 +330,10 @@ class Model {
   /// the window where a node serves a fetch after the master closed the
   /// barrier but before the node processed its own departure.
   void normalize(const State& state, PageView& view, PageId page) const;
+  /// `node`'s place in the scenario's barrier tree.
+  Topology topo_of(NodeId node) const {
+    return Topology{node, scenario_.nodes, scenario_.fanout};
+  }
 
   Scenario scenario_;
   rules::Mutation mutation_;

@@ -73,10 +73,12 @@ bool parse_budget_flag(const std::string& arg, Budget* budget) {
 
 int cmd_list() {
   for (const Scenario& s : parade::verify::standard_scenarios()) {
-    std::printf("%-12s %d nodes, %d page(s), %d interval(s), drop=%d dup=%d"
-                "  %s\n",
+    std::printf("%-12s %d nodes, %d page(s), %d interval(s), drop=%d dup=%d,"
+                " barrier=%s%s  %s\n",
                 s.name.c_str(), s.nodes, s.pages, s.intervals, s.drop_budget,
-                s.dup_budget, s.description.c_str());
+                s.dup_budget,
+                parade::Topology{0, s.nodes, s.fanout}.describe().c_str(),
+                s.sharded_homes ? ", sharded" : "", s.description.c_str());
   }
   std::printf("mutations:\n");
   for (const auto& info : rules::kMutations) {

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/serialize.hpp"
+#include "dsm/notice.hpp"
 #include "dsm/protocol.hpp"
 
 namespace parade::dsm {
@@ -47,7 +48,8 @@ TEST(CodecFuzz, TruncationAndTrailingRejected) {
       PageReplyMsg{3, {0x10, 0x20, 0x30, 0x40}, 9});
   expect_rejects_truncations_and_trailing(DiffMsg{5, {1, 2, 3, 4, 5}, 11});
   expect_rejects_truncations_and_trailing(DiffAckMsg{5, 11});
-  expect_rejects_truncations_and_trailing(BarrierArriveMsg{4, {1, 2, 3}});
+  expect_rejects_truncations_and_trailing(
+      BarrierArriveMsg{4, notice::pack_notices({{0, {1, 2}}, {2, {1, 5}}})});
   BarrierDepartMsg depart;
   depart.epoch = 4;
   depart.departure_vtime = 2.5;
@@ -111,6 +113,110 @@ TEST(CodecFuzz, RandomGarbageNeverCrashes) {
     (void)codec<BarrierDepartMsg>::try_decode(garbage);
     (void)codec<LockGrantMsg>::try_decode(garbage);
     (void)codec<DiffMsg>::try_decode(garbage);
+  }
+}
+
+// ---- interval-vector write-notice streams (dsm/notice.hpp) ----
+//
+// The stream rides inside BarrierArriveMsg, so codec<T> already rejects
+// framing damage; these cover the semantic layer: try_unpack_notices must
+// soft-fail on malformed streams and never size an allocation from hostile
+// counts.
+
+TEST(NoticeFuzz, RoundTripCoalescesIntervals) {
+  const std::vector<notice::NoticeBlock> blocks = {
+      {0, {0, 1, 2, 3}},          // one dense run
+      {2, {5}},                    // singleton
+      {5, {1, 2, 7, 8, 9, 63}},    // three runs with gaps
+  };
+  const auto stream = notice::pack_notices(blocks);
+  // Dense runs collapse: block 0 is 4 words (modifier, count, gap, len).
+  ASSERT_EQ(stream.size(), 4u + 4u + 8u);
+  const auto back = notice::try_unpack_notices(stream, 8, 64);
+  ASSERT_TRUE(back.has_value());
+  ASSERT_EQ(back->size(), blocks.size());
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    EXPECT_EQ((*back)[b].modifier, blocks[b].modifier);
+    EXPECT_EQ((*back)[b].pages, blocks[b].pages);
+  }
+  EXPECT_EQ(notice::notice_page_count(*back), 11u);
+  // Empty block lists encode to an empty stream and round-trip.
+  EXPECT_TRUE(notice::pack_notices({}).empty());
+  EXPECT_TRUE(notice::try_unpack_notices({}, 8, 64)->empty());
+}
+
+TEST(NoticeFuzz, TruncationsSoftFail) {
+  // Two blocks of 6 words each: {1, 2, 0, 2, 3, 1} and {3, 2, 2, 1, 57, 4}.
+  const auto stream =
+      notice::pack_notices({{1, {0, 1, 5}}, {3, {2, 60, 61, 62, 63}}});
+  ASSERT_EQ(stream.size(), 12u);
+  // A cut at a block boundary is a smaller legal stream (framing truncation
+  // is the codec layer's job); every cut inside a block must soft-fail.
+  for (std::size_t len = 1; len < stream.size(); ++len) {
+    const std::vector<std::uint32_t> cut(stream.begin(),
+                                         stream.begin() + static_cast<long>(len));
+    EXPECT_EQ(notice::try_unpack_notices(cut, 8, 64).has_value(), len == 6)
+        << "at word " << len;
+  }
+  EXPECT_TRUE(notice::try_unpack_notices(stream, 8, 64).has_value());
+}
+
+TEST(NoticeFuzz, HostileCountsRejectedBeforeSizingAnything) {
+  // run_count far beyond the words actually present.
+  EXPECT_FALSE(
+      notice::try_unpack_notices({0, 0xFFFFFFFFu, 0, 1}, 8, 64).has_value());
+  // A run length that would expand to ~4G pages must fail on the num_pages
+  // bound, not allocate.
+  EXPECT_FALSE(
+      notice::try_unpack_notices({0, 1, 0, 0xFFFFFFFFu}, 8, 64).has_value());
+  // gap + len summing past num_pages in 64-bit math (no uint32 wraparound).
+  EXPECT_FALSE(
+      notice::try_unpack_notices({0, 1, 0xFFFFFFFFu, 2}, 8, 64).has_value());
+}
+
+TEST(NoticeFuzz, NonCanonicalStreamsRejected) {
+  const PageId pages = 64;
+  // Modifier out of range.
+  EXPECT_FALSE(notice::try_unpack_notices({8, 1, 0, 1}, 8, pages).has_value());
+  // Modifiers not strictly ascending (equal, then descending).
+  EXPECT_FALSE(notice::try_unpack_notices({2, 1, 0, 1, 2, 1, 0, 1}, 8, pages)
+                   .has_value());
+  EXPECT_FALSE(notice::try_unpack_notices({2, 1, 0, 1, 1, 1, 0, 1}, 8, pages)
+                   .has_value());
+  // Zero-length run and empty block.
+  EXPECT_FALSE(notice::try_unpack_notices({0, 1, 0, 0}, 8, pages).has_value());
+  EXPECT_FALSE(notice::try_unpack_notices({0, 0}, 8, pages).has_value());
+  // Second run with gap 0 (adjacent runs must have been merged).
+  EXPECT_FALSE(
+      notice::try_unpack_notices({0, 2, 0, 1, 0, 1}, 8, pages).has_value());
+  // Page past the pool.
+  EXPECT_FALSE(notice::try_unpack_notices({0, 1, 64, 1}, 8, pages).has_value());
+}
+
+TEST(NoticeFuzz, WordFlipsAndGarbageNeverCrash) {
+  std::mt19937_64 rng(20260809);
+  const auto pristine =
+      notice::pack_notices({{0, {3, 4, 5}}, {4, {0, 63}}, {6, {31}}});
+  // Single-word mutations: each either still validates (a different legal
+  // stream) or soft-fails; unpacked results always respect the bounds.
+  for (std::size_t w = 0; w < pristine.size(); ++w) {
+    for (std::uint32_t delta : {1u, 0x80u, 0xFFFFFFFFu}) {
+      auto mutated = pristine;
+      mutated[w] ^= delta;
+      const auto result = notice::try_unpack_notices(mutated, 8, 64);
+      if (!result.has_value()) continue;
+      for (const auto& block : *result) {
+        EXPECT_LT(block.modifier, 8);
+        for (PageId p : block.pages) EXPECT_LT(p, 64);
+      }
+    }
+  }
+  for (int round = 0; round < 2000; ++round) {
+    std::vector<std::uint32_t> garbage(rng() % 24);
+    for (auto& word : garbage) {
+      word = static_cast<std::uint32_t>(rng() % 128);
+    }
+    (void)notice::try_unpack_notices(garbage, 8, 64);
   }
 }
 

@@ -1,14 +1,20 @@
 // Unit tests for the pure protocol-transition rules (dsm/rules.hpp): the
 // Figure 5 edge table, fault-path dispatch, reliability-layer acceptance,
-// barrier classification, home-migration tie-breaking, and write-notice
-// application — plus the behavior flips of each planted mutation.
+// barrier classification (per tree edge), home-directory placement,
+// home-migration tie-breaking, and write-notice application — plus the
+// behavior flips of each planted mutation and the Topology value type the
+// tree barrier is built on.
 #include "dsm/rules.hpp"
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
+#include <optional>
 #include <set>
 #include <vector>
+
+#include "common/topology.hpp"
 
 namespace parade::dsm {
 namespace {
@@ -219,6 +225,82 @@ TEST(InvalidateOnLockNotice, RemoteModificationInvalidatesCachedReaders) {
   // Nothing cached, nothing to invalidate.
   EXPECT_FALSE(
       rules::invalidate_on_lock_notice(PageState::kInvalid, 0, 1, 2));
+}
+
+TEST(ArrivalEpochPlausible, ChildLagsParentByAtMostOneEpoch) {
+  // First-ever arrival on an edge must be for epoch 0.
+  EXPECT_TRUE(rules::arrival_epoch_plausible(0, std::nullopt));
+  EXPECT_FALSE(rules::arrival_epoch_plausible(1, std::nullopt));
+  // After closing epoch e, the only recordable arrival is e + 1; anything
+  // else is either a re-answerable retransmission or a protocol bug, both
+  // handled by classify_barrier_arrival instead.
+  EXPECT_TRUE(rules::arrival_epoch_plausible(3, Epoch{2}));
+  EXPECT_FALSE(rules::arrival_epoch_plausible(2, Epoch{2}));
+  EXPECT_FALSE(rules::arrival_epoch_plausible(4, Epoch{2}));
+  EXPECT_FALSE(rules::arrival_epoch_plausible(0, Epoch{2}));
+}
+
+TEST(DefaultHome, ShardsByPageModuloNodes) {
+  // Legacy directory: everything on node 0.
+  EXPECT_EQ(rules::default_home(0, 4, false), 0);
+  EXPECT_EQ(rules::default_home(7, 4, false), 0);
+  // Sharded: page p lives at p % N — O(1) lookup, no broadcast.
+  EXPECT_EQ(rules::default_home(0, 4, true), 0);
+  EXPECT_EQ(rules::default_home(5, 4, true), 1);
+  EXPECT_EQ(rules::default_home(7, 4, true), 3);
+  // Single-node clusters shard trivially to node 0.
+  EXPECT_EQ(rules::default_home(7, 1, true), 0);
+}
+
+TEST(Topology, FlatIsTheDegenerateTree) {
+  const Topology root = Topology::flat(0, 5);
+  EXPECT_TRUE(root.valid());
+  EXPECT_TRUE(root.is_root());
+  EXPECT_EQ(root.effective_fanout(), 4);
+  EXPECT_EQ(root.children(), (std::vector<NodeId>{1, 2, 3, 4}));
+  EXPECT_EQ(root.height(), 1);
+  for (NodeId r = 1; r < 5; ++r) {
+    const Topology t = root.with_rank(r);
+    EXPECT_EQ(t.parent(), 0);
+    EXPECT_EQ(t.num_children(), 0);
+    EXPECT_EQ(t.depth(), 1);
+  }
+}
+
+TEST(Topology, HeapShapedKaryTree) {
+  // 8 nodes, fanout 2: 0 <- {1,2}, 1 <- {3,4}, 2 <- {5,6}, 3 <- {7}.
+  const Topology t = Topology::tree(0, 8, 2);
+  EXPECT_EQ(t.children(), (std::vector<NodeId>{1, 2}));
+  EXPECT_EQ(t.with_rank(1).children(), (std::vector<NodeId>{3, 4}));
+  EXPECT_EQ(t.with_rank(3).children(), (std::vector<NodeId>{7}));
+  EXPECT_EQ(t.with_rank(4).num_children(), 0);
+  EXPECT_EQ(t.with_rank(7).parent(), 3);
+  EXPECT_EQ(t.with_rank(7).depth(), 3);
+  EXPECT_EQ(t.height(), 3);
+  EXPECT_EQ(t.describe(), "tree:2");
+  // Every non-root rank's parent owns it as a child (128-node sweep).
+  for (int fanout : {1, 2, 4, 16}) {
+    const Topology big = Topology::tree(0, 128, fanout);
+    for (NodeId r = 1; r < 128; ++r) {
+      const auto kids = big.with_rank(big.with_rank(r).parent()).children();
+      EXPECT_NE(std::find(kids.begin(), kids.end(), r), kids.end())
+          << "fanout " << fanout << " rank " << r;
+    }
+  }
+}
+
+TEST(Topology, ParseBarrierSpec) {
+  EXPECT_EQ(parse_barrier_spec("flat"), std::optional<int>{0});
+  EXPECT_EQ(parse_barrier_spec("tree:1"), std::optional<int>{1});
+  EXPECT_EQ(parse_barrier_spec("tree:16"), std::optional<int>{16});
+  EXPECT_FALSE(parse_barrier_spec("").has_value());
+  EXPECT_FALSE(parse_barrier_spec("tree").has_value());
+  EXPECT_FALSE(parse_barrier_spec("tree:").has_value());
+  EXPECT_FALSE(parse_barrier_spec("tree:0").has_value());
+  EXPECT_FALSE(parse_barrier_spec("tree:-2").has_value());
+  EXPECT_FALSE(parse_barrier_spec("tree:2x").has_value());
+  EXPECT_FALSE(parse_barrier_spec("Tree:2").has_value());
+  EXPECT_FALSE(parse_barrier_spec("tree:9999999").has_value());
 }
 
 TEST(MutationNames, RoundTripThroughTheRegistry) {

@@ -10,6 +10,7 @@
 
 #include "dsm/diff.hpp"
 #include "dsm/mapping.hpp"
+#include "dsm/notice.hpp"
 #include "dsm/pagetable.hpp"
 #include "dsm/protocol.hpp"
 
@@ -228,11 +229,17 @@ TEST(Protocol, DiffMessages) {
 }
 
 TEST(Protocol, BarrierMessages) {
-  BarrierArriveMsg arrive{5, {1, 2, 30}};
+  // Notice stream for pages {1, 2, 30} dirtied by this subtree's node 3.
+  BarrierArriveMsg arrive{5, notice::pack_notices({{3, {1, 2, 30}}})};
   const auto a =
       codec<BarrierArriveMsg>::decode(codec<BarrierArriveMsg>::encode(arrive));
   EXPECT_EQ(a.epoch, 5);
-  EXPECT_EQ(a.dirtied_pages, arrive.dirtied_pages);
+  EXPECT_EQ(a.notice_stream, arrive.notice_stream);
+  const auto blocks = notice::try_unpack_notices(a.notice_stream, 8, 64);
+  ASSERT_TRUE(blocks.has_value());
+  ASSERT_EQ(blocks->size(), 1u);
+  EXPECT_EQ((*blocks)[0].modifier, 3);
+  EXPECT_EQ((*blocks)[0].pages, (std::vector<PageId>{1, 2, 30}));
 
   BarrierDepartMsg depart;
   depart.epoch = 5;
