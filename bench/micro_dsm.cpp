@@ -69,7 +69,7 @@ void BM_TwinCreate(benchmark::State& state) {
 BENCHMARK(BM_TwinCreate);
 
 void BM_ProtectionFlip(benchmark::State& state) {
-  auto mapping = DoubleMapping::create(1 << 20, MapMethod::kMemfd);
+  auto mapping = SegmentPool::create(1 << 20, 4096, MapMethod::kMemfd);
   if (!mapping.is_ok()) {
     state.SkipWithError("memfd unavailable");
     return;

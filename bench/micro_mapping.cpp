@@ -26,7 +26,7 @@ void set_label(benchmark::State& state) {
 }
 
 void BM_MappedPageUpdate(benchmark::State& state) {
-  auto mapping = DoubleMapping::create(1 << 20, method_of(state));
+  auto mapping = SegmentPool::create(1 << 20, 4096, method_of(state));
   if (!mapping.is_ok()) {
     state.SkipWithError("mapping unavailable");
     return;
@@ -45,7 +45,7 @@ void BM_MappedPageUpdate(benchmark::State& state) {
 BENCHMARK(BM_MappedPageUpdate)->Arg(0)->Arg(1);
 
 void BM_MappedProtectFlip(benchmark::State& state) {
-  auto mapping = DoubleMapping::create(1 << 20, method_of(state));
+  auto mapping = SegmentPool::create(1 << 20, 4096, method_of(state));
   if (!mapping.is_ok()) {
     state.SkipWithError("mapping unavailable");
     return;

@@ -55,6 +55,20 @@ class WireBuffer {
     put_bytes(values.data(), values.size() * sizeof(T));
   }
 
+  /// Appends a u32 placeholder and returns its position for a later
+  /// patch_u32 — used by encoders that only know a length after writing the
+  /// payload (e.g. diff runs streamed straight into the wire buffer).
+  std::size_t reserve_u32() {
+    const std::size_t at = bytes_.size();
+    put<std::uint32_t>(0);
+    return at;
+  }
+
+  void patch_u32(std::size_t at, std::uint32_t value) {
+    if (at + sizeof(value) > bytes_.size()) return;
+    std::memcpy(bytes_.data() + at, &value, sizeof(value));
+  }
+
   // ---- decoding ----
   //
   // Decoders never abort on malformed input: an out-of-bounds read marks the
@@ -99,6 +113,21 @@ class WireBuffer {
     std::vector<T> values(count);
     get_bytes(values.data(), count * sizeof(T));
     return values;
+  }
+
+  /// Zero-copy counterpart of get_vector<uint8_t>: validates the u32 length
+  /// prefix and returns a span over the bytes in place. The span borrows the
+  /// buffer — it is valid only while the WireBuffer (or the vector it was
+  /// constructed from) stays alive and unmodified.
+  std::span<const std::uint8_t> get_byte_span() {
+    const auto count = get<std::uint32_t>();
+    if (failed_ || count > remaining()) {
+      failed_ = true;
+      return {};
+    }
+    std::span<const std::uint8_t> view(bytes_.data() + cursor_, count);
+    cursor_ += count;
+    return view;
   }
 
   // ---- access ----

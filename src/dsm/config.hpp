@@ -38,7 +38,14 @@ enum class SyncMode {
 struct DsmConfig {
   std::size_t pool_bytes = std::size_t{64} << 20;  // paper: 64 MB for CG
   std::size_t page_bytes = kDefaultPageBytes;
+  /// How the SegmentPool's backing object is created (PARADE_MAP_METHOD:
+  /// "memfd" | "sysv"; mdup/child-process probe as unsupported).
   MapMethod map_method = MapMethod::kMemfd;
+  /// Zero-copy hot paths over the segment pool: CoW twin aliasing through
+  /// the TwinRegistry, serves encoded straight from the sys view into the
+  /// wire buffer, diffs encoded/applied by span (PARADE_ZERO_COPY). Off =
+  /// the legacy eager-copy pipeline, kept for equivalence testing.
+  bool zero_copy = true;
   /// HLRC home migration at barrier time (paper §5.2.2). Off = fixed home,
   /// i.e. original HLRC (the baseline in ablation benches).
   bool home_migration = true;
@@ -66,6 +73,9 @@ struct DsmConfig {
   net::RetryPolicy retry{};
 
   std::size_t num_pages() const { return pool_bytes / page_bytes; }
+  /// Total virtual reservation per node: app + sys + twin views of the pool
+  /// (SegmentPool layout, dsm/mapping.hpp).
+  std::size_t segment_bytes() const { return 3 * pool_bytes; }
 };
 
 /// Maximum DSM lock ids (grant tags are lock-indexed, see protocol.hpp).

@@ -58,6 +58,43 @@ std::vector<std::uint8_t> encode_diff(const std::uint8_t* current,
   return out;
 }
 
+std::size_t append_diff(WireBuffer& out, const std::uint8_t* current,
+                        const std::uint8_t* twin, std::size_t page_bytes) {
+  PARADE_CHECK_MSG(page_bytes % 8 == 0, "page size must be 8-byte aligned");
+  const std::size_t count_at = out.reserve_u32();
+  const std::size_t payload_start = out.size();
+  const std::size_t words = page_bytes / 8;
+
+  std::size_t run_start = 0;
+  bool in_run = false;
+  auto flush_run = [&](std::size_t end_word) {
+    const auto offset = static_cast<std::uint32_t>(run_start * 8);
+    const auto length =
+        static_cast<std::uint32_t>((end_word - run_start) * 8);
+    out.put(offset);
+    out.put(length);
+    out.put_bytes(current + offset, length);
+  };
+
+  for (std::size_t w = 0; w < words; ++w) {
+    std::uint64_t a, b;
+    std::memcpy(&a, current + w * 8, 8);
+    std::memcpy(&b, twin + w * 8, 8);
+    const bool changed = a != b;
+    if (changed && !in_run) {
+      run_start = w;
+      in_run = true;
+    } else if (!changed && in_run) {
+      flush_run(w);
+      in_run = false;
+    }
+  }
+  if (in_run) flush_run(words);
+  const std::size_t diff_bytes = out.size() - payload_start;
+  out.patch_u32(count_at, static_cast<std::uint32_t>(diff_bytes));
+  return diff_bytes;
+}
+
 bool apply_diff(std::uint8_t* target, std::size_t page_bytes,
                 const std::uint8_t* diff, std::size_t diff_bytes) {
   std::size_t pos = 0;

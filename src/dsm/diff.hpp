@@ -12,6 +12,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/serialize.hpp"
+
 namespace parade::dsm {
 
 /// Encodes the byte runs where `current` differs from `twin`.
@@ -19,6 +21,13 @@ namespace parade::dsm {
 std::vector<std::uint8_t> encode_diff(const std::uint8_t* current,
                                       const std::uint8_t* twin,
                                       std::size_t page_bytes);
+
+/// Zero-copy variant: streams the runs straight into `out` in the exact
+/// wire layout of put_vector<uint8_t> (u32 byte count, then the runs), so a
+/// DiffMsg can be encoded without staging the diff in its own vector.
+/// Returns the number of diff bytes written (0 = clean page).
+std::size_t append_diff(WireBuffer& out, const std::uint8_t* current,
+                        const std::uint8_t* twin, std::size_t page_bytes);
 
 /// Applies an encoded diff onto `target` (a page of `page_bytes`).
 /// Returns false if the diff is malformed or out of range.

@@ -89,6 +89,11 @@ DsmNode::DsmNode(net::Channel& channel, DsmConfig config)
     : DsmNode(Topology{channel.rank(), channel.size(), config.barrier_fanout},
               channel, config) {}
 
+void DsmNode::set_twin_registry(std::shared_ptr<TwinRegistry> twins) {
+  PARADE_CHECK_MSG(!started_, "set_twin_registry after start");
+  twins_ = std::move(twins);
+}
+
 void DsmNode::post(NodeId dst, Tag tag, std::vector<std::uint8_t> payload,
                    VirtualUs vtime) {
   Status s = channel_.send(dst, tag, std::move(payload), vtime);
@@ -112,9 +117,17 @@ Status DsmNode::start() {
       &obs::Registry::instance().hist(rank(), "dsm.lock_grant_ns");
   barrier_wait_hist_ =
       &obs::Registry::instance().hist(rank(), "dsm.barrier_wait_ns");
-  auto mapping = DoubleMapping::create(config_.pool_bytes, config_.map_method);
+  auto mapping = SegmentPool::create(config_.pool_bytes, config_.page_bytes,
+                                     config_.map_method);
   if (!mapping.is_ok()) return mapping.status();
   mapping_ = std::move(mapping).value();
+  if (twins_ == nullptr) {
+    // Solo registry (standalone node / socket fabric): no peer pool is ever
+    // visible, so every twin privatizes eagerly — the safe degenerate mode.
+    twins_ = std::make_shared<TwinRegistry>(config_.num_pages(),
+                                            config_.page_bytes, size());
+  }
+  twins_->register_pool(rank(), mapping_.get());
 
   pages_ = std::make_unique<PageTable>(config_.num_pages(), /*initial_home=*/0);
   if (!config_.sharded_homes) {
@@ -160,6 +173,9 @@ void DsmNode::shutdown() {
   // Benign failure: the comm thread may already have exited on mailbox close.
   (void)channel_.send(rank(), kTagShutdown, {}, 0.0);
   if (comm_thread_.joinable()) comm_thread_.join();
+  // Withdraw the pool from the twin registry before the frames can unmap:
+  // surviving ranks holding CoW aliases into them get private copies.
+  if (twins_ != nullptr) twins_->unregister_pool(rank());
   sigsegv::unregister_range(mapping_->app_view());
 }
 
@@ -183,8 +199,7 @@ std::size_t DsmNode::offset_of(const void* p) const {
 }
 
 std::byte* DsmNode::sys_page(PageId page) const {
-  return mapping_->sys_view() +
-         static_cast<std::size_t>(page) * config_.page_bytes;
+  return mapping_->real_address(View::kSys, page, 0);
 }
 
 void DsmNode::protect(PageId page, int prot) {
@@ -297,10 +312,24 @@ void DsmNode::fetch_page(PageId page, std::unique_lock<std::mutex>& lock,
 void DsmNode::upgrade_to_dirty(PageId page, PageEntry& entry) {
   if (rules::needs_twin(entry.home, rank())) {
     // Non-home writers keep a twin so the flush can diff (§5.2.1: the home
-    // itself needs no twin — all diffs merge into its copy).
-    entry.twin.resize(config_.page_bytes);
-    std::memcpy(entry.twin.data(), sys_page(page), config_.page_bytes);
-    stats_.inc_twins_created();
+    // itself needs no twin — all diffs merge into its copy). Under
+    // zero_copy the twin starts as a CoW alias of the home's frame; the
+    // registry privatizes it (one page copy through the sys view) only when
+    // the home's copy is about to diverge.
+    const bool shared = twins_->attach_twin(
+        rank(), page, entry.home, entry.fetched_version, config_.zero_copy);
+    if (shared) {
+      stats_.inc_twins_shared();
+    } else {
+      stats_.inc_twins_created();
+    }
+    check_invariant(twins_->has_twin(rank(), page), "twin.present", page);
+  } else {
+    // The home's own upgrade is a frame mutation no diff announces:
+    // privatize any alias another rank holds and mark the frame unstable
+    // until the flush downgrade re-stabilizes it (TwinRegistry versioning).
+    const int privatized = twins_->mark_unstable(rank(), page);
+    if (privatized > 0) stats_.inc_twin_privatizations(privatized);
   }
   protect(page, PROT_READ | PROT_WRITE);
   set_state(entry, page, PageState::kDirty);
@@ -339,32 +368,68 @@ void DsmNode::flush_pages(const std::vector<PageId>& pages) {
     if (entry.state != PageState::kDirty) continue;  // already flushed
 
     if (entry.home == rank()) {
+      // Dirty window over: re-stabilize the frame so future serves can be
+      // shared again (bumps the frame version past the unstable epoch).
+      twins_->mark_stable(rank(), page);
       protect(page, PROT_READ);
       set_state(entry, page, PageState::kReadOnly);
       continue;
     }
 
-    auto diff = encode_diff(
-        reinterpret_cast<const std::uint8_t*>(sys_page(page)),
-        entry.twin.data(), config_.page_bytes);
-    entry.twin.clear();
-    entry.twin.shrink_to_fit();
+    const std::uint32_t seq = next_seq();
+    std::size_t diff_bytes = 0;
+    std::vector<std::uint8_t> payload;
+    if (config_.zero_copy) {
+      // Zero-copy flush: diff runs stream from the sys view straight into
+      // the wire buffer (codec<DiffMsg> layout). The pristine copy — CoW
+      // alias of the home's frame or private twin frame — is read inside
+      // the registry's critical section so a concurrent privatization
+      // cannot swap it mid-diff.
+      WireBuffer buffer;
+      buffer.put(page);
+      buffer.put(seq);
+      const bool had_twin =
+          twins_->with_twin(rank(), page, [&](const std::byte* pristine) {
+            diff_bytes = append_diff(
+                buffer, reinterpret_cast<const std::uint8_t*>(sys_page(page)),
+                reinterpret_cast<const std::uint8_t*>(pristine),
+                config_.page_bytes);
+          });
+      check_invariant(had_twin, "twin.present", page);
+      if (had_twin && diff_bytes > 0) payload = std::move(buffer).take();
+    } else {
+      // Legacy eager pipeline: stage the diff in its own vector, then run
+      // it through the generic codec (one extra copy, kept as the
+      // equivalence baseline).
+      std::vector<std::uint8_t> diff;
+      const bool had_twin =
+          twins_->with_twin(rank(), page, [&](const std::byte* pristine) {
+            diff = encode_diff(
+                reinterpret_cast<const std::uint8_t*>(sys_page(page)),
+                reinterpret_cast<const std::uint8_t*>(pristine),
+                config_.page_bytes);
+          });
+      check_invariant(had_twin, "twin.present", page);
+      diff_bytes = diff.size();
+      if (had_twin && diff_bytes > 0) {
+        payload = codec<DiffMsg>::encode({page, std::move(diff), seq});
+      }
+    }
+    entry.release_twin(*twins_, rank(), page);
     protect(page, PROT_READ);
     set_state(entry, page, PageState::kReadOnly);
     const NodeId home = entry.home;
     lock.unlock();
 
-    if (diff.empty()) continue;  // page written but unchanged
+    if (diff_bytes == 0) continue;  // page written but unchanged
     stats_.inc_diffs_created();
-    stats_.inc_diff_bytes_sent(static_cast<std::int64_t>(diff.size()));
+    stats_.inc_diff_bytes_sent(static_cast<std::int64_t>(diff_bytes));
     VirtualUs stamp = 0.0;
     if (clock != nullptr) {
       clock->sync_cpu();
       clock->add(config_.net.send_overhead_us);
       stamp = clock->now();
     }
-    const std::uint32_t seq = next_seq();
-    auto payload = codec<DiffMsg>::encode({page, std::move(diff), seq});
     post(home, kTagDiff, payload, stamp);
     pending.emplace(seq, PendingDiff{home, std::move(payload), stamp});
   }
@@ -688,11 +753,14 @@ void DsmNode::process_departure(const BarrierDepartMsg& msg) {
     // only modifier.
     if (rules::keep_copy_on_departure(rank(), e.new_home, old_home,
                                       e.sole_modifier)) {
+      // The kept copy is current in content but was not stamped by a
+      // versioned serve; a write fault next interval privatizes eagerly
+      // rather than trusting a version from a superseded home epoch.
+      entry.fetched_version = kNeverFetchedVersion;
       continue;
     }
     if (rules::invalidate_applies(entry.state)) {
-      entry.twin.clear();
-      entry.twin.shrink_to_fit();
+      entry.release_twin(*twins_, rank(), e.page);
       protect(e.page, PROT_NONE);
       set_state(entry, e.page, PageState::kInvalid);
       stats_.inc_invalidations();
@@ -904,37 +972,69 @@ void DsmNode::serve_page_request(const net::Message& message) {
   comm_ledger_.charge(config_.net.page_service_us +
                       config_.net.send_overhead_us);
 
-  PageReplyMsg reply;
-  reply.page = request.page;
-  reply.seq = request.seq;
-  reply.data.resize(config_.page_bytes);
-  {
-    // The serving copy is read through the system view; the home invariant
-    // (see DESIGN.md) guarantees it is current.
-    PageEntry& entry = pages_->entry(request.page);
-    std::lock_guard lock(entry.mutex);
-    // home.holds_copy: a node that believes it is home must hold page data.
-    // (A retransmitted request can land after migration moved the home away;
-    // the requester's seq gate discards the reply, so only the home case is
-    // checkable here.)
-    if (entry.home == rank()) {
-      check_invariant(entry.state == PageState::kReadOnly ||
-                          entry.state == PageState::kDirty,
-                      "home.holds_copy", request.page);
+  std::vector<std::uint8_t> payload;
+  if (config_.zero_copy) {
+    // Zero-copy serve: the frame is encoded from the sys view straight into
+    // the wire buffer (codec<PageReplyMsg> layout — the span decoders in
+    // protocol.hpp pin the equivalence), skipping the staging reply vector.
+    WireBuffer buffer;
+    buffer.put(request.page);
+    buffer.put(request.seq);
+    {
+      // The serving copy is read through the system view; the home invariant
+      // (see DESIGN.md) guarantees it is current.
+      PageEntry& entry = pages_->entry(request.page);
+      std::lock_guard lock(entry.mutex);
+      // home.holds_copy: a node that believes it is home must hold page data.
+      // (A retransmitted request can land after migration moved the home
+      // away; the requester's seq gate discards the reply, so only the home
+      // case is checkable here.)
+      if (entry.home == rank()) {
+        check_invariant(entry.state == PageState::kReadOnly ||
+                            entry.state == PageState::kDirty,
+                        "home.holds_copy", request.page);
+      }
+      // Version first, frame bytes second, both under the entry lock every
+      // home-side frame mutation also takes: an interleaved bump can only
+      // make the reply look OLDER than its bytes (safe — the requester
+      // privatizes), never newer.
+      buffer.put(twins_->frame_version(request.page));
+      buffer.put(static_cast<std::uint32_t>(config_.page_bytes));
+      buffer.put_bytes(sys_page(request.page), config_.page_bytes);
     }
-    std::memcpy(reply.data.data(), sys_page(request.page), config_.page_bytes);
+    payload = std::move(buffer).take();
+  } else {
+    PageReplyMsg reply;
+    reply.page = request.page;
+    reply.seq = request.seq;
+    reply.data.resize(config_.page_bytes);
+    {
+      // Legacy serve: stage the frame in the reply vector, then codec-copy
+      // it into the wire buffer.
+      PageEntry& entry = pages_->entry(request.page);
+      std::lock_guard lock(entry.mutex);
+      if (entry.home == rank()) {
+        check_invariant(entry.state == PageState::kReadOnly ||
+                            entry.state == PageState::kDirty,
+                        "home.holds_copy", request.page);
+      }
+      reply.version = twins_->frame_version(request.page);
+      std::memcpy(reply.data.data(), sys_page(request.page),
+                  config_.page_bytes);
+    }
+    payload = codec<PageReplyMsg>::encode(std::move(reply));
   }
-  post(message.header.src, kTagPageReply,
-       codec<PageReplyMsg>::encode(std::move(reply)), comm_clock_.now());
+  post(message.header.src, kTagPageReply, std::move(payload),
+       comm_clock_.now());
 }
 
 void DsmNode::install_page(const net::Message& message) {
-  auto reply_r = codec<PageReplyMsg>::try_decode(message.payload);
+  auto reply_r = PageReplyView::from(message.span());
   if (!reply_r.is_ok() || reply_r.value().data.size() != config_.page_bytes) {
     PLOG_WARN("dropping malformed page reply");
     return;
   }
-  PageReplyMsg reply = std::move(reply_r).value();
+  const PageReplyView reply = reply_r.value();
   PageEntry& entry = pages_->entry(reply.page);
   std::lock_guard lock(entry.mutex);
   // A reply for a page no longer being fetched, or for a superseded fetch,
@@ -944,8 +1044,11 @@ void DsmNode::install_page(const net::Message& message) {
     return;
   }
   // Atomic page update (§5.1): write through the always-writable system view
-  // first, only then open the application view.
+  // first, only then open the application view. The copy reads directly out
+  // of the delivered buffer (span view) — no intermediate reply vector on
+  // either side of the wire.
   std::memcpy(sys_page(reply.page), reply.data.data(), config_.page_bytes);
+  entry.fetched_version = reply.version;
   protect(reply.page, PROT_READ);
   entry.ready_vtime = message.header.vtime +
                       config_.net.transfer_us(message.payload.size()) +
@@ -955,12 +1058,12 @@ void DsmNode::install_page(const net::Message& message) {
 }
 
 void DsmNode::apply_incoming_diff(const net::Message& message) {
-  auto diff_r = codec<DiffMsg>::try_decode(message.payload);
+  auto diff_r = DiffView::from(message.span());
   if (!diff_r.is_ok()) {
     PLOG_WARN("dropping malformed diff: " << diff_r.status().to_string());
     return;
   }
-  const DiffMsg diff = std::move(diff_r).value();
+  const DiffView diff = diff_r.value();
   // A retransmitted diff whose original already merged must not re-apply (the
   // page may have moved on since), but the sender is still waiting: re-ack.
   if (rules::accept_diff(diff_seen_, message.header.src, diff.seq)) {
@@ -969,6 +1072,11 @@ void DsmNode::apply_incoming_diff(const net::Message& message) {
     comm_ledger_.charge(config_.net.page_service_us);
     PageEntry& entry = pages_->entry(diff.page);
     std::lock_guard lock(entry.mutex);
+    // The frame is about to diverge from what any CoW alias snapshotted:
+    // privatize those twins first, then bump the frame version so replies
+    // served before this merge can no longer seed a shared twin.
+    const int privatized = twins_->begin_home_mutation(diff.page);
+    if (privatized > 0) stats_.inc_twin_privatizations(privatized);
     const bool ok =
         apply_diff(reinterpret_cast<std::uint8_t*>(sys_page(diff.page)),
                    config_.page_bytes, diff.diff.data(), diff.diff.size());

@@ -72,6 +72,12 @@ class DsmNode {
   std::byte* base() const { return mapping_->app_view(); }
   std::size_t pool_bytes() const { return config_.pool_bytes; }
 
+  /// Shares a cross-node twin registry (in-process clusters). Must be called
+  /// before start(); without one the node builds a solo registry, in which
+  /// no peer pool is visible and every twin privatizes eagerly.
+  void set_twin_registry(std::shared_ptr<TwinRegistry> twins);
+  TwinRegistry& twin_registry() { return *twins_; }
+
   /// SPMD bump allocator: every node must perform the identical allocation
   /// sequence; the same call index yields the same pool offset everywhere.
   void* shmalloc(std::size_t bytes, std::size_t align = 64);
@@ -160,7 +166,8 @@ class DsmNode {
   net::Channel& channel_;
   Topology topo_;
   DsmConfig config_;
-  std::unique_ptr<DoubleMapping> mapping_;
+  std::unique_ptr<SegmentPool> mapping_;
+  std::shared_ptr<TwinRegistry> twins_;
   std::unique_ptr<PageTable> pages_;
   DsmStats stats_;
   vtime::CommLedger comm_ledger_;

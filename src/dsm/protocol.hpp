@@ -75,6 +75,10 @@ struct PageReplyMsg {
   PageId page = 0;
   std::vector<std::uint8_t> data;
   std::uint32_t seq = 0;  ///< copied from the request; stale replies dropped
+  /// Home frame version at serve time (TwinRegistry). The installer records
+  /// it so a later write fault can decide whether the home's frame still
+  /// matches this copy and may be aliased as the twin (CoW).
+  std::uint32_t version = 0;
 };
 
 struct DiffMsg {
@@ -153,7 +157,7 @@ struct LockReleaseAckMsg {
 
 inline auto wire_fields(PageRequestMsg& m) { return std::tie(m.page, m.seq); }
 inline auto wire_fields(PageReplyMsg& m) {
-  return std::tie(m.page, m.seq, m.data);
+  return std::tie(m.page, m.seq, m.version, m.data);
 }
 inline auto wire_fields(DiffMsg& m) { return std::tie(m.page, m.seq, m.diff); }
 inline auto wire_fields(DiffAckMsg& m) { return std::tie(m.page, m.seq); }
@@ -188,6 +192,85 @@ static_assert(kTagLockGrantBase + 256 <= kTagLockReleaseAckBase,
               "grant tags overlap release-ack tags");
 static_assert(kTagLockReleaseAckBase + 256 <= net::kDsmTagLimit,
               "release-ack tags escape the DSM tag class");
+
+// ---- zero-copy payload views ----
+//
+// Borrowed decodes for the two bulk-payload messages on the fetch/flush hot
+// path. codec<T>::try_decode copies the payload into owned vectors; a view
+// instead validates the frame and returns spans pointing into the original
+// payload, so page installs and diff application read straight from the
+// fabric's buffer into the sys view. Views share the exact wire layout with
+// the codec (the equivalence test pins this): a frame encoded by either side
+// decodes identically through both.
+
+namespace view_detail {
+
+template <TriviallyWirable F>
+bool read_field(std::span<const std::uint8_t> payload, std::size_t& pos,
+                F& field) {
+  if (sizeof(F) > payload.size() - pos) return false;
+  std::memcpy(&field, payload.data() + pos, sizeof(F));
+  pos += sizeof(F);
+  return true;
+}
+
+inline bool read_span(std::span<const std::uint8_t> payload, std::size_t& pos,
+                      std::span<const std::uint8_t>& out) {
+  std::uint32_t count = 0;
+  if (!read_field(payload, pos, count)) return false;
+  if (count > payload.size() - pos) return false;
+  out = payload.subspan(pos, count);
+  pos += count;
+  return true;
+}
+
+}  // namespace view_detail
+
+/// PageReplyMsg decoded by reference: `data` borrows `payload`.
+struct PageReplyView {
+  PageId page = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t version = 0;
+  std::span<const std::uint8_t> data;
+
+  static Result<PageReplyView> from(std::span<const std::uint8_t> payload) {
+    PageReplyView v;
+    std::size_t pos = 0;
+    if (!view_detail::read_field(payload, pos, v.page) ||
+        !view_detail::read_field(payload, pos, v.seq) ||
+        !view_detail::read_field(payload, pos, v.version) ||
+        !view_detail::read_span(payload, pos, v.data)) {
+      return make_error(ErrorCode::kInvalidArgument, "truncated frame");
+    }
+    if (pos != payload.size()) {
+      return make_error(ErrorCode::kInvalidArgument,
+                        "trailing bytes after decode");
+    }
+    return v;
+  }
+};
+
+/// DiffMsg decoded by reference: `diff` borrows `payload`.
+struct DiffView {
+  PageId page = 0;
+  std::uint32_t seq = 0;
+  std::span<const std::uint8_t> diff;
+
+  static Result<DiffView> from(std::span<const std::uint8_t> payload) {
+    DiffView v;
+    std::size_t pos = 0;
+    if (!view_detail::read_field(payload, pos, v.page) ||
+        !view_detail::read_field(payload, pos, v.seq) ||
+        !view_detail::read_span(payload, pos, v.diff)) {
+      return make_error(ErrorCode::kInvalidArgument, "truncated frame");
+    }
+    if (pos != payload.size()) {
+      return make_error(ErrorCode::kInvalidArgument,
+                        "trailing bytes after decode");
+    }
+    return v;
+  }
+};
 
 // ---- generic codec ----
 

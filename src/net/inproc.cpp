@@ -9,6 +9,10 @@ class InProcFabric::InProcChannel final : public Channel {
   InProcChannel(NodeId rank, int size, InProcFabric* fabric)
       : Channel(rank, size), fabric_(fabric) {}
 
+  // Zero-copy handoff: the sender's payload buffer is moved end-to-end into
+  // the destination mailbox — page serves and diffs encoded straight into a
+  // WireBuffer travel to the consumer's view decoders without a byte copied
+  // by the fabric (Message::span()).
   Status send(NodeId dst, Tag tag, std::vector<std::uint8_t> payload,
               VirtualUs vtime) override {
     PARADE_CHECK_MSG(dst >= 0 && dst < size_, "send to invalid rank");

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -45,6 +46,12 @@ struct Message {
       : header(h), payload(std::move(p)) {
     header.payload_size = static_cast<std::uint32_t>(payload.size());
   }
+
+  /// Borrowed view of the payload for zero-copy consumers (the DSM view
+  /// decoders read page/diff bytes straight out of the delivered buffer —
+  /// on the in-process fabric that buffer is the sender's, moved here
+  /// without a copy).
+  std::span<const std::uint8_t> span() const { return payload; }
 };
 
 }  // namespace parade::net

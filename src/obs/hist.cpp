@@ -12,7 +12,7 @@ std::int64_t Histogram::percentile_ns(double q) const {
   if (static_cast<double>(target) < q * static_cast<double>(total)) ++target;
   if (target < 1) target = 1;
   std::int64_t seen = 0;
-  for (int i = 0; i < 64; ++i) {
+  for (int i = 0; i < kHistBuckets; ++i) {
     seen += buckets_[static_cast<std::size_t>(i)].load(
         std::memory_order_relaxed);
     if (seen >= target) {

@@ -1,11 +1,17 @@
-// Histogram: log2-bucketed latency distribution, the third metric primitive
-// next to Counter and Timer (obs/metric.hpp). Recording is lock-free (one
-// relaxed add per bucket plus a CAS loop for the max); percentile reads are
-// racy-by-design snapshots, same contract as Counter.
+// Histogram: log-linear latency distribution (HdrHistogram-style), the third
+// metric primitive next to Counter and Timer (obs/metric.hpp). Each power-of-
+// two octave is split into 2^kHistSubBits linear sub-buckets, bounding the
+// quantization error of any percentile to ~1/2^kHistSubBits (12.5%) of the
+// value — fine enough to resolve the zero-copy-vs-legacy fetch deltas the
+// dsm_hotpath gate compares, where plain log2 buckets could only see 2x
+// steps. Recording is lock-free (one relaxed add per bucket plus a CAS loop
+// for the max); percentile reads are racy-by-design snapshots, same contract
+// as Counter.
 #pragma once
 
 #include <array>
 #include <atomic>
+#include <bit>
 #include <cstdint>
 
 #include "common/timing.hpp"
@@ -13,24 +19,41 @@
 
 namespace parade::obs {
 
-/// Bucket index for a latency sample: bucket i holds values in
-/// [2^(i-1), 2^i - 1] nanoseconds (bucket 0 holds <= 0 ns), clamped to 63.
+inline constexpr int kHistSubBits = 3;  // 8 linear sub-buckets per octave
+inline constexpr int kHistSubBuckets = 1 << kHistSubBits;
+/// 64 octaves x 8 sub-buckets bounds the index space; the top indices are
+/// unreachable for positive int64 inputs and simply stay zero.
+inline constexpr int kHistBuckets = 512;
+
+/// Bucket index for a latency sample. Values below 2^kHistSubBits map
+/// exactly (bucket = value; bucket 0 holds <= 0 ns); above that, the top
+/// kHistSubBits bits after the leading one select a linear sub-bucket within
+/// the value's octave. Consecutive values map to the same or consecutive
+/// buckets, so the mapping is monotone.
 inline int hist_bucket_index(std::int64_t ns) {
   if (ns <= 0) return 0;
-  int index = 0;
-  auto v = static_cast<std::uint64_t>(ns);
-  while (v != 0) {
-    v >>= 1U;
-    ++index;
+  const auto v = static_cast<std::uint64_t>(ns);
+  if (v < static_cast<std::uint64_t>(kHistSubBuckets)) {
+    return static_cast<int>(v);
   }
-  return index > 63 ? 63 : index;
+  const int msb = std::bit_width(v) - 1;
+  const int shift = msb - kHistSubBits;
+  const int index =
+      ((msb - kHistSubBits + 1) << kHistSubBits) +
+      static_cast<int>((v >> shift) & (kHistSubBuckets - 1));
+  return index >= kHistBuckets ? kHistBuckets - 1 : index;
 }
 
 /// Upper edge (inclusive) of bucket i, the value percentile queries report.
 inline std::int64_t hist_bucket_upper_ns(int index) {
   if (index <= 0) return 0;
-  if (index >= 63) return INT64_MAX;
-  return static_cast<std::int64_t>((std::uint64_t{1} << index) - 1);
+  if (index < kHistSubBuckets) return index;
+  const int octave = index >> kHistSubBits;
+  const int sub = index & (kHistSubBuckets - 1);
+  const int shift = octave - 1;
+  if (shift >= 63 - kHistSubBits) return INT64_MAX;
+  return static_cast<std::int64_t>(
+      (static_cast<std::uint64_t>(kHistSubBuckets + sub + 1) << shift) - 1);
 }
 
 class Histogram {
@@ -62,7 +85,7 @@ class Histogram {
   void reset();
 
  private:
-  std::array<std::atomic<std::int64_t>, 64> buckets_{};
+  std::array<std::atomic<std::int64_t>, kHistBuckets> buckets_{};
   std::atomic<std::int64_t> count_{0};
   std::atomic<std::int64_t> total_ns_{0};
   std::atomic<std::int64_t> max_ns_{0};

@@ -35,6 +35,14 @@ RuntimeConfig runtime_config_from_env() {
                                                      << "' (want flat|tree:<k>)");
   }
   config.dsm.sharded_homes = env::get_bool_or("PARADE_HOME_SHARDING", false);
+  config.dsm.zero_copy = env::get_bool_or("PARADE_ZERO_COPY", true);
+  const std::string map_spec = env::get_string_or("PARADE_MAP_METHOD", "memfd");
+  if (const auto method = dsm::parse_map_method(map_spec)) {
+    config.dsm.map_method = *method;
+  } else {
+    PLOG_WARN("ignoring unparsable PARADE_MAP_METHOD='"
+              << map_spec << "' (want memfd|sysv|mdup|child-process)");
+  }
   return config;
 }
 

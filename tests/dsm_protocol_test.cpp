@@ -229,7 +229,12 @@ TEST(DsmProtocol, StatsAccounting) {
   const auto n1 = cluster.node(1).stats().snapshot();
   EXPECT_EQ(n1.page_fetches, 1);
   EXPECT_EQ(n0.page_serves, 1);
-  EXPECT_EQ(n1.twins_created, 1);
+  // Under zero_copy (the default) the twin is a CoW alias of the home's
+  // frame, not an eager copy; nothing ever mutates the frame while the alias
+  // lives, so it is never privatized either.
+  EXPECT_EQ(n1.twins_created, 0);
+  EXPECT_EQ(n1.twins_shared, 1);
+  EXPECT_EQ(n1.twin_privatizations, 0);
   EXPECT_EQ(n1.diffs_created, 1);
   EXPECT_EQ(n0.diffs_applied, 1);
   EXPECT_GT(n1.diff_bytes_sent, 0);

@@ -6,10 +6,15 @@
 // HLRC must preserve.
 #include <gtest/gtest.h>
 
+#include <sys/mman.h>
+
+#include <cstring>
 #include <random>
 #include <set>
 
 #include "dsm/cluster.hpp"
+#include "dsm/diff.hpp"
+#include "dsm/mapping.hpp"
 
 namespace parade::dsm {
 namespace {
@@ -89,6 +94,107 @@ INSTANTIATE_TEST_SUITE_P(
              std::to_string(info.param.pages) + "p" +
              (info.param.migration ? "mig" : "fix") +
              std::to_string(info.param.seed);
+    });
+
+// ---------------------------------------------------------------------------
+// Twin/diff round-trip property: random word-granular writes through the
+// segment pool's *application* view (the path real programs take) must
+// produce a diff — streamed by append_diff straight into a wire buffer, as
+// the zero-copy flush does — that applies back onto the home's copy exactly.
+// The streamed bytes must also match the legacy encode_diff vector
+// byte-for-byte, pinning the wire format across both pipelines.
+
+struct DiffScenario {
+  unsigned seed;
+  int writes;       ///< word writes per round (0 = clean-page case)
+  bool full_page;   ///< dirty every word instead of sampling
+};
+
+class TwinDiffRoundTrip : public ::testing::TestWithParam<DiffScenario> {};
+
+TEST_P(TwinDiffRoundTrip, AppliesBackExactly) {
+  const DiffScenario s = GetParam();
+  constexpr std::size_t kPageBytes = 4096;
+  constexpr std::size_t kWords = kPageBytes / sizeof(std::uint64_t);
+  constexpr int kRounds = 8;
+
+  auto pool_r = SegmentPool::create(1 << 16, kPageBytes, MapMethod::kMemfd);
+  ASSERT_TRUE(pool_r.is_ok());
+  auto& pool = *pool_r.value();
+  std::mt19937_64 rng(s.seed);
+
+  for (int round = 0; round < kRounds; ++round) {
+    const PageId page = static_cast<PageId>(
+        rng() % static_cast<std::uint64_t>(pool.num_pages()));
+    auto* sys =
+        reinterpret_cast<std::uint64_t*>(pool.real_address(View::kSys, page, 0));
+    auto* app =
+        reinterpret_cast<std::uint64_t*>(pool.real_address(View::kApp, page, 0));
+
+    // Seed the frame, snapshot the twin (what upgrade_to_dirty privatizes),
+    // and mirror the home's pre-diff copy.
+    for (std::size_t w = 0; w < kWords; ++w) sys[w] = rng();
+    std::memcpy(pool.real_address(View::kTwin, page, 0), sys, kPageBytes);
+    std::vector<std::uint8_t> home(kPageBytes);
+    std::memcpy(home.data(), sys, kPageBytes);
+
+    // Writes land through the app view, like the faulting program's stores.
+    ASSERT_TRUE(pool
+                    .protect_app(static_cast<std::size_t>(page) * kPageBytes,
+                                 kPageBytes, PROT_READ | PROT_WRITE)
+                    .is_ok());
+    if (s.full_page) {
+      for (std::size_t w = 0; w < kWords; ++w) app[w] = rng();
+    } else {
+      for (int i = 0; i < s.writes; ++i) {
+        // Bias toward the page boundaries so first/last-word runs are hit.
+        const std::uint64_t r = rng();
+        const std::size_t word = (r % 4 == 0)   ? (r % 2 ? 0 : kWords - 1)
+                                                : (r >> 8) % kWords;
+        app[word] = rng();
+      }
+    }
+
+    const auto* current = reinterpret_cast<const std::uint8_t*>(sys);
+    const auto* twin = reinterpret_cast<const std::uint8_t*>(
+        pool.real_address(View::kTwin, page, 0));
+
+    WireBuffer buffer;
+    const std::size_t diff_bytes =
+        append_diff(buffer, current, twin, kPageBytes);
+    const auto legacy = encode_diff(current, twin, kPageBytes);
+
+    // Streamed layout = u32 length prefix + exactly the legacy diff bytes.
+    ASSERT_EQ(diff_bytes, legacy.size());
+    ASSERT_EQ(buffer.size(), 4 + diff_bytes);
+    EXPECT_TRUE(std::memcmp(buffer.bytes().data() + 4, legacy.data(),
+                            diff_bytes) == 0);
+    if (s.writes == 0 && !s.full_page) EXPECT_EQ(diff_bytes, 0u);
+
+    ASSERT_TRUE(apply_diff(home.data(), kPageBytes,
+                           buffer.bytes().data() + 4, diff_bytes));
+    EXPECT_TRUE(std::memcmp(home.data(), sys, kPageBytes) == 0)
+        << "seed " << s.seed << " round " << round << " page " << page;
+
+    ASSERT_TRUE(pool
+                    .protect_app(static_cast<std::size_t>(page) * kPageBytes,
+                                 kPageBytes, PROT_NONE)
+                    .is_ok());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Scenarios, TwinDiffRoundTrip,
+    ::testing::Values(DiffScenario{201, 0, false},     // clean page
+                      DiffScenario{202, 1, false},     // single word
+                      DiffScenario{203, 12, false},
+                      DiffScenario{204, 64, false},
+                      DiffScenario{205, 200, false},
+                      DiffScenario{206, 0, true}),     // every word dirty
+    [](const auto& info) {
+      return "s" + std::to_string(info.param.seed) + "_" +
+             (info.param.full_page ? "full"
+                                   : std::to_string(info.param.writes) + "w");
     });
 
 }  // namespace

@@ -1,6 +1,6 @@
-// DSM building blocks: double mapping (atomic page update), twin/diff codec
-// (with randomized property tests), page-state machine, protocol wire
-// round-trips.
+// DSM building blocks: twin/diff codec (with randomized property tests),
+// page-state machine, protocol wire round-trips. The segment pool / double
+// mapping itself is covered by mapping_test.cpp.
 #include <gtest/gtest.h>
 
 #include <sys/mman.h>
@@ -16,73 +16,6 @@
 
 namespace parade::dsm {
 namespace {
-
-// ---------------------------------------------------------------------------
-// DoubleMapping (paper §5.1)
-
-class DoubleMappingMethod : public ::testing::TestWithParam<MapMethod> {};
-
-TEST_P(DoubleMappingMethod, SystemViewWritesVisibleInAppView) {
-  auto mapping_result = DoubleMapping::create(1 << 16, GetParam());
-  ASSERT_TRUE(mapping_result.is_ok()) << mapping_result.status().to_string();
-  auto& mapping = *mapping_result.value();
-
-  // Write through the always-writable system view while the app view is
-  // PROT_NONE — the core of the atomic page update solution.
-  std::memset(mapping.sys_view(), 0xCD, 4096);
-  ASSERT_TRUE(mapping.protect_app(0, 4096, PROT_READ).is_ok());
-  EXPECT_EQ(std::to_integer<int>(mapping.app_view()[0]), 0xCD);
-  EXPECT_EQ(std::to_integer<int>(mapping.app_view()[4095]), 0xCD);
-}
-
-TEST_P(DoubleMappingMethod, AppViewWritesVisibleInSystemView) {
-  auto mapping_result = DoubleMapping::create(1 << 16, GetParam());
-  ASSERT_TRUE(mapping_result.is_ok());
-  auto& mapping = *mapping_result.value();
-  ASSERT_TRUE(mapping.protect_app(0, 4096, PROT_READ | PROT_WRITE).is_ok());
-  mapping.app_view()[17] = std::byte{0x7E};
-  EXPECT_EQ(std::to_integer<int>(mapping.sys_view()[17]), 0x7E);
-}
-
-TEST_P(DoubleMappingMethod, PerPageProtection) {
-  auto mapping_result = DoubleMapping::create(1 << 16, GetParam());
-  ASSERT_TRUE(mapping_result.is_ok());
-  auto& mapping = *mapping_result.value();
-  // Different pages may hold different protections independently.
-  EXPECT_TRUE(mapping.protect_app(0, 4096, PROT_READ).is_ok());
-  EXPECT_TRUE(mapping.protect_app(4096, 4096, PROT_READ | PROT_WRITE).is_ok());
-  EXPECT_TRUE(mapping.protect_app(8192, 4096, PROT_NONE).is_ok());
-}
-
-TEST_P(DoubleMappingMethod, OutOfRangeProtectRejected) {
-  auto mapping_result = DoubleMapping::create(1 << 16, GetParam());
-  ASSERT_TRUE(mapping_result.is_ok());
-  auto& mapping = *mapping_result.value();
-  EXPECT_EQ(mapping.protect_app(1 << 16, 4096, PROT_READ).code(),
-            ErrorCode::kOutOfRange);
-}
-
-INSTANTIATE_TEST_SUITE_P(Methods, DoubleMappingMethod,
-                         ::testing::Values(MapMethod::kMemfd, MapMethod::kSysV),
-                         [](const auto& info) {
-                           return std::string(to_string(info.param));
-                         });
-
-TEST(DoubleMapping, UnimplementedMethodsReportUnsupported) {
-  // mdup() needs the authors' kernel patch; child-process needs cross-process
-  // page-table tricks — both are documented substitutions.
-  for (const MapMethod method : {MapMethod::kMdup, MapMethod::kChildProcess}) {
-    auto result = DoubleMapping::create(1 << 16, method);
-    ASSERT_FALSE(result.is_ok());
-    EXPECT_EQ(result.status().code(), ErrorCode::kUnsupported);
-  }
-}
-
-TEST(DoubleMapping, RejectsUnalignedSize) {
-  auto result = DoubleMapping::create(12345, MapMethod::kMemfd);
-  ASSERT_FALSE(result.is_ok());
-  EXPECT_EQ(result.status().code(), ErrorCode::kInvalidArgument);
-}
 
 // ---------------------------------------------------------------------------
 // Diff codec
@@ -300,6 +233,126 @@ TEST(Protocol, CommThreadTagPartition) {
   EXPECT_FALSE(comm_thread_tag(kTagBarrierDepart));
   EXPECT_FALSE(comm_thread_tag(kTagDiffAck));
   EXPECT_FALSE(comm_thread_tag(kTagLockGrantBase + 5));
+}
+
+// ---------------------------------------------------------------------------
+// TwinRegistry (zero-copy CoW twins)
+//
+// The cluster-level equivalence suite (dsm_zerocopy_test.cpp) proves the
+// end-to-end memory is bit-identical; these tests pin the registry's own
+// contract deterministically — privatization in particular only fires on
+// genuinely concurrent frame mutations in a live cluster, so it is forced
+// here directly.
+
+class TwinRegistryTest : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kPoolBytes = 1 << 16;
+  static constexpr std::size_t kPageBytes = 4096;
+
+  void SetUp() override {
+    auto home = SegmentPool::create(kPoolBytes, kPageBytes, MapMethod::kMemfd);
+    auto writer =
+        SegmentPool::create(kPoolBytes, kPageBytes, MapMethod::kMemfd);
+    ASSERT_TRUE(home.is_ok());
+    ASSERT_TRUE(writer.is_ok());
+    home_ = std::move(home).value();
+    writer_ = std::move(writer).value();
+    twins_ = std::make_unique<TwinRegistry>(kPoolBytes / kPageBytes,
+                                            kPageBytes, 2);
+    twins_->register_pool(0, home_.get());
+    twins_->register_pool(1, writer_.get());
+    std::memset(home_->real_address(View::kSys, 0, 0), 0xAA, kPageBytes);
+    std::memset(writer_->real_address(View::kSys, 0, 0), 0xAA, kPageBytes);
+  }
+
+  int pristine_byte() {
+    int value = -1;
+    twins_->with_twin(1, 0, [&](const std::byte* src) {
+      value = std::to_integer<int>(src[0]);
+    });
+    return value;
+  }
+
+  std::unique_ptr<SegmentPool> home_;
+  std::unique_ptr<SegmentPool> writer_;
+  std::unique_ptr<TwinRegistry> twins_;
+};
+
+TEST_F(TwinRegistryTest, AttachSharesWhenVersionsMatch) {
+  const std::uint32_t v = twins_->frame_version(0);
+  EXPECT_TRUE(twins_->attach_twin(1, 0, 0, v, /*allow_share=*/true));
+  EXPECT_TRUE(twins_->has_twin(1, 0));
+  // The pristine source is the home's live frame, not a copy.
+  bool saw = twins_->with_twin(1, 0, [&](const std::byte* src) {
+    EXPECT_EQ(src, home_->real_address(View::kSys, 0, 0));
+  });
+  EXPECT_TRUE(saw);
+  twins_->release_twin(1, 0);
+  EXPECT_FALSE(twins_->has_twin(1, 0));
+}
+
+TEST_F(TwinRegistryTest, AttachPrivatizesOnVersionMismatchOrSentinel) {
+  const std::uint32_t v = twins_->frame_version(0);
+  EXPECT_FALSE(twins_->attach_twin(1, 0, 0, v + 1, true));
+  twins_->release_twin(1, 0);
+  EXPECT_FALSE(twins_->attach_twin(1, 0, 0, TwinRegistry::kNeverFetched,
+                                   true));
+  twins_->release_twin(1, 0);
+  // allow_share=false is the legacy pipeline: always an eager copy.
+  EXPECT_FALSE(twins_->attach_twin(1, 0, 0, v, false));
+  twins_->release_twin(1, 0);
+  // A node is never given an alias of its own frame.
+  EXPECT_FALSE(twins_->attach_twin(1, 0, 1, v, true));
+  twins_->release_twin(1, 0);
+}
+
+TEST_F(TwinRegistryTest, HomeMutationPrivatizesLiveAliases) {
+  EXPECT_TRUE(twins_->attach_twin(1, 0, 0, twins_->frame_version(0), true));
+  const std::uint32_t before = twins_->frame_version(0);
+
+  // The home is about to merge a diff: the alias must be snapshotted first.
+  EXPECT_EQ(twins_->begin_home_mutation(0), 1);
+  EXPECT_GT(twins_->frame_version(0), before);
+  std::memset(home_->real_address(View::kSys, 0, 0), 0xBB, kPageBytes);
+
+  // The pristine copy still shows the pre-mutation bytes.
+  EXPECT_EQ(pristine_byte(), 0xAA);
+  // And it now lives in the writer's own twin frame, not the home's pool.
+  twins_->with_twin(1, 0, [&](const std::byte* src) {
+    EXPECT_EQ(src, writer_->real_address(View::kTwin, 0, 0));
+  });
+  // A second mutation has nothing left to privatize.
+  EXPECT_EQ(twins_->begin_home_mutation(0), 0);
+  twins_->release_twin(1, 0);
+}
+
+TEST_F(TwinRegistryTest, UnstableWindowBlocksSharing) {
+  const std::uint32_t v0 = twins_->frame_version(0);
+  // Home write upgrade: any live alias privatizes, and the frame is marked
+  // unstable until the flush downgrade.
+  EXPECT_EQ(twins_->mark_unstable(0, 0), 0);
+  EXPECT_FALSE(twins_->attach_twin(1, 0, 0, twins_->frame_version(0), true))
+      << "attach shared against an unstable frame";
+  twins_->release_twin(1, 0);
+
+  twins_->mark_stable(0, 0);
+  EXPECT_GT(twins_->frame_version(0), v0);
+  // Stable again: a copy installed from a fresh serve may share.
+  EXPECT_TRUE(twins_->attach_twin(1, 0, 0, twins_->frame_version(0), true));
+  twins_->release_twin(1, 0);
+}
+
+TEST_F(TwinRegistryTest, UnregisterPrivatizesAliasesIntoSurvivors) {
+  EXPECT_TRUE(twins_->attach_twin(1, 0, 0, twins_->frame_version(0), true));
+  // The home's pool goes away (node shutdown): the alias must be copied out
+  // before the frames unmap.
+  twins_->unregister_pool(0);
+  EXPECT_TRUE(twins_->has_twin(1, 0));
+  EXPECT_EQ(pristine_byte(), 0xAA);
+  twins_->with_twin(1, 0, [&](const std::byte* src) {
+    EXPECT_EQ(src, writer_->real_address(View::kTwin, 0, 0));
+  });
+  twins_->release_twin(1, 0);
 }
 
 }  // namespace

@@ -275,27 +275,41 @@ TEST(CrossLayer, CountersAgreeOnVirtualCluster) {
 }
 
 TEST(Hist, BucketEdgesAndPercentiles) {
+  // Values below one octave (2^kHistSubBits) map exactly.
   EXPECT_EQ(hist_bucket_index(0), 0);
   EXPECT_EQ(hist_bucket_index(1), 1);
-  EXPECT_EQ(hist_bucket_index(2), 2);
-  EXPECT_EQ(hist_bucket_index(3), 2);
-  EXPECT_EQ(hist_bucket_index(4), 3);
-  EXPECT_EQ(hist_bucket_index(INT64_MAX), 63);
+  EXPECT_EQ(hist_bucket_index(3), 3);
+  EXPECT_EQ(hist_bucket_index(kHistSubBuckets - 1), kHistSubBuckets - 1);
   EXPECT_EQ(hist_bucket_upper_ns(0), 0);
-  EXPECT_EQ(hist_bucket_upper_ns(2), 3);
-  EXPECT_EQ(hist_bucket_upper_ns(63), INT64_MAX);
+  EXPECT_EQ(hist_bucket_upper_ns(3), 3);
+  // Above that, 8 linear sub-buckets per octave: the mapping stays monotone
+  // and each bucket spans value/8.
+  EXPECT_EQ(hist_bucket_index(8), 8);
+  EXPECT_EQ(hist_bucket_upper_ns(8), 8);
+  EXPECT_EQ(hist_bucket_index(16), 16);
+  EXPECT_EQ(hist_bucket_upper_ns(hist_bucket_index(17)), 17);
+  EXPECT_EQ(hist_bucket_index(100), hist_bucket_index(103));
+  EXPECT_NE(hist_bucket_index(100), hist_bucket_index(127));
+  EXPECT_EQ(hist_bucket_upper_ns(hist_bucket_index(100)), 103);
+  // The top reachable bucket's edge saturates.
+  EXPECT_EQ(hist_bucket_upper_ns(hist_bucket_index(INT64_MAX)), INT64_MAX);
+  for (std::int64_t v : {1, 7, 8, 9, 100, 9000, 1 << 20}) {
+    EXPECT_EQ(hist_bucket_index(v + 1) - hist_bucket_index(v) <= 1, true)
+        << v;  // monotone, no gaps
+    EXPECT_GE(hist_bucket_upper_ns(hist_bucket_index(v)), v) << v;
+  }
 
   Histogram h;
   EXPECT_EQ(h.percentile_ns(0.50), 0);  // empty
   // 90 fast samples and 10 slow ones: the p50 lands in the fast bucket, the
   // p99 in the slow one, and every percentile is capped at the observed max.
-  for (int i = 0; i < 90; ++i) h.record_ns(100);   // bucket [64, 127]
-  for (int i = 0; i < 10; ++i) h.record_ns(9000);  // bucket [8192, 16383]
+  for (int i = 0; i < 90; ++i) h.record_ns(100);   // bucket [96, 103]
+  for (int i = 0; i < 10; ++i) h.record_ns(9000);  // bucket [8192, 9215]
   EXPECT_EQ(h.count(), 100);
   EXPECT_EQ(h.max_ns(), 9000);
   EXPECT_EQ(h.total_ns(), 90 * 100 + 10 * 9000);
-  EXPECT_EQ(h.percentile_ns(0.50), 127);
-  EXPECT_EQ(h.percentile_ns(0.99), 9000);  // bucket edge 16383, capped at max
+  EXPECT_EQ(h.percentile_ns(0.50), 103);
+  EXPECT_EQ(h.percentile_ns(0.99), 9000);  // bucket edge 9215, capped at max
   h.reset();
   EXPECT_EQ(h.count(), 0);
   EXPECT_EQ(h.max_ns(), 0);
