@@ -160,6 +160,32 @@ Status DsmNode::start() {
     }
   }
 
+  // Project the translator's static protocol priors onto pages before the
+  // first fault. Overlapping ranges compose conservatively: any
+  // non-migration-friendly symbol on a page pins that page's home.
+  prior_pin_home_.assign(config_.num_pages(), false);
+  prior_update_.assign(config_.num_pages(), false);
+  std::vector<bool> prior_covered(config_.num_pages(), false);
+  for (const PagePrior& prior : config_.page_priors) {
+    if (prior.bytes == 0 || prior.offset >= config_.pool_bytes) continue;
+    const std::size_t first = prior.offset / config_.page_bytes;
+    const std::size_t last =
+        std::min(config_.num_pages() - 1,
+                 (prior.offset + prior.bytes - 1) / config_.page_bytes);
+    for (std::size_t p = first; p <= last; ++p) {
+      prior_covered[p] = true;
+      if (!prior.migration_friendly) prior_pin_home_[p] = true;
+      if (prior.prefer_update) prior_update_[p] = true;
+    }
+  }
+  std::size_t seeded_pages = 0;
+  for (std::size_t p = 0; p < prior_covered.size(); ++p) {
+    if (prior_covered[p]) ++seeded_pages;
+  }
+  if (seeded_pages > 0) {
+    stats_.inc_prior_seeded_pages(static_cast<std::int64_t>(seeded_pages));
+  }
+
   sigsegv::ensure_installed();
   sigsegv::register_range(mapping_->app_view(), config_.pool_bytes, this);
   comm_thread_ = std::thread([this] { comm_loop(); });
@@ -553,8 +579,10 @@ void DsmNode::barrier() {
       DepartEntry entry;
       entry.page = page;
       const NodeId home = pages_->home_of(page);
-      const rules::HomeDecision decision =
-          rules::choose_home(home, mods, config_.home_migration);
+      // A static prior that marked the page's symbol multi-writer pins the
+      // home: migrating it would thrash between the writers' nodes.
+      const rules::HomeDecision decision = rules::choose_home(
+          home, mods, config_.home_migration && prior_allows_migration(page));
       entry.sole_modifier = decision.sole_modifier;
       entry.new_home = decision.new_home;
       if (entry.new_home != home) stats_.inc_home_migrations();

@@ -104,6 +104,18 @@ class DsmNode {
   /// Current home of `page` as this node believes it (tests/benches).
   NodeId home_of(PageId page) const { return pages_->home_of(page); }
 
+  /// Static-prior queries (config_.page_priors projected onto pages at
+  /// start()). A page outside every prior range behaves as before: migration
+  /// allowed, no update bias.
+  bool prior_allows_migration(PageId page) const {
+    const auto p = static_cast<std::size_t>(page);
+    return p >= prior_pin_home_.size() || !prior_pin_home_[p];
+  }
+  bool prior_prefers_update(PageId page) const {
+    const auto p = static_cast<std::size_t>(page);
+    return p < prior_update_.size() && prior_update_[p];
+  }
+
  private:
   // --- fault path helpers (application threads) ---
   void fetch_page(PageId page, std::unique_lock<std::mutex>& entry_lock,
@@ -193,6 +205,11 @@ class DsmNode {
   std::mutex flush_mutex_;
   std::mutex alloc_mutex_;
   std::size_t alloc_offset_ = 0;
+
+  // Static protocol priors by page, seeded once in start() from
+  // config_.page_priors and read-only afterwards (no locking needed).
+  std::vector<bool> prior_pin_home_;  ///< barrier home migration vetoed
+  std::vector<bool> prior_update_;    ///< update-path bias
 
   Epoch epoch_ = 0;
 

@@ -1,12 +1,16 @@
 #include "translator/analyze.hpp"
 
+#include <algorithm>
 #include <cstdlib>
+#include <functional>
 #include <set>
 #include <sstream>
 #include <unordered_map>
 
 #include "obs/json.hpp"
 #include "obs/registry.hpp"
+#include "translator/cfg.hpp"
+#include "translator/dataflow.hpp"
 #include "translator/parser.hpp"
 #include "translator/token.hpp"
 
@@ -88,116 +92,8 @@ bool parse_dim(const std::string& text, std::size_t* out) {
 }
 
 // ---------------------------------------------------------------------------
-// Token-level access scanning
-
-struct ScannedAccesses {
-  struct Write {
-    std::string name;
-    bool array = false;   // a[i] = ...
-    bool member = false;  // s.f = ...
-    bool deref = false;   // *p = ...
-  };
-  std::vector<std::string> reads;  // in token order
-  std::vector<Write> writes;
-  bool has_call = false;
-};
-
-bool is_assign_op(const std::string& t) {
-  return t == "=" || t == "+=" || t == "-=" || t == "*=" || t == "/=" ||
-         t == "%=" || t == "&=" || t == "|=" || t == "^=" || t == "<<=" ||
-         t == ">>=";
-}
-
-ScannedAccesses scan_text(const std::string& text) {
-  ScannedAccesses out;
-  auto tokens_result = lex(text);
-  if (!tokens_result.is_ok()) return out;
-  const auto tokens = std::move(tokens_result).value();
-  std::size_t n = tokens.size();
-  while (n > 0 && tokens[n - 1].kind == TokKind::kEof) --n;
-  std::vector<bool> skip_read(n, false);
-
-  for (std::size_t i = 0; i < n; ++i) {
-    const Token& t = tokens[i];
-    if (t.kind == TokKind::kIdent && i + 1 < n && tokens[i + 1].is_punct("(")) {
-      out.has_call = true;
-      skip_read[i] = true;  // call target, not a data read
-      continue;
-    }
-    const bool next_assign = i + 1 < n && tokens[i + 1].kind == TokKind::kPunct &&
-                             is_assign_op(tokens[i + 1].text);
-    const bool next_incdec = i + 1 < n && (tokens[i + 1].is_punct("++") ||
-                                           tokens[i + 1].is_punct("--"));
-    if (t.kind == TokKind::kIdent && (next_assign || next_incdec)) {
-      const bool after_member =
-          i > 0 && (tokens[i - 1].is_punct(".") || tokens[i - 1].is_punct("->"));
-      const bool after_deref =
-          i > 0 && tokens[i - 1].is_punct("*") &&
-          (i == 1 || tokens[i - 2].kind == TokKind::kPunct);
-      if (after_member) {
-        // s.f = v: a store into a member of `s` (only the simple one-level
-        // form is attributed; deeper chains are left to page consistency).
-        if (i >= 2 && tokens[i - 1].is_punct(".") &&
-            tokens[i - 2].kind == TokKind::kIdent) {
-          out.writes.push_back({tokens[i - 2].text, false, true, false});
-        }
-        skip_read[i] = true;
-        continue;
-      }
-      if (after_deref) {
-        out.writes.push_back({t.text, false, false, true});
-        continue;
-      }
-      out.writes.push_back({t.text, false, false, false});
-      if (next_assign && tokens[i + 1].text == "=") skip_read[i] = true;
-      continue;
-    }
-    // Prefix ++x / --x.
-    if ((t.is_punct("++") || t.is_punct("--")) && i + 1 < n &&
-        tokens[i + 1].kind == TokKind::kIdent) {
-      const bool postfix_of_prev =
-          i > 0 && (tokens[i - 1].kind == TokKind::kIdent ||
-                    tokens[i - 1].is_punct(")") || tokens[i - 1].is_punct("]"));
-      if (!postfix_of_prev) {
-        out.writes.push_back({tokens[i + 1].text, false, false, false});
-      }
-      continue;
-    }
-    // a[...] = / a[...] op= / a[...]++ : subscript store, attribute the base.
-    if (t.is_punct("]") && i + 1 < n &&
-        ((tokens[i + 1].kind == TokKind::kPunct &&
-          is_assign_op(tokens[i + 1].text)) ||
-         tokens[i + 1].is_punct("++") || tokens[i + 1].is_punct("--"))) {
-      int depth = 0;
-      std::size_t j = i;
-      for (;;) {
-        if (tokens[j].is_punct("]")) ++depth;
-        else if (tokens[j].is_punct("[")) {
-          --depth;
-          if (depth == 0) break;
-        }
-        if (j == 0) break;
-        --j;
-      }
-      if (depth == 0 && j > 0 && tokens[j - 1].kind == TokKind::kIdent) {
-        out.writes.push_back({tokens[j - 1].text, true, false, false});
-      }
-      continue;
-    }
-  }
-
-  for (std::size_t i = 0; i < n; ++i) {
-    if (tokens[i].kind != TokKind::kIdent || skip_read[i]) continue;
-    if (i > 0 && (tokens[i - 1].is_punct(".") || tokens[i - 1].is_punct("->"))) {
-      continue;  // member name, the base identifier is the read
-    }
-    out.reads.push_back(tokens[i].text);
-  }
-  return out;
-}
-
-// ---------------------------------------------------------------------------
-// The analyzer
+// The analyzer (token-level access scanning now lives in translator/cfg.cpp
+// as scan_accesses, shared with the CFG builder and the footprint pass)
 
 enum class Sharing {
   kShared,
@@ -237,6 +133,8 @@ class Analyzer {
     std::map<std::string, Sharing> attrs;        // explicit clause attributes
     std::map<std::string, std::string> red_ops;  // reduction var -> C operator
     std::set<std::string>* race_sink = nullptr;  // sections: defer race checks
+    int region_id = -1;   // index into regions_ (-1 outside parallel)
+    int sync_line = -1;   // enclosing critical/atomic site line (-1 if none)
   };
 
   // --- symbol table ---
@@ -265,11 +163,20 @@ class Analyzer {
 
   void process_text(const std::string& text, int line, const Env& env);
   void process_read(const std::string& name, int line, const Env& env);
-  void process_write(const ScannedAccesses::Write& w, const std::string& text,
+  void process_write(const AccessScan::Write& w, const std::string& text,
                      int line, const Env& env);
 
-  void mark_dsm(const std::string& name, int line, const std::string& why) {
-    dsm_marks_.try_emplace(name, line, why);
+  /// A DSM-placement mark; sync_line records which critical/atomic body the
+  /// write sat in (the mark dissolves if hint synthesis later promotes that
+  /// site to the collective path, which manages the propagation itself).
+  struct DsmMark {
+    int line = 0;
+    std::string why;
+    int sync_line = -1;
+  };
+  void mark_dsm(const std::string& name, int line, const std::string& why,
+                int sync_line) {
+    dsm_marks_[name].push_back(DsmMark{line, why, sync_line});
   }
 
   // --- walking ---
@@ -288,12 +195,47 @@ class Analyzer {
 
   void register_params(const std::string& params);
 
+  // --- flow-sensitive pass (CFG/dataflow over each parallel region) ---
+  /// One parallel region recorded during the walk; the CFG is built over the
+  /// whole pragma statement so worksharing structure survives.
+  struct RegionRec {
+    const Stmt* construct = nullptr;
+    int line = 0;
+    std::set<std::string> privatelike;  // names not shared inside the region
+  };
+  /// A def-use diagnostic the flow pass may retire.
+  struct FlowCandidate {
+    enum class Kind { kUninit, kRace, kNowait };
+    Kind kind = Kind::kUninit;
+    std::size_t diag_index = 0;
+    std::string var;
+    int line = 0;            // diagnostic line
+    int construct_line = 0;  // nowait construct line (kNowait only)
+    int region_id = -1;
+  };
+  void run_flow_pass();
+  bool uninit_is_spurious(const Cfg& cfg, const std::vector<char>& reach,
+                          const std::string& var) const;
+  bool nowait_is_spurious(const Cfg& cfg, const std::vector<char>& reach,
+                          const FlowResult& taint,
+                          const FlowCandidate& c) const;
+  bool shared_in_region(const std::string& name, const RegionRec& rec,
+                        const Cfg& cfg) const;
+  void report_lock_cycles();
+  void assign_pool_offsets();
+
   AnalyzeOptions options_;
   Analysis out_;
   std::vector<std::map<std::string, SymbolInfo>> scopes_;
   std::set<std::string> uninit_;  // privates not yet written in the region
-  std::map<std::string, std::pair<int, std::string>> dsm_marks_;
+  std::map<std::string, std::vector<DsmMark>> dsm_marks_;
   std::set<std::string> default_none_reported_;  // "line:name"
+  std::vector<RegionRec> regions_;
+  std::vector<FlowCandidate> candidates_;
+  // Lock-order graph over nested named criticals (TU-wide): edge outer->inner
+  // with the line of the inner critical that closed it.
+  std::vector<std::string> lock_stack_;
+  std::map<std::pair<std::string, std::string>, int> lock_edges_;
 };
 
 Sharing Analyzer::sharing_of(const std::string& name, std::size_t depth,
@@ -327,11 +269,14 @@ void Analyzer::process_read(const std::string& name, int line, const Env& env) {
          "private '" + name + "' is read before any write in the parallel " +
              "region at line " + std::to_string(env.region_line) +
              " (private copies start uninitialized)");
+    candidates_.push_back(FlowCandidate{FlowCandidate::Kind::kUninit,
+                                        out_.diagnostics.size() - 1, name,
+                                        line, 0, env.region_id});
     uninit_.erase(name);
   }
 }
 
-void Analyzer::process_write(const ScannedAccesses::Write& w,
+void Analyzer::process_write(const AccessScan::Write& w,
                              const std::string& text, int line,
                              const Env& env) {
   std::size_t depth = 0;
@@ -373,6 +318,9 @@ void Analyzer::process_write(const ScannedAccesses::Write& w,
                "' in the parallel region at line " +
                std::to_string(env.region_line) +
                "; no atomic/critical/reduction guards this store");
+      candidates_.push_back(FlowCandidate{FlowCandidate::Kind::kRace,
+                                          out_.diagnostics.size() - 1, w.name,
+                                          line, 0, env.region_id});
     }
   }
   if (!env.placement_managed && sym->file_scope && !w.member &&
@@ -380,12 +328,13 @@ void Analyzer::process_write(const ScannedAccesses::Write& w,
     mark_dsm(w.name, line,
              "written by an unmanaged statement in a parallel context "
              "(line " + std::to_string(line) + "); HLRC page consistency "
-             "must propagate it");
+             "must propagate it",
+             env.sync_line);
   }
 }
 
 void Analyzer::process_text(const std::string& text, int line, const Env& env) {
-  const ScannedAccesses acc = scan_text(text);
+  const AccessScan acc = scan_accesses(text);
   // Reads first: in `x = x + 1` the right-hand read happens before the store.
   for (const std::string& name : acc.reads) process_read(name, line, env);
   for (const auto& w : acc.writes) process_write(w, text, line, env);
@@ -435,16 +384,16 @@ void Analyzer::collect_writes_rec(const Stmt& stmt,
                                   std::set<std::string>* out) const {
   switch (stmt.kind) {
     case StmtKind::kRaw: {
-      for (const auto& w : scan_text(stmt.text).writes) {
+      for (const auto& w : scan_accesses(stmt.text).writes) {
         if (!w.deref) out->insert(w.name);
       }
       return;
     }
     case StmtKind::kFor:
-      for (const auto& w : scan_text(stmt.for_header.init_text).writes) {
+      for (const auto& w : scan_accesses(stmt.for_header.init_text).writes) {
         out->insert(w.name);
       }
-      for (const auto& w : scan_text(stmt.for_header.incr_text).writes) {
+      for (const auto& w : scan_accesses(stmt.for_header.incr_text).writes) {
         out->insert(w.name);
       }
       break;
@@ -459,7 +408,7 @@ void Analyzer::collect_writes_rec(const Stmt& stmt,
 void Analyzer::collect_reads_rec(const Stmt& stmt,
                                  std::set<std::string>* out) const {
   auto add_text = [&](const std::string& text) {
-    for (const std::string& r : scan_text(text).reads) out->insert(r);
+    for (const std::string& r : scan_accesses(text).reads) out->insert(r);
   };
   switch (stmt.kind) {
     case StmtKind::kRaw:
@@ -511,6 +460,9 @@ void Analyzer::walk_block(const Stmt& block, Env& env) {
                "'" + name + "' is read here but written by the nowait "
                "worksharing construct at line " + std::to_string(p.line) +
                " with no intervening barrier");
+          candidates_.push_back(FlowCandidate{
+              FlowCandidate::Kind::kNowait, out_.diagnostics.size() - 1, name,
+              child->line, p.line, env.region_id});
         }
       }
     }
@@ -675,7 +627,7 @@ void Analyzer::handle_sync(const Stmt& stmt, Env env, bool is_atomic) {
   if (inner == nullptr || inner->kind != StmtKind::kRaw) {
     reason = "body is not a single expression statement";
   } else if (!(shape = match_scalar_update(inner->text))) {
-    reason = scan_text(inner->text).has_call
+    reason = scan_accesses(inner->text).has_call
                  ? "update expression calls a function"
                  : "statement is not a scalar update "
                    "(x op= expr, x++, x = x op expr)";
@@ -702,6 +654,7 @@ void Analyzer::handle_sync(const Stmt& stmt, Env env, bool is_atomic) {
         reason = "declared size " + std::to_string(sym->byte_size) +
                  " B exceeds the update-collective threshold " +
                  std::to_string(options_.mp_threshold_bytes) + " B";
+        dec.threshold_fallback = true;  // hint synthesis may overturn this
       } else {
         dec.collective = true;
       }
@@ -727,7 +680,21 @@ void Analyzer::handle_sync(const Stmt& stmt, Env env, bool is_atomic) {
     benv.race_guarded = true;
     benv.placement_managed = dec.collective;
     benv.race_sink = nullptr;
-    walk_stmt(*stmt.children.front(), benv);
+    benv.sync_line = d.line;
+    if (!is_atomic) {
+      // Lock-order graph: nesting critical(B) inside critical(A) orders the
+      // DSM locks A -> B; a cycle across the TU is a deadlock candidate.
+      const std::string& lock = d.clauses.critical_name;  // "" = the one
+                                                          // anonymous lock
+      for (const std::string& outer : lock_stack_) {
+        lock_edges_.try_emplace({outer, lock}, d.line);
+      }
+      lock_stack_.push_back(lock);
+      walk_stmt(*stmt.children.front(), benv);
+      lock_stack_.pop_back();
+    } else {
+      walk_stmt(*stmt.children.front(), benv);
+    }
   }
 }
 
@@ -753,6 +720,19 @@ void Analyzer::handle_parallel(const Stmt& stmt, Env env) {
     return;
   }
   const Stmt& body = *stmt.children.front();
+  penv.region_id = static_cast<int>(regions_.size());
+  {
+    RegionRec rec;
+    rec.construct = &stmt;
+    rec.line = d.line;
+    for (const auto& [name, sh] : penv.attrs) {
+      if (sh != Sharing::kShared) rec.privatelike.insert(name);
+    }
+    if (body.kind == StmtKind::kFor && body.for_header.canonical) {
+      rec.privatelike.insert(body.for_header.loop_var);
+    }
+    regions_.push_back(std::move(rec));
+  }
   switch (d.kind) {
     case DirectiveKind::kParallel:
       walk_stmt(body, penv);
@@ -969,20 +949,399 @@ Analysis Analyzer::run(const TranslationUnit& unit) {
     uninit_.clear();
   }
 
-  // Finalize scalar placements from the unmanaged-write marks.
+  if (options_.flow_sensitive) {
+    run_flow_pass();
+    report_lock_cycles();
+  }
+  if (options_.protocol_hints) {
+    synthesize_hints(unit, options_, &out_);
+  }
+
+  // Finalize scalar placements from the unmanaged-write marks. A mark made
+  // inside a critical/atomic body dissolves when that site ended up on the
+  // collective path (including hint promotion): the collective propagates
+  // the value itself, so the variable stays node-replicated.
   for (auto& [name, vc] : out_.globals) {
     if (vc.placement != Placement::kReplicated || !vc.reason.empty()) continue;
+    const DsmMark* surviving = nullptr;
     auto it = dsm_marks_.find(name);
     if (it != dsm_marks_.end()) {
+      for (const DsmMark& m : it->second) {
+        if (m.sync_line >= 0) {
+          auto site = out_.sync_sites.find(m.sync_line);
+          if (site != out_.sync_sites.end() && site->second.collective) {
+            continue;
+          }
+        }
+        surviving = &m;
+        break;
+      }
+    }
+    if (surviving != nullptr) {
       vc.placement = Placement::kDsmScalar;
-      vc.reason = it->second.second;
+      vc.reason = surviving->why;
     } else {
       vc.reason =
           "all parallel-context writes are synchronization-managed; "
           "node-replicated with update-by-collective";
     }
   }
+
+  // A hint promotion is only sound while its target stays replicated; if an
+  // unguarded write elsewhere pinned the variable to the DSM pool, revert.
+  for (auto& [line, dec] : out_.sync_sites) {
+    (void)line;
+    if (!dec.collective || !dec.threshold_fallback || dec.var.empty()) {
+      continue;
+    }
+    auto g = out_.globals.find(dec.var);
+    if (g != out_.globals.end() &&
+        (g->second.placement == Placement::kDsmScalar ||
+         g->second.placement == Placement::kDsmArray)) {
+      dec.collective = false;
+      dec.reason = "hint promotion reverted: '" + dec.var +
+                   "' is pinned to the DSM pool by an unmanaged write";
+    }
+  }
+
+  if (options_.protocol_hints) {
+    assign_pool_offsets();
+  }
   return out_;
+}
+
+void Analyzer::run_flow_pass() {
+  std::set<std::size_t> drop;
+  std::set<int> unmatched_lines;            // dedup across nested-region CFGs
+  std::set<std::pair<int, std::string>> stale_reported;
+  for (std::size_t ri = 0; ri < regions_.size(); ++ri) {
+    const RegionRec& rec = regions_[ri];
+    const Cfg cfg = build_cfg(*rec.construct);
+    RegionSummary rs;
+    rs.line = rec.line;
+    rs.blocks = cfg.blocks.size();
+    rs.edges = cfg.edge_count();
+    rs.loops = cfg.loops.size();
+    const std::vector<char> reach = cfg.reachable();
+
+    // Nowait taint: a bit per nowait construct, set at its exit, killed by
+    // any barrier (explicit or implicit, at any nesting depth).
+    FlowResult taint;
+    bool have_taint = false;
+    if (!cfg.nowaits.empty()) {
+      DataflowProblem p;
+      p.direction = FlowDirection::kForward;
+      p.meet = MeetOp::kUnion;
+      p.bits = cfg.nowaits.size();
+      p.transfer.resize(cfg.blocks.size());
+      for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
+        BitSet gen(p.bits);
+        BitSet kill(p.bits);
+        for (const CfgEvent& e : cfg.blocks[b].events) {
+          if (e.kind == CfgEventKind::kBarrier) {
+            gen.clear();
+            kill.set_all();
+          } else if (e.kind == CfgEventKind::kNowaitExit) {
+            gen.set(static_cast<std::size_t>(e.id));
+          }
+        }
+        p.transfer[b] = Transfer{std::move(gen), std::move(kill)};
+      }
+      taint = solve_dataflow(cfg, p);
+      have_taint = true;
+    }
+
+    for (const FlowCandidate& c : candidates_) {
+      if (c.region_id != static_cast<int>(ri)) continue;
+      bool spurious = false;
+      switch (c.kind) {
+        case FlowCandidate::Kind::kRace: {
+          // The write only exists on statically dead paths (e.g. after an
+          // unconditional return): no executing thread stores to it.
+          bool found_any = false;
+          bool found_reachable = false;
+          for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
+            for (const CfgEvent& e : cfg.blocks[b].events) {
+              if (e.kind == CfgEventKind::kWrite && e.name == c.var &&
+                  e.line == c.line) {
+                found_any = true;
+                if (reach[b] != 0) found_reachable = true;
+              }
+            }
+          }
+          spurious = found_any && !found_reachable;
+          break;
+        }
+        case FlowCandidate::Kind::kUninit:
+          spurious = uninit_is_spurious(cfg, reach, c.var);
+          break;
+        case FlowCandidate::Kind::kNowait:
+          spurious = have_taint && nowait_is_spurious(cfg, reach, taint, c);
+          break;
+      }
+      if (spurious) {
+        drop.insert(c.diag_index);
+        ++rs.suppressed;
+      }
+    }
+
+    // barrier.unmatched: if/else arms with different explicit-barrier
+    // counts — threads taking different arms arrive at different barrier
+    // sequences and the team wedges.
+    for (const CfgBranch& br : cfg.branches) {
+      if (!br.has_else || br.then_barriers == br.else_barriers) continue;
+      if (!unmatched_lines.insert(br.line).second) continue;
+      diag(kDiagBarrierUnmatched, Severity::kError, br.line, "",
+           "if/else arms contain different numbers of explicit barriers (" +
+               std::to_string(br.then_barriers) + " vs " +
+               std::to_string(br.else_barriers) +
+               "); threads taking different arms deadlock at the barrier");
+    }
+
+    // dsm.stale_read_loop: a non-worksharing loop spinning on a shared
+    // variable with no write to it and no barrier/flush inside the loop —
+    // under HLRC the remote store is never propagated, so the loop hangs.
+    for (std::size_t li = 0; li < cfg.loops.size(); ++li) {
+      if (cfg.loops[li].worksharing) continue;
+      bool has_sync = false;
+      std::set<std::string> written;
+      for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
+        if (!cfg.block_in_loop(static_cast<int>(b), static_cast<int>(li))) {
+          continue;
+        }
+        for (const CfgEvent& e : cfg.blocks[b].events) {
+          if (e.kind == CfgEventKind::kBarrier ||
+              e.kind == CfgEventKind::kSync) {
+            has_sync = true;
+          } else if (e.kind == CfgEventKind::kWrite) {
+            written.insert(e.name);
+          }
+        }
+      }
+      if (has_sync) continue;
+      const int head = cfg.loops[li].head;
+      if (head < 0) continue;
+      for (const CfgEvent& e :
+           cfg.blocks[static_cast<std::size_t>(head)].events) {
+        if (e.kind != CfgEventKind::kRead || !e.loop_cond) continue;
+        if (!shared_in_region(e.name, rec, cfg)) continue;
+        if (written.count(e.name) > 0) continue;
+        if (!stale_reported.insert({cfg.loops[li].line, e.name}).second) {
+          continue;
+        }
+        diag(kDiagStaleReadLoop, Severity::kWarning, cfg.loops[li].line,
+             e.name,
+             "loop condition re-reads shared '" + e.name +
+                 "' with no write, barrier, or flush inside the loop; under "
+                 "HLRC the remote update is never propagated, so this "
+                 "spin-wait never terminates");
+      }
+    }
+
+    out_.regions.push_back(rs);
+  }
+
+  if (!drop.empty()) {
+    std::vector<Diagnostic> kept;
+    kept.reserve(out_.diagnostics.size() - drop.size());
+    for (std::size_t i = 0; i < out_.diagnostics.size(); ++i) {
+      if (drop.count(i) > 0) {
+        out_.suppressed.push_back(std::move(out_.diagnostics[i]));
+      } else {
+        kept.push_back(std::move(out_.diagnostics[i]));
+      }
+    }
+    out_.diagnostics = std::move(kept);
+  }
+}
+
+bool Analyzer::shared_in_region(const std::string& name, const RegionRec& rec,
+                                const Cfg& cfg) const {
+  auto it = out_.globals.find(name);
+  if (it == out_.globals.end()) return false;
+  if (it->second.placement == Placement::kThreadprivate) return false;
+  return rec.privatelike.count(name) == 0 && cfg.locals.count(name) == 0;
+}
+
+bool Analyzer::uninit_is_spurious(const Cfg& cfg,
+                                  const std::vector<char>& reach,
+                                  const std::string& var) const {
+  // Must-written analysis: forward, intersection meet, one bit ("var has
+  // been written on every path reaching here"). A read of the private
+  // before its bit holds is genuinely maybe-uninitialized; if no such read
+  // exists the def-use finding was a flow artifact.
+  DataflowProblem p;
+  p.direction = FlowDirection::kForward;
+  p.meet = MeetOp::kIntersect;
+  p.bits = 1;
+  p.boundary = BitSet(1);  // nothing written at region entry
+  p.transfer.resize(cfg.blocks.size());
+  for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
+    BitSet gen(1);
+    BitSet kill(1);
+    for (const CfgEvent& e : cfg.blocks[b].events) {
+      if ((e.kind == CfgEventKind::kWrite || e.kind == CfgEventKind::kDecl) &&
+          e.name == var) {
+        gen.set(0);
+      }
+    }
+    p.transfer[b] = Transfer{std::move(gen), std::move(kill)};
+  }
+  const FlowResult result = solve_dataflow(cfg, p);
+
+  bool found_read = false;
+  for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
+    if (reach[b] == 0) continue;
+    bool written = result.in[b].test(0);
+    for (const CfgEvent& e : cfg.blocks[b].events) {
+      if (e.kind == CfgEventKind::kRead && e.name == var) {
+        found_read = true;
+        if (!written) return false;  // a maybe-uninit read really exists
+      } else if ((e.kind == CfgEventKind::kWrite ||
+                  e.kind == CfgEventKind::kDecl) &&
+                 e.name == var) {
+        written = true;
+      }
+    }
+  }
+  return found_read;  // every read dominated by a write (or no read found:
+                      // keep the finding — the walkers disagreed)
+}
+
+bool Analyzer::nowait_is_spurious(const Cfg& cfg,
+                                  const std::vector<char>& reach,
+                                  const FlowResult& taint,
+                                  const FlowCandidate& c) const {
+  int nowait_id = -1;
+  for (std::size_t i = 0; i < cfg.nowaits.size(); ++i) {
+    if (cfg.nowaits[i].line == c.construct_line) {
+      nowait_id = static_cast<int>(i);
+      break;
+    }
+  }
+  if (nowait_id < 0) return false;
+  // The finding stands only if some unguarded read of the variable is
+  // reachable while the construct's taint is still live (no barrier on any
+  // path in between). Reads inside critical/atomic bodies are ordered by
+  // the lock acquire and do not count as unguarded dependences.
+  bool found_any_read = false;
+  for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
+    if (reach[b] == 0) continue;
+    BitSet state = taint.in[b];
+    for (const CfgEvent& e : cfg.blocks[b].events) {
+      if (e.kind == CfgEventKind::kRead && e.name == c.var) {
+        found_any_read = true;
+        if (!e.in_critical &&
+            state.test(static_cast<std::size_t>(nowait_id))) {
+          return false;  // a genuinely unordered dependent read
+        }
+      } else if (e.kind == CfgEventKind::kBarrier) {
+        state.clear();
+      } else if (e.kind == CfgEventKind::kNowaitExit) {
+        state.set(static_cast<std::size_t>(e.id));
+      }
+    }
+  }
+  return found_any_read;
+}
+
+void Analyzer::report_lock_cycles() {
+  if (lock_edges_.empty()) return;
+  std::map<std::string, std::vector<std::pair<std::string, int>>> adj;
+  std::set<std::string> nodes;
+  for (const auto& [edge, line] : lock_edges_) {
+    adj[edge.first].push_back({edge.second, line});
+    nodes.insert(edge.first);
+    nodes.insert(edge.second);
+  }
+  auto display = [](const std::string& name) {
+    return name.empty() ? std::string("<anonymous>") : name;
+  };
+  // DFS with a gray-path stack; each cycle is canonicalized (rotated to its
+  // smallest member) so A->B->A and B->A->B report once.
+  std::map<std::string, int> color;  // 0 white, 1 gray, 2 black
+  std::vector<std::string> path;
+  std::set<std::string> reported;
+
+  std::function<void(const std::string&)> dfs =
+      [&](const std::string& u) {
+        color[u] = 1;
+        path.push_back(u);
+        for (const auto& [v, line] : adj[u]) {
+          if (color[v] == 1) {
+            auto begin =
+                std::find(path.begin(), path.end(), v);
+            std::vector<std::string> cycle(begin, path.end());
+            auto min_it = std::min_element(cycle.begin(), cycle.end());
+            std::rotate(cycle.begin(), min_it, cycle.end());
+            std::string key;
+            std::string pretty;
+            for (const std::string& n : cycle) {
+              key += n + "\x1f";
+              pretty += "'" + display(n) + "' -> ";
+            }
+            pretty += "'" + display(cycle.front()) + "'";
+            if (reported.insert(key).second) {
+              diag(kDiagLockOrderCycle, Severity::kWarning, line, "",
+                   "critical sections nest in a cyclic lock order: " +
+                       pretty +
+                       "; two threads entering in opposite order deadlock "
+                       "on the DSM locks");
+            }
+          } else if (color[v] == 0) {
+            dfs(v);
+          }
+        }
+        path.pop_back();
+        color[u] = 2;
+      };
+  for (const std::string& n : nodes) {
+    if (color[n] == 0) dfs(n);
+  }
+}
+
+void Analyzer::assign_pool_offsets() {
+  // Mirror codegen's shared-init sequence: one shmalloc per DSM-placed
+  // global in declaration order, each 64-byte aligned (DsmNode::shmalloc's
+  // default), so the static offsets match the runtime pool layout exactly.
+  std::vector<std::pair<int, std::string>> order;
+  for (const auto& [name, vc] : out_.globals) {
+    if (vc.placement == Placement::kDsmScalar ||
+        vc.placement == Placement::kDsmArray) {
+      order.push_back({vc.line, name});
+    }
+  }
+  std::sort(order.begin(), order.end());
+  std::size_t offset = 0;
+  bool known = true;
+  for (const auto& [line, name] : order) {
+    (void)line;
+    const VarClass& vc = out_.globals.at(name);
+    SymbolHint* h = out_.hints.find(name);
+    if (h == nullptr) {
+      SymbolHint fresh;
+      fresh.name = name;
+      fresh.byte_size = vc.byte_size;
+      out_.hints.symbols.push_back(std::move(fresh));
+      h = &out_.hints.symbols.back();
+    }
+    h->dsm = true;
+    if (known && vc.byte_size > 0) {
+      offset = (offset + 63) & ~static_cast<std::size_t>(63);
+      h->offset_known = true;
+      h->pool_offset = offset;
+      offset += vc.byte_size;
+    } else {
+      // A symbolically-sized allocation precedes everything after it: no
+      // static offsets from here on.
+      known = false;
+      h->offset_known = false;
+    }
+    if (h->expected_page_touches == 0 && vc.byte_size > 0) {
+      h->expected_page_touches =
+          (vc.byte_size + options_.page_bytes - 1) / options_.page_bytes;
+    }
+  }
 }
 
 }  // namespace
@@ -1158,6 +1517,8 @@ std::string Analysis::to_json(const std::string& file) const {
   w.value(static_cast<std::int64_t>(vars_collective()));
   w.key("vars_dsm");
   w.value(static_cast<std::int64_t>(vars_dsm()));
+  w.key("suppressed");
+  w.value(static_cast<std::int64_t>(suppressed.size()));
   w.end_object();
   w.key("diagnostics");
   w.begin_array();
@@ -1211,6 +1572,145 @@ std::string Analysis::to_json(const std::string& file) const {
     w.value(dec.reason);
     w.end_object();
   }
+  w.end_array();
+  w.key("regions");
+  w.begin_array();
+  for (const RegionSummary& r : regions) {
+    w.begin_object();
+    w.key("line");
+    w.value(static_cast<std::int64_t>(r.line));
+    w.key("blocks");
+    w.value(static_cast<std::int64_t>(r.blocks));
+    w.key("edges");
+    w.value(static_cast<std::int64_t>(r.edges));
+    w.key("loops");
+    w.value(static_cast<std::int64_t>(r.loops));
+    w.key("suppressed");
+    w.value(static_cast<std::int64_t>(r.suppressed));
+    w.end_object();
+  }
+  w.end_array();
+  w.key("hints");
+  w.begin_array();
+  for (const SymbolHint& h : hints.symbols) {
+    w.begin_object();
+    w.key("name");
+    w.value(h.name);
+    w.key("prefer_update");
+    w.value(h.prefer_update);
+    w.key("dsm");
+    w.value(h.dsm);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+std::string Analysis::dataflow_report(const std::string& file) const {
+  std::ostringstream out;
+  out << file << ": dataflow: " << regions.size() << " region(s), "
+      << suppressed.size() << " def-use finding(s) suppressed\n";
+  for (const RegionSummary& r : regions) {
+    out << file << ":" << r.line << ": region CFG: " << r.blocks
+        << " blocks, " << r.edges << " edges, " << r.loops << " loop(s); "
+        << r.suppressed << " suppressed\n";
+  }
+  for (const Diagnostic& d : suppressed) {
+    out << file << ":" << d.line << ": suppressed [" << d.code << "] "
+        << d.message << "\n";
+  }
+  return out.str();
+}
+
+std::string sarif_report(
+    const std::vector<std::pair<std::string, Analysis>>& files) {
+  // Collect the distinct rule ids (stable kDiag* codes) in first-seen order.
+  std::vector<std::string> rule_ids;
+  std::map<std::string, std::size_t> rule_index;
+  for (const auto& [file, analysis] : files) {
+    (void)file;
+    for (const Diagnostic& d : analysis.diagnostics) {
+      if (rule_index.try_emplace(d.code, rule_ids.size()).second) {
+        rule_ids.push_back(d.code);
+      }
+    }
+  }
+  auto level_of = [](Severity s) {
+    switch (s) {
+      case Severity::kError: return "error";
+      case Severity::kWarning: return "warning";
+      case Severity::kNote: return "note";
+    }
+    return "none";
+  };
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("$schema");
+  w.value("https://json.schemastore.org/sarif-2.1.0.json");
+  w.key("version");
+  w.value("2.1.0");
+  w.key("runs");
+  w.begin_array();
+  w.begin_object();
+  w.key("tool");
+  w.begin_object();
+  w.key("driver");
+  w.begin_object();
+  w.key("name");
+  w.value("parade_lint");
+  w.key("informationUri");
+  w.value("docs/ANALYZER.md");
+  w.key("rules");
+  w.begin_array();
+  for (const std::string& id : rule_ids) {
+    w.begin_object();
+    w.key("id");
+    w.value(id);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  w.end_object();
+  w.key("results");
+  w.begin_array();
+  for (const auto& [file, analysis] : files) {
+    for (const Diagnostic& d : analysis.diagnostics) {
+      w.begin_object();
+      w.key("ruleId");
+      w.value(d.code);
+      w.key("ruleIndex");
+      w.value(static_cast<std::int64_t>(rule_index.at(d.code)));
+      w.key("level");
+      w.value(level_of(d.severity));
+      w.key("message");
+      w.begin_object();
+      w.key("text");
+      w.value(d.message);
+      w.end_object();
+      w.key("locations");
+      w.begin_array();
+      w.begin_object();
+      w.key("physicalLocation");
+      w.begin_object();
+      w.key("artifactLocation");
+      w.begin_object();
+      w.key("uri");
+      w.value(file);
+      w.end_object();
+      w.key("region");
+      w.begin_object();
+      w.key("startLine");
+      w.value(static_cast<std::int64_t>(d.line > 0 ? d.line : 1));
+      w.end_object();
+      w.end_object();
+      w.end_object();
+      w.end_array();
+      w.end_object();
+    }
+  }
+  w.end_array();
+  w.end_object();
   w.end_array();
   w.end_object();
   return w.str();

@@ -11,10 +11,12 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/status.hpp"
 #include "translator/ast.hpp"
+#include "translator/hints.hpp"
 
 namespace parade::translator {
 
@@ -23,6 +25,17 @@ struct AnalyzeOptions {
   /// whose declared size fits maps to update-by-collective, larger (or
   /// unknown-size) data falls back to DSM page consistency.
   std::size_t mp_threshold_bytes = 256;
+  /// Run the CFG/dataflow pass (docs/ANALYZER.md): suppresses the known
+  /// flow-insensitivity false positives of the def-use walk and adds the
+  /// path-aware diagnostics (barrier.unmatched, lock.order_cycle,
+  /// dsm.stale_read_loop).
+  bool flow_sensitive = true;
+  /// Run footprint analysis + protocol-hint synthesis: per-symbol
+  /// update-vs-invalidate priors that refine the raw threshold comparison
+  /// and seed the runtime's pages (ProtocolHints, translator/hints.hpp).
+  bool protocol_hints = true;
+  /// DSM page size used for expected-page-touch estimates.
+  std::size_t page_bytes = 4096;
 };
 
 enum class Severity { kNote, kWarning, kError };
@@ -48,6 +61,10 @@ inline constexpr const char* kDiagNowaitDependentRead = "nowait.dependent_read";
 inline constexpr const char* kDiagSyncDsmFallback = "sync.dsm_fallback";
 inline constexpr const char* kDiagAtomicNotUpdate = "sync.atomic_invalid";
 inline constexpr const char* kDiagDefaultNoneMissing = "default.none_missing";
+// Flow-sensitive diagnostics (CFG/dataflow pass, docs/ANALYZER.md).
+inline constexpr const char* kDiagBarrierUnmatched = "barrier.unmatched";
+inline constexpr const char* kDiagLockOrderCycle = "lock.order_cycle";
+inline constexpr const char* kDiagStaleReadLoop = "dsm.stale_read_loop";
 
 /// Where a file-scope variable is placed by the hybrid protocol selection.
 enum class Placement {
@@ -75,6 +92,10 @@ struct SyncDecision {
   std::string var;     // update target when the pattern matched
   std::string reason;  // why the fallback was taken ("" when collective)
   int line = 0;
+  /// The fallback was taken *only* because the declared size exceeded
+  /// mp_threshold_bytes — the one case protocol-hint synthesis may overturn
+  /// when the access pattern prefers the update path.
+  bool threshold_fallback = false;
 };
 
 /// A scalar-update statement shape shared by the analyzer and CodeGen:
@@ -91,10 +112,25 @@ struct UpdateShape {
 /// analyzer layers type/size/sharing checks on top of it).
 std::optional<UpdateShape> match_scalar_update(const std::string& text);
 
+/// Per-parallel-region CFG/dataflow summary (surfaced by `--dataflow`).
+struct RegionSummary {
+  int line = 0;            // parallel construct line
+  std::size_t blocks = 0;  // CFG basic blocks (incl. entry/exit)
+  std::size_t edges = 0;
+  std::size_t loops = 0;
+  int suppressed = 0;      // def-use diagnostics retired by the flow pass
+};
+
 struct Analysis {
   std::vector<Diagnostic> diagnostics;
   std::map<std::string, VarClass> globals;  // file-scope variables
   std::map<int, SyncDecision> sync_sites;   // critical/atomic, by line
+  /// Def-use findings the flow-sensitive pass proved spurious (kept for the
+  /// --dataflow report; diagnostics ∪ suppressed == the flow-insensitive set).
+  std::vector<Diagnostic> suppressed;
+  std::vector<RegionSummary> regions;
+  /// Static protocol priors (empty when AnalyzeOptions::protocol_hints off).
+  ProtocolHints hints;
 
   std::size_t count(Severity severity) const;
   bool has_errors() const { return count(Severity::kError) > 0; }
@@ -106,11 +142,26 @@ struct Analysis {
   std::string to_text(const std::string& file) const;
   /// JSON document (schema in docs/ANALYZER.md).
   std::string to_json(const std::string& file) const;
+  /// Flow-pass report: per-region CFG shape plus every suppressed def-use
+  /// finding with the reason the flow analysis retired it.
+  std::string dataflow_report(const std::string& file) const;
 };
+
+/// SARIF 2.1.0 log over one or more analyzed files (stable rule ids are the
+/// kDiag* codes; parade_lint --sarif).
+std::string sarif_report(
+    const std::vector<std::pair<std::string, Analysis>>& files);
 
 /// Analyzes a parsed unit. Total: diagnostics (including error severity) are
 /// reported in the result, never as a failed Status.
 Analysis analyze(const TranslationUnit& unit, const AnalyzeOptions& options = {});
+
+/// Footprint analysis + protocol-hint synthesis (translator/hints.cpp):
+/// fills analysis->hints from the affine per-construct footprints and
+/// promotes threshold-fallback sync sites whose target's access pattern
+/// prefers the update path. Called by analyze(); exposed for tests.
+void synthesize_hints(const TranslationUnit& unit,
+                      const AnalyzeOptions& options, Analysis* analysis);
 
 /// Convenience wrapper: lex + parse + analyze. Fails only when the source
 /// does not lex/parse.

@@ -970,15 +970,28 @@ Result<std::string> CodeGen::run(const TranslationUnit& unit) {
 
   if (options_.emit_main_wrapper && saw_main_) {
     const bool wants_args = user_main_params_.find("argc") != std::string::npos;
+    // Static protocol hints ride along as a JSON sidecar; the launcher seeds
+    // DsmConfig::page_priors from it before the first fault (cold-start half
+    // of the adaptive protocol, docs/ANALYZER.md).
+    const bool with_hints =
+        options_.protocol_hints && !analysis_.hints.empty();
+    if (with_hints) {
+      line("static const char __parade_hints_json[] =");
+      line("    R\"__parade_hints(" + analysis_.hints.to_json() +
+           ")__parade_hints\";");
+    }
+    const std::string launch_open =
+        with_hints ? "return parade::xlat::launch(__parade_hints_json, "
+                   : "return parade::xlat::launch(";
     line("int main(int argc, char** argv) {");
     ++indent_;
     line("(void)argc; (void)argv;");
     if (wants_args) {
-      line("return parade::xlat::launch([&]() -> int { "
+      line(launch_open + "[&]() -> int { "
            "__parade_shared_init(); return __parade_user_main(argc, argv); "
            "});");
     } else {
-      line("return parade::xlat::launch([&]() -> int { "
+      line(launch_open + "[&]() -> int { "
            "__parade_shared_init(); return __parade_user_main(); });");
     }
     --indent_;
@@ -995,6 +1008,7 @@ Result<std::string> generate(const TranslationUnit& unit,
                              const TranslateOptions& options) {
   AnalyzeOptions analyze_options;
   analyze_options.mp_threshold_bytes = options.mp_threshold_bytes;
+  analyze_options.protocol_hints = options.protocol_hints;
   const Analysis analysis = analyze(unit, analyze_options);
   return generate(unit, options, analysis);
 }

@@ -1,13 +1,19 @@
 // parade_omcc: the ParADE OpenMP translator CLI.
 //
 //   parade_omcc input.c [-o output.cpp] [--threshold=BYTES] [--no-main]
+//               [--no-hints]
 //   parade_omcc input.c --analyze[=json] [--threshold=BYTES]
+//   parade_omcc input.c --hints=json [--threshold=BYTES]
 //
 // Translates an OpenMP C program into a ParADE C++ program. Compile the
 // output against the ParADE runtime (see README "Translator" section).
 // With --analyze the translator runs diagnose-only: the semantic analysis
 // report (docs/ANALYZER.md) goes to stdout and the exit code is 1 when any
-// error-severity finding exists.
+// error-severity finding exists. With --hints=json it prints the protocol-
+// hint sidecar (per-symbol update-vs-invalidate priors, page-touch counts,
+// pool offsets) that the generated launch wrapper would embed; --no-hints
+// disables hint synthesis so collective-vs-DSM lowering falls back to the
+// raw size-threshold comparison.
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -21,7 +27,8 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: parade_omcc <input.c> [-o <output.cpp>] "
-               "[--threshold=BYTES] [--no-main] [--analyze[=json]]\n");
+               "[--threshold=BYTES] [--no-main] [--no-hints] "
+               "[--analyze[=json]] [--hints=json]\n");
   return 2;
 }
 
@@ -32,6 +39,7 @@ int main(int argc, char** argv) {
   std::string output;
   bool analyze_only = false;
   bool analyze_json = false;
+  bool hints_json = false;
   parade::translator::TranslateOptions options;
 
   for (int i = 1; i < argc; ++i) {
@@ -53,8 +61,12 @@ int main(int argc, char** argv) {
     } else if (arg == "--analyze=json") {
       analyze_only = true;
       analyze_json = true;
+    } else if (arg == "--hints=json") {
+      hints_json = true;
     } else if (arg == "--no-main") {
       options.emit_main_wrapper = false;
+    } else if (arg == "--no-hints") {
+      options.protocol_hints = false;
     } else if (arg.rfind("-", 0) == 0) {
       return usage();
     } else {
@@ -62,7 +74,7 @@ int main(int argc, char** argv) {
       input = arg;
     }
   }
-  if (input.empty()) return usage();
+  if (input.empty() || (analyze_only && hints_json)) return usage();
 
   std::ifstream in(input);
   if (!in) {
@@ -72,15 +84,20 @@ int main(int argc, char** argv) {
   std::ostringstream source;
   source << in.rdbuf();
 
-  if (analyze_only) {
+  if (analyze_only || hints_json) {
     parade::translator::AnalyzeOptions analyze_options;
     analyze_options.mp_threshold_bytes = options.mp_threshold_bytes;
+    analyze_options.protocol_hints = options.protocol_hints || hints_json;
     auto analysis =
         parade::translator::analyze_source(source.str(), analyze_options);
     if (!analysis.is_ok()) {
       std::fprintf(stderr, "parade_omcc: %s: %s\n", input.c_str(),
                    analysis.status().to_string().c_str());
       return 1;
+    }
+    if (hints_json) {
+      std::fputs((analysis.value().hints.to_json() + "\n").c_str(), stdout);
+      return 0;
     }
     const std::string report = analyze_json
                                    ? analysis.value().to_json(input)

@@ -1,0 +1,364 @@
+#include "translator/hints.hpp"
+
+#include <cstdlib>
+#include <map>
+#include <set>
+
+#include "obs/json.hpp"
+#include "translator/analyze.hpp"
+#include "translator/cfg.hpp"
+#include "translator/token.hpp"
+
+namespace parade::translator {
+
+const SymbolHint* ProtocolHints::find(const std::string& name) const {
+  for (const SymbolHint& h : symbols) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+SymbolHint* ProtocolHints::find(const std::string& name) {
+  for (SymbolHint& h : symbols) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+std::string ProtocolHints::to_json() const {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("version");
+  w.value(std::int64_t{1});
+  w.key("page_bytes");
+  w.value(static_cast<std::int64_t>(page_bytes));
+  w.key("threshold_bytes");
+  w.value(static_cast<std::int64_t>(threshold_bytes));
+  w.key("symbols");
+  w.begin_array();
+  for (const SymbolHint& h : symbols) {
+    w.begin_object();
+    w.key("name");
+    w.value(h.name);
+    w.key("bytes");
+    w.value(static_cast<std::int64_t>(h.byte_size));
+    w.key("reads");
+    w.value(static_cast<std::int64_t>(h.reads));
+    w.key("writes");
+    w.value(static_cast<std::int64_t>(h.writes));
+    w.key("footprint_bytes");
+    w.value(static_cast<std::int64_t>(h.footprint_bytes));
+    w.key("writer_constructs");
+    w.value(static_cast<std::int64_t>(h.writer_constructs));
+    w.key("dsm");
+    w.value(h.dsm);
+    w.key("offset_known");
+    w.value(h.offset_known);
+    w.key("pool_offset");
+    w.value(static_cast<std::int64_t>(h.pool_offset));
+    w.key("prefer_update");
+    w.value(h.prefer_update);
+    w.key("migration_friendly");
+    w.value(h.migration_friendly);
+    w.key("expected_page_touches");
+    w.value(static_cast<std::int64_t>(h.expected_page_touches));
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+namespace {
+
+/// Strict integer-literal parse ("1000000", "0x40"); false on anything else.
+bool parse_literal(const std::string& text, long long* out) {
+  std::string trimmed;
+  for (char c : text) {
+    if (c != ' ') trimmed += c;
+  }
+  if (trimmed.empty()) return false;
+  char* end = nullptr;
+  const long long v = std::strtoll(trimmed.c_str(), &end, 0);
+  if (end == nullptr || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+/// Affine per-construct access accounting for one file-scope symbol.
+struct FootprintAcc {
+  std::size_t reads = 0;   // syntactic occurrences inside parallel constructs
+  std::size_t writes = 0;
+  std::size_t footprint = 0;  // largest per-construct affine byte estimate
+  std::set<int> writer_constructs;  // parallel construct lines writing it
+};
+
+/// Walks the unit once, resolving loop trip counts from literal bounds
+/// (including file-scope `= literal` initializers like num_steps = 1000000)
+/// and attributing each global access to its enclosing parallel construct.
+class FootprintWalker {
+ public:
+  FootprintWalker(const Analysis& analysis,
+                  std::map<std::string, long long> literals)
+      : analysis_(analysis), literals_(std::move(literals)) {}
+
+  void run(const TranslationUnit& unit) {
+    for (const TopItem& item : unit.items) {
+      if (item.kind != TopItem::Kind::kFunction) continue;
+      if (item.function.body) visit(*item.function.body);
+    }
+  }
+
+  const std::map<std::string, FootprintAcc>& accs() const { return accs_; }
+
+ private:
+  struct LoopCtx {
+    std::string var;
+    std::size_t trips = 0;  // 0 = statically unknown
+  };
+
+  bool resolve(const std::string& text, long long* out) const {
+    if (parse_literal(text, out)) return true;
+    std::string trimmed;
+    for (char c : text) {
+      if (c != ' ') trimmed += c;
+    }
+    auto it = literals_.find(trimmed);
+    if (it != literals_.end()) {
+      *out = it->second;
+      return true;
+    }
+    return false;
+  }
+
+  std::size_t trip_count(const ForHeader& h) const {
+    if (!h.canonical) return 0;
+    long long lo = 0;
+    long long hi = 0;
+    long long step = 1;
+    if (!resolve(h.lower, &lo) || !resolve(h.upper, &hi) ||
+        !resolve(h.step, &step) || step == 0) {
+      return 0;
+    }
+    long long span = h.increasing ? hi - lo : lo - hi;
+    if (h.inclusive) ++span;
+    if (span <= 0) return 0;
+    const long long abs_step = step < 0 ? -step : step;
+    return static_cast<std::size_t>((span + abs_step - 1) / abs_step);
+  }
+
+  /// Idents appearing inside `name [ ... ]` subscripts within `text`.
+  std::set<std::string> subscript_idents(const std::string& text,
+                                         const std::string& name) const {
+    std::set<std::string> idents;
+    auto tokens_result = lex(text);
+    if (!tokens_result.is_ok()) return idents;
+    const auto tokens = std::move(tokens_result).value();
+    for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+      if (tokens[i].kind != TokKind::kIdent || tokens[i].text != name ||
+          !tokens[i + 1].is_punct("[")) {
+        continue;
+      }
+      // Consecutive groups chain: grid[i][j] contributes both i and j.
+      int depth = 0;
+      for (std::size_t j = i + 1; j < tokens.size(); ++j) {
+        if (tokens[j].is_punct("[")) {
+          ++depth;
+        } else if (tokens[j].is_punct("]")) {
+          if (--depth == 0 &&
+              (j + 1 >= tokens.size() || !tokens[j + 1].is_punct("["))) {
+            break;
+          }
+        } else if (depth > 0 && tokens[j].kind == TokKind::kIdent) {
+          idents.insert(tokens[j].text);
+        }
+      }
+    }
+    return idents;
+  }
+
+  void account_text(const std::string& text, int line) {
+    (void)line;
+    if (region_line_ == 0 || text.empty()) return;
+    const AccessScan acc = scan_accesses(text);
+    std::set<std::string> touched;
+    for (const std::string& r : acc.reads) {
+      auto g = analysis_.globals.find(r);
+      if (g == analysis_.globals.end()) continue;
+      accs_[r].reads += 1;
+      touched.insert(r);
+    }
+    for (const AccessScan::Write& wr : acc.writes) {
+      if (wr.deref) continue;
+      auto g = analysis_.globals.find(wr.name);
+      if (g == analysis_.globals.end()) continue;
+      FootprintAcc& a = accs_[wr.name];
+      a.writes += 1;
+      a.writer_constructs.insert(region_line_);
+      touched.insert(wr.name);
+    }
+    for (const std::string& name : touched) {
+      const VarClass& vc = analysis_.globals.at(name);
+      FootprintAcc& a = accs_[name];
+      std::size_t bytes = vc.byte_size;  // default: the whole object
+      if (vc.placement == Placement::kDsmArray) {
+        const std::size_t elem = sizeof_declared(vc.type, 0, {});
+        if (elem > 0) {
+          const std::set<std::string> subs = subscript_idents(text, name);
+          std::size_t trips = 1;
+          bool affine = !subs.empty();
+          for (const LoopCtx& l : loops_) {
+            if (subs.count(l.var) == 0) continue;
+            if (l.trips == 0) {
+              affine = false;
+              break;
+            }
+            trips *= l.trips;
+          }
+          if (affine) {
+            std::size_t est = elem * trips;
+            if (vc.byte_size > 0 && est > vc.byte_size) est = vc.byte_size;
+            bytes = est;
+          }
+        }
+      }
+      if (bytes > a.footprint) a.footprint = bytes;
+    }
+  }
+
+  void visit(const Stmt& stmt) {
+    switch (stmt.kind) {
+      case StmtKind::kRaw:
+        account_text(stmt.text, stmt.line);
+        return;
+      case StmtKind::kDecl:
+        for (const Declarator& d : stmt.declarators) {
+          if (!d.init.empty()) account_text(d.init, stmt.line);
+        }
+        return;
+      case StmtKind::kFor: {
+        const ForHeader& h = stmt.for_header;
+        account_text(h.init_text, stmt.line);
+        account_text(h.cond_text, stmt.line);
+        account_text(h.incr_text, stmt.line);
+        loops_.push_back(LoopCtx{h.canonical ? h.loop_var : "",
+                                 trip_count(h)});
+        for (const StmtPtr& child : stmt.children) {
+          if (child) visit(*child);
+        }
+        loops_.pop_back();
+        return;
+      }
+      case StmtKind::kIf:
+      case StmtKind::kWhile:
+      case StmtKind::kDoWhile:
+      case StmtKind::kSwitch:
+        account_text(stmt.cond, stmt.line);
+        break;
+      case StmtKind::kPragma: {
+        const Directive& d = stmt.directive;
+        const bool opens_region = d.kind == DirectiveKind::kParallel ||
+                                  d.kind == DirectiveKind::kParallelFor ||
+                                  d.kind == DirectiveKind::kParallelSections;
+        if (opens_region) {
+          const int saved = region_line_;
+          region_line_ = d.line;
+          for (const StmtPtr& child : stmt.children) {
+            if (child) visit(*child);
+          }
+          region_line_ = saved;
+          return;
+        }
+        break;
+      }
+      default:
+        break;
+    }
+    for (const StmtPtr& child : stmt.children) {
+      if (child) visit(*child);
+    }
+  }
+
+  const Analysis& analysis_;
+  std::map<std::string, long long> literals_;
+  std::map<std::string, FootprintAcc> accs_;
+  std::vector<LoopCtx> loops_;
+  int region_line_ = 0;  // 0 = serial code (no protocol traffic accounted)
+};
+
+}  // namespace
+
+void synthesize_hints(const TranslationUnit& unit,
+                      const AnalyzeOptions& options, Analysis* analysis) {
+  ProtocolHints hints;
+  hints.page_bytes = options.page_bytes;
+  hints.threshold_bytes = options.mp_threshold_bytes;
+
+  // File-scope `name = integer-literal` initializers double as symbolic
+  // bounds for the affine trip counts (e.g. `for (i = 0; i < num_steps; ...)`
+  // with `static long num_steps = 1000000;`).
+  std::map<std::string, long long> literals;
+  for (const TopItem& item : unit.items) {
+    if (item.kind != TopItem::Kind::kDecl) continue;
+    for (const Declarator& d : item.stmt->declarators) {
+      long long v = 0;
+      if (!d.is_function && d.array_dims.empty() && !d.init.empty() &&
+          parse_literal(d.init, &v)) {
+        literals[d.name] = v;
+      }
+    }
+  }
+
+  FootprintWalker walker(*analysis, std::move(literals));
+  walker.run(unit);
+
+  for (const auto& [name, acc] : walker.accs()) {
+    const VarClass& vc = analysis->globals.at(name);
+    SymbolHint h;
+    h.name = name;
+    h.byte_size = vc.byte_size;
+    h.reads = acc.reads;
+    h.writes = acc.writes;
+    h.footprint_bytes = acc.footprint;
+    h.writer_constructs = static_cast<int>(acc.writer_constructs.size());
+    // Single-writer symbols benefit from home migration (the home chases
+    // the writer, paper §5.2.2); multi-writer data would thrash.
+    h.migration_friendly = h.writer_constructs <= 1;
+    // Update-vs-invalidate prior: read-dominated small data amortizes the
+    // eager update; write-dominated or large data is cheaper invalidated.
+    h.prefer_update = vc.byte_size > 0 &&
+                      vc.byte_size <= 4 * options.mp_threshold_bytes &&
+                      acc.writes > 0 && acc.reads >= 2 * acc.writes;
+    const std::size_t span =
+        h.footprint_bytes > 0 ? h.footprint_bytes : h.byte_size;
+    if (span > 0) {
+      h.expected_page_touches =
+          (span + options.page_bytes - 1) / options.page_bytes;
+    }
+    hints.symbols.push_back(std::move(h));
+  }
+  analysis->hints = std::move(hints);
+
+  // Promotion: a sync site that fell back to the DSM lock *only* because of
+  // the raw size threshold flips to the collective when the access pattern
+  // prefers the update path. This replaces the static comparison as the
+  // final word on collective-vs-DSM lowering.
+  for (auto& [line, dec] : analysis->sync_sites) {
+    (void)line;
+    if (dec.collective || !dec.threshold_fallback || dec.var.empty()) {
+      continue;
+    }
+    const SymbolHint* h = analysis->hints.find(dec.var);
+    if (h != nullptr && h->prefer_update) {
+      dec.collective = true;
+      dec.reason = "promoted to update-by-collective by protocol-hint "
+                   "synthesis: " +
+                   std::to_string(h->reads) + " read(s) per " +
+                   std::to_string(h->writes) + " write(s) on a " +
+                   std::to_string(h->byte_size) +
+                   " B scalar favor the update path";
+    }
+  }
+}
+
+}  // namespace parade::translator

@@ -1,0 +1,49 @@
+// Static protocol hints: the translation-time half of the adaptive hybrid
+// protocol (ROADMAP item 4, docs/ANALYZER.md "ProtocolHints hand-off").
+//
+// The affine footprint analysis estimates, per file-scope symbol, how much
+// of it each parallel construct touches and at what read/write ratio. Hint
+// synthesis lowers those footprints into per-symbol priors — prefer the
+// update (collective) path or the invalidate (page) path, expected
+// page-touch count, whether home migration is likely to help — which (a)
+// refine codegen's raw mp_threshold_bytes comparison and (b) ship as a JSON
+// sidecar the runtime loads to seed DsmConfig::page_priors before the first
+// fault (src/dsm/priors.hpp).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace parade::translator {
+
+struct SymbolHint {
+  std::string name;
+  std::size_t byte_size = 0;       // declared size (0 = unknown)
+  std::size_t reads = 0;           // accesses inside parallel constructs
+  std::size_t writes = 0;
+  std::size_t footprint_bytes = 0; // largest per-construct affine footprint
+  int writer_constructs = 0;       // distinct parallel constructs writing it
+
+  bool dsm = false;                // placed in the DSM pool
+  bool offset_known = false;       // pool_offset mirrors codegen's shmalloc
+  std::size_t pool_offset = 0;     // byte offset inside the DSM pool
+  bool prefer_update = false;      // update-by-collective over invalidate
+  bool migration_friendly = true;  // single-writer: home migration pays off
+  std::size_t expected_page_touches = 0;
+};
+
+struct ProtocolHints {
+  std::size_t page_bytes = 4096;
+  std::size_t threshold_bytes = 256;
+  std::vector<SymbolHint> symbols;
+
+  bool empty() const { return symbols.empty(); }
+  const SymbolHint* find(const std::string& name) const;
+  SymbolHint* find(const std::string& name);
+  /// JSON sidecar consumed by dsm::load_page_priors (schema in
+  /// docs/ANALYZER.md).
+  std::string to_json() const;
+};
+
+}  // namespace parade::translator

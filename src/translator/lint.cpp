@@ -1,16 +1,21 @@
 // parade_lint: standalone OpenMP correctness linter over the ParADE
 // semantic analyzer (docs/ANALYZER.md).
 //
-//   parade_lint [--json] [--threshold=BYTES] [--werror] <input.c>...
+//   parade_lint [--json|--sarif] [--dataflow] [--threshold=BYTES] [--werror]
+//               <input.c>...
 //   parade_lint --version
 //
-// Prints one report per input. Exit codes: 0 all files clean of errors,
-// 1 at least one error-severity finding (or warning with --werror),
-// 2 usage (including no input files) / unreadable input / parse failure.
+// Prints one report per input (--sarif emits a single combined SARIF 2.1.0
+// log instead). --dataflow appends the CFG/dataflow report: per-region graph
+// shape and every def-use finding the flow-sensitive pass suppressed.
+// Exit codes: 0 all files clean of errors, 1 at least one error-severity
+// finding (or warning with --werror), 2 usage (including no input files) /
+// unreadable input / parse failure.
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "obs/registry.hpp"
@@ -20,8 +25,8 @@ namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: parade_lint [--json] [--threshold=BYTES] [--werror] "
-               "<input.c>...\n");
+               "usage: parade_lint [--json|--sarif] [--dataflow] "
+               "[--threshold=BYTES] [--werror] <input.c>...\n");
   return 2;
 }
 
@@ -29,6 +34,8 @@ int usage() {
 
 int main(int argc, char** argv) {
   bool json = false;
+  bool sarif = false;
+  bool dataflow = false;
   bool werror = false;
   std::vector<std::string> inputs;
   parade::translator::AnalyzeOptions options;
@@ -36,11 +43,15 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--version") {
-      std::fprintf(stdout, "parade_lint 0.4.0\n");
+      std::fprintf(stdout, "parade_lint 0.5.0\n");
       return 0;
     }
     if (arg == "--json") {
       json = true;
+    } else if (arg == "--sarif") {
+      sarif = true;
+    } else if (arg == "--dataflow") {
+      dataflow = true;
     } else if (arg == "--werror") {
       werror = true;
     } else if (arg.rfind("--threshold=", 0) == 0) {
@@ -57,10 +68,11 @@ int main(int argc, char** argv) {
       inputs.push_back(arg);
     }
   }
-  if (inputs.empty()) return usage();
+  if (inputs.empty() || (json && sarif)) return usage();
 
   bool failed = false;
   bool broken = false;
+  std::vector<std::pair<std::string, parade::translator::Analysis>> analyzed;
   for (const std::string& input : inputs) {
     std::ifstream in(input);
     if (!in) {
@@ -79,14 +91,24 @@ int main(int argc, char** argv) {
       continue;
     }
     const auto& result = analysis.value();
-    std::fputs(json ? (result.to_json(input) + "\n").c_str()
-                    : result.to_text(input).c_str(),
-               stdout);
+    if (!sarif) {
+      std::fputs(json ? (result.to_json(input) + "\n").c_str()
+                      : result.to_text(input).c_str(),
+                 stdout);
+      if (dataflow) {
+        std::fputs(result.dataflow_report(input).c_str(), stdout);
+      }
+    }
     if (result.has_errors() ||
         (werror &&
          result.count(parade::translator::Severity::kWarning) > 0)) {
       failed = true;
     }
+    analyzed.emplace_back(input, std::move(analysis).value());
+  }
+  if (sarif && !analyzed.empty()) {
+    std::fputs((parade::translator::sarif_report(analyzed) + "\n").c_str(),
+               stdout);
   }
   // Translation-decision counters (xlat.analyze.*) flow to the standard
   // JSON/CSV exports when PARADE_METRICS is set.

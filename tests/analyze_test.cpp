@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
 
 #include "obs/json.hpp"
 #include "translator/analyze.hpp"
@@ -621,6 +622,341 @@ TEST(LintCli, UnknownFlagIsAUsageError) {
   int exit_code = 0;
   run_lint("--no-such-flag", &exit_code);
   EXPECT_EQ(exit_code, 2);
+}
+
+TEST(LintCli, JsonAndSarifAreMutuallyExclusive) {
+  int exit_code = 0;
+  run_lint("--json --sarif whatever.c", &exit_code);
+  EXPECT_EQ(exit_code, 2);
+}
+
+std::string write_temp(const char* name, const char* content) {
+  const std::string path = ::testing::TempDir() + name;
+  std::ofstream out(path);
+  out << content;
+  return path;
+}
+
+TEST(LintCli, SarifReportCarriesStableRuleIdsAndLocations) {
+  const std::string racy = write_temp(
+      "parade_lint_sarif_racy.c",
+      "int counter;\n"
+      "int main(void) {\n"
+      "  #pragma omp parallel\n"
+      "  { counter = counter + 1; }\n"
+      "  return 0;\n"
+      "}\n");
+  int exit_code = -1;
+  const std::string output = run_lint("--sarif " + racy, &exit_code);
+  EXPECT_EQ(exit_code, 1) << output;  // error-severity finding present
+  auto doc = obs::parse_json(output);
+  ASSERT_TRUE(doc.is_ok()) << output;
+  const auto& runs = doc.value().at("runs");
+  ASSERT_TRUE(runs.is_array());
+  ASSERT_EQ(runs.array.size(), 1u);
+  const auto& run = runs.array[0];
+  EXPECT_EQ(run.at("tool").at("driver").at("name").string, "parade_lint");
+  bool saw_race_rule = false;
+  for (const auto& rule : run.at("tool").at("driver").at("rules").array) {
+    if (rule.at("id").string == kDiagRaceSharedWrite) saw_race_rule = true;
+  }
+  EXPECT_TRUE(saw_race_rule) << output;
+  ASSERT_FALSE(run.at("results").array.empty());
+  const auto& result = run.at("results").array[0];
+  EXPECT_EQ(result.at("ruleId").string, kDiagRaceSharedWrite);
+  EXPECT_EQ(result.at("level").string, "error");
+  const auto& location = result.at("locations").array[0].at("physicalLocation");
+  EXPECT_EQ(location.at("artifactLocation").at("uri").string, racy);
+  EXPECT_EQ(location.at("region").at("startLine").as_int(), 4);
+  std::remove(racy.c_str());
+}
+
+TEST(LintCli, DataflowReportListsRegionsAndSuppressions) {
+  const std::string guarded = write_temp(
+      "parade_lint_dataflow.c",
+      "double acc;\n"
+      "double out;\n"
+      "int main(void) {\n"
+      "  #pragma omp parallel\n"
+      "  {\n"
+      "    #pragma omp single nowait\n"
+      "    {\n"
+      "      acc = 42.0;\n"
+      "    }\n"
+      "    #pragma omp critical\n"
+      "    {\n"
+      "      out = out + acc;\n"
+      "    }\n"
+      "  }\n"
+      "  return 0;\n"
+      "}\n");
+  int exit_code = -1;
+  const std::string output = run_lint("--dataflow " + guarded, &exit_code);
+  EXPECT_EQ(exit_code, 0) << output;
+  EXPECT_NE(output.find("dataflow: 1 region(s)"), std::string::npos) << output;
+  EXPECT_NE(output.find("region CFG:"), std::string::npos) << output;
+  EXPECT_NE(output.find("suppressed [nowait.dependent_read]"),
+            std::string::npos)
+      << output;
+  std::remove(guarded.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Flow-sensitive pass: nowait FP fixes (the def-use walk only honored
+// barriers that were direct children of the region body)
+
+TEST(FlowNowait, BarriersOnBothArmsOfAnIfClearDependence) {
+  const Analysis a = analyze_ok(
+      "double acc;\n"
+      "int c;\n"
+      "int main(void) {\n"
+      "  double out = 0.0;\n"
+      "  #pragma omp parallel\n"
+      "  {\n"
+      "    #pragma omp single nowait\n"
+      "    {\n"
+      "      acc = 42.0;\n"
+      "    }\n"
+      "    if (c > 0) {\n"
+      "      #pragma omp barrier\n"
+      "    } else {\n"
+      "      #pragma omp barrier\n"
+      "    }\n"
+      "    out = acc + 1.0;\n"
+      "  }\n"
+      "  return 0;\n"
+      "}\n");
+  EXPECT_EQ(find_diag(a, kDiagNowaitDependentRead), nullptr)
+      << a.to_text("nested_barrier.c");
+  // The def-use walk still found it; the flow pass filed it as suppressed.
+  bool suppressed = false;
+  for (const Diagnostic& d : a.suppressed) {
+    if (d.code == kDiagNowaitDependentRead) suppressed = true;
+  }
+  EXPECT_TRUE(suppressed);
+}
+
+TEST(FlowNowait, BarrierOnOneArmOnlyKeepsDependence) {
+  const Analysis a = analyze_ok(
+      "double acc;\n"                       // 1
+      "int c;\n"                            // 2
+      "int main(void) {\n"                  // 3
+      "  double out = 0.0;\n"               // 4
+      "  #pragma omp parallel\n"            // 5
+      "  {\n"                               // 6
+      "    #pragma omp single nowait\n"     // 7
+      "    {\n"                             // 8
+      "      acc = 42.0;\n"                 // 9
+      "    }\n"                             // 10
+      "    if (c > 0) {\n"                  // 11
+      "      #pragma omp barrier\n"         // 12
+      "    }\n"                             // 13
+      "    out = acc + 1.0;\n"              // 14
+      "  }\n"
+      "  return 0;\n"
+      "}\n");
+  const Diagnostic* d = find_diag(a, kDiagNowaitDependentRead);
+  ASSERT_NE(d, nullptr) << "the else path skips the barrier";
+  EXPECT_EQ(d->line, 14);
+}
+
+TEST(FlowNowait, CriticalGuardedReadIsNotADependence) {
+  const Analysis a = analyze_ok(
+      "double acc;\n"
+      "double out;\n"
+      "int main(void) {\n"
+      "  #pragma omp parallel\n"
+      "  {\n"
+      "    #pragma omp single nowait\n"
+      "    {\n"
+      "      acc = 42.0;\n"
+      "    }\n"
+      "    #pragma omp critical\n"
+      "    {\n"
+      "      out = out + acc;\n"
+      "    }\n"
+      "  }\n"
+      "  return 0;\n"
+      "}\n");
+  EXPECT_EQ(find_diag(a, kDiagNowaitDependentRead), nullptr)
+      << a.to_text("critical_guard.c");
+}
+
+TEST(FlowNowait, FlowInsensitiveModeKeepsTheOldBehavior) {
+  AnalyzeOptions options;
+  options.flow_sensitive = false;
+  const Analysis a = analyze_source(
+      "double acc;\n"
+      "int c;\n"
+      "int main(void) {\n"
+      "  double out = 0.0;\n"
+      "  #pragma omp parallel\n"
+      "  {\n"
+      "    #pragma omp single nowait\n"
+      "    {\n"
+      "      acc = 42.0;\n"
+      "    }\n"
+      "    if (c > 0) {\n"
+      "      #pragma omp barrier\n"
+      "    } else {\n"
+      "      #pragma omp barrier\n"
+      "    }\n"
+      "    out = acc + 1.0;\n"
+      "  }\n"
+      "  return 0;\n"
+      "}\n",
+      options).value_or_die();
+  EXPECT_NE(find_diag(a, kDiagNowaitDependentRead), nullptr)
+      << "without the CFG the nested barriers are invisible";
+  EXPECT_TRUE(a.suppressed.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Flow-only diagnostics: barrier.unmatched / lock.order_cycle /
+// dsm.stale_read_loop (positive and negative golden cases each)
+
+TEST(FlowDiag, BarrierUnmatchedAcrossIfArms) {
+  const Analysis a = analyze_ok(
+      "int c, x;\n"                     // 1
+      "int main(void) {\n"              // 2
+      "  #pragma omp parallel\n"        // 3
+      "  {\n"                           // 4
+      "    if (c > 0) {\n"              // 5
+      "      #pragma omp barrier\n"     // 6
+      "    } else {\n"                  // 7
+      "      x = 1;\n"                  // 8
+      "    }\n"                         // 9
+      "  }\n"
+      "  return 0;\n"
+      "}\n");
+  const Diagnostic* d = find_diag(a, kDiagBarrierUnmatched);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kError);
+  EXPECT_EQ(d->line, 5);
+  EXPECT_EQ(count_diags(a, kDiagBarrierUnmatched), 1u);
+}
+
+TEST(FlowDiag, BalancedBarriersAreNotUnmatched) {
+  const Analysis a = analyze_ok(
+      "int c;\n"
+      "int main(void) {\n"
+      "  #pragma omp parallel\n"
+      "  {\n"
+      "    if (c > 0) {\n"
+      "      #pragma omp barrier\n"
+      "    } else {\n"
+      "      #pragma omp barrier\n"
+      "    }\n"
+      "  }\n"
+      "  return 0;\n"
+      "}\n");
+  EXPECT_EQ(find_diag(a, kDiagBarrierUnmatched), nullptr)
+      << a.to_text("balanced.c");
+}
+
+TEST(FlowDiag, LockOrderCycleAcrossNamedCriticals) {
+  const Analysis a = analyze_ok(
+      "int x, y;\n"
+      "int main(void) {\n"
+      "  #pragma omp parallel\n"
+      "  {\n"
+      "    #pragma omp critical(alpha)\n"
+      "    {\n"
+      "      #pragma omp critical(beta)\n"
+      "      { x = x + 1; }\n"
+      "    }\n"
+      "    #pragma omp critical(beta)\n"
+      "    {\n"
+      "      #pragma omp critical(alpha)\n"
+      "      { y = y + 1; }\n"
+      "    }\n"
+      "  }\n"
+      "  return 0;\n"
+      "}\n");
+  const Diagnostic* d = find_diag(a, kDiagLockOrderCycle);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kWarning);
+  EXPECT_NE(d->message.find("alpha"), std::string::npos) << d->message;
+  EXPECT_NE(d->message.find("beta"), std::string::npos) << d->message;
+  EXPECT_EQ(count_diags(a, kDiagLockOrderCycle), 1u);
+}
+
+TEST(FlowDiag, ConsistentLockOrderHasNoCycle) {
+  const Analysis a = analyze_ok(
+      "int x, y;\n"
+      "int main(void) {\n"
+      "  #pragma omp parallel\n"
+      "  {\n"
+      "    #pragma omp critical(alpha)\n"
+      "    {\n"
+      "      #pragma omp critical(beta)\n"
+      "      { x = x + 1; }\n"
+      "    }\n"
+      "    #pragma omp critical(alpha)\n"
+      "    {\n"
+      "      #pragma omp critical(beta)\n"
+      "      { y = y + 1; }\n"
+      "    }\n"
+      "  }\n"
+      "  return 0;\n"
+      "}\n");
+  EXPECT_EQ(find_diag(a, kDiagLockOrderCycle), nullptr)
+      << a.to_text("consistent.c");
+}
+
+TEST(FlowDiag, StaleSharedReadInSyncFreeLoop) {
+  const Analysis a = analyze_ok(
+      "int flag;\n"                         // 1
+      "int main(void) {\n"                  // 2
+      "  #pragma omp parallel\n"            // 3
+      "  {\n"                               // 4
+      "    int spins = 0;\n"                // 5
+      "    while (flag == 0) {\n"           // 6
+      "      spins = spins + 1;\n"          // 7
+      "    }\n"                             // 8
+      "  }\n"
+      "  return 0;\n"
+      "}\n");
+  const Diagnostic* d = find_diag(a, kDiagStaleReadLoop);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kWarning);
+  EXPECT_EQ(d->line, 6);
+  EXPECT_EQ(d->var, "flag");
+}
+
+TEST(FlowDiag, FlushInLoopClearsStaleRead) {
+  const Analysis a = analyze_ok(
+      "int flag;\n"
+      "int main(void) {\n"
+      "  #pragma omp parallel\n"
+      "  {\n"
+      "    int spins = 0;\n"
+      "    while (flag == 0) {\n"
+      "      #pragma omp flush\n"
+      "      spins = spins + 1;\n"
+      "    }\n"
+      "  }\n"
+      "  return 0;\n"
+      "}\n");
+  EXPECT_EQ(find_diag(a, kDiagStaleReadLoop), nullptr)
+      << a.to_text("flush_loop.c");
+}
+
+TEST(FlowDiag, LocalLoopBoundIsNotStale) {
+  const Analysis a = analyze_ok(
+      "int main(void) {\n"
+      "  #pragma omp parallel\n"
+      "  {\n"
+      "    int n = 10;\n"
+      "    int s = 0;\n"
+      "    while (s < n) {\n"
+      "      s = s + 1;\n"
+      "    }\n"
+      "  }\n"
+      "  return 0;\n"
+      "}\n");
+  EXPECT_EQ(find_diag(a, kDiagStaleReadLoop), nullptr)
+      << a.to_text("local_bound.c");
 }
 
 TEST(Analyze, RacyProgramStillTranslates) {

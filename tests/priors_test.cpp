@@ -1,0 +1,194 @@
+// Static protocol priors end to end: the hints-sidecar loader (schema
+// validation, symbol filtering), the PARADE_HINTS file path, page-table
+// seeding at start() (prior_seeded_pages counter, per-page queries), and the
+// barrier-time behaviour change — a non-migration-friendly prior pins a
+// page's home where the default policy would migrate it to the sole writer.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "dsm/cluster.hpp"
+#include "dsm/priors.hpp"
+
+namespace parade::dsm {
+namespace {
+
+const char* kSidecar =
+    "{\"version\":1,\"page_bytes\":4096,\"threshold_bytes\":256,"
+    "\"symbols\":["
+    "{\"name\":\"grid\",\"bytes\":8192,\"dsm\":true,\"offset_known\":true,"
+    "\"pool_offset\":0,\"prefer_update\":false,\"migration_friendly\":false,"
+    "\"expected_page_touches\":2},"
+    "{\"name\":\"acc\",\"bytes\":8,\"dsm\":true,\"offset_known\":true,"
+    "\"pool_offset\":8192,\"prefer_update\":true,\"migration_friendly\":true,"
+    "\"expected_page_touches\":1},"
+    "{\"name\":\"replicated\",\"bytes\":8,\"dsm\":false,"
+    "\"offset_known\":false,\"pool_offset\":0,\"prefer_update\":true,"
+    "\"migration_friendly\":true,\"expected_page_touches\":1}"
+    "]}";
+
+TEST(PriorsParse, FiltersToDsmSymbolsWithKnownOffsets) {
+  auto priors = parse_page_priors(kSidecar);
+  ASSERT_TRUE(priors.is_ok()) << priors.status().to_string();
+  ASSERT_EQ(priors.value().size(), 2u);  // "replicated" carries no range
+  const PagePrior& grid = priors.value()[0];
+  EXPECT_EQ(grid.offset, 0u);
+  EXPECT_EQ(grid.bytes, 8192u);
+  EXPECT_FALSE(grid.migration_friendly);
+  EXPECT_FALSE(grid.prefer_update);
+  EXPECT_EQ(grid.expected_touches, 2u);
+  const PagePrior& acc = priors.value()[1];
+  EXPECT_EQ(acc.offset, 8192u);
+  EXPECT_TRUE(acc.prefer_update);
+  EXPECT_TRUE(acc.migration_friendly);
+}
+
+TEST(PriorsParse, RejectsMalformedAndWrongVersion) {
+  EXPECT_FALSE(parse_page_priors("{not json").is_ok());
+  EXPECT_FALSE(parse_page_priors("{\"version\":2,\"symbols\":[]}").is_ok());
+  EXPECT_FALSE(parse_page_priors("[1,2,3]").is_ok());
+  // Empty symbol list is a valid empty result, not an error.
+  auto empty = parse_page_priors("{\"version\":1,\"symbols\":[]}");
+  ASSERT_TRUE(empty.is_ok());
+  EXPECT_TRUE(empty.value().empty());
+}
+
+TEST(PriorsParse, LoadsFromFileIntoConfig) {
+  const std::string path = ::testing::TempDir() + "parade_priors_test.json";
+  {
+    std::ofstream out(path);
+    out << kSidecar;
+  }
+  DsmConfig config;
+  ASSERT_TRUE(load_page_priors(path, &config).is_ok());
+  EXPECT_EQ(config.page_priors.size(), 2u);
+  std::remove(path.c_str());
+
+  DsmConfig untouched;
+  EXPECT_FALSE(load_page_priors("/nonexistent/hints.json", &untouched).is_ok());
+  EXPECT_TRUE(untouched.page_priors.empty());
+}
+
+TEST(PriorsSeed, PagesMarkedAndCounted) {
+  DsmConfig config;
+  config.pool_bytes = 4 << 20;
+  // Pages 0-1 pinned, page 2 update-biased, the rest untouched.
+  config.page_priors.push_back(
+      PagePrior{0, 2 * 4096, false, /*migration_friendly=*/false, 2});
+  config.page_priors.push_back(
+      PagePrior{2 * 4096, 8, /*prefer_update=*/true, true, 1});
+  DsmCluster cluster(2, config);
+  cluster.run([&](NodeId rank) {
+    DsmNode& node = cluster.node(rank);
+    EXPECT_FALSE(node.prior_allows_migration(0));
+    EXPECT_FALSE(node.prior_allows_migration(1));
+    EXPECT_TRUE(node.prior_allows_migration(2));
+    EXPECT_FALSE(node.prior_prefers_update(0));
+    EXPECT_TRUE(node.prior_prefers_update(2));
+    EXPECT_TRUE(node.prior_allows_migration(3));
+    EXPECT_EQ(node.stats().snapshot().prior_seeded_pages, 3);
+    cluster.node(rank).barrier();
+  });
+  cluster.shutdown();
+}
+
+TEST(PriorsSeed, NoPriorsChangesNothing) {
+  DsmConfig config;
+  config.pool_bytes = 4 << 20;
+  DsmCluster cluster(2, config);
+  cluster.run([&](NodeId rank) {
+    DsmNode& node = cluster.node(rank);
+    EXPECT_TRUE(node.prior_allows_migration(0));
+    EXPECT_FALSE(node.prior_prefers_update(0));
+    EXPECT_EQ(node.stats().snapshot().prior_seeded_pages, 0);
+    cluster.node(rank).barrier();
+  });
+  cluster.shutdown();
+}
+
+TEST(PriorsMigration, PinnedPageKeepsHomeSoleWriterWouldTake) {
+  // Baseline (no prior): node 1 is the sole modifier, so the §5.2.2 rule
+  // migrates the page's home to node 1 at the barrier.
+  {
+    DsmConfig config;
+    config.pool_bytes = 4 << 20;
+    DsmCluster cluster(2, config);
+    cluster.run([&](NodeId rank) {
+      auto* data = static_cast<int*>(cluster.node(rank).shmalloc(4096, 4096));
+      const PageId page =
+          static_cast<PageId>(cluster.node(rank).offset_of(data) / 4096);
+      cluster.node(rank).barrier();
+      if (rank == 1) *data = 7;
+      cluster.node(rank).barrier();
+      EXPECT_EQ(cluster.node(rank).home_of(page), 1);
+      EXPECT_EQ(*data, 7);
+      cluster.node(rank).barrier();
+    });
+    cluster.shutdown();
+  }
+  // Same traffic with a non-migration-friendly prior covering the page: the
+  // home stays pinned at node 0 and no migration is counted.
+  {
+    DsmConfig config;
+    config.pool_bytes = 4 << 20;
+    config.page_priors.push_back(
+        PagePrior{0, 4096, false, /*migration_friendly=*/false, 1});
+    DsmCluster cluster(2, config);
+    cluster.run([&](NodeId rank) {
+      auto* data = static_cast<int*>(cluster.node(rank).shmalloc(4096, 4096));
+      const PageId page =
+          static_cast<PageId>(cluster.node(rank).offset_of(data) / 4096);
+      cluster.node(rank).barrier();
+      if (rank == 1) *data = 7;
+      cluster.node(rank).barrier();
+      EXPECT_EQ(cluster.node(rank).home_of(page), 0);
+      EXPECT_EQ(*data, 7);  // pinned home still merges the diff correctly
+      cluster.node(rank).barrier();
+    });
+    const auto master_stats = cluster.node(0).stats().snapshot();
+    EXPECT_EQ(master_stats.home_migrations, 0);
+    cluster.shutdown();
+  }
+}
+
+TEST(PriorsMigration, UncoveredPagesStillMigrate) {
+  DsmConfig config;
+  config.pool_bytes = 4 << 20;
+  // Prior covers page 0 only; the second allocation's page is uncovered.
+  config.page_priors.push_back(
+      PagePrior{0, 4096, false, /*migration_friendly=*/false, 1});
+  DsmCluster cluster(2, config);
+  cluster.run([&](NodeId rank) {
+    auto* pinned = static_cast<int*>(cluster.node(rank).shmalloc(4096, 4096));
+    auto* free_page =
+        static_cast<int*>(cluster.node(rank).shmalloc(4096, 4096));
+    const PageId pinned_page =
+        static_cast<PageId>(cluster.node(rank).offset_of(pinned) / 4096);
+    const PageId movable_page =
+        static_cast<PageId>(cluster.node(rank).offset_of(free_page) / 4096);
+    cluster.node(rank).barrier();
+    if (rank == 1) {
+      *pinned = 1;
+      *free_page = 2;
+    }
+    cluster.node(rank).barrier();
+    EXPECT_EQ(cluster.node(rank).home_of(pinned_page), 0);
+    EXPECT_EQ(cluster.node(rank).home_of(movable_page), 1);
+    cluster.node(rank).barrier();
+  });
+  cluster.shutdown();
+}
+
+TEST(PriorsEmbedded, RegistrationRoundTrip) {
+  EXPECT_EQ(embedded_hints_json(), nullptr);
+  static const char kBlob[] = "{\"version\":1,\"symbols\":[]}";
+  set_embedded_hints_json(kBlob);
+  EXPECT_STREQ(embedded_hints_json(), kBlob);
+  set_embedded_hints_json(nullptr);
+  EXPECT_EQ(embedded_hints_json(), nullptr);
+}
+
+}  // namespace
+}  // namespace parade::dsm
