@@ -22,6 +22,11 @@ struct PagePrior {
   bool prefer_update = false;
   bool migration_friendly = true;
   std::size_t expected_touches = 1;  ///< static page-touch estimate
+  /// DSM epoch this prior applies to (v2 phased sidecars: the translator's
+  /// phase index folded with its epoch_base). -1 = every epoch (v1 priors
+  /// and the whole-program records of a v2 sidecar). Epochs past the last
+  /// phased prior keep the last phase's projection (sticky tail).
+  int phase = -1;
 };
 
 /// How the pool's second (always-writable) mapping is created — the paper's

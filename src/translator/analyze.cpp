@@ -11,6 +11,7 @@
 #include "obs/registry.hpp"
 #include "translator/cfg.hpp"
 #include "translator/dataflow.hpp"
+#include "translator/interfere.hpp"
 #include "translator/parser.hpp"
 #include "translator/token.hpp"
 
@@ -154,8 +155,18 @@ class Analyzer {
 
   void diag(const char* code, Severity severity, int line,
             const std::string& var, std::string message) {
-    out_.diagnostics.push_back(
-        Diagnostic{code, severity, line, var, std::move(message)});
+    Diagnostic d;
+    d.code = code;
+    d.severity = severity;
+    d.line = line;
+    d.var = var;
+    d.message = std::move(message);
+    resolve_columns(&d);
+    out_.diagnostics.push_back(std::move(d));
+  }
+
+  void resolve_columns(Diagnostic* d) const {
+    if (unit_ != nullptr) resolve_diag_columns(*unit_, d);
   }
 
   Sharing sharing_of(const std::string& name, std::size_t depth,
@@ -226,6 +237,7 @@ class Analyzer {
 
   AnalyzeOptions options_;
   Analysis out_;
+  const TranslationUnit* unit_ = nullptr;  // set for the duration of run()
   std::vector<std::map<std::string, SymbolInfo>> scopes_;
   std::set<std::string> uninit_;  // privates not yet written in the region
   std::map<std::string, std::vector<DsmMark>> dsm_marks_;
@@ -897,6 +909,7 @@ void Analyzer::register_params(const std::string& params) {
 }
 
 Analysis Analyzer::run(const TranslationUnit& unit) {
+  unit_ = &unit;
   scopes_.emplace_back();  // file scope
 
   // threadprivate(list) pragmas may follow the declaration they mark.
@@ -1007,6 +1020,28 @@ Analysis Analyzer::run(const TranslationUnit& unit) {
   if (options_.protocol_hints) {
     assign_pool_offsets();
   }
+
+  // Whole-program interference pass (translator/interfere.cpp): phase-aware
+  // hint synthesis plus the cross-region diagnostics. Needs both the final
+  // placements (above) and the footprint hints, so it runs last.
+  if (options_.flow_sensitive && options_.protocol_hints) {
+    run_interference(unit, options_, &out_);
+  }
+
+  // Deterministic output order: the walk emits in traversal order, which is
+  // stable, but the flow and interference passes append out of line order.
+  // Sort so text/JSON/SARIF renderings are byte-stable across platforms.
+  auto sort_diags = [](std::vector<Diagnostic>* diags) {
+    std::stable_sort(diags->begin(), diags->end(),
+                     [](const Diagnostic& a, const Diagnostic& b) {
+                       if (a.line != b.line) return a.line < b.line;
+                       if (a.code != b.code) return a.code < b.code;
+                       return a.var < b.var;
+                     });
+  };
+  sort_diags(&out_.diagnostics);
+  sort_diags(&out_.suppressed);
+  unit_ = nullptr;
   return out_;
 }
 
@@ -1475,11 +1510,33 @@ std::size_t Analysis::vars_dsm() const {
   return n;
 }
 
+void resolve_diag_columns(const TranslationUnit& unit, Diagnostic* d) {
+  if (d->line <= 0) return;
+  auto it = unit.line_positions.find(d->line);
+  if (it == unit.line_positions.end()) return;
+  const LinePositions& lp = it->second;
+  if (!d->var.empty()) {
+    for (const auto& [text, column] : lp.idents) {
+      if (text == d->var) {
+        d->column = column;
+        d->end_column = column + static_cast<int>(text.size());
+        return;
+      }
+    }
+  }
+  if (lp.first_column > 0) {
+    d->column = lp.first_column;
+    d->end_column = lp.first_column + 1;
+  }
+}
+
 std::string Analysis::to_text(const std::string& file) const {
   std::ostringstream out;
   for (const Diagnostic& d : diagnostics) {
-    out << file << ":" << d.line << ": " << to_string(d.severity) << " ["
-        << d.code << "] " << d.message << "\n";
+    out << file << ":" << d.line;
+    if (d.column > 0) out << ":" << d.column;
+    out << ": " << to_string(d.severity) << " [" << d.code << "] " << d.message
+        << "\n";
   }
   for (const auto& [name, vc] : globals) {
     out << file << ": global '" << name << "' -> " << to_string(vc.placement);
@@ -1530,6 +1587,10 @@ std::string Analysis::to_json(const std::string& file) const {
     w.value(to_string(d.severity));
     w.key("line");
     w.value(static_cast<std::int64_t>(d.line));
+    w.key("column");
+    w.value(static_cast<std::int64_t>(d.column));
+    w.key("end_column");
+    w.value(static_cast<std::int64_t>(d.end_column));
     w.key("var");
     w.value(d.var);
     w.key("message");
@@ -1702,6 +1763,14 @@ std::string sarif_report(
       w.begin_object();
       w.key("startLine");
       w.value(static_cast<std::int64_t>(d.line > 0 ? d.line : 1));
+      if (d.column > 0) {
+        w.key("startColumn");
+        w.value(static_cast<std::int64_t>(d.column));
+        // SARIF endColumn is exclusive, matching Diagnostic::end_column.
+        w.key("endColumn");
+        w.value(static_cast<std::int64_t>(
+            d.end_column > d.column ? d.end_column : d.column + 1));
+      }
       w.end_object();
       w.end_object();
       w.end_object();

@@ -48,6 +48,11 @@ struct Diagnostic {
   std::string code;
   Severity severity = Severity::kWarning;
   int line = 0;
+  /// 1-based byte columns of the primary region on `line` (0 = unknown;
+  /// end_column is exclusive). Resolved from the token stream: the first
+  /// occurrence of `var` on the line, else the line's first token.
+  int column = 0;
+  int end_column = 0;
   std::string var;  // primary variable, empty when not variable-specific
   std::string message;
 };
@@ -65,6 +70,12 @@ inline constexpr const char* kDiagDefaultNoneMissing = "default.none_missing";
 inline constexpr const char* kDiagBarrierUnmatched = "barrier.unmatched";
 inline constexpr const char* kDiagLockOrderCycle = "lock.order_cycle";
 inline constexpr const char* kDiagStaleReadLoop = "dsm.stale_read_loop";
+// Cross-region diagnostics (interference pass, translator/interfere.hpp).
+inline constexpr const char* kDiagRaceCrossRegion = "race.cross_region";
+inline constexpr const char* kDiagNowaitCrossRegionRead =
+    "nowait.cross_region_read";
+inline constexpr const char* kDiagHintPingpongDemotion =
+    "hint.pingpong_update_demotion";
 
 /// Where a file-scope variable is placed by the hybrid protocol selection.
 enum class Placement {
@@ -146,6 +157,13 @@ struct Analysis {
   /// finding with the reason the flow analysis retired it.
   std::string dataflow_report(const std::string& file) const;
 };
+
+/// Fills Diagnostic::column/end_column from the unit's per-line token index
+/// (TranslationUnit::line_positions): the first occurrence of `d->var` on
+/// the line when it names one, else the line's first token. Leaves 0
+/// (unknown) when the line carries no tokens. Shared by the analyzer and the
+/// interference pass so every emission path agrees on column semantics.
+void resolve_diag_columns(const TranslationUnit& unit, Diagnostic* d);
 
 /// SARIF 2.1.0 log over one or more analyzed files (stable rule ids are the
 /// kDiag* codes; parade_lint --sarif).

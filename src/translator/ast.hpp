@@ -5,8 +5,10 @@
 // directive attachment points.
 #pragma once
 
+#include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "translator/pragma.hpp"
@@ -92,8 +94,18 @@ struct TopItem {
   std::string text;      // kHashLine
 };
 
+/// Token positions observed on one source line. The AST stores statement
+/// text as reconstructed token runs, so byte columns are lost by the time
+/// diagnostics fire; this side index lets them be recovered per line.
+struct LinePositions {
+  int first_column = 0;                             // first token on the line
+  std::vector<std::pair<std::string, int>> idents;  // (text, column) in order
+};
+
 struct TranslationUnit {
   std::vector<TopItem> items;
+  // line -> token positions, built by parse() from the raw token stream.
+  std::map<int, LinePositions> line_positions;
 };
 
 }  // namespace parade::translator

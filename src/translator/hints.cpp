@@ -11,6 +11,16 @@
 
 namespace parade::translator {
 
+const char* to_string(SharingPattern pattern) {
+  switch (pattern) {
+    case SharingPattern::kReadMostly: return "read_mostly";
+    case SharingPattern::kProducerConsumer: return "producer_consumer";
+    case SharingPattern::kMigratory: return "migratory";
+    case SharingPattern::kPingPong: return "ping_pong";
+  }
+  return "unknown";
+}
+
 const SymbolHint* ProtocolHints::find(const std::string& name) const {
   for (const SymbolHint& h : symbols) {
     if (h.name == name) return &h;
@@ -29,7 +39,11 @@ std::string ProtocolHints::to_json() const {
   obs::JsonWriter w;
   w.begin_object();
   w.key("version");
-  w.value(std::int64_t{1});
+  w.value(std::int64_t{2});
+  w.key("epoch_base");
+  w.value(static_cast<std::int64_t>(epoch_base));
+  w.key("phase_count");
+  w.value(static_cast<std::int64_t>(phase_count));
   w.key("page_bytes");
   w.value(static_cast<std::int64_t>(page_bytes));
   w.key("threshold_bytes");
@@ -62,6 +76,34 @@ std::string ProtocolHints::to_json() const {
     w.value(h.migration_friendly);
     w.key("expected_page_touches");
     w.value(static_cast<std::int64_t>(h.expected_page_touches));
+    w.end_object();
+  }
+  w.end_array();
+  w.key("phases");
+  w.begin_array();
+  for (const PhaseHint& phase : phases) {
+    w.begin_object();
+    w.key("index");
+    w.value(static_cast<std::int64_t>(phase.index));
+    w.key("ranges");
+    w.begin_array();
+    for (const PhaseRange& r : phase.ranges) {
+      w.begin_object();
+      w.key("symbol");
+      w.value(r.symbol);
+      w.key("offset");
+      w.value(static_cast<std::int64_t>(r.offset));
+      w.key("bytes");
+      w.value(static_cast<std::int64_t>(r.bytes));
+      w.key("pattern");
+      w.value(to_string(r.pattern));
+      w.key("prefer_update");
+      w.value(r.prefer_update);
+      w.key("migration_friendly");
+      w.value(r.migration_friendly);
+      w.end_object();
+    }
+    w.end_array();
     w.end_object();
   }
   w.end_array();

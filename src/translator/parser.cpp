@@ -542,7 +542,15 @@ std::string render_tokens(const std::vector<Token>& tokens, std::size_t begin,
 
 Result<TranslationUnit> parse(const std::vector<Token>& tokens) {
   Parser parser(tokens);
-  return parser.parse_unit();
+  auto unit = parser.parse_unit();
+  if (!unit.is_ok()) return unit;
+  for (const Token& t : tokens) {
+    if (t.kind == TokKind::kEof || t.column <= 0) continue;
+    LinePositions& lp = unit.value().line_positions[t.line];
+    if (lp.first_column == 0) lp.first_column = t.column;
+    if (t.kind == TokKind::kIdent) lp.idents.emplace_back(t.text, t.column);
+  }
+  return unit;
 }
 
 }  // namespace parade::translator

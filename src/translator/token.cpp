@@ -38,10 +38,15 @@ Result<std::vector<Token>> lex(const std::string& source) {
   std::vector<Token> tokens;
   std::size_t i = 0;
   int line = 1;
+  std::size_t line_start = 0;  // index of the current line's first byte
   const std::size_t n = source.size();
 
   auto peek = [&](std::size_t ahead = 0) -> char {
     return i + ahead < n ? source[i + ahead] : '\0';
+  };
+  // 1-based byte column of position `at` on the current line.
+  auto column_of = [&](std::size_t at) {
+    return static_cast<int>(at - line_start) + 1;
   };
 
   while (i < n) {
@@ -49,6 +54,7 @@ Result<std::vector<Token>> lex(const std::string& source) {
     if (c == '\n') {
       ++line;
       ++i;
+      line_start = i;
       continue;
     }
     if (std::isspace(static_cast<unsigned char>(c))) {
@@ -63,7 +69,10 @@ Result<std::vector<Token>> lex(const std::string& source) {
     if (c == '/' && peek(1) == '*') {
       i += 2;
       while (i + 1 < n && !(source[i] == '*' && source[i + 1] == '/')) {
-        if (source[i] == '\n') ++line;
+        if (source[i] == '\n') {
+          ++line;
+          line_start = i + 1;
+        }
         ++i;
       }
       if (i + 1 >= n) {
@@ -77,11 +86,13 @@ Result<std::vector<Token>> lex(const std::string& source) {
     if (c == '#') {
       std::string text;
       const int start_line = line;
+      const int start_column = column_of(i);
       while (i < n) {
         if (source[i] == '\\' && i + 1 < n && source[i + 1] == '\n') {
           text += ' ';
           i += 2;
           ++line;
+          line_start = i;
           continue;
         }
         if (source[i] == '\n') break;
@@ -100,18 +111,21 @@ Result<std::vector<Token>> lex(const std::string& source) {
         t.kind = TokKind::kPragmaOmp;
         t.text = squished.substr(std::string("#pragma omp").size());
         t.line = start_line;
+        t.column = start_column;
         tokens.push_back(std::move(t));
       } else {
         Token t;
         t.kind = TokKind::kHashLine;
         t.text = text;
         t.line = start_line;
+        t.column = start_column;
         tokens.push_back(std::move(t));
       }
       continue;
     }
     // Identifiers / keywords.
     if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      const int start_column = column_of(i);
       std::string word;
       while (i < n && (std::isalnum(static_cast<unsigned char>(source[i])) ||
                        source[i] == '_')) {
@@ -122,12 +136,14 @@ Result<std::vector<Token>> lex(const std::string& source) {
       t.kind = keywords().count(word) ? TokKind::kKeyword : TokKind::kIdent;
       t.text = std::move(word);
       t.line = line;
+      t.column = start_column;
       tokens.push_back(std::move(t));
       continue;
     }
     // Numbers (ints, floats, hex, suffixes, exponents).
     if (std::isdigit(static_cast<unsigned char>(c)) ||
         (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+      const int start_column = column_of(i);
       std::string num;
       while (i < n) {
         const char d = source[i];
@@ -145,12 +161,14 @@ Result<std::vector<Token>> lex(const std::string& source) {
       t.kind = TokKind::kNumber;
       t.text = std::move(num);
       t.line = line;
+      t.column = start_column;
       tokens.push_back(std::move(t));
       continue;
     }
     // Strings / chars.
     if (c == '"' || c == '\'') {
       const char quote = c;
+      const int start_column = column_of(i);
       std::string text(1, quote);
       ++i;
       while (i < n && source[i] != quote) {
@@ -160,7 +178,10 @@ Result<std::vector<Token>> lex(const std::string& source) {
           i += 2;
           continue;
         }
-        if (source[i] == '\n') ++line;
+        if (source[i] == '\n') {
+          ++line;
+          line_start = i + 1;
+        }
         text += source[i];
         ++i;
       }
@@ -174,14 +195,16 @@ Result<std::vector<Token>> lex(const std::string& source) {
       t.kind = quote == '"' ? TokKind::kString : TokKind::kChar;
       t.text = std::move(text);
       t.line = line;
+      t.column = start_column;
       tokens.push_back(std::move(t));
       continue;
     }
     // Punctuators, longest match.
+    const int punct_column = column_of(i);
     bool matched = false;
     for (const char** p = kPuncts3; *p != nullptr; ++p) {
       if (source.compare(i, 3, *p) == 0) {
-        tokens.push_back(Token{TokKind::kPunct, *p, line});
+        tokens.push_back(Token{TokKind::kPunct, *p, line, punct_column});
         i += 3;
         matched = true;
         break;
@@ -190,18 +213,19 @@ Result<std::vector<Token>> lex(const std::string& source) {
     if (matched) continue;
     for (const char** p = kPuncts2; *p != nullptr; ++p) {
       if (source.compare(i, 2, *p) == 0) {
-        tokens.push_back(Token{TokKind::kPunct, *p, line});
+        tokens.push_back(Token{TokKind::kPunct, *p, line, punct_column});
         i += 2;
         matched = true;
         break;
       }
     }
     if (matched) continue;
-    tokens.push_back(Token{TokKind::kPunct, std::string(1, c), line});
+    tokens.push_back(Token{TokKind::kPunct, std::string(1, c), line,
+                           punct_column});
     ++i;
   }
 
-  tokens.push_back(Token{TokKind::kEof, "", line});
+  tokens.push_back(Token{TokKind::kEof, "", line, column_of(i)});
   return tokens;
 }
 

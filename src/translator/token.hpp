@@ -27,6 +27,7 @@ struct Token {
   TokKind kind = TokKind::kEof;
   std::string text;
   int line = 0;
+  int column = 0;  // 1-based byte column of the token start (0 = unknown)
 
   bool is(const char* t) const { return text == t; }
   bool is_punct(const char* t) const { return kind == TokKind::kPunct && text == t; }

@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <tuple>
 
 #include "obs/json.hpp"
 #include "translator/analyze.hpp"
@@ -578,7 +579,7 @@ TEST(AnalyzeReport, TextFormatHasFileLineCode) {
       "  return 0;\n"
       "}\n");
   const std::string text = a.to_text("racy.c");
-  EXPECT_NE(text.find("racy.c:4: error [race.shared_write]"),
+  EXPECT_NE(text.find("racy.c:4:5: error [race.shared_write]"),
             std::string::npos)
       << text;
 }
@@ -668,7 +669,63 @@ TEST(LintCli, SarifReportCarriesStableRuleIdsAndLocations) {
   const auto& location = result.at("locations").array[0].at("physicalLocation");
   EXPECT_EQ(location.at("artifactLocation").at("uri").string, racy);
   EXPECT_EQ(location.at("region").at("startLine").as_int(), 4);
+  // Token-precise region: the column of 'counter' in "  { counter = ...",
+  // with the exclusive endColumn one past the identifier.
+  EXPECT_EQ(location.at("region").at("startColumn").as_int(), 5);
+  EXPECT_EQ(location.at("region").at("endColumn").as_int(), 12);
   std::remove(racy.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Column resolution + deterministic report order
+
+TEST(AnalyzeReport, DiagnosticsCarryTokenColumns) {
+  const Analysis a = analyze_ok(
+      "int counter;\n"
+      "int main(void) {\n"
+      "  #pragma omp parallel\n"
+      "  { counter = counter + 1; }\n"
+      "  return 0;\n"
+      "}\n");
+  const Diagnostic* d = find_diag(a, kDiagRaceSharedWrite);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->column, 5);
+  EXPECT_EQ(d->end_column, 12);
+  auto doc = obs::parse_json(a.to_json("racy.c"));
+  ASSERT_TRUE(doc.is_ok());
+  const auto& first = doc.value().at("diagnostics").array[0];
+  EXPECT_EQ(first.at("column").as_int(), 5);
+  EXPECT_EQ(first.at("end_column").as_int(), 12);
+}
+
+TEST(AnalyzeReport, DiagnosticOrderIsDeterministicAndSorted) {
+  // Two findings on the same line plus findings on earlier lines: the final
+  // report must be sorted by (line, rule id, variable) regardless of the
+  // order the passes appended them in.
+  const char* source =
+      "int a;\n"
+      "int b;\n"
+      "int main(void) {\n"
+      "  #pragma omp parallel\n"
+      "  { b = a + 1; a = b + 1; }\n"
+      "  return 0;\n"
+      "}\n";
+  const Analysis first = analyze_ok(source);
+  const Analysis second = analyze_ok(source);
+  ASSERT_GE(first.diagnostics.size(), 2u);
+  ASSERT_EQ(first.diagnostics.size(), second.diagnostics.size());
+  for (std::size_t i = 0; i < first.diagnostics.size(); ++i) {
+    EXPECT_EQ(first.diagnostics[i].code, second.diagnostics[i].code);
+    EXPECT_EQ(first.diagnostics[i].var, second.diagnostics[i].var);
+    EXPECT_EQ(first.diagnostics[i].line, second.diagnostics[i].line);
+  }
+  const bool sorted = std::is_sorted(
+      first.diagnostics.begin(), first.diagnostics.end(),
+      [](const Diagnostic& x, const Diagnostic& y) {
+        return std::tie(x.line, x.code, x.var) <
+               std::tie(y.line, y.code, y.var);
+      });
+  EXPECT_TRUE(sorted);
 }
 
 TEST(LintCli, DataflowReportListsRegionsAndSuppressions) {

@@ -232,7 +232,7 @@ TEST(Hints, SidecarJsonRoundTrips) {
   auto doc = obs::parse_json(a.hints.to_json());
   ASSERT_TRUE(doc.is_ok()) << doc.status().to_string();
   ASSERT_TRUE(doc.value().is_object());
-  EXPECT_EQ(doc.value().at("version").as_int(), 1);
+  EXPECT_EQ(doc.value().at("version").as_int(), 2);
   EXPECT_EQ(doc.value().at("page_bytes").as_int(), 4096);
   ASSERT_TRUE(doc.value().at("symbols").is_array());
   bool found_u = false;
@@ -243,6 +243,47 @@ TEST(Hints, SidecarJsonRoundTrips) {
     EXPECT_TRUE(symbol.at("offset_known").boolean);
   }
   EXPECT_TRUE(found_u);
+}
+
+TEST(Hints, SidecarV2CarriesPhasedRanges) {
+  // Two worksharing phases over one array: the v2 sidecar must expose the
+  // interference pass's phase records with sharing patterns and the
+  // epoch_base the runtime folds phase indices with.
+  const Analysis a = analyze_ok(
+      "double u[1024];\n"
+      "double v[1024];\n"
+      "int main(void) {\n"
+      "  int i;\n"
+      "  int j;\n"
+      "  #pragma omp parallel for\n"
+      "  for (i = 0; i < 1024; i++) { u[i] = 1.0; }\n"
+      "  #pragma omp parallel for\n"
+      "  for (j = 0; j < 1024; j++) { v[j] = u[j] * 2.0; }\n"
+      "  return 0;\n"
+      "}\n");
+  EXPECT_EQ(a.hints.epoch_base, 1);
+  EXPECT_GT(a.hints.phase_count, 1);
+  ASSERT_FALSE(a.hints.phases.empty());
+  auto doc = obs::parse_json(a.hints.to_json());
+  ASSERT_TRUE(doc.is_ok()) << doc.status().to_string();
+  EXPECT_EQ(doc.value().at("epoch_base").as_int(), 1);
+  EXPECT_GT(doc.value().at("phase_count").as_int(), 1);
+  ASSERT_TRUE(doc.value().at("phases").is_array());
+  bool saw_producer = false;
+  bool saw_read_mostly = false;
+  for (const auto& phase : doc.value().at("phases").array) {
+    ASSERT_TRUE(phase.has("index"));
+    ASSERT_TRUE(phase.at("ranges").is_array());
+    for (const auto& range : phase.at("ranges").array) {
+      if (range.at("symbol").string != "u") continue;
+      const std::string& pattern = range.at("pattern").string;
+      if (pattern == "producer_consumer") saw_producer = true;
+      if (pattern == "read_mostly") saw_read_mostly = true;
+      EXPECT_GT(range.at("bytes").as_int(), 0);
+    }
+  }
+  EXPECT_TRUE(saw_producer);
+  EXPECT_TRUE(saw_read_mostly);
 }
 
 TEST(Hints, GeneratedProgramEmbedsSidecar) {
@@ -284,7 +325,7 @@ TEST(OmccCli, HintsJsonEmitsParsableSidecar) {
   EXPECT_EQ(exit_code, 0) << output;
   auto doc = obs::parse_json(output);
   ASSERT_TRUE(doc.is_ok()) << output;
-  EXPECT_EQ(doc.value().at("version").as_int(), 1);
+  EXPECT_EQ(doc.value().at("version").as_int(), 2);
   bool found_dsm_symbol = false;
   for (const auto& symbol : doc.value().at("symbols").array) {
     if (symbol.at("dsm").boolean) found_dsm_symbol = true;

@@ -7,10 +7,14 @@
 
 #include <cstdio>
 #include <fstream>
+#include <memory>
+#include <optional>
 #include <string>
 
 #include "dsm/cluster.hpp"
 #include "dsm/priors.hpp"
+#include "net/fault.hpp"
+#include "obs/registry.hpp"
 
 namespace parade::dsm {
 namespace {
@@ -47,7 +51,9 @@ TEST(PriorsParse, FiltersToDsmSymbolsWithKnownOffsets) {
 
 TEST(PriorsParse, RejectsMalformedAndWrongVersion) {
   EXPECT_FALSE(parse_page_priors("{not json").is_ok());
-  EXPECT_FALSE(parse_page_priors("{\"version\":2,\"symbols\":[]}").is_ok());
+  EXPECT_FALSE(parse_page_priors("{\"version\":3,\"symbols\":[]}").is_ok());
+  // v2 (phased) sidecars are accepted by this runtime.
+  EXPECT_TRUE(parse_page_priors("{\"version\":2,\"symbols\":[]}").is_ok());
   EXPECT_FALSE(parse_page_priors("[1,2,3]").is_ok());
   // Empty symbol list is a valid empty result, not an error.
   auto empty = parse_page_priors("{\"version\":1,\"symbols\":[]}");
@@ -179,6 +185,104 @@ TEST(PriorsMigration, UncoveredPagesStillMigrate) {
     cluster.node(rank).barrier();
   });
   cluster.shutdown();
+}
+
+TEST(PriorsParse, V2PhasesYieldEpochRangedPriors) {
+  const char* sidecar =
+      "{\"version\":2,\"page_bytes\":4096,\"threshold_bytes\":256,"
+      "\"epoch_base\":1,"
+      "\"symbols\":[{\"name\":\"grid\",\"bytes\":4096,\"dsm\":true,"
+      "\"offset_known\":true,\"pool_offset\":0,\"prefer_update\":false,"
+      "\"migration_friendly\":false,\"expected_page_touches\":1}],"
+      "\"phases\":["
+      "{\"index\":0,\"ranges\":[{\"symbol\":\"grid\",\"offset\":0,"
+      "\"bytes\":4096,\"pattern\":\"producer_consumer\","
+      "\"prefer_update\":false,\"migration_friendly\":true}]},"
+      "{\"index\":1,\"ranges\":[{\"symbol\":\"grid\",\"offset\":0,"
+      "\"bytes\":4096,\"pattern\":\"ping_pong\",\"prefer_update\":false,"
+      "\"migration_friendly\":false}]}"
+      "]}";
+  auto priors = parse_page_priors(sidecar);
+  ASSERT_TRUE(priors.is_ok()) << priors.status().to_string();
+  ASSERT_EQ(priors.value().size(), 3u);
+  // The per-symbol record stays a whole-program prior.
+  EXPECT_EQ(priors.value()[0].phase, -1);
+  EXPECT_FALSE(priors.value()[0].migration_friendly);
+  // Phase records fold index with epoch_base: phase p -> epoch p + base.
+  EXPECT_EQ(priors.value()[1].phase, 1);
+  EXPECT_TRUE(priors.value()[1].migration_friendly);
+  EXPECT_EQ(priors.value()[2].phase, 2);
+  EXPECT_FALSE(priors.value()[2].migration_friendly);
+}
+
+/// Shared scenario for the phased-projection tests: page 0 carries a
+/// whole-program home pin that a phase prior at epoch 2 relaxes. Node 1 is
+/// the sole writer in epochs 1 and 2; §5.2.2 migration must stay vetoed for
+/// the first write and fire for the second, and every node must observe the
+/// re-projection through prior_seeded_pages. Returns the summed
+/// dsm.invariant.violations across the cluster.
+std::int64_t run_phased_scenario(std::optional<std::uint64_t> fault_seed) {
+  DsmConfig config;
+  config.pool_bytes = 4 << 20;
+  if (fault_seed.has_value()) {
+    config.retry.timeout_ms = 50;
+    config.retry.max_attempts = 400;
+  }
+  PagePrior pinned{0, 4096, false, /*migration_friendly=*/false, 1};
+  PagePrior relaxed{0, 4096, false, /*migration_friendly=*/true, 1};
+  relaxed.phase = 2;
+  config.page_priors.push_back(pinned);
+  config.page_priors.push_back(relaxed);
+  const int nodes = 2;
+  auto cluster =
+      fault_seed.has_value()
+          ? std::make_unique<DsmCluster>(nodes, config,
+                                         net::default_chaos_plan(*fault_seed))
+          : std::make_unique<DsmCluster>(nodes, config);
+  cluster->run([&](NodeId rank) {
+    DsmNode& node = cluster->node(rank);
+    auto* data = static_cast<int*>(node.shmalloc(4096, 4096));
+    const PageId page = static_cast<PageId>(node.offset_of(data) / 4096);
+    // Epoch 0: only the whole-program pin is projected.
+    EXPECT_FALSE(node.prior_allows_migration(page));
+    node.barrier();  // -> epoch 1 (no phase-1 priors: pin stays)
+    EXPECT_FALSE(node.prior_allows_migration(page));
+    if (rank == 1) *data = 7;
+    node.barrier();  // closes epoch 1 under the pin -> epoch 2
+    EXPECT_EQ(node.home_of(page), 0);  // sole writer vetoed
+    // Only the writer re-reads here: other ranks checking the value would
+    // race with the epoch-2 write below.
+    if (rank == 1) EXPECT_EQ(*data, 7);
+    // Epoch 2: the phase prior overrides (relaxes) the whole-program pin.
+    EXPECT_TRUE(node.prior_allows_migration(page));
+    if (rank == 1) *data = 8;
+    node.barrier();  // closes epoch 2 relaxed -> epoch 3
+    EXPECT_EQ(node.home_of(page), 1);  // §5.2.2 migration fired this time
+    EXPECT_EQ(*data, 8);
+    // Sticky tail: epochs past the last phased prior keep its projection,
+    // and the unchanged phase is not re-counted.
+    EXPECT_TRUE(node.prior_allows_migration(page));
+    // One projection each at epochs 0, 1 and 2; epoch 3 reuses phase 2.
+    EXPECT_EQ(node.stats().snapshot().prior_seeded_pages, 3);
+    node.barrier();
+  });
+  std::int64_t violations = 0;
+  auto& reg = obs::Registry::instance();
+  for (NodeId n = 0; n < nodes; ++n) {
+    violations += reg.counter(n, "dsm.invariant.violations").value();
+  }
+  cluster->shutdown();
+  return violations;
+}
+
+TEST(PriorsPhased, ReprojectionGatesMigrationPerEpoch) {
+  EXPECT_EQ(run_phased_scenario(std::nullopt), 0);
+}
+
+// Chaos variant (tier2-chaos): the same epoch-ranged projection decisions
+// must survive a faulty fabric with zero invariant violations.
+TEST(PriorsPhasedChaos, ReprojectionSurvivesFaultInjection) {
+  EXPECT_EQ(run_phased_scenario(0xC0FFEEu), 0);
 }
 
 TEST(PriorsEmbedded, RegistrationRoundTrip) {

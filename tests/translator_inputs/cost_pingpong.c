@@ -1,0 +1,23 @@
+/* Cost-model corpus: ping-pong. Every iteration funnels a read-modify-write
+ * sweep over the whole accumulator array through one critical section, so
+ * the page bounces between nodes once per remote lock handoff. The trip
+ * count is kept small: the estimator prices the perfect-alternation upper
+ * bound, while a lock convoy can collapse the run to a single handoff, and
+ * the documented tolerance factor must cover that whole range. */
+#include <stdio.h>
+double acc[512];
+int main(void) {
+  int i;
+  int j;
+#pragma omp parallel for
+  for (i = 0; i < 16; i++) {
+#pragma omp critical
+    {
+      for (j = 0; j < 512; j++) {
+        acc[j] = acc[j] + 1.0;
+      }
+    }
+  }
+  printf("acc[0]=%.1f acc[511]=%.1f\n", acc[0], acc[511]);
+  return 0;
+}

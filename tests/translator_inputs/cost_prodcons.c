@@ -1,0 +1,23 @@
+/* Cost-model corpus: producer-consumer. Phase one partitions the production
+ * of u across the team; the barrier publishes it; phase two reads u to
+ * produce v. Pages of u flow home-ward as diffs, then fan out as fetches. */
+#include <stdio.h>
+double u[8192];
+double v[8192];
+int main(void) {
+  int i;
+  int j;
+#pragma omp parallel
+  {
+#pragma omp for
+    for (i = 0; i < 8192; i++) {
+      u[i] = i;
+    }
+#pragma omp for
+    for (j = 0; j < 8192; j++) {
+      v[j] = u[j] * 0.5;
+    }
+  }
+  printf("v[100]=%.1f v[8191]=%.1f\n", v[100], v[8191]);
+  return 0;
+}
